@@ -1,0 +1,409 @@
+package xic
+
+// Benchmark harness for every artifact in the paper's evaluation: the four
+// illustrative figures and every cell of the Figure 5 complexity table.
+// The paper (a 2001 theory paper) reports no wall-clock numbers; these
+// benchmarks validate the *shape* of each result — which procedures are
+// linear, which pay NP/coNP prices and where, and that all decision
+// outcomes match the paper's worked examples. EXPERIMENTS.md records a
+// captured run.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xic/internal/cardinality"
+	"xic/internal/constraint"
+	"xic/internal/core"
+	"xic/internal/dtd"
+	"xic/internal/randgen"
+	"xic/internal/reduction"
+	"xic/internal/relational"
+	"xic/internal/xmltree"
+)
+
+// encodeAll builds Ψ(D,Σ) for a simplified DTD and a unary constraint set.
+func encodeAll(simp *dtd.Simplified, set []constraint.Constraint) (*cardinality.Encoding, error) {
+	enc, err := cardinality.EncodeDTD(simp)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := enc.AddFull(set); err != nil {
+		return nil, err
+	}
+	return enc, nil
+}
+
+// ---- Figures 1–4 -----------------------------------------------------
+
+// BenchmarkFigure1Tree builds the Figure 1 document and validates it
+// against D1 and Σ1 (conforms; violates the subject key).
+func BenchmarkFigure1Tree(b *testing.B) {
+	d := dtd.Teachers()
+	sigma := constraint.Sigma1()
+	v := xmltree.NewValidator(d)
+	for i := 0; i < b.N; i++ {
+		tr := xmltree.Figure1()
+		if err := v.Validate(tr); err != nil {
+			b.Fatal(err)
+		}
+		if ok, _ := constraint.SatisfiedAll(tr, sigma); ok {
+			b.Fatal("Figure 1 should violate Σ1")
+		}
+	}
+}
+
+// BenchmarkFigure2Reduction runs the Theorem 3.1 reduction and realises the
+// Figure 2 document from a relational instance.
+func BenchmarkFigure2Reduction(b *testing.B) {
+	s := relational.NewSchema()
+	s.AddRelation("R", "a", "b", "c")
+	theta := []relational.Dependency{relational.Key{Rel: "R", Attrs: []string{"c"}}}
+	phi := relational.Key{Rel: "R", Attrs: []string{"a"}}
+	inst := relational.NewInstance(s)
+	for i := 0; i < 10; i++ {
+		_ = inst.Insert("R", relational.Tuple{"a": "x", "b": fmt.Sprint(i), "c": fmt.Sprint(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec, err := reduction.RelationalToXML(s, theta, phi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree, err := spec.TreeFromInstance(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !xmltree.Conforms(tree, spec.DTD) {
+			b.Fatal("Figure 2 tree does not conform")
+		}
+	}
+}
+
+// BenchmarkFigure3Reduction runs the Lemma 3.3 reduction (consistency →
+// implication) and decides the resulting implication instance.
+func BenchmarkFigure3Reduction(b *testing.B) {
+	d := dtd.Teachers()
+	sigma := constraint.MustParse("teacher.name -> teacher")
+	for i := 0; i < b.N; i++ {
+		inst, err := reduction.ConsistencyToKeyImplication(d, sigma)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp, err := core.Implies(inst.DTD, inst.Sigma, inst.Phi, &core.Options{SkipWitness: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if imp.Implied {
+			b.Fatal("consistent Σ must make the reduced implication fail")
+		}
+	}
+}
+
+// BenchmarkFigure4Reduction runs the Theorem 4.7 reduction (0/1-LIP →
+// consistency) end to end, extracting and checking the solution.
+func BenchmarkFigure4Reduction(b *testing.B) {
+	a := [][]int{{1, 0, 1}, {0, 1, 1}}
+	for i := 0; i < b.N; i++ {
+		spec, err := reduction.LIPToSpec(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Consistent(spec.DTD, spec.Sigma, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Consistent || !spec.Eval(spec.Solution(res.Witness)) {
+			b.Fatal("solvable instance mishandled")
+		}
+	}
+}
+
+// ---- Figure 5, row "consistency" -------------------------------------
+
+// BenchmarkDTDValidity is the linear-time "is there a valid tree at all"
+// check underlying the keys-only column (Theorem 3.5(1)).
+func BenchmarkDTDValidity(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		d := randgen.ChainDTD(n)
+		b.Run(fmt.Sprintf("chain-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !core.ConsistentDTD(d) {
+					b.Fatal("chain DTD must have trees")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKeysConsistency is the linear-time cell: multi-attribute keys
+// only (Theorem 3.5(2)).
+func BenchmarkKeysConsistency(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		d := randgen.ChainDTD(n)
+		keys := randgen.KeySetOver(d)
+		opt := &core.Options{SkipWitness: true}
+		b.Run(fmt.Sprintf("keys-%d", len(keys)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Consistent(d, keys, opt)
+				if err != nil || !res.Consistent {
+					b.Fatalf("keys over chain: %v %v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKeysImplication is the linear-time implication cell
+// (Theorem 3.5(3), Lemma 3.7).
+func BenchmarkKeysImplication(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		d := randgen.ChainDTD(n)
+		keys := randgen.KeySetOver(d)
+		phi := constraint.Key{Type: "c1", Attrs: []string{"k"}}
+		b.Run(fmt.Sprintf("keys-%d", len(keys)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ImpliesKey(d, keys, phi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUnaryConsistency is the NP-complete cell: unary keys and
+// foreign keys (Theorem 4.7), on the paper's own inconsistent teacher
+// pattern replicated k times and on its consistent keys-only variant.
+func BenchmarkUnaryConsistency(b *testing.B) {
+	opt := &core.Options{SkipWitness: true}
+	for _, blocks := range []int{1, 2, 4} {
+		d := randgen.TeacherFamily(blocks)
+		bad := randgen.TeacherFamilyConstraints(blocks, true)
+		good := randgen.TeacherFamilyConstraints(blocks, false)
+		b.Run(fmt.Sprintf("inconsistent-%dblocks", blocks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Consistent(d, bad, opt)
+				if err != nil || res.Consistent {
+					b.Fatalf("Σ1-family must be inconsistent: %v %v", res, err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("consistent-%dblocks", blocks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Consistent(d, good, opt)
+				if err != nil || !res.Consistent {
+					b.Fatalf("keys-only family must be consistent: %v %v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrimaryUnaryConsistency is the primary-key-restricted cell
+// (Corollary 4.8) — the teacher family already obeys the restriction, so
+// this measures the same NP procedure under the restriction's guard.
+func BenchmarkPrimaryUnaryConsistency(b *testing.B) {
+	d := randgen.TeacherFamily(2)
+	set := randgen.TeacherFamilyConstraints(2, true)
+	if err := constraint.CheckPrimaryKeyRestriction(set); err != nil {
+		b.Fatal(err)
+	}
+	opt := &core.Options{SkipWitness: true}
+	for i := 0; i < b.N; i++ {
+		res, err := core.Consistent(d, set, opt)
+		if err != nil || res.Consistent {
+			b.Fatalf("restricted Σ1-family must stay inconsistent: %v %v", res, err)
+		}
+	}
+}
+
+// BenchmarkFullClassConsistency is the Theorem 5.1 cell: unary keys,
+// inclusion constraints and their negations (intersection-cell encoding).
+func BenchmarkFullClassConsistency(b *testing.B) {
+	d := randgen.WideDTD(4)
+	set := constraint.MustParse(`
+s0.id -> s0
+s0.id <= s1.id
+not s1.id <= s0.id
+not s2.id -> s2
+`)
+	opt := &core.Options{SkipWitness: true}
+	for i := 0; i < b.N; i++ {
+		res, err := core.Consistent(d, set, opt)
+		if err != nil || !res.Consistent {
+			b.Fatalf("negation set should be consistent: %v %v", res, err)
+		}
+	}
+}
+
+// ---- Figure 5, row "implication" -------------------------------------
+
+// BenchmarkUnaryImplication is the coNP-complete cell (Theorems 4.10/5.4):
+// refuting Σ ∧ ¬φ through the encoding.
+func BenchmarkUnaryImplication(b *testing.B) {
+	for _, blocks := range []int{1, 2} {
+		d := randgen.TeacherFamily(blocks)
+		sigma := append(randgen.TeacherFamilyConstraints(blocks, false),
+			constraint.UnaryForeignKey("teacher_0", "name", "subject_0", "taught_by"))
+		phi := constraint.UnaryInclusion("subject_0", "taught_by", "teacher_0", "name")
+		opt := &core.Options{SkipWitness: true}
+		b.Run(fmt.Sprintf("%dblocks", blocks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				imp, err := core.Implies(d, sigma, phi, opt)
+				if err != nil || imp.Implied {
+					b.Fatalf("inclusion should not be implied: %v %v", imp, err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 5, column "fixed DTD" ------------------------------------
+
+// BenchmarkFixedDTDConsistency is the PTIME cell of Corollary 4.11: a
+// fixed DTD with growing constraint sets.
+func BenchmarkFixedDTDConsistency(b *testing.B) {
+	d := randgen.WideDTD(4)
+	checker, err := core.NewChecker(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	opt := &core.Options{SkipWitness: true}
+	for _, k := range []int{4, 16, 64} {
+		set := randgen.RandUnarySet(rng, d, randgen.SetSpec{Keys: k / 2, Inclusions: k / 2})
+		b.Run(fmt.Sprintf("sigma-%d", len(set)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := checker.Consistent(set, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFixedDTDImplication is the PTIME implication cell
+// (Corollary 5.5).
+func BenchmarkFixedDTDImplication(b *testing.B) {
+	d := randgen.WideDTD(4)
+	checker, err := core.NewChecker(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sigma := constraint.MustParse("s0.id <= s1.id\ns1.id <= s2.id")
+	phi := constraint.UnaryInclusion("s0", "id", "s2", "id")
+	opt := &core.Options{SkipWitness: true}
+	for i := 0; i < b.N; i++ {
+		imp, err := checker.Implies(sigma, phi, opt)
+		if err != nil || !imp.Implied {
+			b.Fatalf("transitive inclusion must be implied: %v %v", imp, err)
+		}
+	}
+}
+
+// ---- Figure 5, undecidable cells (construction only) ------------------
+
+// BenchmarkUndecidableConsistencyReduction measures constructing the
+// Theorem 3.1 gadget — the undecidable cell has no decision procedure to
+// measure, so the executable artifact is the reduction itself.
+func BenchmarkUndecidableConsistencyReduction(b *testing.B) {
+	s := relational.NewSchema()
+	var theta []relational.Dependency
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("R%d", i)
+		s.AddRelation(name, "a", "b", "c")
+		theta = append(theta, relational.Key{Rel: name, Attrs: []string{"a"}})
+	}
+	phi := relational.Key{Rel: "R0", Attrs: []string{"b"}}
+	for i := 0; i < b.N; i++ {
+		if _, err := reduction.RelationalToXML(s, theta, phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUndecidableImplicationReduction measures the Lemma 3.3 gadget.
+func BenchmarkUndecidableImplicationReduction(b *testing.B) {
+	d := randgen.TeacherFamily(4)
+	sigma := randgen.TeacherFamilyConstraints(4, true)
+	for i := 0; i < b.N; i++ {
+		if _, err := reduction.ConsistencyToKeyImplication(d, sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Supporting measurements ------------------------------------------
+
+// BenchmarkEncodingCost measures building Ψ(D,Σ) alone — the paper bounds
+// it by O(s²·log s) (Theorem 4.1).
+func BenchmarkEncodingCost(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		d := randgen.ChainDTD(n)
+		set := randgen.KeySetOver(d)
+		b.Run(fmt.Sprintf("size-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simp := dtd.Simplify(d)
+				enc, err := encodeAll(simp, set)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = enc
+			}
+		})
+	}
+}
+
+// BenchmarkWitnessConstruction measures the constructive half: solution →
+// verified document (Lemmas 4.4/4.5 plus de-simplification).
+func BenchmarkWitnessConstruction(b *testing.B) {
+	d := randgen.TeacherFamily(2)
+	set := randgen.TeacherFamilyConstraints(2, false)
+	for i := 0; i < b.N; i++ {
+		res, err := core.Consistent(d, set, nil)
+		if err != nil || res.Witness == nil {
+			b.Fatalf("expected witness: %v %v", res, err)
+		}
+	}
+}
+
+// BenchmarkLIPGadgetConsistency drives random Theorem 4.7 gadgets through
+// the full NP pipeline.
+func BenchmarkLIPGadgetConsistency(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	a := randgen.RandLIP01(rng, 3, 4, 50)
+	spec, err := reduction.LIPToSpec(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := &core.Options{SkipWitness: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Consistent(spec.DTD, spec.Sigma, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRelationalVsXMLImplication contrasts the relational world —
+// where unary key+inclusion implication is linear (Cosmadakis et al.) —
+// with the XML world, where the same question is coNP-complete because the
+// DTD participates. Here the DTD's cardinality structure flips the answer:
+// structurally at most one 'a' exists, so a.x → a is implied by nothing.
+func BenchmarkRelationalVsXMLImplication(b *testing.B) {
+	d := dtd.MustParse(`
+<!ELEMENT r (a?, b*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`)
+	phi := constraint.UnaryKey("a", "x")
+	opt := &core.Options{SkipWitness: true}
+	for i := 0; i < b.N; i++ {
+		imp, err := core.Implies(d, nil, phi, opt)
+		if err != nil || !imp.Implied {
+			b.Fatalf("structural implication must hold: %v %v", imp, err)
+		}
+	}
+}

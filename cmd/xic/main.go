@@ -1,0 +1,294 @@
+// Command xic statically validates XML specifications: DTDs plus key,
+// foreign-key and inclusion constraints, per Fan & Libkin (JACM 2002).
+//
+// Usage:
+//
+//	xic check    -dtd spec.dtd -constraints spec.xic [-witness out.xml] [-skip-witness] [-max-solver-nodes N]
+//	xic imply    -dtd spec.dtd -constraints spec.xic -query "constraint" [-counterexample out.xml]
+//	xic validate -dtd spec.dtd [-constraints spec.xic] -doc doc.xml
+//	xic simplify -dtd spec.dtd
+//	xic encode   -dtd spec.dtd [-constraints spec.xic] [-bigm]
+//	xic class    -constraints spec.xic
+//
+// Exit status: 0 for a positive answer (consistent / implied / valid),
+// 1 for a negative answer, 2 for usage or processing errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xic"
+	"xic/internal/cardinality"
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+	"xic/internal/ilp"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	var negative bool
+	switch os.Args[1] {
+	case "check":
+		negative, err = runCheck(os.Args[2:])
+	case "imply":
+		negative, err = runImply(os.Args[2:])
+	case "validate":
+		negative, err = runValidate(os.Args[2:])
+	case "simplify":
+		err = runSimplify(os.Args[2:])
+	case "encode":
+		err = runEncode(os.Args[2:])
+	case "class":
+		err = runClass(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "xic: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xic:", err)
+		os.Exit(2)
+	}
+	if negative {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `xic — static validation of XML specifications (DTD + integrity constraints)
+
+commands:
+  check      decide consistency; optionally emit a witness document
+  imply      decide implication (D,Σ) ⊢ φ; optionally emit a counterexample
+  validate   check one XML document against DTD and constraints
+  simplify   print the simple DTD of Section 4.1
+  encode     print the cardinality encoding Ψ(D,Σ) (or its big-M matrix)
+  class      print the constraint class of a constraint set`)
+}
+
+func loadDTD(path string) (*xic.DTD, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -dtd")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return xic.ParseDTD(string(data))
+}
+
+func loadConstraints(path string, required bool) ([]xic.Constraint, error) {
+	if path == "" {
+		if required {
+			return nil, fmt.Errorf("missing -constraints")
+		}
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return xic.ParseConstraints(string(data))
+}
+
+func runCheck(args []string) (negative bool, err error) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	dtdPath := fs.String("dtd", "", "DTD file")
+	consPath := fs.String("constraints", "", "constraint file")
+	witnessPath := fs.String("witness", "", "write a witness document here when consistent")
+	skipWitness := fs.Bool("skip-witness", false, "decision only, no witness construction")
+	maxNodes := fs.Int("max-solver-nodes", 0, "branch-and-bound node budget (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	d, err := loadDTD(*dtdPath)
+	if err != nil {
+		return false, err
+	}
+	set, err := loadConstraints(*consPath, false)
+	if err != nil {
+		return false, err
+	}
+	opt := &xic.Options{
+		SkipWitness: *skipWitness && *witnessPath == "",
+		Solver:      ilp.Options{MaxNodes: *maxNodes},
+	}
+	res, err := xic.CheckConsistency(d, set, opt)
+	if err != nil {
+		return false, err
+	}
+	if !res.Consistent {
+		fmt.Printf("INCONSISTENT (%s): no document conforms to the DTD and satisfies all %d constraints\n",
+			res.Class, len(set))
+		return true, nil
+	}
+	fmt.Printf("CONSISTENT (%s)\n", res.Class)
+	if *witnessPath != "" && res.Witness != nil {
+		if err := os.WriteFile(*witnessPath, []byte(xic.SerializeDocument(res.Witness)), 0o644); err != nil {
+			return false, err
+		}
+		fmt.Printf("witness written to %s\n", *witnessPath)
+	}
+	return false, nil
+}
+
+func runImply(args []string) (negative bool, err error) {
+	fs := flag.NewFlagSet("imply", flag.ExitOnError)
+	dtdPath := fs.String("dtd", "", "DTD file")
+	consPath := fs.String("constraints", "", "constraint file (Σ)")
+	query := fs.String("query", "", "constraint φ to test, in constraint syntax")
+	cePath := fs.String("counterexample", "", "write a counterexample document here when not implied")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	d, err := loadDTD(*dtdPath)
+	if err != nil {
+		return false, err
+	}
+	sigma, err := loadConstraints(*consPath, false)
+	if err != nil {
+		return false, err
+	}
+	if *query == "" {
+		return false, fmt.Errorf("missing -query")
+	}
+	phi, err := constraint.ParseOne(*query)
+	if err != nil {
+		return false, err
+	}
+	imp, err := xic.CheckImplication(d, sigma, phi, nil)
+	if err != nil {
+		return false, err
+	}
+	if imp.Implied {
+		fmt.Printf("IMPLIED: every conforming document satisfying Σ satisfies %s\n", phi)
+		return false, nil
+	}
+	fmt.Printf("NOT IMPLIED: %s can fail while Σ holds\n", phi)
+	if *cePath != "" && imp.Counterexample != nil {
+		if err := os.WriteFile(*cePath, []byte(xic.SerializeDocument(imp.Counterexample)), 0o644); err != nil {
+			return false, err
+		}
+		fmt.Printf("counterexample written to %s\n", *cePath)
+	}
+	return true, nil
+}
+
+func runValidate(args []string) (negative bool, err error) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	dtdPath := fs.String("dtd", "", "DTD file")
+	consPath := fs.String("constraints", "", "constraint file (optional)")
+	docPath := fs.String("doc", "", "XML document file")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	d, err := loadDTD(*dtdPath)
+	if err != nil {
+		return false, err
+	}
+	set, err := loadConstraints(*consPath, false)
+	if err != nil {
+		return false, err
+	}
+	if *docPath == "" {
+		return false, fmt.Errorf("missing -doc")
+	}
+	f, err := os.Open(*docPath)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	doc, err := xic.ParseDocument(f)
+	if err != nil {
+		return false, err
+	}
+	if err := xic.ValidateDocument(doc, d, set); err != nil {
+		fmt.Printf("INVALID: %v\n", err)
+		return true, nil
+	}
+	fmt.Println("VALID: document conforms to the DTD and satisfies all constraints")
+	return false, nil
+}
+
+func runSimplify(args []string) error {
+	fs := flag.NewFlagSet("simplify", flag.ExitOnError)
+	dtdPath := fs.String("dtd", "", "DTD file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := loadDTD(*dtdPath)
+	if err != nil {
+		return err
+	}
+	simp := dtd.Simplify(d)
+	fmt.Print(simp.DTD.String())
+	return nil
+}
+
+func runEncode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	dtdPath := fs.String("dtd", "", "DTD file")
+	consPath := fs.String("constraints", "", "constraint file (optional)")
+	bigM := fs.Bool("bigm", false, "print the big-M LIP matrix of Theorem 4.1 instead of the system")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := loadDTD(*dtdPath)
+	if err != nil {
+		return err
+	}
+	set, err := loadConstraints(*consPath, false)
+	if err != nil {
+		return err
+	}
+	enc, err := cardinality.EncodeDTD(dtd.Simplify(d))
+	if err != nil {
+		return err
+	}
+	if _, err := enc.AddFull(set); err != nil {
+		return err
+	}
+	if !*bigM {
+		fmt.Print(enc.Sys.String())
+		return nil
+	}
+	m := enc.Sys.BigM()
+	fmt.Printf("# %d rows, %d variables, A·x ≥ b with x ≥ 0\n", m.Rows(), m.Cols())
+	for r := range m.A {
+		for c := range m.A[r] {
+			if m.A[r][c].Sign() != 0 {
+				fmt.Printf("%s·%s ", m.A[r][c], m.Names[c])
+			}
+		}
+		fmt.Printf(">= %s\n", m.B[r])
+	}
+	return nil
+}
+
+func runClass(args []string) error {
+	fs := flag.NewFlagSet("class", flag.ExitOnError)
+	consPath := fs.String("constraints", "", "constraint file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set, err := loadConstraints(*consPath, true)
+	if err != nil {
+		return err
+	}
+	fmt.Println(xic.ClassOf(set))
+	if err := xic.CheckPrimaryKeys(set); err == nil {
+		fmt.Println("primary-key restricted: yes")
+	} else {
+		fmt.Printf("primary-key restricted: no (%v)\n", err)
+	}
+	return nil
+}

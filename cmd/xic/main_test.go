@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the xic binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "xic")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// run executes the binary and returns combined output and exit code.
+func run(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("exec: %v\n%s", err, out)
+	return "", -1
+}
+
+func specPath(t *testing.T, name string) string {
+	t.Helper()
+	p := filepath.Join("..", "..", "specs", name)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("missing spec file %s: %v", name, err)
+	}
+	return p
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildCLI(t)
+	teachersDTD := specPath(t, "teachers.dtd")
+	teachersXIC := specPath(t, "teachers.xic")
+	schoolDTD := specPath(t, "school.dtd")
+	schoolXIC := specPath(t, "school.xic")
+	schoolXML := specPath(t, "school.xml")
+
+	t.Run("check inconsistent", func(t *testing.T) {
+		out, code := run(t, bin, "check", "-dtd", teachersDTD, "-constraints", teachersXIC)
+		if code != 1 || !strings.Contains(out, "INCONSISTENT") {
+			t.Errorf("exit=%d out=%q", code, out)
+		}
+	})
+
+	t.Run("check consistent with witness", func(t *testing.T) {
+		w := filepath.Join(t.TempDir(), "w.xml")
+		out, code := run(t, bin, "check", "-dtd", teachersDTD, "-witness", w)
+		if code != 0 || !strings.Contains(out, "CONSISTENT") {
+			t.Fatalf("exit=%d out=%q", code, out)
+		}
+		data, err := os.ReadFile(w)
+		if err != nil || !strings.Contains(string(data), "<teachers>") {
+			t.Errorf("witness file: %v %q", err, data)
+		}
+	})
+
+	t.Run("validate", func(t *testing.T) {
+		out, code := run(t, bin, "validate", "-dtd", schoolDTD, "-constraints", schoolXIC, "-doc", schoolXML)
+		if code != 0 || !strings.Contains(out, "VALID") {
+			t.Errorf("exit=%d out=%q", code, out)
+		}
+	})
+
+	t.Run("imply with counterexample", func(t *testing.T) {
+		ce := filepath.Join(t.TempDir(), "ce.xml")
+		out, code := run(t, bin, "imply", "-dtd", schoolDTD,
+			"-query", "student.student_id -> student", "-counterexample", ce)
+		if code != 1 || !strings.Contains(out, "NOT IMPLIED") {
+			t.Fatalf("exit=%d out=%q", code, out)
+		}
+		if _, err := os.Stat(ce); err != nil {
+			t.Errorf("counterexample not written: %v", err)
+		}
+	})
+
+	t.Run("simplify", func(t *testing.T) {
+		out, code := run(t, bin, "simplify", "-dtd", teachersDTD)
+		if code != 0 || !strings.Contains(out, "<!ELEMENT teachers") {
+			t.Errorf("exit=%d out=%q", code, out)
+		}
+	})
+
+	t.Run("encode", func(t *testing.T) {
+		out, code := run(t, bin, "encode", "-dtd", teachersDTD, "-constraints", teachersXIC)
+		if code != 0 || !strings.Contains(out, "ext(teachers) = 1") {
+			t.Errorf("exit=%d out=%q", code, out)
+		}
+	})
+
+	t.Run("encode bigm", func(t *testing.T) {
+		out, code := run(t, bin, "encode", "-dtd", teachersDTD, "-constraints", teachersXIC, "-bigm")
+		if code != 0 || !strings.Contains(out, "A·x ≥ b") {
+			t.Errorf("exit=%d out=%q", code, out)
+		}
+	})
+
+	t.Run("class", func(t *testing.T) {
+		out, code := run(t, bin, "class", "-constraints", schoolXIC)
+		if code != 0 || !strings.Contains(out, "C_{K,FK}") {
+			t.Errorf("exit=%d out=%q", code, out)
+		}
+	})
+
+	t.Run("usage errors", func(t *testing.T) {
+		if _, code := run(t, bin, "check"); code != 2 {
+			t.Errorf("missing -dtd should exit 2, got %d", code)
+		}
+		if _, code := run(t, bin, "nonsense"); code != 2 {
+			t.Errorf("unknown command should exit 2, got %d", code)
+		}
+	})
+}

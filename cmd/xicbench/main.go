@@ -1,0 +1,283 @@
+// Command xicbench reproduces the paper's evaluation artifacts: the worked
+// examples of Sections 1–2 (decision outcomes) and the complexity-results
+// table of Figure 5 (empirical scaling series per cell). Output is
+// Markdown; EXPERIMENTS.md records a captured run.
+//
+// Usage:
+//
+//	xicbench [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"xic"
+	"xic/internal/constraint"
+	"xic/internal/core"
+	"xic/internal/dtd"
+	"xic/internal/randgen"
+	"xic/internal/reduction"
+	"xic/internal/relational"
+)
+
+var full = flag.Bool("full", false, "run the larger size series")
+
+func main() {
+	flag.Parse()
+	fmt.Println("# xicbench — reproduction of Fan & Libkin (JACM 2002)")
+	fmt.Println()
+	workedExamples()
+	figure5()
+	gadgets()
+}
+
+// timeIt measures one decision, repeating short runs for stability.
+func timeIt(f func()) time.Duration {
+	// Warm once, then take the best of three.
+	f()
+	best := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func check(d *dtd.DTD, set []xic.Constraint) bool {
+	res, err := xic.CheckConsistency(d, set, &xic.Options{SkipWitness: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xicbench:", err)
+		os.Exit(1)
+	}
+	return res.Consistent
+}
+
+func workedExamples() {
+	fmt.Println("## Worked examples (paper claim vs measured)")
+	fmt.Println()
+	fmt.Println("| id | artifact | paper | measured |")
+	fmt.Println("|----|----------|-------|----------|")
+
+	row := func(id, artifact string, paper string, measured string) {
+		fmt.Printf("| %s | %s | %s | %s |\n", id, artifact, paper, measured)
+	}
+
+	verdict := func(b bool) string {
+		if b {
+			return "consistent"
+		}
+		return "inconsistent"
+	}
+
+	row("E1", "D1 + Σ1 (Section 1 teachers)", "inconsistent",
+		verdict(check(dtd.Teachers(), constraint.Sigma1())))
+	row("E2", "D2 (db → foo → foo …)", "no finite tree",
+		map[bool]string{true: "has tree", false: "no finite tree"}[xic.ConsistentDTD(dtd.Infinite())])
+	row("E3", "D1 + keys only", "consistent",
+		verdict(check(dtd.Teachers(), constraint.MustParse("teacher.name -> teacher\nsubject.taught_by -> subject"))))
+	sub := "violated"
+	if ok, _ := constraint.SatisfiedAll(figure1(), constraint.Sigma1()); ok {
+		sub = "satisfied"
+	}
+	row("F1", "Figure 1 tree vs Σ1", "violates subject key", "Σ1 "+sub)
+	fmt.Println()
+}
+
+func figure1() *xic.Tree {
+	doc, err := xic.ParseDocumentString(`
+<teachers>
+ <teacher name="Joe">
+  <teach><subject taught_by="Joe">XML</subject><subject taught_by="Joe">DB</subject></teach>
+  <research>Web DB</research>
+ </teacher>
+</teachers>`)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+func figure5() {
+	fmt.Println("## Figure 5 — complexity table, empirical series")
+	fmt.Println()
+	fmt.Println("| cell | procedure | workload | size | outcome | time |")
+	fmt.Println("|------|-----------|----------|------|---------|------|")
+
+	sizes := []int{25, 50, 100, 200}
+	if *full {
+		sizes = []int{50, 100, 200, 400, 800}
+	}
+
+	// Linear cells: DTD validity, keys-only consistency, keys-only implication.
+	for _, n := range sizes {
+		d := randgen.ChainDTD(n)
+		dur := timeIt(func() { xic.ConsistentDTD(d) })
+		fmt.Printf("| validity | Thm 3.5(1), linear | chain DTD | %d types | %v | %v |\n",
+			n+1, xic.ConsistentDTD(d), dur)
+	}
+	for _, n := range sizes {
+		d := randgen.ChainDTD(n)
+		keys := randgen.KeySetOver(d)
+		dur := timeIt(func() { check(d, keys) })
+		fmt.Printf("| consistency, keys only | Thm 3.5(2), linear | chain DTD + keys | %d keys | %v | %v |\n",
+			len(keys), true, dur)
+	}
+	for _, n := range sizes {
+		d := randgen.ChainDTD(n)
+		var keys []xic.Constraint
+		for _, k := range randgen.KeySetOver(d) {
+			if k.(constraint.Key).Type != "c1" {
+				keys = append(keys, k)
+			}
+		}
+		// c1's key is not subsumed; implication holds because a chain DTD
+		// admits at most one c1 node (Lemma 3.7's occurrence test).
+		phi := constraint.UnaryKey("c1", "k")
+		var implied bool
+		dur := timeIt(func() { implied, _ = xic.ImpliesKey(d, keys, phi) })
+		fmt.Printf("| implication, keys only | Thm 3.5(3), linear | chain DTD + keys | %d keys | implied=%v | %v |\n",
+			len(keys), implied, dur)
+	}
+
+	// NP cell: unary keys and foreign keys, teacher families.
+	blocks := []int{1, 2, 4, 8}
+	if *full {
+		blocks = []int{1, 2, 4, 8, 16}
+	}
+	for _, b := range blocks {
+		d := randgen.TeacherFamily(b)
+		bad := randgen.TeacherFamilyConstraints(b, true)
+		dur := timeIt(func() { check(d, bad) })
+		fmt.Printf("| consistency, unary K+FK | Thm 4.7, NP-complete | teacher family (Σ1-style, primary keys) | %d blocks | %v | %v |\n",
+			b, check(d, bad), dur)
+	}
+	for _, b := range blocks {
+		d := randgen.TeacherFamily(b)
+		good := randgen.TeacherFamilyConstraints(b, false)
+		dur := timeIt(func() { check(d, good) })
+		fmt.Printf("| consistency, unary K+FK | Thm 4.7, NP-complete | teacher family (keys only variant) | %d blocks | %v | %v |\n",
+			b, check(d, good), dur)
+	}
+
+	// coNP cell: unary implication by keys *and foreign keys* (the inverted,
+	// consistent Σ1 variant), decided by refuting Σ ∧ ¬φ via the encoding.
+	for _, b := range blocks {
+		d := randgen.TeacherFamily(b)
+		sigma := randgen.TeacherFamilyConstraints(b, false)
+		sigma = append(sigma, constraint.UnaryForeignKey("teacher_0", "name", "subject_0", "taught_by"))
+		phi := constraint.UnaryInclusion("subject_0", "taught_by", "teacher_0", "name")
+		var imp *xic.Implication
+		dur := timeIt(func() {
+			var err error
+			imp, err = xic.CheckImplication(d, sigma, phi, &xic.Options{SkipWitness: true})
+			if err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("| implication, unary | Thm 4.10/5.4, coNP-complete | teacher family + inverted FK | %d blocks | implied=%v | %v |\n",
+			b, imp.Implied, dur)
+	}
+
+	// Fixed-DTD PTIME cell: one DTD, growing Σ.
+	fixedSizes := []int{4, 8, 16, 32}
+	d := randgen.WideDTD(4)
+	checker, err := xic.NewChecker(d)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, k := range fixedSizes {
+		set := randgen.RandUnarySet(rng, d, randgen.SetSpec{Keys: k / 2, ForeignKeys: k / 4, Inclusions: k / 4})
+		var res *xic.Result
+		dur := timeIt(func() {
+			var err error
+			res, err = checker.Consistent(set, &xic.Options{SkipWitness: true})
+			if err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("| consistency, fixed DTD | Cor 4.11, PTIME in Σ | wide DTD (fixed), random Σ | %d constraints | %v | %v |\n",
+			len(set), res.Consistent, dur)
+	}
+
+	// Full class with negations (Thm 5.1).
+	for _, k := range []int{2, 4, 8} {
+		set := randgen.RandUnarySet(rng, d, randgen.SetSpec{Keys: k / 2, Inclusions: k / 2, NegKeys: 1, NegInclusions: 1})
+		var res *xic.Result
+		dur := timeIt(func() {
+			var err error
+			res, err = checker.Consistent(set, &xic.Options{SkipWitness: true})
+			if err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("| consistency, unary K¬+IC¬ | Thm 5.1, NP-complete | wide DTD, Σ with negations | %d constraints | %v | %v |\n",
+			len(set), res.Consistent, dur)
+	}
+	fmt.Println()
+}
+
+func gadgets() {
+	fmt.Println("## Lower-bound gadgets (undecidable and NP-hard cells)")
+	fmt.Println()
+	fmt.Println("| cell | reduction | size | time to construct | note |")
+	fmt.Println("|------|-----------|------|-------------------|------|")
+
+	// Theorem 3.1: relational implication → XML consistency (construction
+	// only — the target problem is undecidable).
+	for _, n := range []int{5, 10, 20} {
+		s := relational.NewSchema()
+		var theta []relational.Dependency
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("R%d", i)
+			s.AddRelation(name, "a", "b", "c")
+			theta = append(theta, relational.Key{Rel: name, Attrs: []string{"a"}})
+		}
+		phi := relational.Key{Rel: "R0", Attrs: []string{"b"}}
+		dur := timeIt(func() {
+			if _, err := reduction.RelationalToXML(s, theta, phi); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("| consistency, multi-attr K+FK | Thm 3.1 (undecidable) | %d relations | %v | construction only |\n", n, dur)
+	}
+
+	// Lemma 3.3: consistency → implication.
+	for _, b := range []int{1, 4, 16} {
+		d := randgen.TeacherFamily(b)
+		sigma := randgen.TeacherFamilyConstraints(b, true)
+		dur := timeIt(func() {
+			if _, err := reduction.ConsistencyToKeyImplication(d, sigma); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("| implication, multi-attr K+FK | Lemma 3.3 (undecidable) | %d blocks | %v | construction only |\n", b, dur)
+	}
+
+	// Theorem 4.7: 0/1-LIP instances through the gadget, solved end-to-end.
+	rng := rand.New(rand.NewSource(7))
+	for _, shape := range [][2]int{{2, 3}, {3, 4}, {4, 5}} {
+		a := randgen.RandLIP01(rng, shape[0], shape[1], 50)
+		spec, err := reduction.LIPToSpec(a)
+		if err != nil {
+			panic(err)
+		}
+		var res *core.Result
+		dur := timeIt(func() {
+			res, err = core.Consistent(spec.DTD, spec.Sigma, &core.Options{SkipWitness: true})
+			if err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("| NP-hardness gadget | Thm 4.7: 0/1-LIP %dx%d | %d constraints | %v | solvable=%v |\n",
+			shape[0], shape[1], len(spec.Sigma), dur, res.Consistent)
+	}
+	fmt.Println()
+}

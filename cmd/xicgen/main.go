@@ -1,0 +1,126 @@
+// Command xicgen generates workloads for xic: random DTDs, random unary
+// constraint sets over a DTD, and random 0/1-LIP instances encoded through
+// the Theorem 4.7 reduction. All output is deterministic in -seed.
+//
+// Usage:
+//
+//	xicgen dtd  [-seed N] [-types N] [-depth N] [-attrs N] [-recursive]
+//	xicgen constraints -dtd spec.dtd [-seed N] [-keys N] [-fks N] [-ics N] [-negkeys N] [-negics N]
+//	xicgen lip  [-seed N] [-rows N] [-cols N] [-density PCT] [-as-spec]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"xic"
+	"xic/internal/constraint"
+	"xic/internal/randgen"
+	"xic/internal/reduction"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: xicgen dtd|constraints|lip [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "dtd":
+		err = genDTD(os.Args[2:])
+	case "constraints":
+		err = genConstraints(os.Args[2:])
+	case "lip":
+		err = genLIP(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown kind %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xicgen:", err)
+		os.Exit(2)
+	}
+}
+
+func genDTD(args []string) error {
+	fs := flag.NewFlagSet("dtd", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	types := fs.Int("types", 5, "number of element types")
+	depth := fs.Int("depth", 2, "content-model nesting depth")
+	attrs := fs.Int("attrs", 1, "attributes per element type")
+	recursive := fs.Bool("recursive", false, "allow recursive element types")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := randgen.RandDTD(rand.New(rand.NewSource(*seed)), randgen.DTDSpec{
+		Types: *types, Depth: *depth, AttrsPer: *attrs, Recursive: *recursive,
+	})
+	fmt.Print(d.String())
+	return nil
+}
+
+func genConstraints(args []string) error {
+	fs := flag.NewFlagSet("constraints", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	dtdPath := fs.String("dtd", "", "DTD file to draw attributes from")
+	keys := fs.Int("keys", 2, "number of unary keys")
+	fks := fs.Int("fks", 1, "number of unary foreign keys")
+	ics := fs.Int("ics", 0, "number of unary inclusion constraints")
+	negKeys := fs.Int("negkeys", 0, "number of negated keys")
+	negICs := fs.Int("negics", 0, "number of negated inclusions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dtdPath == "" {
+		return fmt.Errorf("missing -dtd")
+	}
+	data, err := os.ReadFile(*dtdPath)
+	if err != nil {
+		return err
+	}
+	d, err := xic.ParseDTD(string(data))
+	if err != nil {
+		return err
+	}
+	set := randgen.RandUnarySet(rand.New(rand.NewSource(*seed)), d, randgen.SetSpec{
+		Keys: *keys, ForeignKeys: *fks, Inclusions: *ics,
+		NegKeys: *negKeys, NegInclusions: *negICs,
+	})
+	fmt.Print(constraint.FormatSet(set))
+	return nil
+}
+
+func genLIP(args []string) error {
+	fs := flag.NewFlagSet("lip", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	rows := fs.Int("rows", 3, "matrix rows")
+	cols := fs.Int("cols", 4, "matrix columns")
+	density := fs.Int("density", 50, "percentage of 1-entries")
+	asSpec := fs.Bool("as-spec", false, "emit the Theorem 4.7 DTD+constraints instead of the matrix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a := randgen.RandLIP01(rand.New(rand.NewSource(*seed)), *rows, *cols, *density)
+	if !*asSpec {
+		for _, row := range a {
+			for j, v := range row {
+				if j > 0 {
+					fmt.Print(" ")
+				}
+				fmt.Print(v)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	spec, err := reduction.LIPToSpec(a)
+	if err != nil {
+		return err
+	}
+	fmt.Println("<!-- DTD -->")
+	fmt.Print(spec.DTD.String())
+	fmt.Println("<!-- constraints -->")
+	fmt.Print(constraint.FormatSet(spec.Sigma))
+	return nil
+}

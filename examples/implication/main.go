@@ -1,0 +1,87 @@
+// Implication: the data-integration scenario from the paper's introduction.
+// A mediator publishes an XML interface (a DTD) for sources whose exported
+// data is known to satisfy certain constraints; a query optimiser wants to
+// know whether further constraints are guaranteed. Since the interface has
+// no data, the only way to know is implication: (D, Σ) ⊢ φ.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xic"
+)
+
+const mediatorDTD = `
+<!ELEMENT catalog (vendor*, part*, offer*)>
+<!ELEMENT vendor EMPTY>
+<!ELEMENT part EMPTY>
+<!ELEMENT offer EMPTY>
+<!ATTLIST vendor vid CDATA #REQUIRED>
+<!ATTLIST part pid CDATA #REQUIRED>
+<!ATTLIST offer vid CDATA #REQUIRED>
+<!ATTLIST offer pid CDATA #REQUIRED>
+`
+
+// The sources guarantee: vendors and parts are keyed, and every offer
+// references a real vendor.
+const known = `
+vendor.vid -> vendor
+part.pid -> part
+offer.vid => vendor.vid
+`
+
+func main() {
+	d, err := xic.ParseDTD(mediatorDTD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigma, err := xic.ParseConstraints(known)
+	if err != nil {
+		log.Fatal(err)
+	}
+	checker, err := xic.NewChecker(d) // fixed DTD: many queries, one setup
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []xic.Constraint{
+		// Guaranteed: restates part of Σ.
+		xic.UnaryInclusion("offer", "vid", "vendor", "vid"),
+		// Guaranteed: the full foreign key (inclusion + key).
+		xic.UnaryForeignKey("offer", "vid", "vendor", "vid"),
+		// Not guaranteed: nothing keys offers by vendor.
+		xic.UnaryKey("offer", "vid"),
+		// Not guaranteed: offers may reference unknown parts.
+		xic.UnaryInclusion("offer", "pid", "part", "pid"),
+	}
+	for _, phi := range queries {
+		imp, err := checker.Implies(sigma, phi, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if imp.Implied {
+			fmt.Printf("GUARANTEED   %s\n", phi)
+			continue
+		}
+		fmt.Printf("NOT GUARANTEED   %s\n", phi)
+		if imp.Counterexample != nil {
+			fmt.Println("  a legal source export breaking it:")
+			fmt.Print(indent(xic.SerializeDocument(imp.Counterexample)))
+		}
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if i > start {
+				out += "    " + s[start:i] + "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package cardinality
+
+import (
+	"fmt"
+	"testing"
+
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+)
+
+func benchChain(n int) *dtd.DTD {
+	d := dtd.New("r")
+	prev := "r"
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("c%d", i)
+		d.AddElement(prev, dtd.Name{Type: name})
+		d.AddAttr(prev, "k")
+		prev = name
+	}
+	d.AddElement(prev, dtd.Text{})
+	d.AddAttr(prev, "k")
+	return d
+}
+
+func BenchmarkEncodeDTD(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		simp := dtd.Simplify(benchChain(n))
+		b.Run(fmt.Sprintf("chain-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EncodeDTD(simp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("teachers", func(b *testing.B) {
+		simp := dtd.Simplify(dtd.Teachers())
+		for i := 0; i < b.N; i++ {
+			if _, err := EncodeDTD(simp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAddUnary(b *testing.B) {
+	simp := dtd.Simplify(dtd.Teachers())
+	set := constraint.Sigma1()
+	for i := 0; i < b.N; i++ {
+		enc, err := EncodeDTD(simp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.AddUnary(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddFullWithCells(b *testing.B) {
+	// Components of growing width drive the exponential cell machinery.
+	for _, width := range []int{3, 6, 9} {
+		d := dtd.New("r")
+		items := make([]dtd.Regex, width)
+		var lines string
+		for i := 0; i < width; i++ {
+			name := fmt.Sprintf("e%d", i)
+			items[i] = dtd.Star{Inner: dtd.Name{Type: name}}
+			d.AddElement(name, dtd.Empty{})
+			d.AddAttr(name, "v")
+			if i > 0 {
+				lines += fmt.Sprintf("e%d.v <= e%d.v\n", i-1, i)
+			}
+		}
+		d.AddElement("r", dtd.Seq{Items: items})
+		lines += fmt.Sprintf("not e0.v <= e%d.v\n", width-1)
+		set := constraint.MustParse(lines)
+		simp := dtd.Simplify(d)
+		b.Run(fmt.Sprintf("component-%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				enc, err := EncodeDTD(simp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := enc.AddFull(set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationConnectivity contrasts encoding recursive DTDs (which
+// carry the spanning-depth certificate) with star-free DTDs of similar
+// size (which do not) — the cost of the soundness fix documented in
+// DESIGN.md §4.
+func BenchmarkAblationConnectivity(b *testing.B) {
+	recursive := dtd.MustParse(`
+<!ELEMENT r (a*)>
+<!ELEMENT a (b?)>
+<!ELEMENT b (a?)>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`)
+	flat := dtd.MustParse(`
+<!ELEMENT r (a, b?)>
+<!ELEMENT a (b | b)>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`)
+	b.Run("recursive-with-certificate", func(b *testing.B) {
+		simp := dtd.Simplify(recursive)
+		for i := 0; i < b.N; i++ {
+			enc, err := EncodeDTD(simp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !enc.Recursive() {
+				b.Fatal("expected certificate")
+			}
+		}
+	})
+	b.Run("acyclic-plain", func(b *testing.B) {
+		simp := dtd.Simplify(flat)
+		for i := 0; i < b.N; i++ {
+			enc, err := EncodeDTD(simp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if enc.Recursive() {
+				b.Fatal("unexpected certificate")
+			}
+		}
+	})
+}

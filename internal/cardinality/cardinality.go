@@ -1,0 +1,143 @@
+// Package cardinality implements the paper's central technical device: the
+// encoding of DTDs and unary integrity constraints as linear integer
+// constraints (Section 4.1). It builds
+//
+//   - Ψ_D, the cardinality constraints determined by a simple DTD
+//     (one variable |ext(τ)| per element type, one variable x^i_{τ,τ'} per
+//     occurrence of τ in the rule of τ');
+//   - C_Σ, the cardinality constraints determined by a set of unary keys
+//     and unary inclusion constraints;
+//   - Ψ(D,Σ) = Ψ_{D_N} ∪ C_Σ ∪ {|ext(τ)|>0 → |ext(τ.l)|>0}, whose integer
+//     solutions correspond to XML trees valid w.r.t. D satisfying Σ
+//     (Theorem 4.1, Lemmas 4.4–4.6);
+//   - the negated-key extension |ext(τ.l)| < |ext(τ)| of Corollary 4.9;
+//   - the intersection-cell (zθ) extension of Theorem 5.1/Lemma 5.3 for
+//     negated inclusion constraints, materialised per connected component
+//     of attributes actually linked by (negated) inclusions.
+//
+// Soundness note. For recursive DTDs the literal Ψ_D of the paper admits
+// "phantom" solutions whose support is a family of parent/child cycles
+// disconnected from the root (e.g. r → (a|ε), a → a admits |ext(a)| = 5,
+// realised by a 5-cycle of a-nodes, although no finite tree has any
+// a-node). Lemma 4.5's tree construction silently assumes such solutions
+// away. Following the standard Parikh-image treatment of tree grammars,
+// EncodeDTD adds spanning-depth connectivity constraints (a chosen parent
+// occurrence t^i and a bounded depth d(τ) that strictly increases along
+// chosen parents) whenever the type graph of the simplified DTD is cyclic;
+// for acyclic type graphs phantom cycles are impossible and Ψ_D is used
+// verbatim. The witness builder in package witness relies on the same
+// certificate to re-root phantom components (see its documentation).
+package cardinality
+
+import (
+	"fmt"
+
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+	"xic/internal/linear"
+)
+
+// ExtVarName is the name of the variable |ext(τ)| counting nodes of an
+// element type (or of the text symbol).
+func ExtVarName(typ string) string { return "ext(" + typ + ")" }
+
+// AttrVarName is the name of the variable |ext(τ.l)| counting distinct
+// values of attribute l over τ elements.
+func AttrVarName(typ, attr string) string { return "ext(" + typ + "." + attr + ")" }
+
+// OccVarName is the name of the paper's x^i_{child,parent}: the number of
+// child-type subelements at position i (1 or 2) under all parent-type
+// elements.
+func OccVarName(i int, child, parent string) string {
+	return fmt.Sprintf("x%d(%s,%s)", i, child, parent)
+}
+
+// TreeFlagName is the connectivity flag t^i_{child,parent}: whether the
+// occurrence x^i_{child,parent} is the chosen spanning parent of the child
+// type.
+func TreeFlagName(i int, child, parent string) string {
+	return fmt.Sprintf("t%d(%s,%s)", i, child, parent)
+}
+
+// DepthVarName is the spanning depth d(τ) of an element type.
+func DepthVarName(typ string) string { return "d(" + typ + ")" }
+
+// SpanVarName is s(τ) = Σ_i t^i_{τ,·}, the number of chosen spanning
+// parents of τ (forced positive when |ext(τ)| > 0).
+func SpanVarName(typ string) string { return "s(" + typ + ")" }
+
+// CellVarName is the intersection-cell variable zθ of Lemma 5.3 for a
+// component and a bit mask over the component's attributes.
+func CellVarName(comp int, mask uint64) string {
+	return fmt.Sprintf("z%d[%b]", comp, mask)
+}
+
+// Occurrence records one position of a child symbol inside a simple rule:
+// the paper's x^i_{Child,Parent}.
+type Occurrence struct {
+	I      int    // 1 or 2
+	Child  string // element type or dtd.TextSymbol
+	Parent string
+}
+
+// Encoding is a linear system under construction together with the lookup
+// structure the witness builder needs.
+type Encoding struct {
+	Sys  *linear.System
+	Simp *dtd.Simplified
+
+	occs      []Occurrence // all occurrences, rule order
+	recursive bool         // connectivity machinery present
+
+	attrVarsAdded bool
+	cells         *CellLayout // non-nil after AddFull with negated inclusions
+}
+
+// Recursive reports whether connectivity constraints were added (the type
+// graph of the simplified DTD is cyclic).
+func (e *Encoding) Recursive() bool { return e.recursive }
+
+// Occurrences returns all rule occurrences in deterministic order.
+func (e *Encoding) Occurrences() []Occurrence { return e.occs }
+
+// Cells returns the intersection-cell layout installed by AddFull, or nil.
+func (e *Encoding) Cells() *CellLayout { return e.cells }
+
+// AttrRef names one attribute of one element type.
+type AttrRef struct {
+	Type string
+	Attr string
+}
+
+func (a AttrRef) String() string { return a.Type + "." + a.Attr }
+
+// Component is a connected component of attributes linked by (negated)
+// inclusion constraints, with its zθ cell variables.
+type Component struct {
+	Index int
+	Attrs []AttrRef // component members; bit i of a mask refers to Attrs[i]
+}
+
+// CellLayout records the component structure used by the zθ encoding.
+type CellLayout struct {
+	Components []Component
+}
+
+// constraintsErrorf wraps encoding errors uniformly.
+func constraintsErrorf(format string, args ...interface{}) error {
+	return fmt.Errorf("cardinality: "+format, args...)
+}
+
+// checkUnaryOverDTD validates that a constraint set is unary and well
+// formed over the original DTD.
+func (e *Encoding) checkUnaryOverDTD(set []constraint.Constraint) error {
+	if err := constraint.ValidateSet(e.Simp.Orig, set); err != nil {
+		return constraintsErrorf("%v", err)
+	}
+	for _, c := range set {
+		if !c.Unary() {
+			return constraintsErrorf("constraint %s is not unary; the encodings of Section 4 require unary constraints", c)
+		}
+	}
+	return nil
+}

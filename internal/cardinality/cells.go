@@ -1,0 +1,168 @@
+package cardinality
+
+import (
+	"sort"
+
+	"xic/internal/constraint"
+	"xic/internal/linear"
+)
+
+// MaxComponentAttrs bounds the number of attributes in one inclusion
+// component for the intersection-cell encoding. The cell system of
+// Lemma 5.3 is exponential in the number of coupled attributes — this is
+// where the NP-hardness of the full class C^Unary_{K¬,IC¬} lives — so the
+// blow-up is confined to attributes actually linked by (negated) inclusion
+// constraints and capped here.
+const MaxComponentAttrs = 12
+
+// AddFull adds a constraint set from the full class C^Unary_{K¬,IC¬}:
+// everything AddUnary handles, plus negated inclusion constraints via the
+// intersection-cell (zθ) encoding of Theorem 5.1/Lemma 5.3.
+//
+// Attributes are grouped into connected components by the (negated)
+// inclusion constraints linking them. For every component containing a
+// negation, one cell variable zθ is created per nonempty subset θ of the
+// component with:
+//
+//	|ext(τ_i.l_i)| = Σ_{θ ∋ i} zθ            (cells partition each value set)
+//	Σ_{θ: i∈θ, j∉θ} zθ = 0     for τ_i.l_i ⊆ τ_j.l_j in Σ
+//	Σ_{θ: i∈θ, j∉θ} zθ ≥ 1     for τ_i.l_i ⊄ τ_j.l_j in Σ
+//
+// A solution assigns every cell a count of fresh values; the sets
+// A_i = ∪_{θ ∋ i} cells(θ) then form a set representation realising
+// exactly the required inclusions and non-inclusions (Lemma 5.2). The
+// returned layout lets the witness builder recover those sets.
+func (e *Encoding) AddFull(set []constraint.Constraint) (*CellLayout, error) {
+	if err := e.checkUnaryOverDTD(set); err != nil {
+		return nil, err
+	}
+	var plain []constraint.Constraint
+	var negs []constraint.NotInclusion
+	for _, c := range set {
+		if n, ok := c.(constraint.NotInclusion); ok {
+			negs = append(negs, n)
+		} else {
+			plain = append(plain, c)
+		}
+	}
+	if err := e.AddUnary(plain); err != nil {
+		return nil, err
+	}
+	if len(negs) == 0 {
+		e.cells = &CellLayout{}
+		return e.cells, nil
+	}
+
+	// Collect the (negated) inclusion edges over attribute references.
+	type edge struct {
+		a, b    AttrRef
+		negated bool
+	}
+	var edges []edge
+	for _, ic := range constraint.EffectiveInclusions(plain) {
+		edges = append(edges, edge{
+			a: AttrRef{Type: ic.Child, Attr: ic.ChildAttrs[0]},
+			b: AttrRef{Type: ic.Parent, Attr: ic.ParentAttrs[0]},
+		})
+	}
+	for _, n := range negs {
+		edges = append(edges, edge{
+			a:       AttrRef{Type: n.Child, Attr: n.ChildAttr},
+			b:       AttrRef{Type: n.Parent, Attr: n.ParentAttr},
+			negated: true,
+		})
+	}
+
+	// Union-find over attribute references.
+	parent := map[AttrRef]AttrRef{}
+	var find func(a AttrRef) AttrRef
+	find = func(a AttrRef) AttrRef {
+		p, ok := parent[a]
+		if !ok || p == a {
+			parent[a] = a
+			return a
+		}
+		root := find(p)
+		parent[a] = root
+		return root
+	}
+	union := func(a, b AttrRef) { parent[find(a)] = find(b) }
+	for _, ed := range edges {
+		union(ed.a, ed.b)
+	}
+
+	// Components needing cells: those with at least one negated edge.
+	negRoots := map[AttrRef]bool{}
+	for _, ed := range edges {
+		if ed.negated {
+			negRoots[find(ed.a)] = true
+		}
+	}
+	members := map[AttrRef][]AttrRef{}
+	for a := range parent {
+		r := find(a)
+		if negRoots[r] {
+			members[r] = append(members[r], a)
+		}
+	}
+	roots := make([]AttrRef, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].String() < roots[j].String() })
+
+	layout := &CellLayout{}
+	sys := e.Sys
+	for _, r := range roots {
+		attrs := members[r]
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i].String() < attrs[j].String() })
+		if len(attrs) > MaxComponentAttrs {
+			return nil, constraintsErrorf(
+				"inclusion component of %s couples %d attributes; the cell encoding is exponential and capped at %d",
+				attrs[0], len(attrs), MaxComponentAttrs)
+		}
+		comp := Component{Index: len(layout.Components), Attrs: attrs}
+		layout.Components = append(layout.Components, comp)
+
+		idx := map[AttrRef]int{}
+		for i, a := range attrs {
+			idx[a] = i
+		}
+		k := len(attrs)
+		full := uint64(1) << uint(k)
+
+		// |ext(τ_i.l_i)| = Σ_{θ ∋ i} zθ.
+		for i, a := range attrs {
+			expr := linear.Expr{}
+			for m := uint64(1); m < full; m++ {
+				if m&(1<<uint(i)) != 0 {
+					expr.Plus(sys.Var(CellVarName(comp.Index, m)), 1)
+				}
+			}
+			expr.Plus(sys.Var(AttrVarName(a.Type, a.Attr)), -1)
+			sys.AddEq(expr, 0)
+		}
+
+		// Constraint rows per edge within this component.
+		for _, ed := range edges {
+			ia, aOK := idx[ed.a]
+			ib, bOK := idx[ed.b]
+			if !aOK || !bOK {
+				continue
+			}
+			expr := linear.Expr{}
+			for m := uint64(1); m < full; m++ {
+				if m&(1<<uint(ia)) != 0 && m&(1<<uint(ib)) == 0 {
+					expr.Plus(sys.Var(CellVarName(comp.Index, m)), 1)
+				}
+			}
+			if ed.negated {
+				sys.AddGe(expr, 1) // some value of a escapes b
+			} else {
+				sys.AddEq(expr, 0) // no value of a escapes b
+			}
+		}
+	}
+	e.cells = layout
+	return layout, nil
+}

@@ -1,0 +1,181 @@
+package cardinality
+
+import (
+	"strings"
+	"testing"
+
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+)
+
+// flatDTD declares a root with three optional children a, b, c, each with
+// one attribute, so any combination of extent sizes up to the structure is
+// realisable.
+const flatDTD = `
+<!ELEMENT r (a*, b*, c*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+<!ATTLIST c z CDATA #REQUIRED>
+`
+
+func addFull(t *testing.T, src string) (*Encoding, *CellLayout) {
+	t.Helper()
+	e := encode(t, dtd.MustParse(flatDTD))
+	layout, err := e.AddFull(constraint.MustParse(src))
+	if err != nil {
+		t.Fatalf("AddFull: %v", err)
+	}
+	return e, layout
+}
+
+func TestNegInclusionAlone(t *testing.T) {
+	e, layout := addFull(t, "not a.x <= b.y")
+	if len(layout.Components) != 1 {
+		t.Fatalf("components = %d, want 1", len(layout.Components))
+	}
+	if len(layout.Components[0].Attrs) != 2 {
+		t.Fatalf("component attrs = %v, want 2", layout.Components[0].Attrs)
+	}
+	if !feasible(t, e.Sys) {
+		t.Error("a.x ⊄ b.y alone should be satisfiable")
+	}
+}
+
+func TestInclusionAndItsNegationClash(t *testing.T) {
+	e, _ := addFull(t, "a.x <= b.y\nnot a.x <= b.y")
+	if feasible(t, e.Sys) {
+		t.Error("φ ∧ ¬φ reported satisfiable")
+	}
+}
+
+func TestProperInclusionFeasible(t *testing.T) {
+	// a.x ⊆ b.y with b.y ⊄ a.x: b strictly richer than a.
+	e, _ := addFull(t, "a.x <= b.y\nnot b.y <= a.x")
+	if !feasible(t, e.Sys) {
+		t.Error("strict inclusion should be satisfiable")
+	}
+}
+
+func TestNegationCycleInfeasibleUnderEquality(t *testing.T) {
+	// a.x ⊆ b.y and b.y ⊆ a.x force equality; a.x ⊄ b.y contradicts.
+	e, _ := addFull(t, "a.x <= b.y\nb.y <= a.x\nnot a.x <= b.y")
+	if feasible(t, e.Sys) {
+		t.Error("equality plus a negation reported satisfiable")
+	}
+}
+
+func TestSelfNegationInfeasible(t *testing.T) {
+	e, _ := addFull(t, "not a.x <= a.x")
+	if feasible(t, e.Sys) {
+		t.Error("τ.l ⊄ τ.l is never satisfiable")
+	}
+}
+
+func TestThreeWayComponent(t *testing.T) {
+	// a ⊆ b ⊆ c with a ⊄ c is a contradiction through transitivity.
+	e, layout := addFull(t, "a.x <= b.y\nb.y <= c.z\nnot a.x <= c.z")
+	if len(layout.Components) != 1 || len(layout.Components[0].Attrs) != 3 {
+		t.Fatalf("layout = %+v, want one 3-attribute component", layout)
+	}
+	if feasible(t, e.Sys) {
+		t.Error("transitive contradiction reported satisfiable")
+	}
+
+	// Dropping one link makes it satisfiable: a ⊆ b, a ⊄ c.
+	e2, _ := addFull(t, "a.x <= b.y\nnot a.x <= c.z")
+	if !feasible(t, e2.Sys) {
+		t.Error("a ⊆ b with a ⊄ c should be satisfiable")
+	}
+}
+
+func TestComponentsAreSeparate(t *testing.T) {
+	// Negation between a,b; unrelated inclusion between c and itself stays
+	// outside the cell machinery (positive-only component).
+	e, layout := addFull(t, "not a.x <= b.y\nc.z <= c.z")
+	if len(layout.Components) != 1 {
+		t.Fatalf("components = %d, want 1 (only the negated one)", len(layout.Components))
+	}
+	if !feasible(t, e.Sys) {
+		t.Error("independent components should be satisfiable")
+	}
+}
+
+func TestCellsWithKeysInteract(t *testing.T) {
+	// Key on a.x makes |ext(a.x)| = |ext(a)|; pairing a ⊄ b with b ⊄ a is
+	// satisfiable (incomparable sets).
+	e, _ := addFull(t, "a.x -> a\nnot a.x <= b.y\nnot b.y <= a.x")
+	if !feasible(t, e.Sys) {
+		t.Error("incomparable sets should be satisfiable")
+	}
+}
+
+func TestNegInclusionForcesWitnessNode(t *testing.T) {
+	// a occurs zero-or-one time under r; the negation a.x ⊄ b.y forces
+	// |ext(a)| ≥ 1, which the optional occurrence can deliver.
+	d3 := dtd.MustParse(`
+<!ELEMENT r (a?, b*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`)
+	e, err := EncodeDTD(dtd.Simplify(d3))
+	if err != nil {
+		t.Fatalf("EncodeDTD: %v", err)
+	}
+	if _, err := e.AddFull(constraint.MustParse("not a.x <= b.y")); err != nil {
+		t.Fatalf("AddFull: %v", err)
+	}
+	if !feasible(t, e.Sys) {
+		t.Error("negation with available witness node should be satisfiable")
+	}
+}
+
+func TestComponentSizeCap(t *testing.T) {
+	// Build a chain coupling 13 attributes: a0 ⊆ a1 ⊆ … with one negation.
+	var dtdSrc strings.Builder
+	dtdSrc.WriteString("<!ELEMENT r (")
+	for i := 0; i < 13; i++ {
+		if i > 0 {
+			dtdSrc.WriteString(", ")
+		}
+		dtdSrc.WriteString("e" + string(rune('a'+i)) + "*")
+	}
+	dtdSrc.WriteString(")>\n")
+	for i := 0; i < 13; i++ {
+		name := "e" + string(rune('a'+i))
+		dtdSrc.WriteString("<!ELEMENT " + name + " EMPTY>\n")
+		dtdSrc.WriteString("<!ATTLIST " + name + " v CDATA #REQUIRED>\n")
+	}
+	d := dtd.MustParse(dtdSrc.String())
+	e, err := EncodeDTD(dtd.Simplify(d))
+	if err != nil {
+		t.Fatalf("EncodeDTD: %v", err)
+	}
+	var cons strings.Builder
+	for i := 0; i+1 < 13; i++ {
+		cons.WriteString("e" + string(rune('a'+i)) + ".v <= e" + string(rune('a'+i+1)) + ".v\n")
+	}
+	cons.WriteString("not ea.v <= em.v\n")
+	_, err = e.AddFull(constraint.MustParse(cons.String()))
+	if err == nil || !strings.Contains(err.Error(), "capped") {
+		t.Errorf("oversized component accepted: %v", err)
+	}
+}
+
+func TestAddFullWithoutNegationsBehavesLikeAddUnary(t *testing.T) {
+	e := encode(t, dtd.Teachers())
+	layout, err := e.AddFull(constraint.Sigma1())
+	if err != nil {
+		t.Fatalf("AddFull: %v", err)
+	}
+	if len(layout.Components) != 0 {
+		t.Errorf("no negations, but %d cell components created", len(layout.Components))
+	}
+	if feasible(t, e.Sys) {
+		t.Error("Ψ(D1,Σ1) should stay infeasible through AddFull")
+	}
+}

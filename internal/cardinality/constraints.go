@@ -1,0 +1,80 @@
+package cardinality
+
+import (
+	"xic/internal/constraint"
+	"xic/internal/linear"
+)
+
+// addAttributeVars installs, once, the universal attribute-cardinality
+// constraints of C_Σ and Ψ(D,Σ): for every τ ∈ E and l ∈ R(τ),
+//
+//	0 ≤ |ext(τ.l)| ≤ |ext(τ)|       (each τ element has one l value)
+//	|ext(τ)| > 0 → |ext(τ.l)| > 0   (…and at least one value exists)
+//
+// Nonnegativity is native to the solver; the upper bound and the
+// conditional are added explicitly.
+func (e *Encoding) addAttributeVars() {
+	if e.attrVarsAdded {
+		return
+	}
+	e.attrVarsAdded = true
+	sys := e.Sys
+	for _, t := range e.Simp.Orig.Types() {
+		ext := sys.Var(ExtVarName(t))
+		for _, l := range e.Simp.Orig.Element(t).Attrs {
+			av := sys.Var(AttrVarName(t, l))
+			sys.AddLe(linear.Term(av, 1).Plus(ext, -1), 0)
+			sys.AddImplication(ext, av)
+		}
+	}
+}
+
+// AddUnary adds C_Σ for a set of unary keys, foreign keys, inclusion
+// constraints and negated keys (the classes C^Unary_{K,IC} and
+// C^Unary_{K¬,IC}), completing Ψ(D,Σ):
+//
+//	key τ.l → τ:        |ext(τ.l)| = |ext(τ)|
+//	inclusion τ1.l1 ⊆ τ2.l2:  |ext(τ1.l1)| ≤ |ext(τ2.l2)|
+//	foreign key:        both of the above
+//	¬key τ.l ↛ τ:       |ext(τ.l)| ≤ |ext(τ)| − 1    (Corollary 4.9)
+//
+// Negated inclusion constraints are rejected; use AddFull for the full
+// class C^Unary_{K¬,IC¬}.
+func (e *Encoding) AddUnary(set []constraint.Constraint) error {
+	if err := e.checkUnaryOverDTD(set); err != nil {
+		return err
+	}
+	for _, c := range set {
+		if _, ok := c.(constraint.NotInclusion); ok {
+			return constraintsErrorf("negated inclusion %s requires the intersection-cell encoding; use AddFull", c)
+		}
+	}
+	e.addAttributeVars()
+	sys := e.Sys
+	addKey := func(k constraint.Key) {
+		av := sys.Var(AttrVarName(k.Type, k.Attrs[0]))
+		ext := sys.Var(ExtVarName(k.Type))
+		sys.AddEq(linear.Term(av, 1).Plus(ext, -1), 0)
+	}
+	addInclusion := func(ic constraint.Inclusion) {
+		child := sys.Var(AttrVarName(ic.Child, ic.ChildAttrs[0]))
+		parent := sys.Var(AttrVarName(ic.Parent, ic.ParentAttrs[0]))
+		sys.AddLe(linear.Term(child, 1).Plus(parent, -1), 0)
+	}
+	for _, c := range set {
+		switch x := c.(type) {
+		case constraint.Key:
+			addKey(x)
+		case constraint.Inclusion:
+			addInclusion(x)
+		case constraint.ForeignKey:
+			addInclusion(x.Inclusion)
+			addKey(x.Key())
+		case constraint.NotKey:
+			av := sys.Var(AttrVarName(x.Type, x.Attr))
+			ext := sys.Var(ExtVarName(x.Type))
+			sys.AddLe(linear.Term(av, 1).Plus(ext, -1), -1)
+		}
+	}
+	return nil
+}

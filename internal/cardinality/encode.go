@@ -1,0 +1,206 @@
+package cardinality
+
+import (
+	"xic/internal/dtd"
+	"xic/internal/linear"
+)
+
+// EncodeDTD builds Ψ_{D_N}, the cardinality constraints determined by the
+// simplified DTD (Section 4.1):
+//
+//   - |ext(r)| = 1 — a valid tree has one root;
+//   - per rule, the ψ_τ constraints tying |ext(τ)| to the occurrence
+//     variables of its content model;
+//   - per symbol σ ≠ r, |ext(σ)| = Σ x^i_{σ,·} — every node occurs exactly
+//     once as a child;
+//
+// plus, when the type graph is cyclic, the spanning-depth connectivity
+// constraints described in the package comment. All variables are
+// nonnegative integers (the solver enforces nonnegativity natively).
+func EncodeDTD(simp *dtd.Simplified) (*Encoding, error) {
+	d := simp.DTD
+	if !dtd.IsSimple(d) {
+		return nil, constraintsErrorf("EncodeDTD requires a simple DTD; run dtd.Simplify first")
+	}
+	e := &Encoding{Sys: linear.NewSystem(), Simp: simp}
+	sys := e.Sys
+
+	types := d.Types()
+	// Register ext variables in declaration order, then the text symbol.
+	for _, t := range types {
+		sys.Var(ExtVarName(t))
+	}
+	sys.Var(ExtVarName(dtd.TextSymbol))
+
+	// |ext(r)| = 1.
+	sys.AddEq(linear.Term(sys.Var(ExtVarName(d.Root)), 1), 1)
+
+	// ψ_τ per rule, collecting occurrences.
+	for _, t := range types {
+		form, err := dtd.ClassifySimple(d.Element(t).Content)
+		if err != nil {
+			return nil, constraintsErrorf("rule for %q: %v", t, err)
+		}
+		ext := sys.Var(ExtVarName(t))
+		switch form.Kind {
+		case dtd.KindEmpty:
+			// No constraint: ε-rules contribute nothing.
+		case dtd.KindText:
+			x := e.occVar(1, dtd.TextSymbol, t)
+			sys.AddEq(linear.Term(ext, 1).Plus(x, -1), 0)
+		case dtd.KindSingle:
+			x := e.occVar(1, form.One, t)
+			sys.AddEq(linear.Term(ext, 1).Plus(x, -1), 0)
+		case dtd.KindSeq:
+			x1 := e.occVar(1, form.Left, t)
+			x2 := e.occVar(2, form.Right, t)
+			sys.AddEq(linear.Term(ext, 1).Plus(x1, -1), 0)
+			sys.AddEq(linear.Term(ext, 1).Plus(x2, -1), 0)
+		case dtd.KindAlt:
+			x1 := e.occVar(1, form.Left, t)
+			x2 := e.occVar(2, form.Right, t)
+			sys.AddEq(linear.Term(ext, 1).Plus(x1, -1).Plus(x2, -1), 0)
+		}
+	}
+
+	// Totals: |ext(σ)| = Σ occurrences of σ, for σ ∈ (E_N \ {r}) ∪ {S}.
+	byChild := map[string]linear.Expr{}
+	for _, t := range types {
+		if t != d.Root {
+			byChild[t] = linear.Expr{}
+		}
+	}
+	byChild[dtd.TextSymbol] = linear.Expr{}
+	for _, occ := range e.occs {
+		if expr, ok := byChild[occ.Child]; ok {
+			expr.Plus(sys.Var(OccVarName(occ.I, occ.Child, occ.Parent)), 1)
+		}
+	}
+	for _, t := range append(append([]string(nil), types...), dtd.TextSymbol) {
+		expr, ok := byChild[t]
+		if !ok {
+			continue // root
+		}
+		total := expr.Clone().Plus(sys.Var(ExtVarName(t)), -1)
+		sys.AddEq(total, 0) // Σ x − ext = 0
+	}
+
+	if typeGraphCyclic(d) {
+		e.recursive = true
+		e.addConnectivity()
+	}
+	return e, nil
+}
+
+// occVar registers an occurrence variable and records the occurrence.
+func (e *Encoding) occVar(i int, child, parent string) int {
+	e.occs = append(e.occs, Occurrence{I: i, Child: child, Parent: parent})
+	return e.Sys.Var(OccVarName(i, child, parent))
+}
+
+// typeGraphCyclic reports whether the parent→child type graph has a cycle
+// (including self-loops), via iterative DFS three-coloring.
+func typeGraphCyclic(d *dtd.DTD) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	type frame struct {
+		node string
+		next int
+	}
+	children := map[string][]string{}
+	for _, t := range d.Types() {
+		children[t] = dtd.Names(d.Element(t).Content)
+	}
+	for _, start := range d.Types() {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			kids := children[f.node]
+			if f.next >= len(kids) {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			kid := kids[f.next]
+			f.next++
+			switch color[kid] {
+			case gray:
+				return true
+			case white:
+				color[kid] = gray
+				stack = append(stack, frame{node: kid})
+			}
+		}
+	}
+	return false
+}
+
+// addConnectivity installs the spanning-depth certificate:
+//
+//	d(r) = 0, 0 ≤ d(τ) ≤ N
+//	t^i_{τ,σ} ≤ x^i_{τ,σ},  t^i ≤ 1          (chosen parent edges exist)
+//	s(τ) = Σ_i t^i_{τ,·}                      (number of chosen parents)
+//	ext(τ) > 0 → s(τ) > 0                     (nonempty types are spanned)
+//	d(τ) − d(σ) − (N+1)·t^i ≥ −N              (chosen parents are shallower)
+//
+// Every real tree admits such a certificate (order types by BFS discovery);
+// conversely any solution with a certificate can be realised as a tree (the
+// witness builder's swap-repair relies on the strictly decreasing depth).
+func (e *Encoding) addConnectivity() {
+	d := e.Simp.DTD
+	sys := e.Sys
+	n := int64(len(d.Types()))
+
+	for _, t := range d.Types() {
+		dv := sys.Var(DepthVarName(t))
+		sys.MarkAuxiliary(dv)
+		if t == d.Root {
+			sys.AddEq(linear.Term(dv, 1), 0)
+		} else {
+			sys.AddLe(linear.Term(dv, 1), n)
+		}
+	}
+	spanExpr := map[string]linear.Expr{}
+	for _, occ := range e.occs {
+		if occ.Child == dtd.TextSymbol {
+			continue // text nodes cannot form cycles
+		}
+		x := sys.Var(OccVarName(occ.I, occ.Child, occ.Parent))
+		tf := sys.Var(TreeFlagName(occ.I, occ.Child, occ.Parent))
+		sys.MarkAuxiliary(tf)
+		sys.AddLe(linear.Term(tf, 1).Plus(x, -1), 0) // t ≤ x
+		sys.AddLe(linear.Term(tf, 1), 1)             // t ≤ 1
+		// d(child) − d(parent) − (N+1)·t ≥ −N.
+		dc := sys.Var(DepthVarName(occ.Child))
+		dp := sys.Var(DepthVarName(occ.Parent))
+		sys.AddGe(linear.Term(dc, 1).Plus(dp, -1).Plus(tf, -(n+1)), -n)
+		if _, ok := spanExpr[occ.Child]; !ok {
+			spanExpr[occ.Child] = linear.Expr{}
+		}
+		spanExpr[occ.Child].Plus(tf, 1)
+	}
+	for _, t := range d.Types() {
+		if t == d.Root {
+			continue
+		}
+		expr, ok := spanExpr[t]
+		if !ok {
+			// Type never occurs as a child: unreachable from the root;
+			// dtd.Check rejects such DTDs, but stay safe with ext = 0.
+			sys.AddEq(linear.Term(sys.Var(ExtVarName(t)), 1), 0)
+			continue
+		}
+		s := sys.Var(SpanVarName(t))
+		sys.MarkAuxiliary(s)
+		sys.AddEq(expr.Clone().Plus(s, -1), 0) // s = Σ t
+		sys.AddImplication(sys.Var(ExtVarName(t)), s)
+	}
+}

@@ -1,0 +1,258 @@
+package cardinality
+
+import (
+	"strings"
+	"testing"
+
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+	"xic/internal/ilp"
+	"xic/internal/linear"
+)
+
+func encode(t *testing.T, d *dtd.DTD) *Encoding {
+	t.Helper()
+	e, err := EncodeDTD(dtd.Simplify(d))
+	if err != nil {
+		t.Fatalf("EncodeDTD: %v", err)
+	}
+	return e
+}
+
+func feasible(t *testing.T, sys *linear.System) bool {
+	t.Helper()
+	res, err := ilp.Solve(sys, nil)
+	if err != nil {
+		t.Fatalf("ilp.Solve: %v\n%s", err, sys)
+	}
+	if res.Feasible {
+		if msg := sys.EvalBig(res.Values); msg != "" {
+			t.Fatalf("solver returned invalid solution: %s\n%s", msg, sys)
+		}
+	}
+	return res.Feasible
+}
+
+func TestPsiD1Consistent(t *testing.T) {
+	// The paper: Ψ_{D_N1} is consistent.
+	e := encode(t, dtd.Teachers())
+	if !feasible(t, e.Sys) {
+		t.Errorf("Ψ_{D_N1} should be consistent:\n%s", e.Sys)
+	}
+}
+
+func TestPsiD2Inconsistent(t *testing.T) {
+	// The paper: Ψ_{D_N2} (db → foo, foo → foo) is not consistent.
+	e := encode(t, dtd.Infinite())
+	if feasible(t, e.Sys) {
+		t.Errorf("Ψ_{D_N2} should be inconsistent:\n%s", e.Sys)
+	}
+}
+
+func TestPsiSchoolConsistent(t *testing.T) {
+	e := encode(t, dtd.School())
+	if !feasible(t, e.Sys) {
+		t.Error("Ψ for the school DTD should be consistent")
+	}
+}
+
+func TestTeachersWithSigma1Inconsistent(t *testing.T) {
+	// The headline Section 1 example: D1 ∧ Σ1 has no tree — teachers force
+	// |ext(subject)| = 2·|ext(teacher)| ≥ 2 while Σ1 forces
+	// |ext(subject)| ≤ |ext(teacher)|.
+	e := encode(t, dtd.Teachers())
+	if err := e.AddUnary(constraint.Sigma1()); err != nil {
+		t.Fatalf("AddUnary: %v", err)
+	}
+	if feasible(t, e.Sys) {
+		t.Errorf("Ψ(D1,Σ1) should be infeasible:\n%s", e.Sys)
+	}
+}
+
+func TestTeachersWithKeysOnlyConsistent(t *testing.T) {
+	e := encode(t, dtd.Teachers())
+	set := constraint.MustParse("teacher.name -> teacher\nsubject.taught_by -> subject")
+	if err := e.AddUnary(set); err != nil {
+		t.Fatalf("AddUnary: %v", err)
+	}
+	if !feasible(t, e.Sys) {
+		t.Error("keys alone are consistent with D1 (Theorem 3.5)")
+	}
+}
+
+func TestSchoolWithUnarySubsetConsistent(t *testing.T) {
+	e := encode(t, dtd.School())
+	set := constraint.MustParse(`
+student(student_id) -> student
+enroll(student_id) => student(student_id)
+`)
+	if err := e.AddUnary(set); err != nil {
+		t.Fatalf("AddUnary: %v", err)
+	}
+	if !feasible(t, e.Sys) {
+		t.Error("unary subset of Σ3 should be consistent with D3")
+	}
+}
+
+func TestAddUnaryRejectsMultiAttr(t *testing.T) {
+	e := encode(t, dtd.School())
+	err := e.AddUnary(constraint.Sigma3())
+	if err == nil || !strings.Contains(err.Error(), "unary") {
+		t.Errorf("AddUnary accepted multi-attribute constraints: %v", err)
+	}
+}
+
+func TestAddUnaryRejectsNegInclusion(t *testing.T) {
+	e := encode(t, dtd.Teachers())
+	err := e.AddUnary(constraint.MustParse("not subject.taught_by <= teacher.name"))
+	if err == nil || !strings.Contains(err.Error(), "AddFull") {
+		t.Errorf("AddUnary accepted a negated inclusion: %v", err)
+	}
+}
+
+func TestAddUnaryRejectsUndeclaredAttrs(t *testing.T) {
+	e := encode(t, dtd.Teachers())
+	if err := e.AddUnary(constraint.MustParse("teacher.phantom -> teacher")); err == nil {
+		t.Error("AddUnary accepted a constraint over an undeclared attribute")
+	}
+}
+
+// recursiveOptional is r → a?, a → a: 'a' is non-generating, so any
+// constraint forcing |ext(a)| > 0 is unsatisfiable — but the literal Ψ_D
+// admits a phantom a-cycle. The connectivity constraints must reject it.
+const recursiveOptional = `
+<!ELEMENT r (a?)>
+<!ELEMENT a (a)>
+<!ATTLIST r k CDATA #REQUIRED>
+<!ATTLIST a l CDATA #REQUIRED>
+`
+
+func TestPhantomCycleRejected(t *testing.T) {
+	d := dtd.MustParse(recursiveOptional)
+	e := encode(t, d)
+	if !e.Recursive() {
+		t.Fatal("recursive DTD not detected")
+	}
+	// r.k ⊆ a.l forces |ext(a.l)| ≥ 1 and hence |ext(a)| ≥ 1, which only a
+	// phantom cycle can deliver.
+	if err := e.AddUnary(constraint.MustParse("r.k <= a.l")); err != nil {
+		t.Fatalf("AddUnary: %v", err)
+	}
+	if feasible(t, e.Sys) {
+		t.Errorf("phantom-cycle solution accepted; connectivity constraints failed:\n%s", e.Sys)
+	}
+}
+
+func TestPhantomCycleBaselineWithoutConstraint(t *testing.T) {
+	// Without constraints the DTD is consistent (r with no children).
+	d := dtd.MustParse(recursiveOptional)
+	e := encode(t, d)
+	if !feasible(t, e.Sys) {
+		t.Error("r → a? alone should be consistent")
+	}
+}
+
+func TestRecursiveChainConsistent(t *testing.T) {
+	// r → a?, a → a?: chains terminate, so r.k ⊆ a.l is satisfiable.
+	d := dtd.MustParse(`
+<!ELEMENT r (a?)>
+<!ELEMENT a (a?)>
+<!ATTLIST r k CDATA #REQUIRED>
+<!ATTLIST a l CDATA #REQUIRED>
+`)
+	e := encode(t, d)
+	if !e.Recursive() {
+		t.Fatal("recursive DTD not detected")
+	}
+	if err := e.AddUnary(constraint.MustParse("r.k <= a.l")); err != nil {
+		t.Fatalf("AddUnary: %v", err)
+	}
+	if !feasible(t, e.Sys) {
+		t.Errorf("terminating recursion should be consistent:\n%s", e.Sys)
+	}
+}
+
+func TestAcyclicSkipsConnectivity(t *testing.T) {
+	// A star-free DTD stays acyclic after simplification (stars introduce
+	// self-referential loop types, so even D1 becomes cyclic).
+	d := dtd.MustParse(`
+<!ELEMENT r (a, b?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (a | a)>
+`)
+	e := encode(t, d)
+	if e.Recursive() {
+		t.Error("star-free DTD should skip connectivity machinery")
+	}
+	if _, ok := e.Sys.Lookup(DepthVarName("a")); ok {
+		t.Error("depth variables present for an acyclic DTD")
+	}
+}
+
+func TestStarredDTDGetsConnectivity(t *testing.T) {
+	// Simplification turns teacher+ into a self-referential loop type, so
+	// D1 gets the connectivity certificate.
+	e := encode(t, dtd.Teachers())
+	if !e.Recursive() {
+		t.Error("starred DTD should carry connectivity constraints after simplification")
+	}
+}
+
+func TestNegatedKeyNeedsTwoNodes(t *testing.T) {
+	// D1 forces at least one teacher; a negated key on teacher.name needs
+	// at least two teachers sharing a name — fine under D1 (teacher+).
+	e := encode(t, dtd.Teachers())
+	if err := e.AddUnary(constraint.MustParse("not teacher.name -> teacher")); err != nil {
+		t.Fatalf("AddUnary: %v", err)
+	}
+	if !feasible(t, e.Sys) {
+		t.Error("¬key on teacher.name should be satisfiable under D1")
+	}
+
+	// exactlyOne: r → a with a single a; ¬key on a.l is unsatisfiable.
+	d := dtd.MustParse(`
+<!ELEMENT r (a)>
+<!ELEMENT a (#PCDATA)>
+<!ATTLIST a l CDATA #REQUIRED>
+`)
+	e2 := encode(t, d)
+	if err := e2.AddUnary(constraint.MustParse("not a.l -> a")); err != nil {
+		t.Fatalf("AddUnary: %v", err)
+	}
+	if feasible(t, e2.Sys) {
+		t.Error("¬key needs two a-nodes but the DTD allows exactly one")
+	}
+}
+
+func TestKeyOnPluralTypeForcesDistinctValues(t *testing.T) {
+	// teach has exactly two subjects per teacher; a key on subject.taught_by
+	// forces |ext(subject.taught_by)| = |ext(subject)| = 2·|ext(teacher)|,
+	// perfectly satisfiable on its own.
+	e := encode(t, dtd.Teachers())
+	if err := e.AddUnary(constraint.MustParse("subject.taught_by -> subject")); err != nil {
+		t.Fatalf("AddUnary: %v", err)
+	}
+	if !feasible(t, e.Sys) {
+		t.Error("subject key alone should be satisfiable")
+	}
+}
+
+func TestOccurrencesRecorded(t *testing.T) {
+	e := encode(t, dtd.Teachers())
+	if len(e.Occurrences()) == 0 {
+		t.Fatal("no occurrences recorded")
+	}
+	// teach → subject, subject yields x1(subject,teach) and x2(subject,teach).
+	if _, ok := e.Sys.Lookup(OccVarName(1, "subject", "teach")); !ok {
+		t.Error("x1(subject,teach) missing")
+	}
+	if _, ok := e.Sys.Lookup(OccVarName(2, "subject", "teach")); !ok {
+		t.Error("x2(subject,teach) missing")
+	}
+}
+
+func TestEncodeRequiresSimpleDTD(t *testing.T) {
+	if _, err := EncodeDTD(&dtd.Simplified{DTD: dtd.Teachers(), Orig: dtd.Teachers()}); err == nil {
+		t.Error("EncodeDTD accepted a non-simple DTD")
+	}
+}

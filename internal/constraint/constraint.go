@@ -1,0 +1,253 @@
+// Package constraint implements the XML integrity constraint languages of
+// Fan & Libkin (Section 2.2): keys τ[X]→τ, inclusion constraints
+// τ1[X] ⊆ τ2[Y], foreign keys (an inclusion whose right-hand side is a key),
+// and the unary negations used in the implication analyses. It provides a
+// textual syntax, validation against a DTD, satisfaction checking on XML
+// trees, and classification into the paper's four constraint classes.
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"xic/internal/dtd"
+)
+
+// Constraint is an XML integrity constraint over a DTD. The concrete types
+// are Key, Inclusion, ForeignKey, NotKey and NotInclusion.
+type Constraint interface {
+	// String renders the constraint in the package's textual syntax.
+	String() string
+	// Unary reports whether the constraint is defined on single attributes.
+	Unary() bool
+	// Validate checks that the constraint is well formed over the DTD:
+	// element types declared, attributes defined for them, equal-length
+	// nonempty attribute lists.
+	Validate(d *dtd.DTD) error
+}
+
+// Key is τ[X] → τ: no two distinct τ elements agree on all attributes of X
+// (Section 2.2). Value equality is string equality on attribute values;
+// element equality is node identity.
+type Key struct {
+	Type  string
+	Attrs []string
+}
+
+// UnaryKey returns the unary key τ.l → τ.
+func UnaryKey(typ, attr string) Key {
+	return Key{Type: typ, Attrs: []string{attr}}
+}
+
+// Unary reports whether the key is defined on a single attribute.
+func (k Key) Unary() bool { return len(k.Attrs) == 1 }
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s -> %s", attrList(k.Type, k.Attrs), k.Type)
+}
+
+// Validate implements Constraint.
+func (k Key) Validate(d *dtd.DTD) error {
+	if err := validateAttrs(d, k.Type, k.Attrs); err != nil {
+		return fmt.Errorf("key %s: %w", k, err)
+	}
+	seen := map[string]bool{}
+	for _, a := range k.Attrs {
+		if seen[a] {
+			return fmt.Errorf("key %s: duplicate attribute %q", k, a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// Inclusion is τ1[X] ⊆ τ2[Y]: the X-attribute values of every τ1 element
+// match the Y-attribute values of some τ2 element. Unlike a foreign key it
+// does not require Y to be a key of τ2.
+type Inclusion struct {
+	Child       string
+	ChildAttrs  []string
+	Parent      string
+	ParentAttrs []string
+}
+
+// UnaryInclusion returns the unary inclusion constraint τ1.l1 ⊆ τ2.l2.
+func UnaryInclusion(child, childAttr, parent, parentAttr string) Inclusion {
+	return Inclusion{
+		Child: child, ChildAttrs: []string{childAttr},
+		Parent: parent, ParentAttrs: []string{parentAttr},
+	}
+}
+
+// Unary reports whether the inclusion is defined on single attributes.
+func (c Inclusion) Unary() bool { return len(c.ChildAttrs) == 1 }
+
+func (c Inclusion) String() string {
+	return fmt.Sprintf("%s <= %s", attrList(c.Child, c.ChildAttrs), attrList(c.Parent, c.ParentAttrs))
+}
+
+// Validate implements Constraint.
+func (c Inclusion) Validate(d *dtd.DTD) error {
+	if len(c.ChildAttrs) != len(c.ParentAttrs) {
+		return fmt.Errorf("inclusion %s: attribute lists differ in length", c)
+	}
+	if err := validateAttrs(d, c.Child, c.ChildAttrs); err != nil {
+		return fmt.Errorf("inclusion %s: %w", c, err)
+	}
+	if err := validateAttrs(d, c.Parent, c.ParentAttrs); err != nil {
+		return fmt.Errorf("inclusion %s: %w", c, err)
+	}
+	return nil
+}
+
+// ForeignKey is the combination τ1[X] ⊆ τ2[Y] ∧ τ2[Y] → τ2: X is a foreign
+// key of τ1 elements referencing the key Y of τ2 elements.
+type ForeignKey struct {
+	Inclusion
+}
+
+// UnaryForeignKey returns the unary foreign key τ1.l1 ⊆ τ2.l2, τ2.l2 → τ2.
+func UnaryForeignKey(child, childAttr, parent, parentAttr string) ForeignKey {
+	return ForeignKey{Inclusion: UnaryInclusion(child, childAttr, parent, parentAttr)}
+}
+
+// Key returns the key component τ2[Y] → τ2 of the foreign key.
+func (f ForeignKey) Key() Key {
+	return Key{Type: f.Parent, Attrs: f.ParentAttrs}
+}
+
+func (f ForeignKey) String() string {
+	return fmt.Sprintf("%s => %s", attrList(f.Child, f.ChildAttrs), attrList(f.Parent, f.ParentAttrs))
+}
+
+// Validate implements Constraint.
+func (f ForeignKey) Validate(d *dtd.DTD) error {
+	if err := f.Inclusion.Validate(d); err != nil {
+		return err
+	}
+	return f.Key().Validate(d)
+}
+
+// NotKey is the negation τ.l ↛ τ of a unary key: some two distinct τ
+// elements share their l-attribute value. The paper defines negations for
+// unary constraints only; this type follows suit.
+type NotKey struct {
+	Type string
+	Attr string
+}
+
+// Unary implements Constraint; negated keys are always unary.
+func (n NotKey) Unary() bool { return true }
+
+func (n NotKey) String() string {
+	return fmt.Sprintf("not %s.%s -> %s", n.Type, n.Attr, n.Type)
+}
+
+// Key returns the key being negated.
+func (n NotKey) Key() Key { return UnaryKey(n.Type, n.Attr) }
+
+// Validate implements Constraint.
+func (n NotKey) Validate(d *dtd.DTD) error {
+	if err := validateAttrs(d, n.Type, []string{n.Attr}); err != nil {
+		return fmt.Errorf("negated key %s: %w", n, err)
+	}
+	return nil
+}
+
+// NotInclusion is the negation τ1.l1 ⊄ τ2.l2 of a unary inclusion
+// constraint: some τ1 element has an l1 value matched by no τ2 element.
+type NotInclusion struct {
+	Child      string
+	ChildAttr  string
+	Parent     string
+	ParentAttr string
+}
+
+// Unary implements Constraint; negated inclusions are always unary.
+func (n NotInclusion) Unary() bool { return true }
+
+func (n NotInclusion) String() string {
+	return fmt.Sprintf("not %s.%s <= %s.%s", n.Child, n.ChildAttr, n.Parent, n.ParentAttr)
+}
+
+// Inclusion returns the inclusion constraint being negated.
+func (n NotInclusion) Inclusion() Inclusion {
+	return UnaryInclusion(n.Child, n.ChildAttr, n.Parent, n.ParentAttr)
+}
+
+// Validate implements Constraint.
+func (n NotInclusion) Validate(d *dtd.DTD) error {
+	if err := n.Inclusion().Validate(d); err != nil {
+		return fmt.Errorf("negated %w", err)
+	}
+	return nil
+}
+
+func attrList(typ string, attrs []string) string {
+	if len(attrs) == 1 {
+		return typ + "." + attrs[0]
+	}
+	return typ + "(" + strings.Join(attrs, ", ") + ")"
+}
+
+func validateAttrs(d *dtd.DTD, typ string, attrs []string) error {
+	e := d.Element(typ)
+	if e == nil {
+		return fmt.Errorf("element type %q is not declared", typ)
+	}
+	if len(attrs) == 0 {
+		return fmt.Errorf("empty attribute list for %q", typ)
+	}
+	for _, a := range attrs {
+		if !e.HasAttr(a) {
+			return fmt.Errorf("attribute %q is not defined for element type %q", a, typ)
+		}
+	}
+	return nil
+}
+
+// ValidateSet validates every constraint in the set against the DTD.
+func ValidateSet(d *dtd.DTD, set []Constraint) error {
+	for _, c := range set {
+		if err := c.Validate(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Negate returns the negation of a unary key or unary inclusion constraint;
+// for a foreign key it returns the two negations (¬key, ¬inclusion), since
+// ¬(k ∧ ic) is their disjunction and callers must case-split. It returns an
+// error for multi-attribute constraints and for already-negated ones.
+func Negate(c Constraint) ([]Constraint, error) {
+	switch x := c.(type) {
+	case Key:
+		if !x.Unary() {
+			return nil, fmt.Errorf("constraint: cannot negate multi-attribute key %s", x)
+		}
+		return []Constraint{NotKey{Type: x.Type, Attr: x.Attrs[0]}}, nil
+	case Inclusion:
+		if !x.Unary() {
+			return nil, fmt.Errorf("constraint: cannot negate multi-attribute inclusion %s", x)
+		}
+		return []Constraint{NotInclusion{
+			Child: x.Child, ChildAttr: x.ChildAttrs[0],
+			Parent: x.Parent, ParentAttr: x.ParentAttrs[0],
+		}}, nil
+	case ForeignKey:
+		if !x.Unary() {
+			return nil, fmt.Errorf("constraint: cannot negate multi-attribute foreign key %s", x)
+		}
+		nk, err := Negate(x.Key())
+		if err != nil {
+			return nil, err
+		}
+		ni, err := Negate(x.Inclusion)
+		if err != nil {
+			return nil, err
+		}
+		return []Constraint{nk[0], ni[0]}, nil
+	}
+	return nil, fmt.Errorf("constraint: cannot negate %s", c)
+}

@@ -1,0 +1,236 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"xic/internal/dtd"
+)
+
+func TestParseSigma1(t *testing.T) {
+	set, err := Parse(Sigma1Source)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("got %d constraints, want 3", len(set))
+	}
+	k, ok := set[0].(Key)
+	if !ok || k.Type != "teacher" || len(k.Attrs) != 1 || k.Attrs[0] != "name" {
+		t.Errorf("set[0] = %v, want teacher.name -> teacher", set[0])
+	}
+	fk, ok := set[2].(ForeignKey)
+	if !ok || fk.Child != "subject" || fk.Parent != "teacher" {
+		t.Errorf("set[2] = %v, want foreign key subject → teacher", set[2])
+	}
+	if err := ValidateSet(dtd.Teachers(), set); err != nil {
+		t.Errorf("Σ1 should validate over D1: %v", err)
+	}
+}
+
+func TestParseSigma3MultiAttr(t *testing.T) {
+	set, err := Parse(Sigma3Source)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(set) != 5 {
+		t.Fatalf("got %d constraints, want 5", len(set))
+	}
+	if err := ValidateSet(dtd.School(), set); err != nil {
+		t.Errorf("Σ3 should validate over D3: %v", err)
+	}
+	k := set[1].(Key)
+	if len(k.Attrs) != 2 {
+		t.Errorf("course key should be binary, got %v", k)
+	}
+	fk := set[4].(ForeignKey)
+	if len(fk.ChildAttrs) != 2 || fk.ChildAttrs[0] != "dept" {
+		t.Errorf("enroll→course foreign key mis-parsed: %v", fk)
+	}
+}
+
+func TestParseNegations(t *testing.T) {
+	set, err := Parse(`
+not teacher.name -> teacher
+not subject.taught_by <= teacher.name
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, ok := set[0].(NotKey); !ok {
+		t.Errorf("set[0] = %T, want NotKey", set[0])
+	}
+	if _, ok := set[1].(NotInclusion); !ok {
+		t.Errorf("set[1] = %T, want NotInclusion", set[1])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	set, err := Parse(`
+# leading comment
+teacher.name -> teacher   // trailing
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(set) != 1 {
+		t.Errorf("got %d constraints, want 1", len(set))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct {
+		line string
+		want string
+	}{
+		{"teacher.name", "no operator"},
+		{"teacher.name -> subject", "different element types"},
+		{"teacher.name -> teacher.name", "bare element type"},
+		{"a(x, y) <= b(x)", "differ in length"},
+		{"not a(x, y) -> a", "unary"},
+		{"not a.x => b.y", "separately"},
+		{". -> a", "malformed"},
+		{"a(,) <= b(x)", "empty attribute"},
+		{"(x) -> a", "missing element type"},
+		{"a(x -> a", "no operator"},
+		{"a b -> a", "malformed"},
+	}
+	for _, tt := range bad {
+		_, err := ParseOne(tt.line)
+		if err == nil {
+			t.Errorf("ParseOne(%q) succeeded, want error %q", tt.line, tt.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("ParseOne(%q) error = %q, want it to contain %q", tt.line, err, tt.want)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	sets := [][]Constraint{Sigma1(), Sigma3()}
+	negs := MustParse("not a.x -> a\nnot a.x <= b.y")
+	sets = append(sets, negs)
+	for _, set := range sets {
+		text := FormatSet(set)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", text, err)
+		}
+		if len(back) != len(set) {
+			t.Fatalf("round trip changed count: %d vs %d", len(back), len(set))
+		}
+		for i := range set {
+			if set[i].String() != back[i].String() {
+				t.Errorf("round trip: %q vs %q", set[i], back[i])
+			}
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	d := dtd.Teachers()
+	bad := []struct {
+		src  string
+		want string
+	}{
+		{"ghost.name -> ghost", "not declared"},
+		{"teacher.phantom -> teacher", "not defined"},
+		{"teacher(name, name) -> teacher", "duplicate"},
+		{"subject.taught_by <= ghost.name", "not declared"},
+		{"not teacher.phantom -> teacher", "not defined"},
+		{"not subject.taught_by <= teacher.phantom", "not defined"},
+	}
+	for _, tt := range bad {
+		set := MustParse(tt.src)
+		err := ValidateSet(d, set)
+		if err == nil {
+			t.Errorf("ValidateSet(%q) succeeded, want error %q", tt.src, tt.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("ValidateSet(%q) = %q, want it to contain %q", tt.src, err, tt.want)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	tests := []struct {
+		src  string
+		want Class
+	}{
+		{"teacher.name -> teacher", ClassK},
+		{"course(dept, course_no) -> course", ClassK},
+		{Sigma3Source, ClassKFK},
+		{Sigma1Source, ClassUnaryKFK},
+		{"teacher.name -> teacher\nsubject.taught_by <= teacher.name", ClassUnaryKIC},
+		{"teacher.name -> teacher\nnot subject.taught_by -> subject", ClassUnaryKNegIC},
+		{"not subject.taught_by <= teacher.name", ClassUnaryFull},
+		{"enroll(dept, course_no) <= course(dept, course_no)", ClassOther},
+	}
+	for _, tt := range tests {
+		set := MustParse(tt.src)
+		if got := ClassOf(set); got != tt.want {
+			t.Errorf("ClassOf(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c := ClassK; c <= ClassOther; c++ {
+		if c.String() == "" {
+			t.Errorf("Class(%d).String() empty", c)
+		}
+	}
+}
+
+func TestEffectiveKeysAndInclusions(t *testing.T) {
+	set := Sigma1()
+	keys := EffectiveKeys(set)
+	if len(keys) != 2 {
+		t.Errorf("EffectiveKeys = %v, want 2 (teacher.name and subject.taught_by; FK key deduplicated)", keys)
+	}
+	ics := EffectiveInclusions(set)
+	if len(ics) != 1 {
+		t.Errorf("EffectiveInclusions = %v, want 1", ics)
+	}
+}
+
+func TestCheckPrimaryKeyRestriction(t *testing.T) {
+	if err := CheckPrimaryKeyRestriction(Sigma1()); err != nil {
+		t.Errorf("Σ1 satisfies the primary-key restriction: %v", err)
+	}
+	two := MustParse("a.x -> a\na.y -> a")
+	if err := CheckPrimaryKeyRestriction(two); err == nil {
+		t.Error("two keys for one element type should violate the restriction")
+	}
+	// A foreign key whose target key duplicates a declared key is fine.
+	dup := MustParse("b.y -> b\na.x => b.y")
+	if err := CheckPrimaryKeyRestriction(dup); err != nil {
+		t.Errorf("duplicate of the same key should be allowed: %v", err)
+	}
+}
+
+func TestNegate(t *testing.T) {
+	k := UnaryKey("a", "x")
+	n, err := Negate(k)
+	if err != nil || len(n) != 1 {
+		t.Fatalf("Negate(key) = %v, %v", n, err)
+	}
+	if _, ok := n[0].(NotKey); !ok {
+		t.Errorf("Negate(key) = %T", n[0])
+	}
+
+	fk := UnaryForeignKey("a", "x", "b", "y")
+	n, err = Negate(fk)
+	if err != nil || len(n) != 2 {
+		t.Fatalf("Negate(fk) = %v, %v", n, err)
+	}
+
+	if _, err := Negate(Key{Type: "a", Attrs: []string{"x", "y"}}); err == nil {
+		t.Error("Negate of a multi-attribute key should fail")
+	}
+	if _, err := Negate(NotKey{Type: "a", Attr: "x"}); err == nil {
+		t.Error("Negate of a negation should fail")
+	}
+}

@@ -1,0 +1,169 @@
+package constraint
+
+import "fmt"
+
+// Class identifies the constraint classes studied in the paper, ordered by
+// inclusion where comparable.
+type Class int
+
+// The constraint classes of Section 2.2, plus the keys-only subclass C_K of
+// Section 3.3 and the unary keys+inclusions class C^Unary_{K,IC} used in
+// Theorem 4.1.
+const (
+	// ClassK is C_K: multi-attribute keys only.
+	ClassK Class = iota
+	// ClassKFK is C_{K,FK}: multi-attribute keys and foreign keys.
+	ClassKFK
+	// ClassUnaryKFK is C^Unary_{K,FK}: unary keys and foreign keys.
+	ClassUnaryKFK
+	// ClassUnaryKIC is C^Unary_{K,IC}: unary keys and unary inclusion
+	// constraints (inclusions need not reference keys).
+	ClassUnaryKIC
+	// ClassUnaryKNegIC is C^Unary_{K¬,IC}: unary keys, unary inclusion
+	// constraints and negations of unary keys.
+	ClassUnaryKNegIC
+	// ClassUnaryFull is C^Unary_{K¬,IC¬}: unary keys, unary inclusion
+	// constraints and their negations.
+	ClassUnaryFull
+	// ClassOther covers sets outside all classes studied in the paper
+	// (e.g. multi-attribute plain inclusions, which are strictly more
+	// general than C_{K,FK} foreign keys).
+	ClassOther
+)
+
+// String returns the paper's name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassK:
+		return "C_K"
+	case ClassKFK:
+		return "C_{K,FK}"
+	case ClassUnaryKFK:
+		return "C^Unary_{K,FK}"
+	case ClassUnaryKIC:
+		return "C^Unary_{K,IC}"
+	case ClassUnaryKNegIC:
+		return "C^Unary_{K¬,IC}"
+	case ClassUnaryFull:
+		return "C^Unary_{K¬,IC¬}"
+	}
+	return "outside the paper's classes"
+}
+
+// Features summarises the syntactic shape of a constraint set.
+type Features struct {
+	Keys          int
+	ForeignKeys   int
+	Inclusions    int // plain inclusions, not part of a foreign key
+	NegKeys       int
+	NegInclusions int
+	MultiAttr     bool // some constraint uses more than one attribute
+}
+
+// FeaturesOf scans a constraint set.
+func FeaturesOf(set []Constraint) Features {
+	var f Features
+	for _, c := range set {
+		if !c.Unary() {
+			f.MultiAttr = true
+		}
+		switch c.(type) {
+		case Key:
+			f.Keys++
+		case ForeignKey:
+			f.ForeignKeys++
+		case Inclusion:
+			f.Inclusions++
+		case NotKey:
+			f.NegKeys++
+		case NotInclusion:
+			f.NegInclusions++
+		}
+	}
+	return f
+}
+
+// ClassOf returns the smallest of the paper's classes containing the set.
+func ClassOf(set []Constraint) Class {
+	f := FeaturesOf(set)
+	switch {
+	case f.MultiAttr:
+		if f.Inclusions == 0 && f.NegKeys == 0 && f.NegInclusions == 0 {
+			if f.ForeignKeys == 0 {
+				return ClassK
+			}
+			return ClassKFK
+		}
+		return ClassOther
+	case f.NegInclusions > 0:
+		return ClassUnaryFull
+	case f.NegKeys > 0:
+		return ClassUnaryKNegIC
+	case f.Inclusions > 0:
+		return ClassUnaryKIC
+	case f.ForeignKeys > 0:
+		return ClassUnaryKFK
+	default:
+		return ClassK
+	}
+}
+
+// EffectiveKeys returns all keys asserted by the set: declared keys plus the
+// key components of foreign keys, deduplicated by string form.
+func EffectiveKeys(set []Constraint) []Key {
+	var out []Key
+	seen := map[string]bool{}
+	add := func(k Key) {
+		s := k.String()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, k)
+		}
+	}
+	for _, c := range set {
+		switch x := c.(type) {
+		case Key:
+			add(x)
+		case ForeignKey:
+			add(x.Key())
+		}
+	}
+	return out
+}
+
+// EffectiveInclusions returns all inclusion constraints asserted by the set:
+// plain inclusions plus the inclusion components of foreign keys.
+func EffectiveInclusions(set []Constraint) []Inclusion {
+	var out []Inclusion
+	seen := map[string]bool{}
+	add := func(ic Inclusion) {
+		s := ic.String()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, ic)
+		}
+	}
+	for _, c := range set {
+		switch x := c.(type) {
+		case Inclusion:
+			add(x)
+		case ForeignKey:
+			add(x.Inclusion)
+		}
+	}
+	return out
+}
+
+// CheckPrimaryKeyRestriction verifies the primary-key restriction of
+// Section 4.2: at most one key — declared directly or through a foreign
+// key — per element type.
+func CheckPrimaryKeyRestriction(set []Constraint) error {
+	byType := map[string]string{}
+	for _, k := range EffectiveKeys(set) {
+		if prev, ok := byType[k.Type]; ok && prev != k.String() {
+			return fmt.Errorf("constraint: element type %q has two keys: %s and %s", k.Type, prev, k)
+		}
+		byType[k.Type] = k.String()
+	}
+	return nil
+}

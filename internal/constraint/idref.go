@@ -1,0 +1,57 @@
+package constraint
+
+import (
+	"fmt"
+
+	"xic/internal/dtd"
+)
+
+// FromIDAttributes derives the unary keys and foreign keys denoted by the
+// DTD's ID and IDREF attribute declarations, the only constraint mechanism
+// XML DTDs have (Section 4 of the paper: "in XML DTDs, one can only
+// specify unary constraints with ID and IDREF attributes").
+//
+// Every ID attribute τ.l yields the key τ.l → τ. XML additionally makes ID
+// values unique across the whole document and leaves IDREF targets
+// unscoped — "one has no control over what IDREF attributes point to"
+// (Section 1). When exactly one element type declares an ID attribute both
+// limitations vanish: document-wide uniqueness is the per-type key, and
+// each IDREF attribute τ'.l' yields the foreign key τ'.l' ⊆ τ.l. With
+// several ID-bearing types the IDREF semantics is not expressible in the
+// paper's constraint language, and FromIDAttributes reports it rather than
+// inventing a scoping.
+func FromIDAttributes(d *dtd.DTD) ([]Constraint, error) {
+	type ref struct{ typ, attr string }
+	var ids, idrefs []ref
+	for _, t := range d.Types() {
+		e := d.Element(t)
+		for _, a := range e.Attrs {
+			switch e.AttrType(a) {
+			case "ID":
+				ids = append(ids, ref{t, a})
+			case "IDREF", "IDREFS":
+				idrefs = append(idrefs, ref{t, a})
+			}
+		}
+	}
+	var out []Constraint
+	for _, id := range ids {
+		out = append(out, UnaryKey(id.typ, id.attr))
+	}
+	if len(idrefs) == 0 {
+		return out, nil
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("constraint: DTD declares IDREF attributes but no ID attribute to reference")
+	}
+	if len(ids) > 1 {
+		return nil, fmt.Errorf(
+			"constraint: IDREF attributes are unscoped and %d element types declare ID attributes; "+
+				"the reference target is ambiguous — specify foreign keys explicitly", len(ids))
+	}
+	target := ids[0]
+	for _, r := range idrefs {
+		out = append(out, UnaryForeignKey(r.typ, r.attr, target.typ, target.attr))
+	}
+	return out, nil
+}

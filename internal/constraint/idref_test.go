@@ -1,0 +1,111 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"xic/internal/dtd"
+)
+
+func TestFromIDAttributesSingleTarget(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT library (book*, loan*)>
+<!ELEMENT book EMPTY>
+<!ELEMENT loan EMPTY>
+<!ATTLIST book isbn ID #REQUIRED>
+<!ATTLIST book title CDATA #REQUIRED>
+<!ATTLIST loan of IDREF #REQUIRED>
+`)
+	set, err := FromIDAttributes(d)
+	if err != nil {
+		t.Fatalf("FromIDAttributes: %v", err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("got %d constraints, want 2: %v", len(set), set)
+	}
+	if set[0].String() != "book.isbn -> book" {
+		t.Errorf("set[0] = %s", set[0])
+	}
+	if set[1].String() != "loan.of => book.isbn" {
+		t.Errorf("set[1] = %s", set[1])
+	}
+	if err := ValidateSet(d, set); err != nil {
+		t.Errorf("derived constraints invalid: %v", err)
+	}
+}
+
+func TestFromIDAttributesNoIDs(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT r (a*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a k CDATA #REQUIRED>
+`)
+	set, err := FromIDAttributes(d)
+	if err != nil || len(set) != 0 {
+		t.Errorf("CDATA-only DTD: set=%v err=%v, want empty and nil", set, err)
+	}
+}
+
+func TestFromIDAttributesDanglingIDREF(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT r (a*)>
+<!ELEMENT a EMPTY>
+<!ATTLIST a ref IDREF #REQUIRED>
+`)
+	_, err := FromIDAttributes(d)
+	if err == nil || !strings.Contains(err.Error(), "no ID attribute") {
+		t.Errorf("dangling IDREF accepted: %v", err)
+	}
+}
+
+func TestFromIDAttributesAmbiguousTargets(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT r (a*, b*, c*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+<!ATTLIST a id ID #REQUIRED>
+<!ATTLIST b id ID #REQUIRED>
+<!ATTLIST c ref IDREF #REQUIRED>
+`)
+	_, err := FromIDAttributes(d)
+	if err == nil || !strings.Contains(err.Error(), "unscoped") {
+		t.Errorf("ambiguous IDREF accepted: %v", err)
+	}
+}
+
+func TestFromIDAttributesIDsOnlyMultipleTypes(t *testing.T) {
+	// Several ID types but no IDREF: per-type keys are derivable.
+	d := dtd.MustParse(`
+<!ELEMENT r (a*, b*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a id ID #REQUIRED>
+<!ATTLIST b id ID #REQUIRED>
+`)
+	set, err := FromIDAttributes(d)
+	if err != nil {
+		t.Fatalf("FromIDAttributes: %v", err)
+	}
+	if len(set) != 2 {
+		t.Errorf("got %d keys, want 2", len(set))
+	}
+}
+
+func TestFromIDAttributesIDREFS(t *testing.T) {
+	// IDREFS is treated like IDREF for the reference-target analysis.
+	d := dtd.MustParse(`
+<!ELEMENT r (a*, b*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a id ID #REQUIRED>
+<!ATTLIST b refs IDREFS #REQUIRED>
+`)
+	set, err := FromIDAttributes(d)
+	if err != nil {
+		t.Fatalf("FromIDAttributes: %v", err)
+	}
+	if len(set) != 2 {
+		t.Errorf("got %d constraints, want 2", len(set))
+	}
+}

@@ -1,0 +1,190 @@
+package constraint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a constraint set in the package's line-oriented syntax.
+// Each non-blank line holds one constraint; '#' and '//' start comments.
+//
+//	teacher.name -> teacher                      key (unary)
+//	course(dept, course_no) -> course            key (multi-attribute)
+//	subject.taught_by <= teacher.name            inclusion constraint
+//	subject.taught_by => teacher.name            foreign key (inclusion + key)
+//	enroll(sid, dept) => course(sid, dept)       foreign key (multi-attribute)
+//	not teacher.name -> teacher                  negated unary key
+//	not subject.taught_by <= teacher.name        negated unary inclusion
+//
+// Parse performs purely syntactic checks; use ValidateSet to check the
+// constraints against a DTD.
+func Parse(src string) ([]Constraint, error) {
+	var out []Constraint
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		c, err := ParseOne(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// MustParse is Parse panicking on error, for tests and example data.
+func MustParse(src string) []Constraint {
+	set, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// ParseOne parses a single constraint.
+func ParseOne(line string) (Constraint, error) {
+	line = strings.TrimSpace(line)
+	negated := false
+	if rest, ok := strings.CutPrefix(line, "not "); ok {
+		negated = true
+		line = strings.TrimSpace(rest)
+	}
+	op, lhs, rhs, err := splitOperator(line)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "->":
+		typ, attrs, err := parseRef(lhs, true)
+		if err != nil {
+			return nil, err
+		}
+		rtyp, rattrs, err := parseRef(rhs, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(rattrs) != 0 {
+			return nil, fmt.Errorf("constraint: key target %q must be a bare element type", rhs)
+		}
+		if rtyp != typ {
+			return nil, fmt.Errorf("constraint: key %q -> %q relates different element types", typ, rtyp)
+		}
+		if negated {
+			if len(attrs) != 1 {
+				return nil, fmt.Errorf("constraint: negated keys must be unary: %s", line)
+			}
+			return NotKey{Type: typ, Attr: attrs[0]}, nil
+		}
+		return Key{Type: typ, Attrs: attrs}, nil
+	case "<=", "=>":
+		ctyp, cattrs, err := parseRef(lhs, true)
+		if err != nil {
+			return nil, err
+		}
+		ptyp, pattrs, err := parseRef(rhs, true)
+		if err != nil {
+			return nil, err
+		}
+		if len(cattrs) != len(pattrs) {
+			return nil, fmt.Errorf("constraint: attribute lists of %q and %q differ in length", lhs, rhs)
+		}
+		ic := Inclusion{Child: ctyp, ChildAttrs: cattrs, Parent: ptyp, ParentAttrs: pattrs}
+		if negated {
+			if op == "=>" {
+				return nil, fmt.Errorf("constraint: negate the key and inclusion parts of a foreign key separately: %s", line)
+			}
+			if len(cattrs) != 1 {
+				return nil, fmt.Errorf("constraint: negated inclusions must be unary: %s", line)
+			}
+			return NotInclusion{Child: ctyp, ChildAttr: cattrs[0], Parent: ptyp, ParentAttr: pattrs[0]}, nil
+		}
+		if op == "=>" {
+			return ForeignKey{Inclusion: ic}, nil
+		}
+		return ic, nil
+	}
+	return nil, fmt.Errorf("constraint: unknown operator %q", op)
+}
+
+// splitOperator finds the top-level operator (->, <= or =>) outside
+// parentheses.
+func splitOperator(line string) (op, lhs, rhs string, err error) {
+	depth := 0
+	for i := 0; i < len(line)-1; i++ {
+		switch line[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		if depth != 0 {
+			continue
+		}
+		two := line[i : i+2]
+		if two == "->" || two == "<=" || two == "=>" {
+			return two, strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+2:]), nil
+		}
+	}
+	return "", "", "", fmt.Errorf("constraint: no operator (->, <=, =>) in %q", line)
+}
+
+// parseRef parses "type", "type.attr" or "type(a1, …, an)". When allowAttrs
+// is false the bare form is still accepted (the caller checks emptiness).
+func parseRef(s string, allowAttrs bool) (string, []string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", nil, fmt.Errorf("constraint: empty element reference")
+	}
+	if i := strings.Index(s, "("); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return "", nil, fmt.Errorf("constraint: malformed reference %q", s)
+		}
+		typ := strings.TrimSpace(s[:i])
+		if typ == "" {
+			return "", nil, fmt.Errorf("constraint: missing element type in %q", s)
+		}
+		inner := s[i+1 : len(s)-1]
+		var attrs []string
+		for _, part := range strings.Split(inner, ",") {
+			a := strings.TrimSpace(part)
+			if a == "" {
+				return "", nil, fmt.Errorf("constraint: empty attribute name in %q", s)
+			}
+			attrs = append(attrs, a)
+		}
+		if !allowAttrs && len(attrs) > 0 {
+			return "", nil, fmt.Errorf("constraint: unexpected attribute list in %q", s)
+		}
+		return typ, attrs, nil
+	}
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		typ, attr := strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:])
+		if typ == "" || attr == "" {
+			return "", nil, fmt.Errorf("constraint: malformed reference %q", s)
+		}
+		return typ, []string{attr}, nil
+	}
+	if strings.ContainsAny(s, " \t") {
+		return "", nil, fmt.Errorf("constraint: malformed reference %q", s)
+	}
+	return s, nil, nil
+}
+
+// FormatSet renders a constraint set in the package syntax, one per line.
+func FormatSet(set []Constraint) string {
+	var b strings.Builder
+	for _, c := range set {
+		b.WriteString(c.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package constraint
+
+import (
+	"strings"
+
+	"xic/internal/xmltree"
+)
+
+// Satisfied reports whether the tree satisfies the constraint (T ⊨ φ,
+// Section 2.2). Two notions of equality are in play: attribute values are
+// compared as strings, elements as nodes. The semantics assumes trees that
+// conform to a DTD defining the referenced attributes; nodes lacking one of
+// the referenced attributes contribute no tuple (for keys they cannot
+// collide, for inclusions they cannot be matched and violate the
+// constraint).
+func Satisfied(t *xmltree.Tree, c Constraint) bool {
+	switch x := c.(type) {
+	case Key:
+		return keyHolds(t, x.Type, x.Attrs)
+	case Inclusion:
+		return inclusionHolds(t, x)
+	case ForeignKey:
+		return keyHolds(t, x.Parent, x.ParentAttrs) && inclusionHolds(t, x.Inclusion)
+	case NotKey:
+		return !keyHolds(t, x.Type, []string{x.Attr})
+	case NotInclusion:
+		return !inclusionHolds(t, x.Inclusion())
+	}
+	return false
+}
+
+// SatisfiedAll reports whether the tree satisfies every constraint, and if
+// not returns the first violated one.
+func SatisfiedAll(t *xmltree.Tree, set []Constraint) (bool, Constraint) {
+	for _, c := range set {
+		if !Satisfied(t, c) {
+			return false, c
+		}
+	}
+	return true, nil
+}
+
+func keyHolds(t *xmltree.Tree, typ string, attrs []string) bool {
+	seen := make(map[string]bool)
+	for _, n := range t.Ext(typ) {
+		key, ok := tupleOf(n, attrs)
+		if !ok {
+			continue
+		}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+	}
+	return true
+}
+
+func inclusionHolds(t *xmltree.Tree, c Inclusion) bool {
+	parents := make(map[string]bool)
+	for _, n := range t.Ext(c.Parent) {
+		if key, ok := tupleOf(n, c.ParentAttrs); ok {
+			parents[key] = true
+		}
+	}
+	for _, n := range t.Ext(c.Child) {
+		key, ok := tupleOf(n, c.ChildAttrs)
+		if !ok || !parents[key] {
+			return false
+		}
+	}
+	return true
+}
+
+// tupleOf encodes the attribute values of a node as a single comparable
+// string. Attribute values may themselves contain the separator, so each
+// value is length-prefixed.
+func tupleOf(n *xmltree.Node, attrs []string) (string, bool) {
+	var b strings.Builder
+	for _, a := range attrs {
+		v, ok := n.Attr(a)
+		if !ok {
+			return "", false
+		}
+		b.WriteString(lengthPrefix(len(v)))
+		b.WriteString(v)
+	}
+	return b.String(), true
+}
+
+func lengthPrefix(n int) string {
+	// A simple unambiguous prefix: decimal length followed by ':'.
+	digits := [20]byte{}
+	i := len(digits)
+	if n == 0 {
+		return "0:"
+	}
+	for n > 0 {
+		i--
+		digits[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(digits[i:]) + ":"
+}

@@ -1,0 +1,138 @@
+package constraint
+
+import (
+	"testing"
+
+	"xic/internal/xmltree"
+)
+
+func TestSatisfiedOnFigure1(t *testing.T) {
+	tr := xmltree.Figure1()
+	// teacher.name is a key: the two teachers are Joe and Ann.
+	if !Satisfied(tr, UnaryKey("teacher", "name")) {
+		t.Error("teacher.name -> teacher should hold in Figure 1")
+	}
+	// subject.taught_by is violated: four subjects, two distinct values.
+	if Satisfied(tr, UnaryKey("subject", "taught_by")) {
+		t.Error("subject.taught_by -> subject should be violated in Figure 1 (the paper notes this)")
+	}
+	// The inclusion part of Σ1's foreign key holds: every taught_by value
+	// is a teacher name.
+	if !Satisfied(tr, UnaryInclusion("subject", "taught_by", "teacher", "name")) {
+		t.Error("subject.taught_by <= teacher.name should hold in Figure 1")
+	}
+	// The full foreign key fails because the referenced side must be a key
+	// of subject per Σ1's formulation... the FK here references teacher.name
+	// which IS a key, so the FK holds.
+	if !Satisfied(tr, UnaryForeignKey("subject", "taught_by", "teacher", "name")) {
+		t.Error("subject.taught_by => teacher.name should hold in Figure 1")
+	}
+	// Σ1 overall fails (its second key is violated).
+	ok, violated := SatisfiedAll(tr, Sigma1())
+	if ok {
+		t.Error("Σ1 should be violated by Figure 1")
+	}
+	if violated == nil || violated.String() != "subject.taught_by -> subject" {
+		t.Errorf("violated = %v, want the subject key", violated)
+	}
+}
+
+func TestSatisfiedMultiAttr(t *testing.T) {
+	// Two courses distinguished only by the pair (dept, course_no).
+	school := xmltree.NewElement("school").Append(
+		xmltree.NewElement("course").SetAttr("dept", "cs").SetAttr("course_no", "1").
+			Append(xmltree.NewElement("subject").Append(xmltree.NewText("DB"))),
+		xmltree.NewElement("course").SetAttr("dept", "math").SetAttr("course_no", "1").
+			Append(xmltree.NewElement("subject").Append(xmltree.NewText("Logic"))),
+		xmltree.NewElement("enroll").SetAttr("student_id", "s1").
+			SetAttr("dept", "cs").SetAttr("course_no", "1"),
+	)
+	tr := xmltree.NewTree(school)
+
+	key := Key{Type: "course", Attrs: []string{"dept", "course_no"}}
+	if !Satisfied(tr, key) {
+		t.Error("course(dept, course_no) is a key here")
+	}
+	single := UnaryKey("course", "course_no")
+	if Satisfied(tr, single) {
+		t.Error("course.course_no alone is not a key here")
+	}
+
+	fkOK := ForeignKey{Inclusion: Inclusion{
+		Child: "enroll", ChildAttrs: []string{"dept", "course_no"},
+		Parent: "course", ParentAttrs: []string{"dept", "course_no"},
+	}}
+	if !Satisfied(tr, fkOK) {
+		t.Error("enroll(dept, course_no) => course(dept, course_no) should hold")
+	}
+
+	fkBad := ForeignKey{Inclusion: Inclusion{
+		Child: "enroll", ChildAttrs: []string{"student_id"},
+		Parent: "course", ParentAttrs: []string{"dept"},
+	}}
+	if Satisfied(tr, fkBad) {
+		t.Error("enroll.student_id => course.dept should fail (s1 is no dept)")
+	}
+}
+
+func TestSatisfiedNegations(t *testing.T) {
+	tr := xmltree.Figure1()
+	if !Satisfied(tr, NotKey{Type: "subject", Attr: "taught_by"}) {
+		t.Error("not subject.taught_by -> subject should hold in Figure 1")
+	}
+	if Satisfied(tr, NotKey{Type: "teacher", Attr: "name"}) {
+		t.Error("not teacher.name -> teacher should fail in Figure 1")
+	}
+	if Satisfied(tr, NotInclusion{Child: "subject", ChildAttr: "taught_by", Parent: "teacher", ParentAttr: "name"}) {
+		t.Error("the inclusion holds, so its negation should fail")
+	}
+	// Make one subject reference a non-teacher: now the negated inclusion
+	// subject.taught_by ⊄ teacher.name holds.
+	mod := tr.Clone()
+	mod.Root.Children[1].Children[0].Children[0].SetAttr("taught_by", "Nobody")
+	if !Satisfied(mod, NotInclusion{Child: "subject", ChildAttr: "taught_by", Parent: "teacher", ParentAttr: "name"}) {
+		t.Error("dangling reference should satisfy the negated inclusion")
+	}
+}
+
+func TestSatisfiedEmptyExtents(t *testing.T) {
+	tr := xmltree.NewTree(xmltree.NewElement("school"))
+	// Constraints over empty extents hold vacuously.
+	if !Satisfied(tr, UnaryKey("course", "dept")) {
+		t.Error("key over empty extent should hold")
+	}
+	if !Satisfied(tr, UnaryInclusion("enroll", "dept", "course", "dept")) {
+		t.Error("inclusion with empty child extent should hold")
+	}
+	// Negations over empty extents fail.
+	if Satisfied(tr, NotKey{Type: "course", Attr: "dept"}) {
+		t.Error("negated key needs two witnesses")
+	}
+	if Satisfied(tr, NotInclusion{Child: "enroll", ChildAttr: "dept", Parent: "course", ParentAttr: "dept"}) {
+		t.Error("negated inclusion needs a child witness")
+	}
+}
+
+func TestTupleEncodingUnambiguous(t *testing.T) {
+	// Values chosen so naive concatenation would collide: ("ab","c") vs ("a","bc").
+	root := xmltree.NewElement("r").Append(
+		xmltree.NewElement("p").SetAttr("x", "ab").SetAttr("y", "c"),
+		xmltree.NewElement("p").SetAttr("x", "a").SetAttr("y", "bc"),
+	)
+	tr := xmltree.NewTree(root)
+	key := Key{Type: "p", Attrs: []string{"x", "y"}}
+	if !Satisfied(tr, key) {
+		t.Error("distinct tuples reported as colliding: tuple encoding is ambiguous")
+	}
+}
+
+func TestSatisfiedValuesWithSeparators(t *testing.T) {
+	root := xmltree.NewElement("r").Append(
+		xmltree.NewElement("p").SetAttr("x", "1:"),
+		xmltree.NewElement("p").SetAttr("x", "1:"),
+	)
+	tr := xmltree.NewTree(root)
+	if Satisfied(tr, UnaryKey("p", "x")) {
+		t.Error("equal values with separator characters must collide")
+	}
+}

@@ -1,0 +1,26 @@
+package constraint
+
+// Sigma1Source is Σ1 of Section 1 over the teacher DTD D1: name is a key of
+// teacher, taught_by is a key of subject and a foreign key referencing
+// teacher.name. Together with D1 it is inconsistent.
+const Sigma1Source = `
+teacher.name -> teacher
+subject.taught_by -> subject
+subject.taught_by => teacher.name
+`
+
+// Sigma3Source is the five C_{K,FK} constraints over the school DTD D3 of
+// Section 2.2.
+const Sigma3Source = `
+student(student_id) -> student
+course(dept, course_no) -> course
+enroll(student_id, dept, course_no) -> enroll
+enroll(student_id) => student(student_id)
+enroll(dept, course_no) => course(dept, course_no)
+`
+
+// Sigma1 returns Σ1 of Section 1.
+func Sigma1() []Constraint { return MustParse(Sigma1Source) }
+
+// Sigma3 returns the school constraints of Section 2.2.
+func Sigma3() []Constraint { return MustParse(Sigma3Source) }

@@ -1,0 +1,222 @@
+// Package core implements the decision procedures of Fan & Libkin: the
+// consistency problem (is there a finite XML tree conforming to the DTD and
+// satisfying the constraints?) and the implication problem, for every class
+// the paper shows decidable:
+//
+//   - DTDs alone and keys-only sets: linear-time procedures on the grammar
+//     (Theorem 3.5, Lemmas 3.6–3.7);
+//   - unary keys, foreign keys and inclusion constraints, with negated
+//     keys: NP, via the cardinality encoding Ψ(D,Σ) and linear integer
+//     programming (Theorem 4.1, Corollaries 4.2 and 4.9);
+//   - the full class with negated inclusions: NP, via the intersection-cell
+//     extension (Theorem 5.1);
+//   - implication of unary constraints: coNP, by refuting Σ ∧ ¬φ
+//     (Theorems 4.10 and 5.4).
+//
+// Multi-attribute sets mixing keys with foreign keys are undecidable
+// (Theorem 3.1); Consistent reports ErrUndecidable for them. For a fixed
+// DTD the number of encoding variables is a constant, so consistency and
+// implication run in polynomial time in |Σ| (Corollaries 4.11 and 5.5);
+// Checker amortises the per-DTD work for that use.
+//
+// Positive consistency results carry a witness document, built by package
+// witness and independently re-validated against the DTD and every
+// constraint; negative implication results carry a counterexample tree.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"xic/internal/cardinality"
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+	"xic/internal/ilp"
+	"xic/internal/witness"
+	"xic/internal/xmltree"
+)
+
+// ErrUndecidable is reported for constraint classes whose consistency the
+// paper proves undecidable (multi-attribute keys mixed with foreign keys or
+// inclusion constraints, Theorem 3.1).
+var ErrUndecidable = errors.New(
+	"core: consistency of multi-attribute keys and foreign keys is undecidable (Theorem 3.1); " +
+		"only keys-only multi-attribute sets and unary constraint sets are decidable")
+
+// Options configures the NP procedures.
+type Options struct {
+	// Solver bounds the branch-and-bound search.
+	Solver ilp.Options
+	// Witness bounds witness construction.
+	Witness witness.Limits
+	// SkipWitness skips witness construction, returning the bare decision.
+	SkipWitness bool
+}
+
+func (o *Options) solver() *ilp.Options {
+	if o == nil {
+		return nil
+	}
+	return &o.Solver
+}
+
+func (o *Options) witnessLimits() *witness.Limits {
+	if o == nil {
+		return nil
+	}
+	return &o.Witness
+}
+
+func (o *Options) skipWitness() bool { return o != nil && o.SkipWitness }
+
+// Result is the outcome of a consistency check.
+type Result struct {
+	Consistent bool
+	// Witness is a document conforming to the DTD and satisfying the
+	// constraints; nil when inconsistent or when skipped via Options.
+	Witness *xmltree.Tree
+	// Class is the constraint class the set was dispatched to.
+	Class constraint.Class
+}
+
+// ConsistentDTD reports whether any finite XML tree conforms to the DTD
+// (Theorem 3.5(1)); linear time.
+func ConsistentDTD(d *dtd.DTD) bool {
+	return d.HasValidTree()
+}
+
+// Consistent decides the consistency problem for a DTD and constraint set,
+// dispatching on the constraint class:
+//
+//   - keys only (C_K, multi-attribute allowed): linear-time decision
+//     (Theorem 3.5(2));
+//   - unary classes up to C^Unary_{K¬,IC¬}: the NP procedures of
+//     Sections 4–5;
+//   - multi-attribute sets with foreign keys or inclusions: ErrUndecidable.
+func Consistent(d *dtd.DTD, set []constraint.Constraint, opt *Options) (*Result, error) {
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	c := &Checker{d: d}
+	return c.consistentChecked(set, opt)
+}
+
+// Checker amortises the per-DTD work (validation and simplification) across
+// many consistency and implication checks against the same DTD — the
+// fixed-DTD setting of Corollaries 4.11 and 5.5, where all procedures run
+// in polynomial time because the variable count of the encoding is fixed.
+type Checker struct {
+	d    *dtd.DTD
+	simp *dtd.Simplified
+}
+
+// NewChecker validates the DTD once; simplification happens lazily on the
+// first NP-class check.
+func NewChecker(d *dtd.DTD) (*Checker, error) {
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	return &Checker{d: d}, nil
+}
+
+// DTD returns the checker's DTD.
+func (c *Checker) DTD() *dtd.DTD { return c.d }
+
+// Consistent is Consistent against the fixed DTD.
+func (c *Checker) Consistent(set []constraint.Constraint, opt *Options) (*Result, error) {
+	return c.consistentChecked(set, opt)
+}
+
+func (c *Checker) consistentChecked(set []constraint.Constraint, opt *Options) (*Result, error) {
+	if err := constraint.ValidateSet(c.d, set); err != nil {
+		return nil, err
+	}
+	class := constraint.ClassOf(set)
+	switch class {
+	case constraint.ClassK:
+		return c.consistentKeysOnly(set, opt)
+	case constraint.ClassKFK, constraint.ClassOther:
+		return nil, fmt.Errorf("%w (set is in %s)", ErrUndecidable, class)
+	}
+	enc, err := cardinality.EncodeDTD(c.simplified())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := enc.AddFull(set); err != nil {
+		return nil, err
+	}
+	sol, err := ilp.Solve(enc.Sys, opt.solver())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Class: class, Consistent: sol.Feasible}
+	if !sol.Feasible || opt.skipWitness() {
+		return res, nil
+	}
+	tree, err := witness.Build(enc, set, sol.Values, opt.witnessLimits())
+	if err != nil {
+		return nil, err
+	}
+	res.Witness = tree
+	return res, nil
+}
+
+func (c *Checker) simplified() *dtd.Simplified {
+	if c.simp == nil {
+		c.simp = dtd.Simplify(c.d)
+	}
+	return c.simp
+}
+
+// consistentKeysOnly is the linear-time path of Theorem 3.5(2): a set of
+// keys is consistent iff the DTD has any valid tree, since attribute values
+// can always be chosen pairwise distinct.
+func (c *Checker) consistentKeysOnly(set []constraint.Constraint, opt *Options) (*Result, error) {
+	res := &Result{Class: constraint.ClassK, Consistent: c.d.HasValidTree()}
+	if !res.Consistent || opt.skipWitness() {
+		return res, nil
+	}
+	tree, err := c.buildSkeleton(opt)
+	if err != nil {
+		return nil, err
+	}
+	distinctValues(tree)
+	if ok, violated := constraint.SatisfiedAll(tree, set); !ok {
+		return nil, fmt.Errorf("core: internal error: distinct-valued witness violates %s", violated)
+	}
+	res.Witness = tree
+	return res, nil
+}
+
+// buildSkeleton constructs some tree conforming to the DTD via the
+// unconstrained encoding.
+func (c *Checker) buildSkeleton(opt *Options) (*xmltree.Tree, error) {
+	enc, err := cardinality.EncodeDTD(c.simplified())
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.AddUnary(nil); err != nil {
+		return nil, err
+	}
+	sol, err := ilp.Solve(enc.Sys, opt.solver())
+	if err != nil {
+		return nil, err
+	}
+	if !sol.Feasible {
+		return nil, fmt.Errorf("core: internal error: DTD with valid trees has infeasible Ψ_D")
+	}
+	return witness.Build(enc, nil, sol.Values, opt.witnessLimits())
+}
+
+// distinctValues overwrites every attribute value in the tree with a
+// globally unique value.
+func distinctValues(tree *xmltree.Tree) {
+	next := 0
+	tree.Walk(func(n *xmltree.Node) bool {
+		for _, a := range n.AttrNames() {
+			n.SetAttr(a, fmt.Sprintf("u%d", next))
+			next++
+		}
+		return true
+	})
+}

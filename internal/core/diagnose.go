@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+	"xic/internal/ilp"
+)
+
+// Diagnosis explains an inconsistent specification.
+type Diagnosis struct {
+	// DTDEmpty is true when the DTD alone has no finite valid tree — no
+	// constraint set could help (the paper's D2 situation).
+	DTDEmpty bool
+	// Core is a minimal subset of the constraint set that is still
+	// inconsistent with the DTD: removing any single member makes it
+	// consistent. Empty iff DTDEmpty.
+	Core []constraint.Constraint
+}
+
+// Diagnose explains why a specification is inconsistent by computing a
+// minimal inconsistent core via the standard deletion filter: each
+// constraint is dropped iff the remainder stays inconsistent. The result
+// needs |Σ|+1 consistency checks. It errors if the specification is in an
+// undecidable class or actually consistent.
+//
+// This is a first step toward the "distinguish good XML design from bad"
+// direction in the paper's conclusion: the core names exactly the
+// constraints whose interaction with the DTD's cardinality structure is
+// unsatisfiable (for Σ1 over D1, all three constraints — the two keys and
+// the foreign key jointly force |subject| ≤ |teacher| < |subject|... the
+// subject key plus foreign key alone suffice, so the core has two members).
+func Diagnose(d *dtd.DTD, set []constraint.Constraint, opt *Options) (*Diagnosis, error) {
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	if !d.HasValidTree() {
+		return &Diagnosis{DTDEmpty: true}, nil
+	}
+	checker := &Checker{d: d}
+	decide := func(s []constraint.Constraint) (bool, error) {
+		res, err := checker.Consistent(s, &Options{Solver: opt.solverOptions(), SkipWitness: true})
+		if err != nil {
+			return false, err
+		}
+		return res.Consistent, nil
+	}
+	consistent, err := decide(set)
+	if err != nil {
+		return nil, err
+	}
+	if consistent {
+		return nil, fmt.Errorf("core: specification is consistent; nothing to diagnose")
+	}
+	core := append([]constraint.Constraint(nil), set...)
+	for i := 0; i < len(core); {
+		without := make([]constraint.Constraint, 0, len(core)-1)
+		without = append(without, core[:i]...)
+		without = append(without, core[i+1:]...)
+		stillConsistent, err := decide(without)
+		if err != nil {
+			return nil, err
+		}
+		if !stillConsistent {
+			core = without // remainder is still inconsistent: drop core[i]
+		} else {
+			i++
+		}
+	}
+	return &Diagnosis{Core: core}, nil
+}
+
+func (o *Options) solverOptions() (out ilp.Options) {
+	if o != nil {
+		return o.Solver
+	}
+	return out
+}

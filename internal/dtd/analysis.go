@@ -1,0 +1,206 @@
+package dtd
+
+// This file implements the linear-time grammar analyses of Section 3.3:
+// whether a DTD has any valid (finite) XML tree at all (Theorem 3.5(1)),
+// and whether some valid tree contains at least two nodes of a given element
+// type (Lemma 3.6). Both view the DTD as an extended context-free grammar
+// and run monotone fixpoint computations over it.
+
+// Generating computes, for every declared element type, whether it derives
+// some finite tree (i.e., is a generating nonterminal of the grammar). A
+// worklist over reverse references keeps the computation linear in the DTD
+// size, matching the paper's complexity claims (Theorem 3.5).
+func (d *DTD) Generating() map[string]bool {
+	gen := make(map[string]bool, len(d.order))
+	parents := d.reverseRefs()
+	queue := append([]string(nil), d.order...)
+	queued := make(map[string]bool, len(d.order))
+	for _, name := range queue {
+		queued[name] = true
+	}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		queued[name] = false
+		if gen[name] || !feasible(d.elems[name].Content, gen) {
+			continue
+		}
+		gen[name] = true
+		for _, p := range parents[name] {
+			if !gen[p] && !queued[p] {
+				queued[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return gen
+}
+
+// reverseRefs maps each element type to the types whose content models
+// reference it.
+func (d *DTD) reverseRefs() map[string][]string {
+	parents := make(map[string][]string, len(d.order))
+	for _, name := range d.order {
+		for _, ref := range Names(d.elems[name].Content) {
+			parents[ref] = append(parents[ref], name)
+		}
+	}
+	return parents
+}
+
+// feasible reports whether the content model can derive some word given the
+// current set of generating element types.
+func feasible(r Regex, gen map[string]bool) bool {
+	switch x := r.(type) {
+	case Empty, Text:
+		return true
+	case Name:
+		return gen[x.Type]
+	case Seq:
+		for _, it := range x.Items {
+			if !feasible(it, gen) {
+				return false
+			}
+		}
+		return true
+	case Alt:
+		for _, it := range x.Items {
+			if feasible(it, gen) {
+				return true
+			}
+		}
+		return false
+	case Star:
+		return true
+	case Plus:
+		return feasible(x.Inner, gen)
+	case Opt:
+		return true
+	}
+	return false
+}
+
+// HasValidTree reports whether some finite XML tree conforms to the DTD
+// (Theorem 3.5(1)). For example the DTD db → foo, foo → foo from Section 1
+// has none. The check runs in time linear in the DTD size (up to the usual
+// fixpoint factor).
+func (d *DTD) HasValidTree() bool {
+	if _, ok := d.elems[d.Root]; !ok {
+		return false
+	}
+	return d.Generating()[d.Root]
+}
+
+// MaxOccurrences returns the maximum number of nodes labeled target that can
+// appear in any XML tree valid with respect to the DTD, capped at 2. The
+// result is one of 0, 1, 2, where 2 means "at least two" (Lemma 3.6). It is
+// 0 when the DTD has no valid tree at all or the target never occurs.
+func (d *DTD) MaxOccurrences(target string) int {
+	gen := d.Generating()
+	if !gen[d.Root] {
+		return 0
+	}
+	counts := make(map[string]int, len(d.order))
+	base := func(name string) int {
+		if name == target {
+			return 1
+		}
+		return 0
+	}
+	// Worklist: each type's count increases at most twice (0 → 1 → 2), and
+	// each increase re-evaluates only the types referencing it, keeping the
+	// fixpoint linear up to that constant factor (Lemma 3.6).
+	parents := d.reverseRefs()
+	queue := append([]string(nil), d.order...)
+	queued := make(map[string]bool, len(d.order))
+	for _, name := range queue {
+		queued[name] = true
+	}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		queued[name] = false
+		if !gen[name] || counts[name] == 2 {
+			continue
+		}
+		c := countOcc(d.elems[name].Content, counts, gen)
+		if c < 0 {
+			// Unreachable for a generating type, but stay safe.
+			continue
+		}
+		v := min2(base(name) + c)
+		if v <= counts[name] {
+			continue
+		}
+		counts[name] = v
+		for _, p := range parents[name] {
+			if !queued[p] {
+				queued[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return counts[d.Root]
+}
+
+// countOcc evaluates the maximum achievable number of target occurrences
+// (capped at 2) derivable from the content model under the current counts,
+// or -1 if the expression derives no word at all.
+func countOcc(r Regex, counts map[string]int, gen map[string]bool) int {
+	switch x := r.(type) {
+	case Empty, Text:
+		return 0
+	case Name:
+		if !gen[x.Type] {
+			return -1
+		}
+		return counts[x.Type]
+	case Seq:
+		sum := 0
+		for _, it := range x.Items {
+			c := countOcc(it, counts, gen)
+			if c < 0 {
+				return -1
+			}
+			sum = min2(sum + c)
+		}
+		return sum
+	case Alt:
+		best := -1
+		for _, it := range x.Items {
+			if c := countOcc(it, counts, gen); c > best {
+				best = c
+			}
+		}
+		return best
+	case Star:
+		c := countOcc(x.Inner, counts, gen)
+		if c <= 0 {
+			return 0 // infeasible or zero-yield body: take zero iterations
+		}
+		return 2 // pump the body twice
+	case Plus:
+		c := countOcc(x.Inner, counts, gen)
+		if c < 0 {
+			return -1
+		}
+		if c == 0 {
+			return 0
+		}
+		return 2
+	case Opt:
+		c := countOcc(x.Inner, counts, gen)
+		if c < 0 {
+			return 0
+		}
+		return c
+	}
+	return -1
+}
+
+func min2(v int) int {
+	if v > 2 {
+		return 2
+	}
+	return v
+}

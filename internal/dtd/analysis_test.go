@@ -1,0 +1,115 @@
+package dtd
+
+import "testing"
+
+func TestHasValidTree(t *testing.T) {
+	if !Teachers().HasValidTree() {
+		t.Error("D1 (teachers) should have a valid tree")
+	}
+	if Infinite().HasValidTree() {
+		t.Error("D2 (db → foo → foo …) should have no finite valid tree")
+	}
+	if !School().HasValidTree() {
+		t.Error("D3 (school) should have a valid tree")
+	}
+}
+
+func TestGenerating(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT r (ok | bad)>
+<!ELEMENT ok (#PCDATA)>
+<!ELEMENT bad (bad)>
+`)
+	gen := d.Generating()
+	if !gen["r"] {
+		t.Error("r should be generating through the ok branch")
+	}
+	if !gen["ok"] {
+		t.Error("ok should be generating")
+	}
+	if gen["bad"] {
+		t.Error("bad is non-generating (infinite recursion)")
+	}
+}
+
+func TestGeneratingStarOfNonGenerating(t *testing.T) {
+	// A star over a non-generating type is still generating (zero
+	// iterations), so r has a valid tree.
+	d := MustParse(`
+<!ELEMENT r (bad*)>
+<!ELEMENT bad (bad)>
+`)
+	if !d.HasValidTree() {
+		t.Error("r = bad* should have the empty-children tree")
+	}
+}
+
+func TestMaxOccurrences(t *testing.T) {
+	tests := []struct {
+		name   string
+		src    string
+		target string
+		want   int
+	}{
+		{"unique root", TeachersSource, "teachers", 1},
+		{"pumped by plus", TeachersSource, "teacher", 2},
+		{"two per teacher", TeachersSource, "subject", 2},
+		{"one per teacher", TeachersSource, "research", 2}, // ≥2 via two teachers
+		{"no valid tree", InfiniteSource, "foo", 0},
+		{"absent type", TeachersSource, "nonexistent", 0},
+		{"starred", SchoolSource, "course", 2},
+		{
+			"exactly one",
+			"<!ELEMENT r (a)>\n<!ELEMENT a (#PCDATA)>",
+			"a",
+			1,
+		},
+		{
+			"optional is at most one",
+			"<!ELEMENT r (a?)>\n<!ELEMENT a (#PCDATA)>",
+			"a",
+			1,
+		},
+		{
+			"choice of one",
+			"<!ELEMENT r (a | b)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b (a, a)>",
+			"a",
+			2,
+		},
+		{
+			"unreachable branch blocked by non-generating sibling",
+			"<!ELEMENT r (a | x)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT x (a, a, x)>",
+			"a",
+			1,
+		},
+		{
+			"recursive but bounded",
+			"<!ELEMENT r (a)>\n<!ELEMENT a (b?)>\n<!ELEMENT b (a)>",
+			"a",
+			2,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := MustParse(tt.src)
+			if got := d.MaxOccurrences(tt.target); got != tt.want {
+				t.Errorf("MaxOccurrences(%q) = %d, want %d", tt.target, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMaxOccurrencesZeroYieldStar(t *testing.T) {
+	// A star whose body yields no target occurrences contributes none.
+	d := MustParse(`
+<!ELEMENT r (b*, a)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b EMPTY>
+`)
+	if got := d.MaxOccurrences("a"); got != 1 {
+		t.Errorf("MaxOccurrences(a) = %d, want 1", got)
+	}
+	if got := d.MaxOccurrences("b"); got != 2 {
+		t.Errorf("MaxOccurrences(b) = %d, want 2", got)
+	}
+}

@@ -1,0 +1,234 @@
+package dtd
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Automaton is a Glushkov position automaton for a content model. It decides
+// membership of a children-label sequence in the language of P(τ) in
+// O(sequence length × positions) time without backtracking, for arbitrary
+// (including non-deterministic) content models.
+type Automaton struct {
+	symbols  []string          // symbol at each position (element type or TextSymbol)
+	first    bitset            // positions that can start a word
+	last     bitset            // positions that can end a word
+	follow   []bitset          // follow sets, indexed by position
+	bySymbol map[string]bitset // positions carrying each symbol
+	nullable bool
+	words    int // bitset width in uint64 words
+}
+
+// Compile builds the automaton for a content model.
+func Compile(r Regex) *Automaton {
+	b := &glushkovBuilder{}
+	core := Desugar(r)
+	b.countPositions(core)
+	a := &Automaton{
+		symbols:  make([]string, 0, b.n),
+		bySymbol: make(map[string]bitset),
+	}
+	a.words = (b.n + 63) / 64
+	a.follow = make([]bitset, b.n)
+	for i := range a.follow {
+		a.follow[i] = newBitset(a.words)
+	}
+	info := a.build(core)
+	a.first = info.first
+	a.last = info.last
+	a.nullable = info.nullable
+	return a
+}
+
+// Match reports whether the label sequence is in the content model language.
+func (a *Automaton) Match(labels []string) bool {
+	if len(labels) == 0 {
+		return a.nullable
+	}
+	cur := newBitset(a.words)
+	pos, ok := a.bySymbol[labels[0]]
+	if !ok {
+		return false
+	}
+	cur.intersectInto(a.first, pos)
+	if cur.empty() {
+		return false
+	}
+	next := newBitset(a.words)
+	reach := newBitset(a.words)
+	for _, lab := range labels[1:] {
+		pos, ok := a.bySymbol[lab]
+		if !ok {
+			return false
+		}
+		reach.clear()
+		for _, p := range cur.members() {
+			reach.or(a.follow[p])
+		}
+		next.intersectInto(reach, pos)
+		if next.empty() {
+			return false
+		}
+		cur, next = next, cur
+	}
+	return cur.intersects(a.last)
+}
+
+// glushkovInfo carries the nullable/first/last attributes of a subexpression.
+type glushkovInfo struct {
+	nullable bool
+	first    bitset
+	last     bitset
+}
+
+type glushkovBuilder struct {
+	n int
+}
+
+func (b *glushkovBuilder) countPositions(r Regex) {
+	switch x := r.(type) {
+	case Name, Text:
+		b.n++
+	case Seq:
+		for _, it := range x.Items {
+			b.countPositions(it)
+		}
+	case Alt:
+		for _, it := range x.Items {
+			b.countPositions(it)
+		}
+	case Star:
+		b.countPositions(x.Inner)
+	case Empty:
+	default:
+		panic(fmt.Sprintf("dtd: unexpected node %T after Desugar", r))
+	}
+}
+
+// build allocates positions in left-to-right order and fills follow sets.
+func (a *Automaton) build(r Regex) glushkovInfo {
+	switch x := r.(type) {
+	case Empty:
+		return glushkovInfo{nullable: true, first: newBitset(a.words), last: newBitset(a.words)}
+	case Text:
+		return a.leaf(TextSymbol)
+	case Name:
+		return a.leaf(x.Type)
+	case Seq:
+		info := a.build(x.Items[0])
+		for _, it := range x.Items[1:] {
+			right := a.build(it)
+			// follow(last(left)) ⊇ first(right)
+			for _, p := range info.last.members() {
+				a.follow[p].or(right.first)
+			}
+			first := newBitset(a.words)
+			first.or(info.first)
+			if info.nullable {
+				first.or(right.first)
+			}
+			last := newBitset(a.words)
+			last.or(right.last)
+			if right.nullable {
+				last.or(info.last)
+			}
+			info = glushkovInfo{
+				nullable: info.nullable && right.nullable,
+				first:    first,
+				last:     last,
+			}
+		}
+		return info
+	case Alt:
+		info := glushkovInfo{first: newBitset(a.words), last: newBitset(a.words)}
+		for _, it := range x.Items {
+			sub := a.build(it)
+			info.nullable = info.nullable || sub.nullable
+			info.first.or(sub.first)
+			info.last.or(sub.last)
+		}
+		return info
+	case Star:
+		sub := a.build(x.Inner)
+		for _, p := range sub.last.members() {
+			a.follow[p].or(sub.first)
+		}
+		return glushkovInfo{nullable: true, first: sub.first, last: sub.last}
+	}
+	panic(fmt.Sprintf("dtd: unexpected node %T after Desugar", r))
+}
+
+func (a *Automaton) leaf(sym string) glushkovInfo {
+	p := len(a.symbols)
+	a.symbols = append(a.symbols, sym)
+	set, ok := a.bySymbol[sym]
+	if !ok {
+		set = newBitset(a.words)
+		a.bySymbol[sym] = set
+	}
+	set.set(p)
+	one := newBitset(a.words)
+	one.set(p)
+	last := newBitset(a.words)
+	last.set(p)
+	return glushkovInfo{nullable: false, first: one, last: last}
+}
+
+// bitset is a fixed-width set of position indices.
+type bitset []uint64
+
+func newBitset(words int) bitset {
+	return make(bitset, words)
+}
+
+func (b bitset) set(i int) { b[i/64] |= 1 << uint(i%64) }
+
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) intersects(o bitset) bool {
+	for i := range b {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// intersectInto sets b = x ∩ y.
+func (b bitset) intersectInto(x, y bitset) {
+	for i := range b {
+		b[i] = x[i] & y[i]
+	}
+}
+
+// members returns the indices present in the set, ascending.
+func (b bitset) members() []int {
+	var out []int
+	for wi, w := range b {
+		for w != 0 {
+			idx := bits.TrailingZeros64(w)
+			out = append(out, wi*64+idx)
+			w &= w - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func chainSource(n int) string {
+	var b strings.Builder
+	prev := "r"
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("c%d", i)
+		fmt.Fprintf(&b, "<!ELEMENT %s (%s)>\n", prev, name)
+		prev = name
+	}
+	fmt.Fprintf(&b, "<!ELEMENT %s (#PCDATA)>\n", prev)
+	return b.String()
+}
+
+func BenchmarkParse(b *testing.B) {
+	for _, n := range []int{16, 128} {
+		src := chainSource(n)
+		b.Run(fmt.Sprintf("chain-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Parse(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCompileAndMatch(b *testing.B) {
+	// A non-deterministic content model with a long input.
+	r := Seq{Items: []Regex{
+		Star{Inner: Alt{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}}}},
+		Name{Type: "a"},
+		Star{Inner: Name{Type: "b"}},
+	}}
+	input := make([]string, 200)
+	for i := range input {
+		if i%3 == 0 {
+			input[i] = "b"
+		} else {
+			input[i] = "a"
+		}
+	}
+	input[len(input)-1] = "a"
+	a := Compile(r)
+	b.Run("match-200", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !a.Match(input) {
+				b.Fatal("should match")
+			}
+		}
+	})
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Compile(r)
+		}
+	})
+}
+
+func BenchmarkSimplify(b *testing.B) {
+	for _, n := range []int{16, 128} {
+		d := MustParse(chainSource(n))
+		b.Run(fmt.Sprintf("chain-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Simplify(d)
+			}
+		})
+	}
+	b.Run("teachers", func(b *testing.B) {
+		d := Teachers()
+		for i := 0; i < b.N; i++ {
+			Simplify(d)
+		}
+	})
+}
+
+func BenchmarkGenerating(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		d := MustParse(chainSource(n))
+		b.Run(fmt.Sprintf("chain-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !d.HasValidTree() {
+					b.Fatal("chain has trees")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMaxOccurrences(b *testing.B) {
+	d := MustParse(chainSource(256))
+	for i := 0; i < b.N; i++ {
+		if got := d.MaxOccurrences("c128"); got != 1 {
+			b.Fatalf("MaxOccurrences = %d", got)
+		}
+	}
+}

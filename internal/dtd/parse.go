@@ -1,0 +1,486 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a DTD in XML DTD syntax: a sequence of <!ELEMENT …> and
+// <!ATTLIST …> declarations, optionally preceded by <!DOCTYPE root> to name
+// the root element type. If no DOCTYPE is present, the first declared
+// element type is the root. Comments (<!-- … -->) are skipped. Attribute
+// types and defaults (CDATA, ID, #REQUIRED, …) are parsed but — following
+// the paper, which treats all attributes as required single-valued strings —
+// carry no further semantics.
+//
+// The returned DTD has been validated with Check.
+func Parse(input string) (*DTD, error) {
+	p := &parser{lex: newLexer(input)}
+	d, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for tests and
+// package-level example data.
+func MustParse(input string) *DTD {
+	d, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type parser struct {
+	lex *lexer
+}
+
+func (p *parser) parse() (*DTD, error) {
+	var root string
+	type elemDecl struct {
+		name    string
+		content Regex
+	}
+	type attDecl struct {
+		elem  string
+		attrs []attrDef
+	}
+	var elems []elemDecl
+	var atts []attDecl
+
+	for {
+		tok, err := p.lex.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == tokEOF {
+			break
+		}
+		if tok.kind != tokSym || tok.text != "<" {
+			return nil, p.errf(tok, "expected '<!' to start a declaration, got %q", tok.text)
+		}
+		kw, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "!ELEMENT":
+			name, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			content, err := p.parseContentSpec()
+			if err != nil {
+				return nil, fmt.Errorf("dtd: element %s: %w", name, err)
+			}
+			if err := p.expectSym(">"); err != nil {
+				return nil, err
+			}
+			elems = append(elems, elemDecl{name, content})
+		case "!ATTLIST":
+			name, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			attrs, err := p.parseAttDefs()
+			if err != nil {
+				return nil, fmt.Errorf("dtd: attlist %s: %w", name, err)
+			}
+			atts = append(atts, attDecl{name, attrs})
+		case "!DOCTYPE":
+			name, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(">"); err != nil {
+				return nil, err
+			}
+			root = name
+		default:
+			return nil, p.errf(tok, "unknown declaration %q", kw)
+		}
+	}
+
+	if root == "" {
+		if len(elems) == 0 {
+			return nil, fmt.Errorf("dtd: no element declarations")
+		}
+		root = elems[0].name
+	}
+	d := New(root)
+	for _, e := range elems {
+		if d.Element(e.name) != nil {
+			return nil, fmt.Errorf("dtd: element type %q declared twice", e.name)
+		}
+		d.AddElement(e.name, e.content)
+	}
+	for _, a := range atts {
+		if d.Element(a.elem) == nil {
+			return nil, fmt.Errorf("dtd: attlist for undeclared element type %q", a.elem)
+		}
+		for _, l := range a.attrs {
+			if d.Element(a.elem).HasAttr(l.name) {
+				return nil, fmt.Errorf("dtd: attribute %q declared twice for element type %q", l.name, a.elem)
+			}
+			d.AddTypedAttr(a.elem, l.name, l.typ)
+		}
+	}
+	return d, nil
+}
+
+// parseContentSpec parses EMPTY, (#PCDATA), or a parenthesised content model
+// with an optional trailing occurrence operator.
+func (p *parser) parseContentSpec() (Regex, error) {
+	tok, err := p.lex.next()
+	if err != nil {
+		return nil, err
+	}
+	if tok.kind == tokName {
+		switch tok.text {
+		case "EMPTY":
+			return Empty{}, nil
+		case "ANY":
+			return nil, p.errf(tok, "ANY content is outside the paper's formalism and is not supported")
+		}
+		return nil, p.errf(tok, "expected EMPTY or '(', got %q", tok.text)
+	}
+	if tok.kind != tokSym || tok.text != "(" {
+		return nil, p.errf(tok, "expected EMPTY or '(', got %q", tok.text)
+	}
+	r, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return p.maybeOccurrence(r)
+}
+
+func (p *parser) parseAlt() (Regex, error) {
+	first, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	items := []Regex{first}
+	for {
+		tok, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind != tokSym || tok.text != "|" {
+			break
+		}
+		p.lex.discard()
+		next, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, next)
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return Alt{Items: items}, nil
+}
+
+func (p *parser) parseSeq() (Regex, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	items := []Regex{first}
+	for {
+		tok, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind != tokSym || tok.text != "," {
+			break
+		}
+		p.lex.discard()
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, next)
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return Seq{Items: items}, nil
+}
+
+func (p *parser) parseUnary() (Regex, error) {
+	tok, err := p.lex.next()
+	if err != nil {
+		return nil, err
+	}
+	var atom Regex
+	switch {
+	case tok.kind == tokName && tok.text == TextSymbol:
+		atom = Text{}
+	case tok.kind == tokName && tok.text == "EMPTY":
+		atom = Empty{}
+	case tok.kind == tokName:
+		atom = Name{Type: tok.text}
+	case tok.kind == tokSym && tok.text == "(":
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		atom = inner
+	default:
+		return nil, p.errf(tok, "expected a name or '(', got %q", tok.text)
+	}
+	return p.maybeOccurrence(atom)
+}
+
+func (p *parser) maybeOccurrence(r Regex) (Regex, error) {
+	tok, err := p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	if tok.kind == tokSym {
+		switch tok.text {
+		case "*":
+			p.lex.discard()
+			return Star{Inner: r}, nil
+		case "+":
+			p.lex.discard()
+			return Plus{Inner: r}, nil
+		case "?":
+			p.lex.discard()
+			return Opt{Inner: r}, nil
+		}
+	}
+	return r, nil
+}
+
+// attrDef is one parsed attribute definition: its name and XML type
+// (CDATA, ID, IDREF, an enumeration rendered as "ENUM", …).
+type attrDef struct {
+	name string
+	typ  string
+}
+
+// parseAttDefs parses attribute definitions up to the closing '>'. Each is
+// "name type default"; the type may be an enumeration in parentheses.
+func (p *parser) parseAttDefs() ([]attrDef, error) {
+	var attrs []attrDef
+	for {
+		tok, err := p.lex.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == tokSym && tok.text == ">" {
+			return attrs, nil
+		}
+		if tok.kind != tokName {
+			return nil, p.errf(tok, "expected attribute name, got %q", tok.text)
+		}
+		name := tok.text
+
+		// Attribute type: a name (CDATA, ID, …) or an enumeration.
+		tok, err = p.lex.next()
+		if err != nil {
+			return nil, err
+		}
+		typ := tok.text
+		if tok.kind == tokSym && tok.text == "(" {
+			typ = "ENUM"
+			for {
+				tok, err = p.lex.next()
+				if err != nil {
+					return nil, err
+				}
+				if tok.kind == tokSym && tok.text == ")" {
+					break
+				}
+				if tok.kind == tokEOF {
+					return nil, p.errf(tok, "unterminated enumeration")
+				}
+			}
+		} else if tok.kind != tokName {
+			return nil, p.errf(tok, "expected attribute type, got %q", tok.text)
+		}
+		attrs = append(attrs, attrDef{name: name, typ: typ})
+
+		// Default declaration: #REQUIRED, #IMPLIED, or [#FIXED] "value".
+		tok, err = p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case tok.kind == tokName && tok.text == "#FIXED":
+			p.lex.discard()
+			tok, err = p.lex.next()
+			if err != nil {
+				return nil, err
+			}
+			if tok.kind != tokString {
+				return nil, p.errf(tok, "expected quoted default after #FIXED")
+			}
+		case tok.kind == tokName && (tok.text == "#REQUIRED" || tok.text == "#IMPLIED"):
+			p.lex.discard()
+		case tok.kind == tokString:
+			p.lex.discard()
+		}
+	}
+}
+
+func (p *parser) expectName() (string, error) {
+	tok, err := p.lex.next()
+	if err != nil {
+		return "", err
+	}
+	if tok.kind != tokName {
+		return "", p.errf(tok, "expected a name, got %q", tok.text)
+	}
+	return tok.text, nil
+}
+
+func (p *parser) expectSym(s string) error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	if tok.kind != tokSym || tok.text != s {
+		return p.errf(tok, "expected %q, got %q", s, tok.text)
+	}
+	return nil
+}
+
+func (p *parser) errf(tok token, format string, args ...interface{}) error {
+	return fmt.Errorf("dtd: line %d: %s", tok.line, fmt.Sprintf(format, args...))
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokName
+	tokSym
+	tokString
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	input  string
+	pos    int
+	line   int
+	peeked *token
+}
+
+func newLexer(input string) *lexer {
+	return &lexer{input: input, line: 1}
+}
+
+func (l *lexer) peek() (token, error) {
+	if l.peeked == nil {
+		tok, err := l.scan()
+		if err != nil {
+			return token{}, err
+		}
+		l.peeked = &tok
+	}
+	return *l.peeked, nil
+}
+
+func (l *lexer) discard() {
+	l.peeked = nil
+}
+
+func (l *lexer) next() (token, error) {
+	if l.peeked != nil {
+		tok := *l.peeked
+		l.peeked = nil
+		return tok, nil
+	}
+	return l.scan()
+}
+
+func (l *lexer) scan() (token, error) {
+	for {
+		l.skipSpace()
+		if !strings.HasPrefix(l.input[l.pos:], "<!--") {
+			break
+		}
+		end := strings.Index(l.input[l.pos+4:], "-->")
+		if end < 0 {
+			return token{}, fmt.Errorf("dtd: line %d: unterminated comment", l.line)
+		}
+		l.advance(4 + end + 3)
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	c := l.input[l.pos]
+	switch c {
+	case '<', '>', '(', ')', '|', ',', '*', '+', '?':
+		l.pos++
+		return token{kind: tokSym, text: string(c), line: l.line}, nil
+	case '"', '\'':
+		quote := c
+		end := strings.IndexByte(l.input[l.pos+1:], quote)
+		if end < 0 {
+			return token{}, fmt.Errorf("dtd: line %d: unterminated string", l.line)
+		}
+		text := l.input[l.pos+1 : l.pos+1+end]
+		l.advance(end + 2)
+		return token{kind: tokString, text: text, line: l.line}, nil
+	}
+	if isNameStart(rune(c)) {
+		start := l.pos
+		for l.pos < len(l.input) && isNameChar(rune(l.input[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokName, text: l.input[start:l.pos], line: l.line}, nil
+	}
+	return token{}, fmt.Errorf("dtd: line %d: unexpected character %q", l.line, string(c))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return
+		}
+		if c == '\n' {
+			l.line++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.input); i++ {
+		if l.input[l.pos] == '\n' {
+			l.line++
+		}
+		l.pos++
+	}
+}
+
+func isNameStart(c rune) bool {
+	return c == '#' || c == '!' || c == '_' || c == ':' || unicode.IsLetter(c)
+}
+
+func isNameChar(c rune) bool {
+	return c == '#' || c == '!' || c == '_' || c == ':' || c == '-' || c == '.' ||
+		unicode.IsLetter(c) || unicode.IsDigit(c)
+}

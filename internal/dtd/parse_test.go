@@ -1,0 +1,199 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTeachers(t *testing.T) {
+	d, err := Parse(TeachersSource)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Root != "teachers" {
+		t.Errorf("root = %q, want teachers", d.Root)
+	}
+	types := d.Types()
+	want := []string{"teachers", "teacher", "teach", "research", "subject"}
+	if len(types) != len(want) {
+		t.Fatalf("types = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Errorf("types[%d] = %q, want %q", i, types[i], want[i])
+		}
+	}
+	if !d.Element("teacher").HasAttr("name") {
+		t.Error("teacher should have attribute name")
+	}
+	if !d.Element("subject").HasAttr("taught_by") {
+		t.Error("subject should have attribute taught_by")
+	}
+	if d.Element("teach").HasAttr("name") {
+		t.Error("teach should have no attributes")
+	}
+	// teachers → teacher+
+	if got := d.Element("teachers").Content.String(); got != "teacher+" {
+		t.Errorf("P(teachers) = %q, want teacher+", got)
+	}
+	if got := d.Element("teach").Content.String(); got != "subject, subject" {
+		t.Errorf("P(teach) = %q", got)
+	}
+}
+
+func TestParseDoctype(t *testing.T) {
+	d, err := Parse(`
+<!DOCTYPE b>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (a)>
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Root != "b" {
+		t.Errorf("root = %q, want b (from DOCTYPE)", d.Root)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	d, err := Parse(`
+<!-- a DTD with comments -->
+<!ELEMENT a (b | c)*> <!-- trailing comment -->
+<!ELEMENT b EMPTY>
+<!ELEMENT c (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := d.Element("a").Content.String(); got != "(b | c)*" {
+		t.Errorf("P(a) = %q", got)
+	}
+}
+
+func TestParseAttListForms(t *testing.T) {
+	d, err := Parse(`
+<!ELEMENT a EMPTY>
+<!ATTLIST a
+  id    ID       #REQUIRED
+  ref   IDREF    #IMPLIED
+  kind  (x|y|z)  "x"
+  note  CDATA    #FIXED "const"
+  plain CDATA    "dflt">
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	attrs := d.Element("a").Attrs
+	want := []string{"id", "ref", "kind", "note", "plain"}
+	if len(attrs) != len(want) {
+		t.Fatalf("attrs = %v, want %v", attrs, want)
+	}
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Errorf("attrs[%d] = %q, want %q", i, attrs[i], want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+		want  string
+	}{
+		{"empty input", "", "no element declarations"},
+		{"any content", "<!ELEMENT a ANY>", "ANY"},
+		{"undeclared reference", "<!ELEMENT a (b)>", "undeclared"},
+		{"duplicate element", "<!ELEMENT a EMPTY>\n<!ELEMENT a EMPTY>", "twice"},
+		{"duplicate attribute", "<!ELEMENT a EMPTY>\n<!ATTLIST a x CDATA #REQUIRED>\n<!ATTLIST a x CDATA #REQUIRED>", "twice"},
+		{"attlist for unknown", "<!ELEMENT a EMPTY>\n<!ATTLIST b x CDATA #REQUIRED>", "undeclared"},
+		{"unterminated comment", "<!-- oops", "unterminated comment"},
+		{"unterminated string", `<!ELEMENT a EMPTY><!ATTLIST a x CDATA "oops>`, "unterminated string"},
+		{"bad token", "<!ELEMENT a [>", "unexpected character"},
+		{"root in content", "<!ELEMENT a (b)>\n<!ELEMENT b (a)>", "root"},
+		{"unreachable type", "<!ELEMENT a EMPTY>\n<!ELEMENT b EMPTY>", "not connected"},
+		{"elem attr clash", "<!ELEMENT a (b)>\n<!ELEMENT b EMPTY>\n<!ATTLIST a b CDATA #REQUIRED>", "both"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.input)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tt.input, tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error = %q, want it to contain %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, src := range []string{TeachersSource, InfiniteSource, SchoolSource} {
+		d1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		d2, err := Parse(d1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", d1.String(), err)
+		}
+		if d1.Root != d2.Root {
+			t.Errorf("root mismatch: %q vs %q", d1.Root, d2.Root)
+		}
+		t1, t2 := d1.Types(), d2.Types()
+		if len(t1) != len(t2) {
+			t.Fatalf("type count mismatch: %v vs %v", t1, t2)
+		}
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				t.Errorf("type %d: %q vs %q", i, t1[i], t2[i])
+			}
+			e1, e2 := d1.Element(t1[i]), d2.Element(t1[i])
+			if !Eq(e1.Content, e2.Content) {
+				t.Errorf("content of %q: %v vs %v", t1[i], e1.Content, e2.Content)
+			}
+			if len(e1.Attrs) != len(e2.Attrs) {
+				t.Errorf("attrs of %q: %v vs %v", t1[i], e1.Attrs, e2.Attrs)
+			}
+		}
+	}
+}
+
+func TestCheckRejectsReservedNames(t *testing.T) {
+	d := New("r")
+	d.AddElement("r", Text{})
+	d.AddElement(TextSymbol, Empty{})
+	if err := d.Check(); err == nil {
+		t.Error("Check accepted reserved element type name")
+	}
+
+	d2 := New("r")
+	d2.AddElement("r", Empty{})
+	d2.AddAttr("r", TextSymbol)
+	if err := d2.Check(); err == nil {
+		t.Error("Check accepted reserved attribute name")
+	}
+}
+
+func TestSize(t *testing.T) {
+	d := Teachers()
+	if d.Size() <= 0 {
+		t.Errorf("Size = %d, want positive", d.Size())
+	}
+	bigger := School()
+	if bigger.Size() <= 0 {
+		t.Errorf("Size = %d, want positive", bigger.Size())
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := Teachers()
+	c := d.Clone()
+	c.AddAttr("teach", "extra")
+	if d.Element("teach").HasAttr("extra") {
+		t.Error("Clone shares attribute slices with original")
+	}
+	if err := c.Check(); err != nil {
+		t.Errorf("clone fails Check: %v", err)
+	}
+}

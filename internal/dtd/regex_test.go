@@ -1,0 +1,120 @@
+package dtd
+
+import "testing"
+
+func TestRegexString(t *testing.T) {
+	tests := []struct {
+		r    Regex
+		want string
+	}{
+		{Empty{}, "EMPTY"},
+		{Text{}, "#PCDATA"},
+		{Name{Type: "a"}, "a"},
+		{Seq{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}}}, "a, b"},
+		{Alt{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}}}, "a | b"},
+		{Star{Inner: Name{Type: "a"}}, "a*"},
+		{Plus{Inner: Name{Type: "a"}}, "a+"},
+		{Opt{Inner: Name{Type: "a"}}, "a?"},
+		{
+			Star{Inner: Seq{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}}}},
+			"(a, b)*",
+		},
+		{
+			Seq{Items: []Regex{Alt{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}}}, Name{Type: "c"}}},
+			"(a | b), c",
+		},
+		{
+			Alt{Items: []Regex{Seq{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}}}, Name{Type: "c"}}},
+			"a, b | c",
+		},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("String(%#v) = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestDesugar(t *testing.T) {
+	plus := Plus{Inner: Name{Type: "a"}}
+	got := Desugar(plus)
+	want := Seq{Items: []Regex{Name{Type: "a"}, Star{Inner: Name{Type: "a"}}}}
+	if !Eq(got, want) {
+		t.Errorf("Desugar(a+) = %v, want %v", got, want)
+	}
+
+	opt := Opt{Inner: Name{Type: "a"}}
+	got = Desugar(opt)
+	want2 := Alt{Items: []Regex{Name{Type: "a"}, Empty{}}}
+	if !Eq(got, want2) {
+		t.Errorf("Desugar(a?) = %v, want %v", got, want2)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		in   Regex
+		want Regex
+	}{
+		{
+			Seq{Items: []Regex{Empty{}, Name{Type: "a"}}},
+			Name{Type: "a"},
+		},
+		{
+			Seq{Items: []Regex{Seq{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}}}, Name{Type: "c"}}},
+			Seq{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}, Name{Type: "c"}}},
+		},
+		{
+			Alt{Items: []Regex{Alt{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}}}, Name{Type: "c"}}},
+			Alt{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}, Name{Type: "c"}}},
+		},
+		{
+			Seq{Items: []Regex{Empty{}, Empty{}}},
+			Empty{},
+		},
+		{
+			Alt{Items: []Regex{Name{Type: "a"}}},
+			Name{Type: "a"},
+		},
+	}
+	for _, tt := range tests {
+		if got := Normalize(tt.in); !Eq(got, tt.want) {
+			t.Errorf("Normalize(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNullable(t *testing.T) {
+	tests := []struct {
+		r    Regex
+		want bool
+	}{
+		{Empty{}, true},
+		{Text{}, false},
+		{Name{Type: "a"}, false},
+		{Star{Inner: Name{Type: "a"}}, true},
+		{Plus{Inner: Name{Type: "a"}}, false},
+		{Plus{Inner: Star{Inner: Name{Type: "a"}}}, true},
+		{Opt{Inner: Name{Type: "a"}}, true},
+		{Seq{Items: []Regex{Star{Inner: Name{Type: "a"}}, Opt{Inner: Name{Type: "b"}}}}, true},
+		{Seq{Items: []Regex{Star{Inner: Name{Type: "a"}}, Name{Type: "b"}}}, false},
+		{Alt{Items: []Regex{Name{Type: "a"}, Empty{}}}, true},
+	}
+	for _, tt := range tests {
+		if got := Nullable(tt.r); got != tt.want {
+			t.Errorf("Nullable(%v) = %v, want %v", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := Seq{Items: []Regex{
+		Name{Type: "b"},
+		Star{Inner: Alt{Items: []Regex{Name{Type: "a"}, Text{}}}},
+		Opt{Inner: Name{Type: "b"}},
+	}}
+	got := Names(r)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Names = %v, want [a b]", got)
+	}
+}

@@ -1,0 +1,226 @@
+package dtd
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Simplified is the result of simplifying a DTD (Section 4.1): a DTD D_N
+// whose content models all have one of the five simple forms
+//
+//	τ → τ1, τ2     τ → τ1 | τ2     τ → τ1     τ → S     τ → ε
+//
+// (τ1, τ2 ∈ E_N ∪ {S}), together with the set of freshly introduced element
+// types E_N \ E. Fresh types carry no attributes, so by Lemma 4.3 every
+// valid tree of D_N can be collapsed to a valid tree of the original DTD
+// with identical ext(τ) and ext(τ.l) for all original types τ, and vice
+// versa.
+type Simplified struct {
+	DTD   *DTD            // the simple DTD D_N
+	Orig  *DTD            // the DTD that was simplified
+	Fresh map[string]bool // element types in E_N \ E
+}
+
+// IsFresh reports whether the element type was introduced by simplification.
+func (s *Simplified) IsFresh(name string) bool {
+	return s.Fresh[name]
+}
+
+// Simplify rewrites the DTD into an equivalent simple DTD following the
+// rewriting of Section 4.1: sequences and unions are binarised, introducing
+// fresh element types for non-symbol subexpressions, and each Kleene star
+// α* becomes a fresh loop type L with rule L → ε | (α, L). A single fresh
+// ε-type is shared by all stars. Original element types, their attributes
+// and the root are unchanged.
+func Simplify(d *DTD) *Simplified {
+	s := &simplifier{
+		out:   New(d.Root),
+		orig:  d,
+		fresh: make(map[string]bool),
+	}
+	// Declare original types first so fresh-name generation avoids them and
+	// declaration order of originals is preserved.
+	for _, name := range d.Types() {
+		e := d.Element(name)
+		ne := s.out.AddElement(name, Empty{})
+		ne.Attrs = append([]string(nil), e.Attrs...)
+	}
+	for _, name := range d.Types() {
+		content := Normalize(Desugar(d.Element(name).Content))
+		s.assign(name, content, false)
+	}
+	return &Simplified{DTD: s.out, Orig: d, Fresh: s.fresh}
+}
+
+type simplifier struct {
+	out     *DTD
+	orig    *DTD
+	fresh   map[string]bool
+	counter int
+	epsType string // shared fresh type with rule → ε
+}
+
+// assign installs the rule for target, decomposing content into simple form.
+// isFreshTarget tells whether target is a fresh type; stars may be fused
+// into fresh targets but never into original types (that would change their
+// extent).
+func (s *simplifier) assign(target string, content Regex, isFreshTarget bool) {
+	switch x := content.(type) {
+	case Empty, Text:
+		s.out.AddElement(target, content)
+	case Name:
+		s.out.AddElement(target, x)
+	case Seq:
+		left := s.symbolFor(x.Items[0])
+		var right Regex
+		if len(x.Items) == 2 {
+			right = s.symbolFor(x.Items[1])
+		} else {
+			right = s.symbolFor(Seq{Items: x.Items[1:]})
+		}
+		s.out.AddElement(target, Seq{Items: []Regex{left, right}})
+	case Alt:
+		left := s.symbolFor(x.Items[0])
+		var right Regex
+		if len(x.Items) == 2 {
+			right = s.symbolFor(x.Items[1])
+		} else {
+			right = s.symbolFor(Alt{Items: x.Items[1:]})
+		}
+		s.out.AddElement(target, Alt{Items: []Regex{left, right}})
+	case Star:
+		if isFreshTarget {
+			// Fuse: target → ε | (inner, target).
+			body := Normalize(Seq{Items: []Regex{x.Inner, Name{Type: target}}})
+			s.assign(target, Alt{Items: []Regex{Empty{}, body}}, true)
+			return
+		}
+		loop := s.newFresh(target)
+		s.out.AddElement(target, Name{Type: loop})
+		s.assign(loop, Star{Inner: x.Inner}, true)
+	default:
+		panic(fmt.Sprintf("dtd: unexpected node %T in simplification (input not desugared?)", content))
+	}
+}
+
+// symbolFor returns content unchanged when it is already a symbol of
+// E_N ∪ {S}; otherwise it introduces a fresh element type for it and returns
+// a reference to that type. The empty word gets the shared ε-type.
+func (s *simplifier) symbolFor(content Regex) Regex {
+	switch x := content.(type) {
+	case Name:
+		return x
+	case Text:
+		return x
+	case Empty:
+		if s.epsType == "" {
+			s.epsType = s.newFresh("eps")
+			s.out.AddElement(s.epsType, Empty{})
+		}
+		return Name{Type: s.epsType}
+	default:
+		fresh := s.newFresh(hintFor(content))
+		s.assign(fresh, content, true)
+		return Name{Type: fresh}
+	}
+}
+
+func hintFor(r Regex) string {
+	switch r.(type) {
+	case Seq:
+		return "seq"
+	case Alt:
+		return "alt"
+	case Star:
+		return "rep"
+	default:
+		return "sub"
+	}
+}
+
+// newFresh generates an element type name that collides with nothing
+// declared in either the original or the output DTD.
+func (s *simplifier) newFresh(hint string) string {
+	for {
+		s.counter++
+		name := "_" + hint + strconv.Itoa(s.counter)
+		if s.orig.Element(name) == nil && s.out.Element(name) == nil {
+			s.fresh[name] = true
+			return name
+		}
+	}
+}
+
+// SimpleForm classifies a rule of a simple DTD. Exactly one of the fields is
+// meaningful, indicated by Kind.
+type SimpleForm struct {
+	Kind  SimpleKind
+	One   string // KindSingle: the symbol (element type or TextSymbol)
+	Left  string // KindSeq/KindAlt
+	Right string // KindSeq/KindAlt
+}
+
+// SimpleKind enumerates the five simple rule forms.
+type SimpleKind int
+
+// The five simple content-model forms of Section 4.1.
+const (
+	KindEmpty  SimpleKind = iota // τ → ε
+	KindText                     // τ → S
+	KindSingle                   // τ → τ1
+	KindSeq                      // τ → τ1, τ2
+	KindAlt                      // τ → τ1 | τ2
+)
+
+// ClassifySimple returns the simple form of a content model, or an error if
+// the content model is not in simple form.
+func ClassifySimple(r Regex) (SimpleForm, error) {
+	sym := func(x Regex) (string, bool) {
+		switch n := x.(type) {
+		case Name:
+			return n.Type, true
+		case Text:
+			return TextSymbol, true
+		}
+		return "", false
+	}
+	switch x := r.(type) {
+	case Empty:
+		return SimpleForm{Kind: KindEmpty}, nil
+	case Text:
+		return SimpleForm{Kind: KindText}, nil
+	case Name:
+		return SimpleForm{Kind: KindSingle, One: x.Type}, nil
+	case Seq:
+		if len(x.Items) != 2 {
+			return SimpleForm{}, fmt.Errorf("dtd: sequence of %d items is not simple", len(x.Items))
+		}
+		l, ok1 := sym(x.Items[0])
+		r2, ok2 := sym(x.Items[1])
+		if !ok1 || !ok2 {
+			return SimpleForm{}, fmt.Errorf("dtd: sequence %s has non-symbol factors", x)
+		}
+		return SimpleForm{Kind: KindSeq, Left: l, Right: r2}, nil
+	case Alt:
+		if len(x.Items) != 2 {
+			return SimpleForm{}, fmt.Errorf("dtd: union of %d items is not simple", len(x.Items))
+		}
+		l, ok1 := sym(x.Items[0])
+		r2, ok2 := sym(x.Items[1])
+		if !ok1 || !ok2 {
+			return SimpleForm{}, fmt.Errorf("dtd: union %s has non-symbol branches", x)
+		}
+		return SimpleForm{Kind: KindAlt, Left: l, Right: r2}, nil
+	}
+	return SimpleForm{}, fmt.Errorf("dtd: content model %s is not simple", r)
+}
+
+// IsSimple reports whether every rule of the DTD is in simple form.
+func IsSimple(d *DTD) bool {
+	for _, name := range d.Types() {
+		if _, err := ClassifySimple(d.Element(name).Content); err != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,192 @@
+package dtd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyProducesSimpleDTD(t *testing.T) {
+	for _, src := range []string{TeachersSource, InfiniteSource, SchoolSource} {
+		d := MustParse(src)
+		s := Simplify(d)
+		if err := s.DTD.Check(); err != nil {
+			t.Errorf("simplified DTD fails Check: %v\n%s", err, s.DTD)
+		}
+		if !IsSimple(s.DTD) {
+			t.Errorf("Simplify produced non-simple DTD:\n%s", s.DTD)
+		}
+	}
+}
+
+func TestSimplifyKeepsOriginals(t *testing.T) {
+	d := Teachers()
+	s := Simplify(d)
+	for _, name := range d.Types() {
+		if s.IsFresh(name) {
+			t.Errorf("original type %q marked fresh", name)
+		}
+		se := s.DTD.Element(name)
+		if se == nil {
+			t.Fatalf("original type %q missing from simplified DTD", name)
+		}
+		oe := d.Element(name)
+		if len(se.Attrs) != len(oe.Attrs) {
+			t.Errorf("attrs of %q changed: %v vs %v", name, se.Attrs, oe.Attrs)
+		}
+	}
+	if s.DTD.Root != d.Root {
+		t.Errorf("root changed: %q vs %q", s.DTD.Root, d.Root)
+	}
+}
+
+func TestSimplifyFreshTypesHaveNoAttrs(t *testing.T) {
+	s := Simplify(School())
+	for name := range s.Fresh {
+		e := s.DTD.Element(name)
+		if e == nil {
+			t.Fatalf("fresh type %q not declared", name)
+		}
+		if len(e.Attrs) != 0 {
+			t.Errorf("fresh type %q has attributes %v", name, e.Attrs)
+		}
+	}
+}
+
+func TestSimplifyTeachersShape(t *testing.T) {
+	// teachers → teacher+ desugars to (teacher, teacher*); the star becomes
+	// a fresh loop type with rule loop → ε-type | seq-type,
+	// seq-type → teacher, loop — mirroring the paper's D_N1.
+	s := Simplify(Teachers())
+	form, err := ClassifySimple(s.DTD.Element("teachers").Content)
+	if err != nil {
+		t.Fatalf("teachers rule not simple: %v", err)
+	}
+	if form.Kind != KindSeq || form.Left != "teacher" {
+		t.Fatalf("P_N(teachers) = %v, want (teacher, <fresh>)", s.DTD.Element("teachers").Content)
+	}
+	if !s.IsFresh(form.Right) {
+		t.Fatalf("right factor %q of teachers rule should be fresh", form.Right)
+	}
+	loop, err := ClassifySimple(s.DTD.Element(form.Right).Content)
+	if err != nil {
+		t.Fatalf("loop rule not simple: %v", err)
+	}
+	if loop.Kind != KindAlt {
+		t.Fatalf("loop rule should be a union, got %v", s.DTD.Element(form.Right).Content)
+	}
+}
+
+// randDTD builds a random DTD with n non-root element types and arbitrary
+// content models over them. Generated element types are t0 … t(n-1); the
+// root is r. Content models are drawn over later types only, so everything
+// is acyclic and reachable (a final catch-all sequence in the root ensures
+// connectivity).
+func randDTD(rng *rand.Rand, n int) *DTD {
+	d := New("r")
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "t" + string(rune('0'+i%10)) + string(rune('a'+i/10))
+	}
+	rootItems := make([]Regex, 0, n+1)
+	for _, nm := range names {
+		rootItems = append(rootItems, Opt{Inner: Name{Type: nm}})
+	}
+	d.AddElement("r", Seq{Items: rootItems})
+	for i, nm := range names {
+		var later []string
+		if i+1 < n {
+			later = names[i+1:]
+		}
+		d.AddElement(nm, randContent(rng, 3, later))
+		if rng.Intn(2) == 0 {
+			d.AddAttr(nm, "k")
+		}
+	}
+	return d
+}
+
+func randContent(rng *rand.Rand, depth int, types []string) Regex {
+	if depth == 0 || len(types) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Text{}
+		case 1:
+			return Empty{}
+		default:
+			if len(types) == 0 {
+				return Empty{}
+			}
+			return Name{Type: types[rng.Intn(len(types))]}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return Seq{Items: []Regex{randContent(rng, depth-1, types), randContent(rng, depth-1, types)}}
+	case 1:
+		return Alt{Items: []Regex{randContent(rng, depth-1, types), randContent(rng, depth-1, types)}}
+	case 2:
+		return Star{Inner: randContent(rng, depth-1, types)}
+	case 3:
+		return Plus{Inner: randContent(rng, depth-1, types)}
+	case 4:
+		return Opt{Inner: randContent(rng, depth-1, types)}
+	default:
+		return randContent(rng, 0, types)
+	}
+}
+
+func TestSimplifyRandomDTDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		d := randDTD(rng, 1+rng.Intn(6))
+		if err := d.Check(); err != nil {
+			t.Fatalf("random DTD invalid: %v\n%s", err, d)
+		}
+		s := Simplify(d)
+		if err := s.DTD.Check(); err != nil {
+			t.Fatalf("simplified random DTD invalid: %v\nfrom:\n%s\nto:\n%s", err, d, s.DTD)
+		}
+		if !IsSimple(s.DTD) {
+			t.Fatalf("simplified random DTD not simple:\nfrom:\n%s\nto:\n%s", d, s.DTD)
+		}
+		// Emptiness is preserved by simplification.
+		if d.HasValidTree() != s.DTD.HasValidTree() {
+			t.Fatalf("HasValidTree changed: %v vs %v\nfrom:\n%s\nto:\n%s",
+				d.HasValidTree(), s.DTD.HasValidTree(), d, s.DTD)
+		}
+		// Multi-occurrence of original types is preserved (Lemma 4.3 keeps
+		// per-type extents).
+		for _, name := range d.Types() {
+			if got, want := s.DTD.MaxOccurrences(name), d.MaxOccurrences(name); got != want {
+				t.Fatalf("MaxOccurrences(%q) changed: %d vs %d\nfrom:\n%s\nto:\n%s",
+					name, got, want, d, s.DTD)
+			}
+		}
+	}
+}
+
+func TestSimplifyIdempotentOnSimple(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT r (a, b)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b EMPTY>
+`)
+	s := Simplify(d)
+	if len(s.Fresh) != 0 {
+		t.Errorf("simplifying an already-simple DTD introduced fresh types: %v", s.Fresh)
+	}
+}
+
+func TestClassifySimpleErrors(t *testing.T) {
+	bad := []Regex{
+		Star{Inner: Name{Type: "a"}},
+		Seq{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}, Name{Type: "c"}}},
+		Seq{Items: []Regex{Star{Inner: Name{Type: "a"}}, Name{Type: "b"}}},
+		Alt{Items: []Regex{Seq{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}}}, Name{Type: "c"}}},
+	}
+	for _, r := range bad {
+		if _, err := ClassifySimple(r); err == nil {
+			t.Errorf("ClassifySimple(%v) succeeded, want error", r)
+		}
+	}
+}

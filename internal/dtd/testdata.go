@@ -1,0 +1,47 @@
+package dtd
+
+// Paper examples, shared by tests and benchmarks across packages.
+
+// TeachersSource is the DTD D1 of Section 1: a non-empty collection of
+// teachers, each teaching exactly two subjects.
+const TeachersSource = `
+<!ELEMENT teachers (teacher+)>
+<!ELEMENT teacher (teach, research)>
+<!ELEMENT teach (subject, subject)>
+<!ELEMENT research (#PCDATA)>
+<!ELEMENT subject (#PCDATA)>
+<!ATTLIST teacher name CDATA #REQUIRED>
+<!ATTLIST subject taught_by CDATA #REQUIRED>
+`
+
+// InfiniteSource is the DTD D2 of Section 1, which has no finite valid tree.
+const InfiniteSource = `
+<!ELEMENT db (foo)>
+<!ELEMENT foo (foo)>
+`
+
+// SchoolSource is the DTD D3 of Section 2.2: courses, students and
+// enrollments with multi-attribute keys and foreign keys.
+const SchoolSource = `
+<!ELEMENT school (course*, student*, enroll*)>
+<!ELEMENT course (subject)>
+<!ELEMENT student (name)>
+<!ELEMENT enroll EMPTY>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT subject (#PCDATA)>
+<!ATTLIST course dept CDATA #REQUIRED>
+<!ATTLIST course course_no CDATA #REQUIRED>
+<!ATTLIST student student_id CDATA #REQUIRED>
+<!ATTLIST enroll student_id CDATA #REQUIRED>
+<!ATTLIST enroll dept CDATA #REQUIRED>
+<!ATTLIST enroll course_no CDATA #REQUIRED>
+`
+
+// Teachers returns the DTD D1 of Section 1.
+func Teachers() *DTD { return MustParse(TeachersSource) }
+
+// Infinite returns the DTD D2 of Section 1.
+func Infinite() *DTD { return MustParse(InfiniteSource) }
+
+// School returns the DTD D3 of Section 2.2.
+func School() *DTD { return MustParse(SchoolSource) }

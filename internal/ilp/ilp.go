@@ -1,0 +1,264 @@
+// Package ilp decides integer feasibility of the linear systems produced by
+// the cardinality encodings: does an integer point x ≥ 0 satisfy all
+// constraints and all conditionals (x > 0 → y > 0)? This is the paper's
+// Linear Integer Programming oracle (Section 4.1). The implementation is
+// branch-and-bound over the exact rational simplex: the LP relaxation is
+// solved with a minimise-Σx objective (keeping witnesses small), fractional
+// variables are branched on, and conditional constraints are enforced
+// lazily by case-splitting — exactly the Ψ_X subsets in the proof of
+// Theorem 4.1, explored on demand instead of eagerly.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"xic/internal/linear"
+	"xic/internal/simplex"
+)
+
+// ErrNodeLimit is returned when the search exceeds Options.MaxNodes. The
+// consistency problem is NP-complete (Theorem 4.7), so a resource bound is
+// the honest alternative to unbounded running time.
+var ErrNodeLimit = errors.New("ilp: node limit exceeded")
+
+// Options configures the search.
+type Options struct {
+	// MaxNodes bounds the number of branch-and-bound nodes (LP solves).
+	// Zero means DefaultMaxNodes.
+	MaxNodes int
+}
+
+// DefaultMaxNodes is the node budget used when Options.MaxNodes is 0.
+const DefaultMaxNodes = 20000
+
+func (o *Options) maxNodes() int {
+	if o == nil || o.MaxNodes == 0 {
+		return DefaultMaxNodes
+	}
+	return o.MaxNodes
+}
+
+// Result is the outcome of a feasibility search.
+type Result struct {
+	Feasible bool
+	Values   []*big.Int // satisfying assignment, indexed by variable; nil unless Feasible
+	Nodes    int        // branch-and-bound nodes explored
+}
+
+// Solve decides whether the system has a nonnegative integer solution
+// satisfying all constraints and conditionals.
+func Solve(sys *linear.System, opt *Options) (*Result, error) {
+	spec := specFromSystem(sys)
+	return branchAndBound(spec, opt)
+}
+
+// SolveMatrix decides nonnegative integer feasibility of the LIP instance
+// A·x ≥ b (the paper's problem statement, with the nonnegativity that all
+// encodings carry explicitly).
+func SolveMatrix(m *linear.Matrix, opt *Options) (*Result, error) {
+	spec := &problemSpec{n: m.Cols()}
+	for r := range m.A {
+		coeffs := make(map[int]*big.Rat)
+		for c, v := range m.A[r] {
+			if v.Sign() != 0 {
+				coeffs[c] = new(big.Rat).SetInt(v)
+			}
+		}
+		spec.rows = append(spec.rows, rowSpec{
+			coeffs: coeffs,
+			rel:    simplex.Ge,
+			rhs:    new(big.Rat).SetInt(m.B[r]),
+		})
+	}
+	return branchAndBound(spec, opt)
+}
+
+type rowSpec struct {
+	coeffs map[int]*big.Rat
+	rel    simplex.Rel
+	rhs    *big.Rat
+}
+
+type problemSpec struct {
+	n            int
+	rows         []rowSpec
+	implications []linear.Implication
+	auxiliary    func(i int) bool // excluded from the min-sum objective
+}
+
+func specFromSystem(sys *linear.System) *problemSpec {
+	spec := &problemSpec{n: sys.VarCount(), implications: sys.Implications(), auxiliary: sys.Auxiliary}
+	for _, con := range sys.Constraints() {
+		coeffs := make(map[int]*big.Rat, len(con.Expr))
+		for i, v := range con.Expr {
+			coeffs[i] = new(big.Rat).SetInt64(v)
+		}
+		var rel simplex.Rel
+		switch con.Op {
+		case linear.Eq:
+			rel = simplex.Eq
+		case linear.Le:
+			rel = simplex.Le
+		case linear.Ge:
+			rel = simplex.Ge
+		}
+		spec.rows = append(spec.rows, rowSpec{coeffs: coeffs, rel: rel, rhs: new(big.Rat).SetInt64(con.Const)})
+	}
+	return spec
+}
+
+// node is a branch-and-bound node: per-variable bounds, copy-on-branch.
+type node struct {
+	lo []*big.Int // nil entry means 0
+	hi []*big.Int // nil entry means +∞
+}
+
+func (nd *node) child() *node {
+	c := &node{lo: make([]*big.Int, len(nd.lo)), hi: make([]*big.Int, len(nd.hi))}
+	copy(c.lo, nd.lo)
+	copy(c.hi, nd.hi)
+	return c
+}
+
+func branchAndBound(spec *problemSpec, opt *Options) (*Result, error) {
+	if infeasibleByGCD(spec) {
+		return &Result{Feasible: false}, nil
+	}
+	limit := opt.maxNodes()
+	root := &node{lo: make([]*big.Int, spec.n), hi: make([]*big.Int, spec.n)}
+	stack := []*node{root}
+	nodes := 0
+	one := big.NewInt(1)
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		if nodes > limit {
+			return &Result{Nodes: nodes}, fmt.Errorf("%w (%d nodes)", ErrNodeLimit, limit)
+		}
+		sol := solveLP(spec, nd)
+		if sol.Status == simplex.Infeasible {
+			continue
+		}
+		if sol.Status == simplex.Unbounded {
+			// Minimizing Σx over x ≥ 0 is bounded below; unbounded status
+			// indicates an internal error.
+			return nil, errors.New("ilp: LP relaxation reported unbounded for a bounded objective")
+		}
+		if j := firstFractional(sol.X); j >= 0 {
+			floor := ratFloor(sol.X[j])
+			left := nd.child() // x_j ≤ ⌊v⌋
+			if left.hi[j] == nil || left.hi[j].Cmp(floor) > 0 {
+				left.hi[j] = floor
+			}
+			right := nd.child() // x_j ≥ ⌊v⌋+1
+			up := new(big.Int).Add(floor, one)
+			if right.lo[j] == nil || right.lo[j].Cmp(up) < 0 {
+				right.lo[j] = up
+			}
+			// Explore the smaller-value branch first: witnesses stay small.
+			stack = append(stack, right, left)
+			continue
+		}
+		values := make([]*big.Int, spec.n)
+		for i, v := range sol.X {
+			values[i] = new(big.Int).Set(v.Num())
+		}
+		if imp, ok := violatedImplication(spec, values); ok {
+			zero := nd.child() // x = 0 branch satisfies the conditional
+			zero.hi[imp.If] = big.NewInt(0)
+			pos := nd.child() // y ≥ 1 branch satisfies it too
+			if pos.lo[imp.Then] == nil || pos.lo[imp.Then].Cmp(one) < 0 {
+				pos.lo[imp.Then] = big.NewInt(1)
+			}
+			stack = append(stack, pos, zero)
+			continue
+		}
+		return &Result{Feasible: true, Values: values, Nodes: nodes}, nil
+	}
+	return &Result{Nodes: nodes}, nil
+}
+
+func solveLP(spec *problemSpec, nd *node) *simplex.Solution {
+	p := simplex.New(spec.n)
+	for _, r := range spec.rows {
+		p.AddRow(r.coeffs, r.rel, r.rhs)
+	}
+	for j := 0; j < spec.n; j++ {
+		if nd.lo[j] != nil && nd.lo[j].Sign() > 0 {
+			p.AddRow(map[int]*big.Rat{j: ratOne()}, simplex.Ge, new(big.Rat).SetInt(nd.lo[j]))
+		}
+		if nd.hi[j] != nil {
+			p.AddRow(map[int]*big.Rat{j: ratOne()}, simplex.Le, new(big.Rat).SetInt(nd.hi[j]))
+		}
+	}
+	obj := make(map[int]*big.Rat, spec.n)
+	for j := 0; j < spec.n; j++ {
+		if spec.auxiliary != nil && spec.auxiliary(j) {
+			continue
+		}
+		obj[j] = ratOne()
+	}
+	p.SetObjective(obj)
+	return p.Solve()
+}
+
+func firstFractional(x []*big.Rat) int {
+	for j, v := range x {
+		if !v.IsInt() {
+			return j
+		}
+	}
+	return -1
+}
+
+func violatedImplication(spec *problemSpec, values []*big.Int) (linear.Implication, bool) {
+	for _, imp := range spec.implications {
+		if values[imp.If].Sign() > 0 && values[imp.Then].Sign() == 0 {
+			return imp, true
+		}
+	}
+	return linear.Implication{}, false
+}
+
+// infeasibleByGCD applies the Diophantine necessary condition to equality
+// rows with integer data: if gcd of the coefficients does not divide the
+// constant, no integer point exists regardless of bounds.
+func infeasibleByGCD(spec *problemSpec) bool {
+	for _, r := range spec.rows {
+		if r.rel != simplex.Eq || !r.rhs.IsInt() {
+			continue
+		}
+		g := new(big.Int)
+		allInt := true
+		for _, v := range r.coeffs {
+			if !v.IsInt() {
+				allInt = false
+				break
+			}
+			g.GCD(nil, nil, g, new(big.Int).Abs(v.Num()))
+		}
+		if !allInt || g.Sign() == 0 {
+			continue
+		}
+		rem := new(big.Int).Mod(new(big.Int).Abs(r.rhs.Num()), g)
+		if rem.Sign() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func ratFloor(v *big.Rat) *big.Int {
+	out := new(big.Int).Quo(v.Num(), v.Denom())
+	// big.Int.Quo truncates toward zero; nonnegative values are fine and
+	// our variables are nonnegative, but guard negatives anyway.
+	if v.Sign() < 0 && !v.IsInt() {
+		out.Sub(out, big.NewInt(1))
+	}
+	return out
+}
+
+func ratOne() *big.Rat { return new(big.Rat).SetInt64(1) }

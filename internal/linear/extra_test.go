@@ -1,0 +1,54 @@
+package linear
+
+import "testing"
+
+func TestMaxAbs(t *testing.T) {
+	s := NewSystem()
+	x := s.Var("x")
+	y := s.Var("y")
+	if got := s.MaxAbs(); got != 1 {
+		t.Errorf("empty system MaxAbs = %d, want 1", got)
+	}
+	s.AddEq(Term(x, -7).Plus(y, 3), -2)
+	if got := s.MaxAbs(); got != 7 {
+		t.Errorf("MaxAbs = %d, want 7", got)
+	}
+	s.AddGe(Term(y, 1), 100)
+	if got := s.MaxAbs(); got != 100 {
+		t.Errorf("MaxAbs = %d, want 100", got)
+	}
+}
+
+func TestAuxiliaryMarking(t *testing.T) {
+	s := NewSystem()
+	x := s.Var("x")
+	y := s.Var("y")
+	if s.Auxiliary(x) || s.Auxiliary(y) {
+		t.Error("fresh variables should not be auxiliary")
+	}
+	s.MarkAuxiliary(y)
+	if s.Auxiliary(x) || !s.Auxiliary(y) {
+		t.Error("MarkAuxiliary not reflected")
+	}
+	c := s.Clone()
+	if !c.Auxiliary(y) {
+		t.Error("Clone drops auxiliary marks")
+	}
+}
+
+func TestAddOpsAndAccessors(t *testing.T) {
+	s := NewSystem()
+	x := s.Var("x")
+	s.Add(Term(x, 2), Le, 4)
+	s.Add(Term(x, 1), Ge, 1)
+	cons := s.Constraints()
+	if len(cons) != 2 || cons[0].Op != Le || cons[1].Op != Ge {
+		t.Errorf("constraints = %+v", cons)
+	}
+	if Eq.String() != "=" || Le.String() != "<=" || Ge.String() != ">=" {
+		t.Error("Op strings wrong")
+	}
+	if Op(99).String() != "?" {
+		t.Error("unknown Op should render as ?")
+	}
+}

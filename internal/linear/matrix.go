@@ -1,0 +1,150 @@
+package linear
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Matrix is a Linear Integer Programming instance in the paper's form:
+// does an integer vector x ≥ 0 exist with A·x ≥ B? (The paper's systems
+// always carry explicit nonnegativity, matching Papadimitriou's bound for
+// nonnegative solutions.) Entries are big integers because the big-M
+// rewrite of Theorem 4.1 introduces constants with hundreds of bits.
+type Matrix struct {
+	Names []string // variable names, indexed by column
+	A     [][]*big.Int
+	B     []*big.Int
+}
+
+// Rows returns the number of constraint rows.
+func (m *Matrix) Rows() int { return len(m.A) }
+
+// Cols returns the number of variables.
+func (m *Matrix) Cols() int { return len(m.Names) }
+
+// MatrixGE renders the system as a LIP instance A·x ≥ b. Equalities become
+// two opposing inequalities and ≤ rows are negated. It fails if the system
+// has conditional constraints; use BigM for those.
+func (s *System) MatrixGE() (*Matrix, error) {
+	if len(s.implications) > 0 {
+		return nil, fmt.Errorf("linear: system has %d conditional constraints; use BigM", len(s.implications))
+	}
+	return s.matrixGE(), nil
+}
+
+func (s *System) matrixGE() *Matrix {
+	m := &Matrix{Names: s.Names()}
+	addRow := func(e Expr, c int64, negate bool) {
+		row := make([]*big.Int, len(s.names))
+		for i := range row {
+			row[i] = big.NewInt(0)
+		}
+		for i, v := range e {
+			if negate {
+				v = -v
+			}
+			row[i] = big.NewInt(v)
+		}
+		rhs := c
+		if negate {
+			rhs = -c
+		}
+		m.A = append(m.A, row)
+		m.B = append(m.B, big.NewInt(rhs))
+	}
+	for _, con := range s.constraints {
+		switch con.Op {
+		case Ge:
+			addRow(con.Expr, con.Const, false)
+		case Le:
+			addRow(con.Expr, con.Const, true)
+		case Eq:
+			addRow(con.Expr, con.Const, false)
+			addRow(con.Expr, con.Const, true)
+		}
+	}
+	return m
+}
+
+// PapadimitriouBound returns the constant c used in the proof of
+// Theorem 4.1: a number whose binary notation has
+// 1 + ⌈log n + (2m+1)·log(m·a)⌉ ones, i.e. 2^k − 1 for that k, where n is
+// the number of variables, m the number of rows and a the largest absolute
+// value of the entries. Any solvable instance then has a solution with all
+// components ≤ c (Papadimitriou 1981, for nonnegative solutions).
+func PapadimitriouBound(vars, rows int, maxAbs int64) *big.Int {
+	if vars < 1 {
+		vars = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	if maxAbs < 1 {
+		maxAbs = 1
+	}
+	k := 1 + ceilLog2(big.NewInt(int64(vars))) +
+		(2*rows+1)*ceilLog2(new(big.Int).Mul(big.NewInt(int64(rows)), big.NewInt(maxAbs)))
+	c := new(big.Int).Lsh(big.NewInt(1), uint(k))
+	return c.Sub(c, big.NewInt(1))
+}
+
+// ceilLog2 returns ⌈log2 v⌉ for v ≥ 1, and 0 for v ≤ 1.
+func ceilLog2(v *big.Int) int {
+	if v.Cmp(big.NewInt(2)) < 0 {
+		return 0
+	}
+	bits := v.BitLen() // 2^(bits-1) ≤ v < 2^bits
+	// v == 2^(bits-1) exactly → log2 v = bits-1, else bits.
+	exact := new(big.Int).Lsh(big.NewInt(1), uint(bits-1))
+	if v.Cmp(exact) == 0 {
+		return bits - 1
+	}
+	return bits
+}
+
+// BigM renders the system — including its conditional constraints — as a
+// single LIP instance, following the proof of Theorem 4.1: every
+// conditional (x > 0 → y > 0) becomes the row c·y ≥ x (i.e. c·y − x ≥ 0)
+// where c is the Papadimitriou bound of the unconditional part. Any
+// solution of the unconditional part bounded by c then satisfies c·y ≥ x
+// iff it satisfies the conditional, so the instances are equisolvable.
+func (s *System) BigM() *Matrix {
+	base := s.matrixGE()
+	c := PapadimitriouBound(len(s.names), len(base.A), s.MaxAbs())
+	for _, im := range s.implications {
+		row := make([]*big.Int, len(s.names))
+		for i := range row {
+			row[i] = big.NewInt(0)
+		}
+		row[im.Then] = new(big.Int).Set(c)
+		row[im.If] = big.NewInt(-1)
+		base.A = append(base.A, row)
+		base.B = append(base.B, big.NewInt(0))
+	}
+	return base
+}
+
+// EvalMatrix checks x ≥ 0 ∧ A·x ≥ b for a candidate big-integer vector.
+func (m *Matrix) Eval(x []*big.Int) bool {
+	if len(x) != m.Cols() {
+		return false
+	}
+	for _, v := range x {
+		if v.Sign() < 0 {
+			return false
+		}
+	}
+	sum := new(big.Int)
+	term := new(big.Int)
+	for r := range m.A {
+		sum.SetInt64(0)
+		for c := range m.A[r] {
+			term.Mul(m.A[r][c], x[c])
+			sum.Add(sum, term)
+		}
+		if sum.Cmp(m.B[r]) < 0 {
+			return false
+		}
+	}
+	return true
+}

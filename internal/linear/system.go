@@ -1,0 +1,335 @@
+// Package linear represents systems of linear integer constraints over
+// named nonnegative variables — the target language of the paper's
+// cardinality encodings (Section 4.1). A system holds equalities and
+// inequalities with small integer coefficients plus the conditional
+// constraints (x > 0 → y > 0) of Ψ(D,Σ); it can be rendered as the
+// paper's Linear Integer Programming instance A·x ≥ b, either directly
+// (when there are no conditionals) or through the big-M rewrite c·y ≥ x of
+// Theorem 4.1's proof using Papadimitriou's solution bound.
+package linear
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// The three relations between a linear expression and a constant.
+const (
+	Eq Op = iota // expression = constant
+	Le           // expression ≤ constant
+	Ge           // expression ≥ constant
+)
+
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Le:
+		return "<="
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// Expr is a linear expression: a sparse map from variable index to
+// coefficient.
+type Expr map[int]int64
+
+// Term returns the expression c·x_i.
+func Term(i int, c int64) Expr {
+	return Expr{i: c}
+}
+
+// Plus adds c·x_i to the expression and returns it.
+func (e Expr) Plus(i int, c int64) Expr {
+	e[i] += c
+	if e[i] == 0 {
+		delete(e, i)
+	}
+	return e
+}
+
+// Clone returns a copy of the expression.
+func (e Expr) Clone() Expr {
+	c := make(Expr, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// Constraint is expression Op constant.
+type Constraint struct {
+	Expr  Expr
+	Op    Op
+	Const int64
+}
+
+// Implication is the conditional constraint x > 0 → y > 0 over nonnegative
+// integer variables.
+type Implication struct {
+	If   int // variable index x
+	Then int // variable index y
+}
+
+// System is a set of linear integer constraints over named nonnegative
+// variables. The zero value is not ready for use; call NewSystem.
+type System struct {
+	names        []string
+	index        map[string]int
+	constraints  []Constraint
+	implications []Implication
+	auxiliary    map[int]bool
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{index: make(map[string]int)}
+}
+
+// Var returns the index of the named variable, registering it if new.
+// All variables are implicitly constrained to nonnegative integers.
+func (s *System) Var(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	i := len(s.names)
+	s.names = append(s.names, name)
+	s.index[name] = i
+	return i
+}
+
+// Lookup returns the index of a variable if it is registered.
+func (s *System) Lookup(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Name returns the name of variable i.
+func (s *System) Name(i int) string { return s.names[i] }
+
+// VarCount returns the number of registered variables.
+func (s *System) VarCount() int { return len(s.names) }
+
+// Names returns the variable names indexed by variable number.
+func (s *System) Names() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Add appends the constraint expr op const.
+func (s *System) Add(e Expr, op Op, c int64) {
+	s.constraints = append(s.constraints, Constraint{Expr: e, Op: op, Const: c})
+}
+
+// AddEq appends expr = c.
+func (s *System) AddEq(e Expr, c int64) { s.Add(e, Eq, c) }
+
+// AddLe appends expr ≤ c.
+func (s *System) AddLe(e Expr, c int64) { s.Add(e, Le, c) }
+
+// AddGe appends expr ≥ c.
+func (s *System) AddGe(e Expr, c int64) { s.Add(e, Ge, c) }
+
+// AddImplication appends the conditional constraint x > 0 → y > 0.
+func (s *System) AddImplication(x, y int) {
+	s.implications = append(s.implications, Implication{If: x, Then: y})
+}
+
+// MarkAuxiliary flags a variable as a certificate/bookkeeping variable
+// whose magnitude is irrelevant; solvers exclude it from minimisation
+// objectives so it exerts no pressure against the constraints defining it.
+func (s *System) MarkAuxiliary(i int) {
+	if s.auxiliary == nil {
+		s.auxiliary = make(map[int]bool)
+	}
+	s.auxiliary[i] = true
+}
+
+// Auxiliary reports whether the variable was marked with MarkAuxiliary.
+func (s *System) Auxiliary(i int) bool { return s.auxiliary[i] }
+
+// Constraints returns the linear constraints of the system.
+func (s *System) Constraints() []Constraint { return s.constraints }
+
+// Implications returns the conditional constraints of the system.
+func (s *System) Implications() []Implication { return s.implications }
+
+// Clone returns a deep copy of the system.
+func (s *System) Clone() *System {
+	c := NewSystem()
+	c.names = append([]string(nil), s.names...)
+	for k, v := range s.index {
+		c.index[k] = v
+	}
+	for _, con := range s.constraints {
+		c.constraints = append(c.constraints, Constraint{Expr: con.Expr.Clone(), Op: con.Op, Const: con.Const})
+	}
+	c.implications = append([]Implication(nil), s.implications...)
+	for i := range s.auxiliary {
+		c.MarkAuxiliary(i)
+	}
+	return c
+}
+
+// MaxAbs returns the largest absolute value among coefficients and
+// constants, at least 1.
+func (s *System) MaxAbs() int64 {
+	var m int64 = 1
+	abs := func(v int64) int64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	for _, c := range s.constraints {
+		if a := abs(c.Const); a > m {
+			m = a
+		}
+		for _, v := range c.Expr {
+			if a := abs(v); a > m {
+				m = a
+			}
+		}
+	}
+	return m
+}
+
+// exprString renders an expression with variable names.
+func (s *System) exprString(e Expr) string {
+	idx := make([]int, 0, len(e))
+	for i := range e {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	if len(idx) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for k, i := range idx {
+		c := e[i]
+		switch {
+		case k == 0 && c == 1:
+			b.WriteString(s.names[i])
+		case k == 0 && c == -1:
+			b.WriteString("-" + s.names[i])
+		case k == 0:
+			fmt.Fprintf(&b, "%d·%s", c, s.names[i])
+		case c == 1:
+			b.WriteString(" + " + s.names[i])
+		case c == -1:
+			b.WriteString(" - " + s.names[i])
+		case c > 0:
+			fmt.Fprintf(&b, " + %d·%s", c, s.names[i])
+		default:
+			fmt.Fprintf(&b, " - %d·%s", -c, s.names[i])
+		}
+	}
+	return b.String()
+}
+
+// String renders the system one constraint per line, followed by its
+// conditional constraints.
+func (s *System) String() string {
+	var b strings.Builder
+	for _, c := range s.constraints {
+		fmt.Fprintf(&b, "%s %s %d\n", s.exprString(c.Expr), c.Op, c.Const)
+	}
+	for _, im := range s.implications {
+		fmt.Fprintf(&b, "%s > 0 -> %s > 0\n", s.names[im.If], s.names[im.Then])
+	}
+	return b.String()
+}
+
+// EvalBig is Eval for big-integer assignments produced by the ILP solver.
+// Entries must cover all variables; nil entries are taken as 0.
+func (s *System) EvalBig(x []*big.Int) string {
+	get := func(i int) *big.Int {
+		if i < len(x) && x[i] != nil {
+			return x[i]
+		}
+		return big.NewInt(0)
+	}
+	for i := range x {
+		if x[i] != nil && x[i].Sign() < 0 {
+			return fmt.Sprintf("%s < 0", s.names[i])
+		}
+	}
+	sum := new(big.Int)
+	term := new(big.Int)
+	for _, c := range s.constraints {
+		sum.SetInt64(0)
+		for i, coeff := range c.Expr {
+			term.Mul(big.NewInt(coeff), get(i))
+			sum.Add(sum, term)
+		}
+		cmp := sum.Cmp(big.NewInt(c.Const))
+		ok := false
+		switch c.Op {
+		case Eq:
+			ok = cmp == 0
+		case Le:
+			ok = cmp <= 0
+		case Ge:
+			ok = cmp >= 0
+		}
+		if !ok {
+			return fmt.Sprintf("%s %s %d violated (lhs=%s)", s.exprString(c.Expr), c.Op, c.Const, sum)
+		}
+	}
+	for _, im := range s.implications {
+		if get(im.If).Sign() > 0 && get(im.Then).Sign() == 0 {
+			return fmt.Sprintf("%s > 0 -> %s > 0 violated", s.names[im.If], s.names[im.Then])
+		}
+	}
+	return ""
+}
+
+// Eval checks a candidate assignment (indexed by variable number) against
+// all constraints and implications, returning the first violated constraint
+// description, or "" if the assignment satisfies the system. Variables
+// beyond len(x) are taken as 0.
+func (s *System) Eval(x []int64) string {
+	get := func(i int) int64 {
+		if i < len(x) {
+			return x[i]
+		}
+		return 0
+	}
+	for i := range x {
+		if x[i] < 0 {
+			return fmt.Sprintf("%s < 0", s.names[i])
+		}
+	}
+	for _, c := range s.constraints {
+		var sum int64
+		for i, coeff := range c.Expr {
+			sum += coeff * get(i)
+		}
+		ok := false
+		switch c.Op {
+		case Eq:
+			ok = sum == c.Const
+		case Le:
+			ok = sum <= c.Const
+		case Ge:
+			ok = sum >= c.Const
+		}
+		if !ok {
+			return fmt.Sprintf("%s %s %d violated (lhs=%d)", s.exprString(c.Expr), c.Op, c.Const, sum)
+		}
+	}
+	for _, im := range s.implications {
+		if get(im.If) > 0 && get(im.Then) == 0 {
+			return fmt.Sprintf("%s > 0 -> %s > 0 violated", s.names[im.If], s.names[im.Then])
+		}
+	}
+	return ""
+}

@@ -1,0 +1,197 @@
+package linear
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestVarRegistry(t *testing.T) {
+	s := NewSystem()
+	x := s.Var("x")
+	y := s.Var("y")
+	if x == y {
+		t.Fatal("distinct names share an index")
+	}
+	if got := s.Var("x"); got != x {
+		t.Errorf("re-registering x gave %d, want %d", got, x)
+	}
+	if s.VarCount() != 2 {
+		t.Errorf("VarCount = %d, want 2", s.VarCount())
+	}
+	if s.Name(x) != "x" || s.Name(y) != "y" {
+		t.Errorf("names = %v", s.Names())
+	}
+	if _, ok := s.Lookup("z"); ok {
+		t.Error("Lookup(z) should fail")
+	}
+}
+
+func TestExprPlus(t *testing.T) {
+	e := Term(0, 1).Plus(1, 2).Plus(0, -1)
+	if _, ok := e[0]; ok {
+		t.Errorf("cancelled term retained: %v", e)
+	}
+	if e[1] != 2 {
+		t.Errorf("e[1] = %d, want 2", e[1])
+	}
+}
+
+func TestEval(t *testing.T) {
+	s := NewSystem()
+	x := s.Var("x")
+	y := s.Var("y")
+	s.AddEq(Term(x, 1).Plus(y, 1), 3)
+	s.AddLe(Term(x, 1), 2)
+	s.AddGe(Term(y, 1), 1)
+	s.AddImplication(x, y)
+
+	if msg := s.Eval([]int64{2, 1}); msg != "" {
+		t.Errorf("Eval(2,1) = %q, want satisfied", msg)
+	}
+	if msg := s.Eval([]int64{3, 0}); msg == "" {
+		t.Error("Eval(3,0) should violate x ≤ 2 (and more)")
+	}
+	if msg := s.Eval([]int64{1, 2}); msg != "" {
+		t.Errorf("Eval(1,2) = %q, want satisfied", msg)
+	}
+	if msg := s.Eval([]int64{-1, 4}); !strings.Contains(msg, "< 0") {
+		t.Errorf("negative assignment accepted: %q", msg)
+	}
+
+	// Implication: x>0 with y=0 violates.
+	s2 := NewSystem()
+	a := s2.Var("a")
+	b := s2.Var("b")
+	s2.AddImplication(a, b)
+	if msg := s2.Eval([]int64{1, 0}); !strings.Contains(msg, "->") {
+		t.Errorf("implication violation missed: %q", msg)
+	}
+	if msg := s2.Eval([]int64{0, 0}); msg != "" {
+		t.Errorf("zero assignment should satisfy implication: %q", msg)
+	}
+	_ = a
+}
+
+func TestEvalBig(t *testing.T) {
+	s := NewSystem()
+	x := s.Var("x")
+	y := s.Var("y")
+	s.AddEq(Term(x, 2).Plus(y, -1), 0) // 2x = y
+	big2 := big.NewInt(2)
+	big4 := big.NewInt(4)
+	if msg := s.EvalBig([]*big.Int{big2, big4}); msg != "" {
+		t.Errorf("EvalBig(2,4) = %q", msg)
+	}
+	if msg := s.EvalBig([]*big.Int{big2, big2}); msg == "" {
+		t.Error("EvalBig(2,2) should violate 2x = y")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := NewSystem()
+	x := s.Var("ext(a)")
+	y := s.Var("ext(b)")
+	s.AddEq(Term(x, 1).Plus(y, -2), 0)
+	s.AddGe(Term(y, 1), 0)
+	s.AddImplication(x, y)
+	out := s.String()
+	for _, want := range []string{"ext(a)", "2·ext(b)", ">= 0", "-> ext(b) > 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q, missing %q", out, want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewSystem()
+	x := s.Var("x")
+	s.AddGe(Term(x, 1), 1)
+	c := s.Clone()
+	c.AddGe(Term(c.Var("y"), 1), 5)
+	if s.VarCount() != 1 || len(s.Constraints()) != 1 {
+		t.Error("Clone mutated the original")
+	}
+}
+
+func TestMatrixGE(t *testing.T) {
+	s := NewSystem()
+	x := s.Var("x")
+	y := s.Var("y")
+	s.AddEq(Term(x, 1).Plus(y, 1), 2) // two rows
+	s.AddLe(Term(x, 1), 1)            // one negated row
+	s.AddGe(Term(y, 1), 0)            // one row
+
+	m, err := s.MatrixGE()
+	if err != nil {
+		t.Fatalf("MatrixGE: %v", err)
+	}
+	if m.Rows() != 4 || m.Cols() != 2 {
+		t.Fatalf("matrix is %dx%d, want 4x2", m.Rows(), m.Cols())
+	}
+	sol := []*big.Int{big.NewInt(1), big.NewInt(1)}
+	if !m.Eval(sol) {
+		t.Error("x=y=1 should satisfy the matrix form")
+	}
+	bad := []*big.Int{big.NewInt(2), big.NewInt(0)}
+	if m.Eval(bad) {
+		t.Error("x=2,y=0 violates x ≤ 1; matrix form disagreed")
+	}
+
+	s.AddImplication(x, y)
+	if _, err := s.MatrixGE(); err == nil {
+		t.Error("MatrixGE should refuse systems with conditionals")
+	}
+}
+
+func TestPapadimitriouBound(t *testing.T) {
+	c := PapadimitriouBound(3, 2, 5)
+	// k = 1 + ⌈log2 3⌉ + 5·⌈log2 10⌉ = 1 + 2 + 20 = 23 → c = 2^23 − 1.
+	want := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 23), big.NewInt(1))
+	if c.Cmp(want) != 0 {
+		t.Errorf("bound = %s, want %s", c, want)
+	}
+	// Degenerate inputs clamp to 1.
+	if PapadimitriouBound(0, 0, 0).Sign() <= 0 {
+		t.Error("bound must be positive")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	tests := []struct {
+		v    int64
+		want int
+	}{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11}}
+	for _, tt := range tests {
+		if got := ceilLog2(big.NewInt(tt.v)); got != tt.want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestBigM(t *testing.T) {
+	s := NewSystem()
+	x := s.Var("x")
+	y := s.Var("y")
+	s.AddLe(Term(y, 1).Plus(x, -1), 0) // y ≤ x
+	s.AddGe(Term(x, 1), 0)
+	s.AddImplication(x, y)
+
+	m := s.BigM()
+	// Two original rows plus one big-M row.
+	if m.Rows() != 3 {
+		t.Fatalf("BigM rows = %d, want 3", m.Rows())
+	}
+	// x=0, y=0 is fine.
+	if !m.Eval([]*big.Int{big.NewInt(0), big.NewInt(0)}) {
+		t.Error("x=y=0 should satisfy BigM form")
+	}
+	// x=5, y=0 violates the conditional; the big-M row must reject it.
+	if m.Eval([]*big.Int{big.NewInt(5), big.NewInt(0)}) {
+		t.Error("x=5,y=0 should violate the big-M row")
+	}
+	// x=5, y=1 satisfies everything.
+	if !m.Eval([]*big.Int{big.NewInt(5), big.NewInt(1)}) {
+		t.Error("x=5,y=1 should satisfy BigM form")
+	}
+}

@@ -1,0 +1,242 @@
+// Package randgen generates workloads for tests and benchmarks: random and
+// structured DTDs, random unary constraint sets, and random 0/1-LIP
+// instances. All generators are deterministic functions of the provided
+// rand.Rand, so benchmark series are reproducible.
+package randgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+)
+
+// DTDSpec configures RandDTD.
+type DTDSpec struct {
+	Types     int  // number of non-root element types (≥ 1)
+	Depth     int  // maximum regex nesting depth per rule
+	Recursive bool // allow (generating) self-recursion
+	AttrsPer  int  // attributes per element type
+}
+
+// RandDTD generates a random DTD with the given shape. Element types are
+// t0 … t{n-1}; every type is reachable from the root r; content models
+// reference later types (plus optional guarded self-recursion), so every
+// type is generating and the DTD always has valid trees.
+func RandDTD(rng *rand.Rand, spec DTDSpec) *dtd.DTD {
+	n := spec.Types
+	if n < 1 {
+		n = 1
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	d := dtd.New("r")
+	rootItems := make([]dtd.Regex, n)
+	for i, nm := range names {
+		switch rng.Intn(3) {
+		case 0:
+			rootItems[i] = dtd.Name{Type: nm}
+		case 1:
+			rootItems[i] = dtd.Opt{Inner: dtd.Name{Type: nm}}
+		default:
+			rootItems[i] = dtd.Star{Inner: dtd.Name{Type: nm}}
+		}
+	}
+	d.AddElement("r", dtd.Seq{Items: rootItems})
+	for i, nm := range names {
+		d.AddElement(nm, randContent(rng, spec, names, i))
+		for a := 0; a < spec.AttrsPer; a++ {
+			d.AddAttr(nm, fmt.Sprintf("a%d", a))
+		}
+	}
+	if spec.AttrsPer > 0 {
+		d.AddAttr("r", "a0")
+	}
+	return d
+}
+
+func randContent(rng *rand.Rand, spec DTDSpec, names []string, self int) dtd.Regex {
+	var atoms []dtd.Regex
+	atoms = append(atoms, dtd.Empty{}, dtd.Text{})
+	for j := self + 1; j < len(names); j++ {
+		atoms = append(atoms, dtd.Name{Type: names[j]})
+	}
+	var rec func(depth int) dtd.Regex
+	rec = func(depth int) dtd.Regex {
+		if depth <= 0 {
+			return atoms[rng.Intn(len(atoms))]
+		}
+		switch rng.Intn(6) {
+		case 0:
+			return dtd.Seq{Items: []dtd.Regex{rec(depth - 1), rec(depth - 1)}}
+		case 1:
+			return dtd.Alt{Items: []dtd.Regex{rec(depth - 1), rec(depth - 1)}}
+		case 2:
+			return dtd.Star{Inner: rec(depth - 1)}
+		case 3:
+			return dtd.Opt{Inner: rec(depth - 1)}
+		default:
+			return atoms[rng.Intn(len(atoms))]
+		}
+	}
+	content := rec(spec.Depth)
+	if spec.Recursive && rng.Intn(3) == 0 {
+		// Guarded self-recursion keeps the type generating.
+		content = dtd.Seq{Items: []dtd.Regex{content, dtd.Opt{Inner: dtd.Name{Type: names[self]}}}}
+	}
+	return content
+}
+
+// AttrPairs lists every (type, attribute) pair of the DTD.
+func AttrPairs(d *dtd.DTD) [][2]string {
+	var out [][2]string
+	for _, t := range d.Types() {
+		for _, a := range d.Element(t).Attrs {
+			out = append(out, [2]string{t, a})
+		}
+	}
+	return out
+}
+
+// SetSpec configures RandUnarySet.
+type SetSpec struct {
+	Keys          int
+	ForeignKeys   int
+	Inclusions    int
+	NegKeys       int
+	NegInclusions int
+}
+
+// RandUnarySet generates a random unary constraint set over the DTD's
+// attribute pairs. It returns nil if the DTD declares no attributes.
+func RandUnarySet(rng *rand.Rand, d *dtd.DTD, spec SetSpec) []constraint.Constraint {
+	pairs := AttrPairs(d)
+	if len(pairs) == 0 {
+		return nil
+	}
+	pick := func() [2]string { return pairs[rng.Intn(len(pairs))] }
+	var out []constraint.Constraint
+	for i := 0; i < spec.Keys; i++ {
+		p := pick()
+		out = append(out, constraint.UnaryKey(p[0], p[1]))
+	}
+	for i := 0; i < spec.ForeignKeys; i++ {
+		a, b := pick(), pick()
+		out = append(out, constraint.UnaryForeignKey(a[0], a[1], b[0], b[1]))
+	}
+	for i := 0; i < spec.Inclusions; i++ {
+		a, b := pick(), pick()
+		out = append(out, constraint.UnaryInclusion(a[0], a[1], b[0], b[1]))
+	}
+	for i := 0; i < spec.NegKeys; i++ {
+		p := pick()
+		out = append(out, constraint.NotKey{Type: p[0], Attr: p[1]})
+	}
+	for i := 0; i < spec.NegInclusions; i++ {
+		a, b := pick(), pick()
+		out = append(out, constraint.NotInclusion{Child: a[0], ChildAttr: a[1], Parent: b[0], ParentAttr: b[1]})
+	}
+	return out
+}
+
+// ChainDTD builds a DTD whose valid trees are a single chain of n element
+// types: r → c1, c1 → c2, …, cn → #PCDATA. It scales linearly with n and is
+// the workload for the linear-time benchmarks.
+func ChainDTD(n int) *dtd.DTD {
+	d := dtd.New("r")
+	prev := "r"
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("c%d", i)
+		d.AddElement(prev, dtd.Name{Type: name})
+		d.AddAttr(prev, "k")
+		prev = name
+	}
+	d.AddElement(prev, dtd.Text{})
+	d.AddAttr(prev, "k")
+	return d
+}
+
+// WideDTD builds a DTD whose root holds n independent starred sections,
+// each with one keyed attribute — a flat, index-like document shape.
+func WideDTD(n int) *dtd.DTD {
+	d := dtd.New("r")
+	items := make([]dtd.Regex, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("s%d", i)
+		items[i] = dtd.Star{Inner: dtd.Name{Type: name}}
+		d.AddElement(name, dtd.Empty{})
+		d.AddAttr(name, "id")
+	}
+	d.AddElement("r", dtd.Seq{Items: items})
+	return d
+}
+
+// TeacherFamily replicates the paper's Section 1 teacher example n times:
+// block i has teachers_i → teacher_i+, teacher_i → (teach_i, research_i),
+// teach_i → (subject_i, subject_i). With the Σ1-style constraints per block
+// the spec is inconsistent; dropping the foreign keys makes it consistent.
+func TeacherFamily(n int) *dtd.DTD {
+	d := dtd.New("root")
+	items := make([]dtd.Regex, n)
+	for i := 0; i < n; i++ {
+		sfx := fmt.Sprintf("_%d", i)
+		items[i] = dtd.Name{Type: "teachers" + sfx}
+		d.AddElement("teachers"+sfx, dtd.Plus{Inner: dtd.Name{Type: "teacher" + sfx}})
+		d.AddElement("teacher"+sfx, dtd.Seq{Items: []dtd.Regex{
+			dtd.Name{Type: "teach" + sfx}, dtd.Name{Type: "research" + sfx},
+		}})
+		d.AddElement("teach"+sfx, dtd.Seq{Items: []dtd.Regex{
+			dtd.Name{Type: "subject" + sfx}, dtd.Name{Type: "subject" + sfx},
+		}})
+		d.AddElement("research"+sfx, dtd.Text{})
+		d.AddElement("subject"+sfx, dtd.Text{})
+		d.AddAttr("teacher"+sfx, "name")
+		d.AddAttr("subject"+sfx, "taught_by")
+	}
+	d.AddElement("root", dtd.Seq{Items: items})
+	return d
+}
+
+// TeacherFamilyConstraints builds the per-block constraints for
+// TeacherFamily(n); withFK selects the inconsistent (Σ1-style) variant.
+func TeacherFamilyConstraints(n int, withFK bool) []constraint.Constraint {
+	var out []constraint.Constraint
+	for i := 0; i < n; i++ {
+		sfx := fmt.Sprintf("_%d", i)
+		out = append(out,
+			constraint.UnaryKey("teacher"+sfx, "name"),
+			constraint.UnaryKey("subject"+sfx, "taught_by"),
+		)
+		if withFK {
+			out = append(out, constraint.UnaryForeignKey("subject"+sfx, "taught_by", "teacher"+sfx, "name"))
+		}
+	}
+	return out
+}
+
+// RandLIP01 generates a random m×n 0/1 matrix where each entry is 1 with
+// the given density percentage.
+func RandLIP01(rng *rand.Rand, m, n, densityPct int) [][]int {
+	a := make([][]int, m)
+	for i := range a {
+		a[i] = make([]int, n)
+		for j := range a[i] {
+			if rng.Intn(100) < densityPct {
+				a[i][j] = 1
+			}
+		}
+	}
+	return a
+}
+
+// KeySetOver builds one unary key per attribute pair of the DTD.
+func KeySetOver(d *dtd.DTD) []constraint.Constraint {
+	var out []constraint.Constraint
+	for _, p := range AttrPairs(d) {
+		out = append(out, constraint.UnaryKey(p[0], p[1]))
+	}
+	return out
+}

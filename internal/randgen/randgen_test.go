@@ -1,0 +1,145 @@
+package randgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+)
+
+func TestRandDTDValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		spec := DTDSpec{
+			Types:     1 + rng.Intn(6),
+			Depth:     rng.Intn(4),
+			Recursive: rng.Intn(2) == 0,
+			AttrsPer:  rng.Intn(3),
+		}
+		d := RandDTD(rng, spec)
+		if err := d.Check(); err != nil {
+			t.Fatalf("RandDTD produced invalid DTD: %v\n%s", err, d)
+		}
+		if !d.HasValidTree() {
+			t.Fatalf("RandDTD produced a treeless DTD:\n%s", d)
+		}
+	}
+}
+
+func TestRandDTDDeterministic(t *testing.T) {
+	spec := DTDSpec{Types: 4, Depth: 2, Recursive: true, AttrsPer: 2}
+	d1 := RandDTD(rand.New(rand.NewSource(7)), spec)
+	d2 := RandDTD(rand.New(rand.NewSource(7)), spec)
+	if d1.String() != d2.String() {
+		t.Error("same seed produced different DTDs")
+	}
+}
+
+func TestRandUnarySet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := RandDTD(rng, DTDSpec{Types: 4, Depth: 2, AttrsPer: 2})
+	set := RandUnarySet(rng, d, SetSpec{Keys: 2, ForeignKeys: 1, Inclusions: 1, NegKeys: 1, NegInclusions: 1})
+	if len(set) != 6 {
+		t.Fatalf("got %d constraints, want 6", len(set))
+	}
+	if err := constraint.ValidateSet(d, set); err != nil {
+		t.Errorf("generated set invalid: %v", err)
+	}
+	if got := constraint.ClassOf(set); got != constraint.ClassUnaryFull {
+		t.Errorf("class = %v, want full unary class", got)
+	}
+}
+
+func TestRandUnarySetNoAttrs(t *testing.T) {
+	d := dtd.MustParse("<!ELEMENT r EMPTY>")
+	if set := RandUnarySet(rand.New(rand.NewSource(3)), d, SetSpec{Keys: 5}); set != nil {
+		t.Errorf("expected nil set for attribute-less DTD, got %v", set)
+	}
+}
+
+func TestChainDTD(t *testing.T) {
+	for _, n := range []int{1, 5, 40} {
+		d := ChainDTD(n)
+		if err := d.Check(); err != nil {
+			t.Fatalf("ChainDTD(%d) invalid: %v", n, err)
+		}
+		if !d.HasValidTree() {
+			t.Errorf("ChainDTD(%d) has no valid tree", n)
+		}
+		if got := len(d.Types()); got != n+1 {
+			t.Errorf("ChainDTD(%d) has %d types, want %d", n, got, n+1)
+		}
+	}
+}
+
+func TestWideDTD(t *testing.T) {
+	d := WideDTD(10)
+	if err := d.Check(); err != nil {
+		t.Fatalf("WideDTD invalid: %v", err)
+	}
+	if !d.HasValidTree() {
+		t.Error("WideDTD has no valid tree")
+	}
+}
+
+func TestTeacherFamily(t *testing.T) {
+	d := TeacherFamily(3)
+	if err := d.Check(); err != nil {
+		t.Fatalf("TeacherFamily invalid: %v", err)
+	}
+	withFK := TeacherFamilyConstraints(3, true)
+	if err := constraint.ValidateSet(d, withFK); err != nil {
+		t.Fatalf("family constraints invalid: %v", err)
+	}
+	if len(withFK) != 9 {
+		t.Errorf("with FK: %d constraints, want 9", len(withFK))
+	}
+	withoutFK := TeacherFamilyConstraints(3, false)
+	if len(withoutFK) != 6 {
+		t.Errorf("without FK: %d constraints, want 6", len(withoutFK))
+	}
+}
+
+func TestRandLIP01(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := RandLIP01(rng, 3, 5, 50)
+	if len(a) != 3 || len(a[0]) != 5 {
+		t.Fatalf("shape = %dx%d", len(a), len(a[0]))
+	}
+	for _, row := range a {
+		for _, v := range row {
+			if v != 0 && v != 1 {
+				t.Fatalf("non-binary entry %d", v)
+			}
+		}
+	}
+	// Density extremes.
+	zero := RandLIP01(rng, 2, 2, 0)
+	for _, row := range zero {
+		for _, v := range row {
+			if v != 0 {
+				t.Error("density 0 produced a 1")
+			}
+		}
+	}
+	one := RandLIP01(rng, 2, 2, 100)
+	for _, row := range one {
+		for _, v := range row {
+			if v != 1 {
+				t.Error("density 100 produced a 0")
+			}
+		}
+	}
+}
+
+func TestKeySetOver(t *testing.T) {
+	d := ChainDTD(3)
+	set := KeySetOver(d)
+	if len(set) != 4 {
+		t.Fatalf("KeySetOver: %d keys, want 4", len(set))
+	}
+	if constraint.ClassOf(set) != constraint.ClassK {
+		t.Error("KeySetOver should produce a keys-only set")
+	}
+}

@@ -1,0 +1,108 @@
+package reduction
+
+import (
+	"fmt"
+
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+)
+
+// ImplicationInstance is an instance of the XML implication problem
+// "(D, Σ) ⊢ φ".
+type ImplicationInstance struct {
+	DTD   *dtd.DTD
+	Sigma []constraint.Constraint
+	Phi   constraint.Constraint
+}
+
+// lemma33DTD builds the D′ of Lemma 3.3: the root content is extended with
+// two fresh D_Y elements and one fresh E_X element, each carrying a fresh
+// attribute K.
+func lemma33DTD(d *dtd.DTD) (*dtd.DTD, string, string, string, error) {
+	if err := d.Check(); err != nil {
+		return nil, "", "", "", err
+	}
+	out := d.Clone()
+	dy, ex, k := freshName(d, "DY"), freshName(d, "EX"), "K"
+	for attrTaken(d, k) {
+		k += "_"
+	}
+	out.AddElement(dy, dtd.Empty{})
+	out.AddAttr(dy, k)
+	out.AddElement(ex, dtd.Empty{})
+	out.AddAttr(ex, k)
+	root := out.Element(out.Root)
+	root.Content = dtd.Seq{Items: []dtd.Regex{
+		root.Content, dtd.Name{Type: dy}, dtd.Name{Type: dy}, dtd.Name{Type: ex},
+	}}
+	if err := out.Check(); err != nil {
+		return nil, "", "", "", fmt.Errorf("reduction: Lemma 3.3 DTD invalid: %w", err)
+	}
+	return out, dy, ex, k, nil
+}
+
+func freshName(d *dtd.DTD, base string) string {
+	name := base
+	for d.Element(name) != nil || attrTaken(d, name) {
+		name += "_"
+	}
+	return name
+}
+
+func attrTaken(d *dtd.DTD, name string) bool {
+	for _, a := range d.Attributes() {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ConsistencyToKeyImplication implements case (1) of Lemma 3.3: it maps a
+// consistency instance (D, Σ) to an implication instance (D′, Σ′, φ1) such
+// that Σ is consistent over D iff (D′, Σ′) does NOT imply the unary key
+// φ1 = D_Y.K → D_Y. With Σ ranging over C_{K,FK} this shows implication
+// undecidable (Corollary 3.4); with unary Σ it is an executable coNP
+// round-trip.
+func ConsistencyToKeyImplication(d *dtd.DTD, sigma []constraint.Constraint) (*ImplicationInstance, error) {
+	out, dy, ex, k, err := lemma33DTD(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := constraint.ValidateSet(d, sigma); err != nil {
+		return nil, err
+	}
+	sigmaOut := append([]constraint.Constraint(nil), sigma...)
+	sigmaOut = append(sigmaOut,
+		constraint.UnaryKey(ex, k),              // ℓ = E_X.K → E_X
+		constraint.UnaryInclusion(dy, k, ex, k), // φ2 = D_Y.K ⊆ E_X.K
+	)
+	return &ImplicationInstance{
+		DTD:   out,
+		Sigma: sigmaOut,
+		Phi:   constraint.UnaryKey(dy, k), // φ1
+	}, nil
+}
+
+// ConsistencyToInclusionImplication implements case (2) of Lemma 3.3: Σ is
+// consistent over D iff (D′, Σ ∪ {ℓ, φ1}) does NOT imply the unary
+// inclusion constraint φ2 = D_Y.K ⊆ E_X.K.
+func ConsistencyToInclusionImplication(d *dtd.DTD, sigma []constraint.Constraint) (*ImplicationInstance, error) {
+	out, dy, ex, k, err := lemma33DTD(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := constraint.ValidateSet(d, sigma); err != nil {
+		return nil, err
+	}
+	sigmaOut := append([]constraint.Constraint(nil), sigma...)
+	sigmaOut = append(sigmaOut,
+		constraint.UnaryKey(ex, k), // ℓ
+		constraint.UnaryKey(dy, k), // φ1
+	)
+	return &ImplicationInstance{
+		DTD:   out,
+		Sigma: sigmaOut,
+		Phi:   constraint.UnaryInclusion(dy, k, ex, k), // φ2
+	}, nil
+}

@@ -1,0 +1,121 @@
+// Package reduction implements the executable reductions behind the
+// paper's lower bounds:
+//
+//   - Lemma 3.2: encoding functional and inclusion dependencies as
+//     relational keys and foreign keys, reducing FD-by-FD+ID implication
+//     (undecidable) to key-by-keys+FKs implication;
+//   - Theorem 3.1: reducing the complement of relational key implication
+//     to XML consistency of C_{K,FK}, establishing undecidability;
+//   - Lemma 3.3: reducing XML consistency to the complement of XML
+//     implication (of a unary key, or of a unary inclusion constraint);
+//   - Theorem 4.7: reducing 0/1 linear integer programming to consistency
+//     of unary keys and foreign keys, establishing NP-hardness.
+//
+// Each reduction is a total function on its input class and is round-trip
+// tested against brute force or against the package core decision
+// procedures on small instances.
+package reduction
+
+import (
+	"fmt"
+
+	"xic/internal/relational"
+)
+
+// RelImplication is an instance of the relational implication problem
+// "Σ ⊢ Phi" where Σ contains only keys and foreign keys.
+type RelImplication struct {
+	Schema *relational.Schema
+	Sigma  []relational.Dependency
+	Phi    relational.Key
+}
+
+// EncodeFDID implements Lemma 3.2: given FDs and IDs Σ over a schema and a
+// goal FD θ = R : X → Y, it produces an extended schema with keys and
+// foreign keys Σ′ and a key φ′ such that Σ ⊨ θ iff Σ′ ⊨ φ′. Every relation
+// uses its full attribute set as the designated key Z.
+func EncodeFDID(s *relational.Schema, sigma []relational.Dependency, theta relational.FD) (*RelImplication, error) {
+	if err := s.Check(); err != nil {
+		return nil, err
+	}
+	for _, d := range sigma {
+		if err := d.Validate(s); err != nil {
+			return nil, err
+		}
+		switch d.(type) {
+		case relational.FD, relational.ID:
+		default:
+			return nil, fmt.Errorf("reduction: EncodeFDID takes FDs and IDs, got %T", d)
+		}
+	}
+	if err := theta.Validate(s); err != nil {
+		return nil, err
+	}
+
+	out := relational.NewSchema()
+	for _, name := range s.Relations() {
+		out.AddRelation(name, s.Relation(name).Attrs...)
+	}
+	fresh := 0
+	newRel := func(hint string, attrs []string) string {
+		for {
+			fresh++
+			name := fmt.Sprintf("%s_new%d", hint, fresh)
+			if out.Relation(name) == nil && s.Relation(name) == nil {
+				out.AddRelation(name, attrs...)
+				return name
+			}
+		}
+	}
+
+	var sigmaOut []relational.Dependency
+	encodeFD := func(f relational.FD, includeGoalKey bool) relational.Key {
+		z := s.Relation(f.Rel).Attrs // Z = Att(R), a key of R
+		xyz := relational.AttrUnion(f.From, f.To, z)
+		xy := relational.AttrUnion(f.From, f.To)
+		rn := newRel(f.Rel, xyz)
+		goal := relational.Key{Rel: rn, Attrs: f.From} // ℓ1 = Rnew[X] → Rnew
+		// ℓ4 = Rnew[XY] → Rnew.
+		sigmaOut = append(sigmaOut, relational.Key{Rel: rn, Attrs: xy})
+		// ℓ2 = R[XY] ⊆ Rnew[XY] (foreign key onto ℓ4's key).
+		sigmaOut = append(sigmaOut, relational.ForeignKey{ID: relational.ID{
+			Child: f.Rel, ChildAttrs: xy, Parent: rn, ParentAttrs: xy,
+		}})
+		// ℓ3 = Rnew[XYZ] ⊆ R[XYZ]; XYZ ⊇ Att(R) is a (super)key of R.
+		sigmaOut = append(sigmaOut, relational.Key{Rel: f.Rel, Attrs: xyz})
+		sigmaOut = append(sigmaOut, relational.ForeignKey{ID: relational.ID{
+			Child: rn, ChildAttrs: xyz, Parent: f.Rel, ParentAttrs: xyz,
+		}})
+		if includeGoalKey {
+			sigmaOut = append(sigmaOut, goal)
+		}
+		return goal
+	}
+	encodeID := func(d relational.ID) {
+		z := s.Relation(d.Parent).Attrs
+		yz := relational.AttrUnion(d.ParentAttrs, z)
+		rn := newRel(d.Parent, yz)
+		// ℓ1 = Rnew[Y] → Rnew.
+		sigmaOut = append(sigmaOut, relational.Key{Rel: rn, Attrs: d.ParentAttrs})
+		// ℓ2 = R1[X] ⊆ Rnew[Y] (foreign key onto ℓ1).
+		sigmaOut = append(sigmaOut, relational.ForeignKey{ID: relational.ID{
+			Child: d.Child, ChildAttrs: d.ChildAttrs, Parent: rn, ParentAttrs: d.ParentAttrs,
+		}})
+		// ℓ3 = Rnew[YZ] ⊆ R2[YZ]; YZ ⊇ Att(R2) is a (super)key of R2.
+		sigmaOut = append(sigmaOut, relational.Key{Rel: d.Parent, Attrs: yz})
+		sigmaOut = append(sigmaOut, relational.ForeignKey{ID: relational.ID{
+			Child: rn, ChildAttrs: yz, Parent: d.Parent, ParentAttrs: yz,
+		}})
+	}
+
+	for _, dep := range sigma {
+		switch x := dep.(type) {
+		case relational.FD:
+			encodeFD(x, true)
+		case relational.ID:
+			encodeID(x)
+		}
+	}
+	phi := encodeFD(theta, false)
+	return &RelImplication{Schema: out, Sigma: sigmaOut, Phi: phi}, nil
+}

@@ -1,0 +1,177 @@
+package reduction
+
+import (
+	"fmt"
+
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+	"xic/internal/xmltree"
+)
+
+// LIPSpec is the output of the Theorem 4.7 reduction: a DTD and unary
+// constraints whose consistency is equivalent to the 0/1-LIP instance.
+type LIPSpec struct {
+	DTD   *dtd.DTD
+	Sigma []constraint.Constraint
+
+	a [][]int // the instance, for solution extraction
+}
+
+// LIPToSpec implements the NP-hardness reduction of Theorem 4.7: given a
+// 0/1 matrix A (m×n), it builds a DTD D and unary keys and foreign keys Σ
+// such that A·x = (1,…,1) has a binary solution iff some tree conforms to
+// D and satisfies Σ (Figure 4's shape).
+//
+// Per row i the root holds one F_i element with an optional Z_ij child
+// under each X_ij (j with a_ij = 1) and one b_i element; V_Fi elements
+// below the Z_ij are forced to number exactly one per row by the key/
+// foreign-key pair on their v attribute against b_i. Cross-row agreement
+// of x_j is enforced by keys and inclusions on the A_ij attributes.
+func LIPToSpec(a [][]int) (*LIPSpec, error) {
+	m := len(a)
+	if m == 0 {
+		return nil, fmt.Errorf("reduction: empty LIP instance")
+	}
+	n := len(a[0])
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("reduction: ragged LIP matrix at row %d", i)
+		}
+		for j, v := range row {
+			if v != 0 && v != 1 {
+				return nil, fmt.Errorf("reduction: entry a[%d][%d] = %d is not 0/1", i, j, v)
+			}
+		}
+	}
+
+	d := dtd.New("r")
+	spec := &LIPSpec{DTD: d, a: a}
+	fi := func(i int) string { return fmt.Sprintf("F%d", i+1) }
+	bi := func(i int) string { return fmt.Sprintf("b%d", i+1) }
+	xij := func(i, j int) string { return fmt.Sprintf("X%d_%d", i+1, j+1) }
+	zij := func(i, j int) string { return fmt.Sprintf("Z%d_%d", i+1, j+1) }
+	vfi := func(i int) string { return fmt.Sprintf("VF%d", i+1) }
+	aij := func(i, j int) string { return fmt.Sprintf("A%d_%d", i+1, j+1) }
+
+	var rootItems []dtd.Regex
+	for i := 0; i < m; i++ {
+		rootItems = append(rootItems, dtd.Name{Type: fi(i)})
+	}
+	for i := 0; i < m; i++ {
+		rootItems = append(rootItems, dtd.Name{Type: bi(i)})
+	}
+	d.AddElement("r", dtd.Seq{Items: rootItems})
+
+	for i := 0; i < m; i++ {
+		var fItems []dtd.Regex
+		for j := 0; j < n; j++ {
+			if a[i][j] == 1 {
+				fItems = append(fItems, dtd.Name{Type: xij(i, j)})
+			}
+		}
+		d.AddElement(bi(i), dtd.Empty{})
+		d.AddAttr(bi(i), "v")
+		if len(fItems) == 0 {
+			// A row with no 1-entries can never sum to 1: the instance is
+			// trivially unsolvable. Encode it faithfully with an F_i that
+			// requires an impossible (non-generating) child; V_Fi is not
+			// needed for such a row.
+			impossible := fmt.Sprintf("imp%d", i+1)
+			d.AddElement(impossible, dtd.Name{Type: impossible})
+			d.AddElement(fi(i), dtd.Name{Type: impossible})
+			continue
+		}
+		d.AddElement(fi(i), dtd.Seq{Items: fItems})
+		d.AddElement(vfi(i), dtd.Empty{})
+		d.AddAttr(vfi(i), "v")
+		for j := 0; j < n; j++ {
+			if a[i][j] != 1 {
+				continue
+			}
+			d.AddElement(xij(i, j), dtd.Opt{Inner: dtd.Name{Type: zij(i, j)}})
+			d.AddElement(zij(i, j), dtd.Name{Type: vfi(i)})
+			d.AddAttr(zij(i, j), aij(i, j))
+		}
+	}
+	if err := d.Check(); err != nil {
+		return nil, fmt.Errorf("reduction: generated DTD invalid: %w", err)
+	}
+
+	// Σ: one V_Fi per row (v is a key of both V_Fi and b_i, included both
+	// ways), and column agreement on the A_ij attributes.
+	for i := 0; i < m; i++ {
+		hasRow := false
+		for j := 0; j < n; j++ {
+			if a[i][j] == 1 {
+				hasRow = true
+			}
+		}
+		if !hasRow {
+			continue
+		}
+		spec.Sigma = append(spec.Sigma,
+			constraint.UnaryKey(vfi(i), "v"),
+			constraint.UnaryKey(bi(i), "v"),
+			constraint.UnaryInclusion(vfi(i), "v", bi(i), "v"),
+			constraint.UnaryInclusion(bi(i), "v", vfi(i), "v"),
+		)
+	}
+	for j := 0; j < n; j++ {
+		var rows []int
+		for i := 0; i < m; i++ {
+			if a[i][j] == 1 {
+				rows = append(rows, i)
+			}
+		}
+		for _, i := range rows {
+			spec.Sigma = append(spec.Sigma, constraint.UnaryKey(zij(i, j), aij(i, j)))
+		}
+		for _, i := range rows {
+			for _, l := range rows {
+				if i == l {
+					continue
+				}
+				spec.Sigma = append(spec.Sigma,
+					constraint.UnaryInclusion(zij(i, j), aij(i, j), zij(l, j), aij(l, j)))
+			}
+		}
+	}
+	return spec, nil
+}
+
+// Solution extracts the binary vector x from a tree conforming to the
+// spec's DTD and satisfying its constraints: x_j = 1 iff some X_ij element
+// has a Z_ij child (the constraints force all rows to agree on j).
+func (s *LIPSpec) Solution(t *xmltree.Tree) []int {
+	n := 0
+	if len(s.a) > 0 {
+		n = len(s.a[0])
+	}
+	x := make([]int, n)
+	for j := 0; j < n; j++ {
+		for i := range s.a {
+			if s.a[i][j] == 1 && len(t.Ext(fmt.Sprintf("Z%d_%d", i+1, j+1))) > 0 {
+				x[j] = 1
+				break
+			}
+		}
+	}
+	return x
+}
+
+// Eval checks a binary vector against the instance: A·x = (1,…,1).
+func (s *LIPSpec) Eval(x []int) bool {
+	if len(s.a) == 0 || len(x) != len(s.a[0]) {
+		return false
+	}
+	for _, row := range s.a {
+		sum := 0
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		if sum != 1 {
+			return false
+		}
+	}
+	return true
+}

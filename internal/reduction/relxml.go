@@ -1,0 +1,215 @@
+package reduction
+
+import (
+	"fmt"
+
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+	"xic/internal/relational"
+	"xic/internal/xmltree"
+)
+
+// XMLSpec is a DTD together with a constraint set — one instance of the XML
+// consistency problem.
+type XMLSpec struct {
+	DTD   *dtd.DTD
+	Sigma []constraint.Constraint
+
+	// Bookkeeping for the Theorem 3.1 reduction.
+	tupleType map[string]string // relation → tuple element type
+	phi       relational.Key
+	yAttrs    []string // Y = Att(R) \ X of the refuted key
+}
+
+// RelationalToXML implements the reduction in the proof of Theorem 3.1:
+// given a relational schema, keys and foreign keys Θ, and a key
+// φ = R[X] → R, it builds a DTD D and C_{K,FK} constraints Σ such that
+// Θ ∧ ¬φ is satisfiable by a finite instance iff some XML tree conforms to
+// D and satisfies Σ. Since relational implication of keys by keys and
+// foreign keys is undecidable (Lemma 3.2), XML consistency for C_{K,FK}
+// is undecidable.
+//
+// The tree shape is Figure 2: the root has one R_i child per relation
+// (holding a star of tuple elements), two D_Y elements carrying X ∪ Y
+// attributes, and one E_X element carrying X attributes.
+func RelationalToXML(s *relational.Schema, theta []relational.Dependency, phi relational.Key) (*XMLSpec, error) {
+	if err := s.Check(); err != nil {
+		return nil, err
+	}
+	for _, d := range theta {
+		if err := d.Validate(s); err != nil {
+			return nil, err
+		}
+		switch d.(type) {
+		case relational.Key, relational.ForeignKey:
+		default:
+			return nil, fmt.Errorf("reduction: Theorem 3.1 takes keys and foreign keys, got %T", d)
+		}
+	}
+	if err := phi.Validate(s); err != nil {
+		return nil, err
+	}
+
+	d := dtd.New("r")
+	spec := &XMLSpec{DTD: d, tupleType: map[string]string{}, phi: phi}
+
+	// Root: R1, …, Rn, DY, DY, EX.
+	var rootItems []dtd.Regex
+	for _, rel := range s.Relations() {
+		holder := "rel_" + rel
+		tuple := "tup_" + rel
+		spec.tupleType[rel] = tuple
+		rootItems = append(rootItems, dtd.Name{Type: holder})
+		d.AddElement(holder, dtd.Star{Inner: dtd.Name{Type: tuple}})
+		d.AddElement(tuple, dtd.Empty{})
+		for _, a := range s.Relation(rel).Attrs {
+			d.AddAttr(tuple, a)
+		}
+	}
+	rootItems = append(rootItems,
+		dtd.Name{Type: "DY"}, dtd.Name{Type: "DY"}, dtd.Name{Type: "EX"})
+	d.AddElement("r", dtd.Seq{Items: rootItems})
+
+	rel := s.Relation(phi.Rel)
+	xSet := map[string]bool{}
+	for _, a := range phi.Attrs {
+		xSet[a] = true
+	}
+	var yAttrs []string
+	for _, a := range rel.Attrs {
+		if !xSet[a] {
+			yAttrs = append(yAttrs, a)
+		}
+	}
+	spec.yAttrs = yAttrs
+	d.AddElement("DY", dtd.Empty{})
+	for _, a := range rel.Attrs {
+		d.AddAttr("DY", a)
+	}
+	d.AddElement("EX", dtd.Empty{})
+	for _, a := range phi.Attrs {
+		d.AddAttr("EX", a)
+	}
+	if err := d.Check(); err != nil {
+		return nil, fmt.Errorf("reduction: generated DTD invalid: %w", err)
+	}
+
+	// Σ_Θ: translate relational keys and foreign keys onto tuple types.
+	for _, dep := range theta {
+		switch x := dep.(type) {
+		case relational.Key:
+			spec.Sigma = append(spec.Sigma, constraint.Key{
+				Type: spec.tupleType[x.Rel], Attrs: append([]string(nil), x.Attrs...),
+			})
+		case relational.ForeignKey:
+			spec.Sigma = append(spec.Sigma, constraint.ForeignKey{Inclusion: constraint.Inclusion{
+				Child:       spec.tupleType[x.Child],
+				ChildAttrs:  append([]string(nil), x.ChildAttrs...),
+				Parent:      spec.tupleType[x.Parent],
+				ParentAttrs: append([]string(nil), x.ParentAttrs...),
+			}})
+		}
+	}
+
+	// Σ_φ: the ¬φ gadget.
+	if len(yAttrs) == 0 {
+		// X = Att(R): φ always holds, ¬φ unsatisfiable; DY[Y] → DY over an
+		// empty Y would be ill-formed. Encode unsatisfiability structurally
+		// by requiring the two DY nodes to be equal and distinct — the
+		// paper assumes Y nonempty; reject instead of silently diverging.
+		return nil, fmt.Errorf("reduction: refuted key %s covers all attributes; its negation is trivially unsatisfiable", phi)
+	}
+	tphi := spec.tupleType[phi.Rel]
+	xy := append(append([]string(nil), phi.Attrs...), yAttrs...)
+	spec.Sigma = append(spec.Sigma,
+		constraint.Key{Type: "DY", Attrs: append([]string(nil), yAttrs...)},
+		constraint.ForeignKey{Inclusion: constraint.Inclusion{
+			Child: "DY", ChildAttrs: append([]string(nil), phi.Attrs...),
+			Parent: "EX", ParentAttrs: append([]string(nil), phi.Attrs...),
+		}},
+		constraint.ForeignKey{Inclusion: constraint.Inclusion{
+			Child: "DY", ChildAttrs: xy,
+			Parent: tphi, ParentAttrs: xy,
+		}},
+	)
+	return spec, nil
+}
+
+// TreeFromInstance realises Figure 2 for an instance satisfying Θ ∧ ¬φ: it
+// locates two tuples agreeing on X and differing on Y and builds the
+// conforming tree. It fails if the instance actually satisfies φ.
+func (x *XMLSpec) TreeFromInstance(inst *relational.Instance) (*xmltree.Tree, error) {
+	root := xmltree.NewElement("r")
+	for _, rel := range inst.Schema.Relations() {
+		holder := xmltree.NewElement("rel_" + rel)
+		for _, t := range inst.Tuples[rel] {
+			n := xmltree.NewElement(x.tupleType[rel])
+			for a, v := range t {
+				n.SetAttr(a, v)
+			}
+			holder.Children = append(holder.Children, n)
+		}
+		root.Children = append(root.Children, holder)
+	}
+	p, q, err := findKeyViolation(inst, x.phi, x.yAttrs)
+	if err != nil {
+		return nil, err
+	}
+	mkDY := func(t relational.Tuple) *xmltree.Node {
+		n := xmltree.NewElement("DY")
+		for a, v := range t {
+			n.SetAttr(a, v)
+		}
+		return n
+	}
+	ex := xmltree.NewElement("EX")
+	for _, a := range x.phi.Attrs {
+		ex.SetAttr(a, p[a])
+	}
+	root.Children = append(root.Children, mkDY(p), mkDY(q), ex)
+	return xmltree.NewTree(root), nil
+}
+
+func findKeyViolation(inst *relational.Instance, phi relational.Key, yAttrs []string) (relational.Tuple, relational.Tuple, error) {
+	tuples := inst.Tuples[phi.Rel]
+	for i := range tuples {
+		for j := i + 1; j < len(tuples); j++ {
+			if projEq(tuples[i], tuples[j], phi.Attrs) && !projEq(tuples[i], tuples[j], yAttrs) {
+				return tuples[i], tuples[j], nil
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("reduction: instance satisfies %s; no ¬φ witness pair", phi)
+}
+
+func projEq(a, b relational.Tuple, attrs []string) bool {
+	for _, at := range attrs {
+		if a[at] != b[at] {
+			return false
+		}
+	}
+	return true
+}
+
+// InstanceFromTree reads a conforming tree back into a relational instance
+// (one tuple per tuple-type element), the converse direction of the
+// Theorem 3.1 proof.
+func (x *XMLSpec) InstanceFromTree(s *relational.Schema, t *xmltree.Tree) (*relational.Instance, error) {
+	inst := relational.NewInstance(s)
+	for _, rel := range s.Relations() {
+		for _, n := range t.Ext(x.tupleType[rel]) {
+			tuple := relational.Tuple{}
+			for _, a := range s.Relation(rel).Attrs {
+				v, ok := n.Attr(a)
+				if !ok {
+					return nil, fmt.Errorf("reduction: tuple element %s lacks attribute %q", x.tupleType[rel], a)
+				}
+				tuple[a] = v
+			}
+			if err := inst.Insert(rel, tuple); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return inst, nil
+}

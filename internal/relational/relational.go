@@ -1,0 +1,302 @@
+// Package relational is the relational-database substrate for Section 3 of
+// the paper: schemas, finite instances, and the dependency classes whose
+// implication problems drive the undecidability reductions — keys, foreign
+// keys, functional dependencies (FDs) and inclusion dependencies (IDs).
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is one relation schema: a name and an attribute list.
+type Relation struct {
+	Name  string
+	Attrs []string
+}
+
+// HasAttr reports whether the relation declares the attribute.
+func (r *Relation) HasAttr(a string) bool {
+	for _, x := range r.Attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Schema is a relational schema R = (R1, …, Rn).
+type Schema struct {
+	rels  map[string]*Relation
+	order []string
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{rels: make(map[string]*Relation)}
+}
+
+// AddRelation declares a relation, replacing any previous declaration.
+func (s *Schema) AddRelation(name string, attrs ...string) *Relation {
+	r, ok := s.rels[name]
+	if !ok {
+		r = &Relation{Name: name}
+		s.rels[name] = r
+		s.order = append(s.order, name)
+	}
+	r.Attrs = append([]string(nil), attrs...)
+	return r
+}
+
+// Relation returns the declaration of a relation, or nil.
+func (s *Schema) Relation(name string) *Relation { return s.rels[name] }
+
+// Relations returns relation names in declaration order.
+func (s *Schema) Relations() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Check validates the schema: nonempty attribute lists, no duplicate
+// attributes.
+func (s *Schema) Check() error {
+	for _, name := range s.order {
+		r := s.rels[name]
+		if len(r.Attrs) == 0 {
+			return fmt.Errorf("relational: relation %q has no attributes", name)
+		}
+		seen := map[string]bool{}
+		for _, a := range r.Attrs {
+			if seen[a] {
+				return fmt.Errorf("relational: relation %q declares attribute %q twice", name, a)
+			}
+			seen[a] = true
+		}
+	}
+	return nil
+}
+
+// Tuple maps attribute names to string values.
+type Tuple map[string]string
+
+// Instance is a finite instance of a schema: a bag of tuples per relation
+// (set semantics are enforced by Satisfies' key checks, not storage).
+type Instance struct {
+	Schema *Schema
+	Tuples map[string][]Tuple
+}
+
+// NewInstance returns an empty instance of the schema.
+func NewInstance(s *Schema) *Instance {
+	return &Instance{Schema: s, Tuples: make(map[string][]Tuple)}
+}
+
+// Insert appends a tuple to a relation. Values must cover exactly the
+// relation's attributes.
+func (i *Instance) Insert(rel string, t Tuple) error {
+	r := i.Schema.Relation(rel)
+	if r == nil {
+		return fmt.Errorf("relational: unknown relation %q", rel)
+	}
+	if len(t) != len(r.Attrs) {
+		return fmt.Errorf("relational: tuple arity %d does not match %q (%d attributes)", len(t), rel, len(r.Attrs))
+	}
+	for _, a := range r.Attrs {
+		if _, ok := t[a]; !ok {
+			return fmt.Errorf("relational: tuple for %q lacks attribute %q", rel, a)
+		}
+	}
+	copied := make(Tuple, len(t))
+	for k, v := range t {
+		copied[k] = v
+	}
+	i.Tuples[rel] = append(i.Tuples[rel], copied)
+	return nil
+}
+
+// project renders the listed attribute values of a tuple as a comparable
+// string.
+func project(t Tuple, attrs []string) string {
+	var b strings.Builder
+	for _, a := range attrs {
+		v := t[a]
+		fmt.Fprintf(&b, "%d:%s", len(v), v)
+	}
+	return b.String()
+}
+
+// Dependency is a relational dependency: Key, ForeignKey, FD or ID.
+type Dependency interface {
+	String() string
+	Validate(s *Schema) error
+	// SatisfiedBy reports whether the instance satisfies the dependency.
+	SatisfiedBy(i *Instance) bool
+}
+
+// Key is R[X] → R: X determines the whole tuple.
+type Key struct {
+	Rel   string
+	Attrs []string
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s[%s] -> %s", k.Rel, strings.Join(k.Attrs, ","), k.Rel)
+}
+
+// Validate implements Dependency.
+func (k Key) Validate(s *Schema) error {
+	return validateAttrs(s, k.Rel, k.Attrs)
+}
+
+// SatisfiedBy implements Dependency: no two tuples agree on X yet differ
+// somewhere.
+func (k Key) SatisfiedBy(i *Instance) bool {
+	r := i.Schema.Relation(k.Rel)
+	seen := map[string]string{}
+	for _, t := range i.Tuples[k.Rel] {
+		kv := project(t, k.Attrs)
+		full := project(t, r.Attrs)
+		if prev, ok := seen[kv]; ok && prev != full {
+			return false
+		}
+		seen[kv] = full
+	}
+	return true
+}
+
+// FD is the functional dependency R : X → Y.
+type FD struct {
+	Rel  string
+	From []string // X
+	To   []string // Y
+}
+
+func (f FD) String() string {
+	return fmt.Sprintf("%s: %s -> %s", f.Rel, strings.Join(f.From, ","), strings.Join(f.To, ","))
+}
+
+// Validate implements Dependency.
+func (f FD) Validate(s *Schema) error {
+	if err := validateAttrs(s, f.Rel, f.From); err != nil {
+		return err
+	}
+	return validateAttrs(s, f.Rel, f.To)
+}
+
+// SatisfiedBy implements Dependency.
+func (f FD) SatisfiedBy(i *Instance) bool {
+	seen := map[string]string{}
+	for _, t := range i.Tuples[f.Rel] {
+		from := project(t, f.From)
+		to := project(t, f.To)
+		if prev, ok := seen[from]; ok && prev != to {
+			return false
+		}
+		seen[from] = to
+	}
+	return true
+}
+
+// ID is the inclusion dependency R1[X] ⊆ R2[Y]; unlike a foreign key, Y
+// need not be a key of R2.
+type ID struct {
+	Child       string
+	ChildAttrs  []string
+	Parent      string
+	ParentAttrs []string
+}
+
+func (d ID) String() string {
+	return fmt.Sprintf("%s[%s] <= %s[%s]", d.Child, strings.Join(d.ChildAttrs, ","),
+		d.Parent, strings.Join(d.ParentAttrs, ","))
+}
+
+// Validate implements Dependency.
+func (d ID) Validate(s *Schema) error {
+	if len(d.ChildAttrs) != len(d.ParentAttrs) {
+		return fmt.Errorf("relational: %s: attribute lists differ in length", d)
+	}
+	if err := validateAttrs(s, d.Child, d.ChildAttrs); err != nil {
+		return err
+	}
+	return validateAttrs(s, d.Parent, d.ParentAttrs)
+}
+
+// SatisfiedBy implements Dependency.
+func (d ID) SatisfiedBy(i *Instance) bool {
+	parents := map[string]bool{}
+	for _, t := range i.Tuples[d.Parent] {
+		parents[project(t, d.ParentAttrs)] = true
+	}
+	for _, t := range i.Tuples[d.Child] {
+		if !parents[project(t, d.ChildAttrs)] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForeignKey is R1[X] ⊆ R2[Y] together with R2[Y] → R2.
+type ForeignKey struct {
+	ID
+}
+
+func (f ForeignKey) String() string {
+	return fmt.Sprintf("%s[%s] => %s[%s]", f.Child, strings.Join(f.ChildAttrs, ","),
+		f.Parent, strings.Join(f.ParentAttrs, ","))
+}
+
+// Key returns the key component R2[Y] → R2.
+func (f ForeignKey) Key() Key {
+	return Key{Rel: f.Parent, Attrs: f.ParentAttrs}
+}
+
+// SatisfiedBy implements Dependency.
+func (f ForeignKey) SatisfiedBy(i *Instance) bool {
+	return f.Key().SatisfiedBy(i) && f.ID.SatisfiedBy(i)
+}
+
+func validateAttrs(s *Schema, rel string, attrs []string) error {
+	r := s.Relation(rel)
+	if r == nil {
+		return fmt.Errorf("relational: unknown relation %q", rel)
+	}
+	if len(attrs) == 0 {
+		return fmt.Errorf("relational: empty attribute list for %q", rel)
+	}
+	for _, a := range attrs {
+		if !r.HasAttr(a) {
+			return fmt.Errorf("relational: relation %q has no attribute %q", rel, a)
+		}
+	}
+	return nil
+}
+
+// SatisfiedAll reports whether the instance satisfies all dependencies,
+// returning the first violated one otherwise.
+func SatisfiedAll(i *Instance, deps []Dependency) (bool, Dependency) {
+	for _, d := range deps {
+		if !d.SatisfiedBy(i) {
+			return false, d
+		}
+	}
+	return true, nil
+}
+
+// AttrUnion returns the sorted union of attribute lists.
+func AttrUnion(lists ...[]string) []string {
+	set := map[string]bool{}
+	for _, l := range lists {
+		for _, a := range l {
+			set[a] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

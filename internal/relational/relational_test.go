@@ -1,0 +1,150 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleInstance(t *testing.T) (*Schema, *Instance) {
+	t.Helper()
+	s := NewSchema()
+	s.AddRelation("emp", "id", "dept", "boss")
+	s.AddRelation("dept", "code")
+	inst := NewInstance(s)
+	rows := []Tuple{
+		{"id": "1", "dept": "cs", "boss": "2"},
+		{"id": "2", "dept": "cs", "boss": "2"},
+		{"id": "3", "dept": "ee", "boss": "2"},
+	}
+	for _, r := range rows {
+		if err := inst.Insert("emp", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []string{"cs", "ee"} {
+		if err := inst.Insert("dept", Tuple{"code": c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, inst
+}
+
+func TestKeySatisfaction(t *testing.T) {
+	_, inst := sampleInstance(t)
+	if !(Key{Rel: "emp", Attrs: []string{"id"}}).SatisfiedBy(inst) {
+		t.Error("id is a key of emp")
+	}
+	if (Key{Rel: "emp", Attrs: []string{"dept"}}).SatisfiedBy(inst) {
+		t.Error("dept is not a key of emp")
+	}
+	// Duplicate full tuples do not violate a key (set semantics).
+	s := NewSchema()
+	s.AddRelation("r", "a")
+	i2 := NewInstance(s)
+	_ = i2.Insert("r", Tuple{"a": "x"})
+	_ = i2.Insert("r", Tuple{"a": "x"})
+	if !(Key{Rel: "r", Attrs: []string{"a"}}).SatisfiedBy(i2) {
+		t.Error("identical tuples should not violate a key")
+	}
+}
+
+func TestFDAndIDSatisfaction(t *testing.T) {
+	_, inst := sampleInstance(t)
+	if !(FD{Rel: "emp", From: []string{"id"}, To: []string{"dept"}}).SatisfiedBy(inst) {
+		t.Error("id → dept holds")
+	}
+	if (FD{Rel: "emp", From: []string{"dept"}, To: []string{"id"}}).SatisfiedBy(inst) {
+		t.Error("dept → id fails (two cs employees)")
+	}
+	if !(ID{Child: "emp", ChildAttrs: []string{"dept"}, Parent: "dept", ParentAttrs: []string{"code"}}).SatisfiedBy(inst) {
+		t.Error("emp[dept] ⊆ dept[code] holds")
+	}
+	if (ID{Child: "dept", ChildAttrs: []string{"code"}, Parent: "emp", ParentAttrs: []string{"id"}}).SatisfiedBy(inst) {
+		t.Error("dept[code] ⊆ emp[id] fails")
+	}
+}
+
+func TestForeignKeySatisfaction(t *testing.T) {
+	_, inst := sampleInstance(t)
+	fk := ForeignKey{ID: ID{Child: "emp", ChildAttrs: []string{"boss"}, Parent: "emp", ParentAttrs: []string{"id"}}}
+	if !fk.SatisfiedBy(inst) {
+		t.Error("boss references an employee id (and id is a key)")
+	}
+	// Break the key side: duplicate ids with different data.
+	_ = inst.Insert("emp", Tuple{"id": "1", "dept": "ee", "boss": "1"})
+	if fk.SatisfiedBy(inst) {
+		t.Error("foreign key must fail once the referenced key breaks")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := NewSchema()
+	s.AddRelation("r", "a", "b")
+	cases := []Dependency{
+		Key{Rel: "ghost", Attrs: []string{"a"}},
+		Key{Rel: "r", Attrs: []string{"zzz"}},
+		Key{Rel: "r", Attrs: nil},
+		FD{Rel: "r", From: []string{"a"}, To: []string{"zzz"}},
+		ID{Child: "r", ChildAttrs: []string{"a", "b"}, Parent: "r", ParentAttrs: []string{"a"}},
+	}
+	for _, dep := range cases {
+		if err := dep.Validate(s); err == nil {
+			t.Errorf("%s should fail validation", dep)
+		}
+	}
+	ok := ForeignKey{ID: ID{Child: "r", ChildAttrs: []string{"a"}, Parent: "r", ParentAttrs: []string{"b"}}}
+	if err := ok.Validate(s); err != nil {
+		t.Errorf("valid foreign key rejected: %v", err)
+	}
+}
+
+func TestSchemaChecks(t *testing.T) {
+	s := NewSchema()
+	s.AddRelation("r", "a", "a")
+	if err := s.Check(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate attribute accepted: %v", err)
+	}
+	s2 := NewSchema()
+	s2.AddRelation("empty")
+	if err := s2.Check(); err == nil {
+		t.Error("relation without attributes accepted")
+	}
+	// Redeclaration replaces attributes.
+	s3 := NewSchema()
+	s3.AddRelation("r", "a")
+	s3.AddRelation("r", "b", "c")
+	if got := s3.Relation("r").Attrs; len(got) != 2 || got[0] != "b" {
+		t.Errorf("redeclaration attrs = %v", got)
+	}
+	if len(s3.Relations()) != 1 {
+		t.Errorf("redeclaration duplicated the relation: %v", s3.Relations())
+	}
+}
+
+func TestSatisfiedAllReportsFirstViolation(t *testing.T) {
+	_, inst := sampleInstance(t)
+	deps := []Dependency{
+		Key{Rel: "emp", Attrs: []string{"id"}},
+		Key{Rel: "emp", Attrs: []string{"dept"}}, // violated
+	}
+	ok, violated := SatisfiedAll(inst, deps)
+	if ok || violated == nil || !strings.Contains(violated.String(), "dept") {
+		t.Errorf("SatisfiedAll = %v, %v", ok, violated)
+	}
+}
+
+func TestAttrUnion(t *testing.T) {
+	got := AttrUnion([]string{"b", "a"}, []string{"a", "c"})
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("AttrUnion = %v", got)
+	}
+}
+
+func TestProjectUnambiguous(t *testing.T) {
+	// ("ab","c") vs ("a","bc") must project differently.
+	a := Tuple{"x": "ab", "y": "c"}
+	b := Tuple{"x": "a", "y": "bc"}
+	if project(a, []string{"x", "y"}) == project(b, []string{"x", "y"}) {
+		t.Error("projection is ambiguous")
+	}
+}

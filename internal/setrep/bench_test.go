@@ -1,0 +1,48 @@
+package setrep
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkHasRepresentation(b *testing.B) {
+	for _, n := range []int{2, 4, 5} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		cells := map[uint64]int64{}
+		full := uint64(1) << uint(n)
+		for m := uint64(1); m < full; m++ {
+			cells[m] = int64(rng.Intn(2))
+		}
+		u, v := UV(FromCells(n, cells, "b"))
+		b.Run(fmt.Sprintf("sets-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, ok, err := HasRepresentation(u, v, nil)
+				if err != nil || !ok {
+					b.Fatalf("realisable family rejected: %v %v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIsIntersectionPattern(b *testing.B) {
+	f := FromCells(3, map[uint64]int64{0b111: 1, 0b011: 2, 0b100: 1, 0b101: 1}, "ip")
+	u, _ := UV(f)
+	for i := 0; i < b.N; i++ {
+		_, ok, err := IsIntersectionPattern(u, nil)
+		if err != nil || !ok {
+			b.Fatalf("pattern rejected: %v %v", ok, err)
+		}
+	}
+}
+
+func BenchmarkWMatrix(b *testing.B) {
+	f := FromCells(4, map[uint64]int64{0b1111: 2, 0b0011: 1, 0b1100: 1}, "w")
+	u, v := UV(f)
+	for i := 0; i < b.N; i++ {
+		if _, err := WMatrix(u, v, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

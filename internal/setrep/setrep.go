@@ -1,0 +1,270 @@
+// Package setrep implements the set-representation machinery of Theorem 5.1:
+// deciding whether matrices U, V of prescribed intersection and difference
+// cardinalities (u_ij = |A_i ∩ A_j|, v_ij = |A_i \ A_j|) are realised by a
+// family of finite sets, constructing such families explicitly from
+// intersection-cell counts (the zθ variables of Lemma 5.3), and building
+// the 2n×2n matrix W that reduces the question to the classical
+// INTERSECTION PATTERN problem (Garey & Johnson).
+package setrep
+
+import (
+	"fmt"
+	"math/big"
+
+	"xic/internal/ilp"
+	"xic/internal/linear"
+)
+
+// Family is an ordered family of finite sets of opaque string values. Order
+// within each set is the materialisation order of its values and carries no
+// semantics beyond determinism.
+type Family [][]string
+
+// Contains reports whether set i of the family contains the value.
+func (f Family) Contains(i int, v string) bool {
+	for _, x := range f[i] {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// FromCells materialises a family of n sets from intersection-cell counts:
+// cells[θ] fresh values are created for every nonempty θ ⊆ {0,…,n−1}, and
+// A_i is the union of the cells whose mask contains i. Values are named
+// prefix + "θ<mask>_<k>" and are globally fresh across calls with distinct
+// prefixes.
+func FromCells(n int, cells map[uint64]int64, prefix string) Family {
+	f := make(Family, n)
+	full := uint64(1) << uint(n)
+	for m := uint64(1); m < full; m++ {
+		count := cells[m]
+		for k := int64(0); k < count; k++ {
+			v := fmt.Sprintf("%sθ%d_%d", prefix, m, k)
+			for i := 0; i < n; i++ {
+				if m&(1<<uint(i)) != 0 {
+					f[i] = append(f[i], v)
+				}
+			}
+		}
+	}
+	return f
+}
+
+// UV computes the matrices u_ij = |A_i ∩ A_j| and v_ij = |A_i \ A_j| of a
+// family.
+func UV(f Family) (u, v [][]int64) {
+	n := len(f)
+	sets := make([]map[string]bool, n)
+	for i, s := range f {
+		sets[i] = make(map[string]bool, len(s))
+		for _, x := range s {
+			sets[i][x] = true
+		}
+	}
+	u = make([][]int64, n)
+	v = make([][]int64, n)
+	for i := 0; i < n; i++ {
+		u[i] = make([]int64, n)
+		v[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			for x := range sets[i] {
+				if sets[j][x] {
+					u[i][j]++
+				} else {
+					v[i][j]++
+				}
+			}
+		}
+	}
+	return u, v
+}
+
+// HasRepresentation decides whether matrices U, V admit a set
+// representation, returning a witness family when they do. The decision
+// solves the intersection-cell system of Lemma 5.3: nonnegative integers zθ
+// with u_ij = Σ_{θ ∋ i,j} zθ and v_ij = Σ_{θ ∋ i, θ ∌ j} zθ. The system is
+// exponential in n — this is the NP certificate of Theorem 5.1 — so n is
+// capped at MaxSets.
+func HasRepresentation(u, v [][]int64, opt *ilp.Options) (Family, bool, error) {
+	n := len(u)
+	if err := checkSquare(u, n, "U"); err != nil {
+		return nil, false, err
+	}
+	if err := checkSquare(v, n, "V"); err != nil {
+		return nil, false, err
+	}
+	if n > MaxSets {
+		return nil, false, fmt.Errorf("setrep: %d sets exceed the cell-encoding cap of %d", n, MaxSets)
+	}
+	if n == 0 {
+		return Family{}, true, nil
+	}
+	sys := linear.NewSystem()
+	full := uint64(1) << uint(n)
+	cellVar := func(m uint64) int { return sys.Var(fmt.Sprintf("z[%b]", m)) }
+	for m := uint64(1); m < full; m++ {
+		cellVar(m)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ue := linear.Expr{}
+			ve := linear.Expr{}
+			for m := uint64(1); m < full; m++ {
+				if m&(1<<uint(i)) == 0 {
+					continue
+				}
+				if m&(1<<uint(j)) != 0 {
+					ue.Plus(cellVar(m), 1)
+				} else {
+					ve.Plus(cellVar(m), 1)
+				}
+			}
+			sys.AddEq(ue, u[i][j])
+			sys.AddEq(ve, v[i][j])
+		}
+	}
+	res, err := ilp.Solve(sys, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	if !res.Feasible {
+		return nil, false, nil
+	}
+	cells := make(map[uint64]int64)
+	for m := uint64(1); m < full; m++ {
+		id, _ := sys.Lookup(fmt.Sprintf("z[%b]", m))
+		val := res.Values[id]
+		if !val.IsInt64() {
+			return nil, false, fmt.Errorf("setrep: cell count %s overflows int64", val)
+		}
+		cells[m] = val.Int64()
+	}
+	return FromCells(n, cells, "s"), true, nil
+}
+
+// MaxSets bounds the family size for the exponential cell encoding.
+const MaxSets = 12
+
+func checkSquare(m [][]int64, n int, name string) error {
+	if len(m) != n {
+		return fmt.Errorf("setrep: %s is not %d×%d", name, n, n)
+	}
+	for _, row := range m {
+		if len(row) != n {
+			return fmt.Errorf("setrep: %s is not square", name)
+		}
+		for _, x := range row {
+			if x < 0 {
+				return fmt.Errorf("setrep: %s has a negative entry", name)
+			}
+		}
+	}
+	return nil
+}
+
+// WMatrix builds the 2n×2n matrix W of Theorem 5.1's NP argument from U, V
+// and the universe bound K:
+//
+//	w_ij = u_ij                         i,j ≤ n
+//	w_i,n+j = v_ij,  w_n+i,j = v_ji     mixed
+//	w_n+i,n+j = K − u_ij − v_ij − v_ji  i,j > n
+//
+// U, V have a set representation within a K-element universe iff W is an
+// intersection pattern (the second family being the complements).
+func WMatrix(u, v [][]int64, k int64) ([][]int64, error) {
+	n := len(u)
+	if err := checkSquare(u, n, "U"); err != nil {
+		return nil, err
+	}
+	if err := checkSquare(v, n, "V"); err != nil {
+		return nil, err
+	}
+	w := make([][]int64, 2*n)
+	for i := range w {
+		w[i] = make([]int64, 2*n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w[i][j] = u[i][j]
+			w[i][n+j] = v[i][j]
+			w[n+i][j] = v[j][i]
+			w[n+i][n+j] = k - u[i][j] - v[i][j] - v[j][i]
+			if w[n+i][n+j] < 0 {
+				return nil, fmt.Errorf("setrep: universe bound %d too small for entries at (%d,%d)", k, i, j)
+			}
+		}
+	}
+	return w, nil
+}
+
+// IsIntersectionPattern decides the INTERSECTION PATTERN problem: is there
+// a family Y_1,…,Y_m with a_ij = |Y_i ∩ Y_j|? It solves the cell system
+// over the m sets and returns a witness family if one exists. m is capped
+// at MaxSets.
+func IsIntersectionPattern(a [][]int64, opt *ilp.Options) (Family, bool, error) {
+	m := len(a)
+	if err := checkSquare(a, m, "A"); err != nil {
+		return nil, false, err
+	}
+	if m > MaxSets {
+		return nil, false, fmt.Errorf("setrep: %d sets exceed the cell-encoding cap of %d", m, MaxSets)
+	}
+	if m == 0 {
+		return Family{}, true, nil
+	}
+	sys := linear.NewSystem()
+	full := uint64(1) << uint(m)
+	cellVar := func(mask uint64) int { return sys.Var(fmt.Sprintf("z[%b]", mask)) }
+	for mask := uint64(1); mask < full; mask++ {
+		cellVar(mask)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			e := linear.Expr{}
+			for mask := uint64(1); mask < full; mask++ {
+				if mask&(1<<uint(i)) != 0 && mask&(1<<uint(j)) != 0 {
+					e.Plus(cellVar(mask), 1)
+				}
+			}
+			sys.AddEq(e, a[i][j])
+		}
+	}
+	res, err := ilp.Solve(sys, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	if !res.Feasible {
+		return nil, false, nil
+	}
+	cells := make(map[uint64]int64)
+	for mask := uint64(1); mask < full; mask++ {
+		id, _ := sys.Lookup(fmt.Sprintf("z[%b]", mask))
+		val := res.Values[id]
+		if !val.IsInt64() {
+			return nil, false, fmt.Errorf("setrep: cell count %s overflows int64", val)
+		}
+		cells[mask] = val.Int64()
+	}
+	return FromCells(m, cells, "p"), true, nil
+}
+
+// BigIntValues converts a solver assignment into cell counts for FromCells,
+// reading variables named by name(mask).
+func BigIntValues(values []*big.Int, lookup func(name string) (int, bool), name func(mask uint64) string, n int) (map[uint64]int64, error) {
+	cells := make(map[uint64]int64)
+	full := uint64(1) << uint(n)
+	for m := uint64(1); m < full; m++ {
+		id, ok := lookup(name(m))
+		if !ok {
+			return nil, fmt.Errorf("setrep: cell variable %s missing", name(m))
+		}
+		v := values[id]
+		if !v.IsInt64() {
+			return nil, fmt.Errorf("setrep: cell count %s overflows int64", v)
+		}
+		cells[m] = v.Int64()
+	}
+	return cells, nil
+}

@@ -1,0 +1,174 @@
+package setrep
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFromCellsAndUV(t *testing.T) {
+	// Two sets: 2 shared values (mask 11), 1 only in A0 (mask 01),
+	// 3 only in A1 (mask 10).
+	f := FromCells(2, map[uint64]int64{0b11: 2, 0b01: 1, 0b10: 3}, "t")
+	if len(f[0]) != 3 || len(f[1]) != 5 {
+		t.Fatalf("|A0|=%d |A1|=%d, want 3 and 5", len(f[0]), len(f[1]))
+	}
+	u, v := UV(f)
+	if u[0][0] != 3 || u[1][1] != 5 || u[0][1] != 2 || u[1][0] != 2 {
+		t.Errorf("U = %v", u)
+	}
+	if v[0][1] != 1 || v[1][0] != 3 || v[0][0] != 0 {
+		t.Errorf("V = %v", v)
+	}
+}
+
+func TestHasRepresentationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(3)
+		cells := map[uint64]int64{}
+		full := uint64(1) << uint(n)
+		for m := uint64(1); m < full; m++ {
+			cells[m] = int64(rng.Intn(3))
+		}
+		f := FromCells(n, cells, "r")
+		u, v := UV(f)
+		got, ok, err := HasRepresentation(u, v, nil)
+		if err != nil {
+			t.Fatalf("HasRepresentation: %v", err)
+		}
+		if !ok {
+			t.Fatalf("realisable U,V rejected: U=%v V=%v", u, v)
+		}
+		u2, v2 := UV(got)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u2[i][j] != u[i][j] || v2[i][j] != v[i][j] {
+					t.Fatalf("witness family mismatch at (%d,%d): u=%d/%d v=%d/%d",
+						i, j, u2[i][j], u[i][j], v2[i][j], v[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestHasRepresentationRejects(t *testing.T) {
+	// Intersection larger than the sets themselves.
+	u := [][]int64{{1, 2}, {2, 1}}
+	v := [][]int64{{0, 0}, {0, 0}}
+	if _, ok, err := HasRepresentation(u, v, nil); err != nil || ok {
+		t.Errorf("impossible U accepted (ok=%v err=%v)", ok, err)
+	}
+
+	// u_ii must equal u_ij + v_ij.
+	u = [][]int64{{2, 1}, {1, 1}}
+	v = [][]int64{{0, 0}, {0, 0}} // u00=2 but u01+v01 = 1
+	if _, ok, err := HasRepresentation(u, v, nil); err != nil || ok {
+		t.Errorf("inconsistent row sums accepted (ok=%v err=%v)", ok, err)
+	}
+
+	// Asymmetric intersection is impossible.
+	u = [][]int64{{1, 1}, {0, 1}}
+	v = [][]int64{{0, 0}, {1, 0}}
+	if _, ok, err := HasRepresentation(u, v, nil); err != nil || ok {
+		t.Errorf("asymmetric U accepted (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestHasRepresentationValidation(t *testing.T) {
+	if _, _, err := HasRepresentation([][]int64{{1}}, [][]int64{{1, 2}}, nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, _, err := HasRepresentation([][]int64{{-1}}, [][]int64{{0}}, nil); err == nil {
+		t.Error("negative entry accepted")
+	}
+	if _, ok, err := HasRepresentation(nil, nil, nil); err != nil || !ok {
+		t.Errorf("empty family should be trivially representable (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestWMatrix(t *testing.T) {
+	f := FromCells(2, map[uint64]int64{0b11: 1, 0b01: 1}, "w")
+	u, v := UV(f)
+	// Universe: 2 values; choose K = 4 (any K ≥ universe works).
+	w, err := WMatrix(u, v, 4)
+	if err != nil {
+		t.Fatalf("WMatrix: %v", err)
+	}
+	if len(w) != 4 {
+		t.Fatalf("W is %d×%d, want 4×4", len(w), len(w))
+	}
+	// Theorem 5.1: W is an intersection pattern iff U,V representable.
+	if _, ok, err := IsIntersectionPattern(w, nil); err != nil || !ok {
+		t.Errorf("W of representable U,V rejected as intersection pattern (ok=%v err=%v)", ok, err)
+	}
+
+	// K too small must error.
+	if _, err := WMatrix(u, v, 1); err == nil {
+		t.Error("undersized K accepted")
+	}
+}
+
+func TestWMatrixOfImpossibleUV(t *testing.T) {
+	u := [][]int64{{1, 1}, {0, 1}} // asymmetric: no representation
+	v := [][]int64{{0, 0}, {1, 0}}
+	w, err := WMatrix(u, v, 5)
+	if err != nil {
+		t.Fatalf("WMatrix: %v", err)
+	}
+	if _, ok, err := IsIntersectionPattern(w, nil); err != nil || ok {
+		t.Errorf("W of unrepresentable U,V accepted (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestIsIntersectionPattern(t *testing.T) {
+	// Y0={a,b}, Y1={b,c}, Y2={c}.
+	a := [][]int64{
+		{2, 1, 0},
+		{1, 2, 1},
+		{0, 1, 1},
+	}
+	f, ok, err := IsIntersectionPattern(a, nil)
+	if err != nil || !ok {
+		t.Fatalf("valid pattern rejected (ok=%v err=%v)", ok, err)
+	}
+	u, _ := UV(f)
+	for i := range a {
+		for j := range a {
+			if u[i][j] != a[i][j] {
+				t.Errorf("witness intersection (%d,%d) = %d, want %d", i, j, u[i][j], a[i][j])
+			}
+		}
+	}
+
+	// |Y0 ∩ Y1| > |Y0| is impossible.
+	bad := [][]int64{{1, 2}, {2, 3}}
+	if _, ok, _ := IsIntersectionPattern(bad, nil); ok {
+		t.Error("impossible pattern accepted")
+	}
+}
+
+func TestCapEnforced(t *testing.T) {
+	n := MaxSets + 1
+	u := make([][]int64, n)
+	v := make([][]int64, n)
+	for i := range u {
+		u[i] = make([]int64, n)
+		v[i] = make([]int64, n)
+	}
+	if _, _, err := HasRepresentation(u, v, nil); err == nil {
+		t.Error("cap not enforced for HasRepresentation")
+	}
+	if _, _, err := IsIntersectionPattern(u, nil); err == nil {
+		t.Error("cap not enforced for IsIntersectionPattern")
+	}
+}
+
+func TestFamilyContains(t *testing.T) {
+	f := FromCells(1, map[uint64]int64{1: 2}, "c")
+	if !f.Contains(0, f[0][0]) {
+		t.Error("Contains misses a member")
+	}
+	if f.Contains(0, "absent") {
+		t.Error("Contains reports an absent value")
+	}
+}

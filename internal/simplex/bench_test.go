@@ -1,0 +1,67 @@
+package simplex
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func benchProblem(rng *rand.Rand, n, rows int) *Problem {
+	point := make([]int64, n)
+	for i := range point {
+		point[i] = int64(rng.Intn(5))
+	}
+	p := New(n)
+	for r := 0; r < rows; r++ {
+		coeffs := make(map[int]int64)
+		var lhs int64
+		for i := 0; i < n; i++ {
+			c := int64(rng.Intn(7) - 3)
+			if c != 0 {
+				coeffs[i] = c
+				lhs += c * point[i]
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.AddRowInt(coeffs, Eq, lhs)
+		case 1:
+			p.AddRowInt(coeffs, Le, lhs+1)
+		default:
+			p.AddRowInt(coeffs, Ge, lhs-1)
+		}
+	}
+	obj := make(map[int]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		obj[i] = big.NewRat(1, 1)
+	}
+	p.SetObjective(obj)
+	return p
+}
+
+func BenchmarkSolve(b *testing.B) {
+	for _, size := range []struct{ n, rows int }{{10, 10}, {20, 20}, {30, 25}} {
+		rng := rand.New(rand.NewSource(3))
+		p := benchProblem(rng, size.n, size.rows)
+		b.Run(fmt.Sprintf("%dv-%dr", size.n, size.rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol := p.Solve()
+				if sol.Status != Optimal {
+					b.Fatalf("status %v", sol.Status)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolveInfeasible(b *testing.B) {
+	p := New(3)
+	p.AddRowInt(map[int]int64{0: 1, 1: 1, 2: 1}, Eq, 5)
+	p.AddRowInt(map[int]int64{0: 1, 1: 1, 2: 1}, Eq, 6)
+	for i := 0; i < b.N; i++ {
+		if sol := p.Solve(); sol.Status != Infeasible {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package simplex is an exact rational linear-programming solver: a dense
+// two-phase primal simplex over math/big.Rat with Bland's anti-cycling
+// rule. It decides feasibility of {x ≥ 0 : A·x (≤,=,≥) b} and minimizes a
+// linear objective over that polyhedron. Exact arithmetic matters here:
+// the solver is the oracle inside a decision procedure (the paper's
+// reduction of XML constraint consistency to linear integer programming),
+// where floating-point drift would produce wrong answers, not just
+// imprecise ones.
+package simplex
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Rel is a row relation.
+type Rel int
+
+// Row relations.
+const (
+	Le Rel = iota // a·x ≤ b
+	Eq            // a·x = b
+	Ge            // a·x ≥ b
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal    Status = iota // feasible; X minimizes the objective
+	Infeasible               // the polyhedron is empty
+	Unbounded                // the objective is unbounded below
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Problem is an LP over nonnegative structural variables x_0 … x_{n-1}.
+type Problem struct {
+	nvars int
+	rows  []sparseRow
+	rels  []Rel
+	rhs   []*big.Rat
+	obj   map[int]*big.Rat // minimized; nil means pure feasibility
+}
+
+type sparseRow []struct {
+	col int
+	val *big.Rat
+}
+
+// New returns an empty problem over nvars nonnegative variables.
+func New(nvars int) *Problem {
+	return &Problem{nvars: nvars}
+}
+
+// AddRow appends the constraint Σ coeffs[j]·x_j rel rhs. Coefficient keys
+// outside [0, nvars) panic.
+func (p *Problem) AddRow(coeffs map[int]*big.Rat, rel Rel, rhs *big.Rat) {
+	var row sparseRow
+	for j, v := range coeffs {
+		if j < 0 || j >= p.nvars {
+			panic(fmt.Sprintf("simplex: column %d out of range [0,%d)", j, p.nvars))
+		}
+		if v.Sign() != 0 {
+			row = append(row, struct {
+				col int
+				val *big.Rat
+			}{j, new(big.Rat).Set(v)})
+		}
+	}
+	p.rows = append(p.rows, row)
+	p.rels = append(p.rels, rel)
+	p.rhs = append(p.rhs, new(big.Rat).Set(rhs))
+}
+
+// AddRowInt appends a row with integer coefficients and right-hand side.
+func (p *Problem) AddRowInt(coeffs map[int]int64, rel Rel, rhs int64) {
+	m := make(map[int]*big.Rat, len(coeffs))
+	for j, v := range coeffs {
+		m[j] = new(big.Rat).SetInt64(v)
+	}
+	p.AddRow(m, rel, new(big.Rat).SetInt64(rhs))
+}
+
+// SetObjective sets the minimization objective Σ coeffs[j]·x_j.
+func (p *Problem) SetObjective(coeffs map[int]*big.Rat) {
+	p.obj = make(map[int]*big.Rat, len(coeffs))
+	for j, v := range coeffs {
+		p.obj[j] = new(big.Rat).Set(v)
+	}
+}
+
+// Solution is the result of a solve. X is only meaningful when Status is
+// Optimal; Obj is the objective value (0 for pure feasibility problems).
+type Solution struct {
+	Status Status
+	X      []*big.Rat
+	Obj    *big.Rat
+}
+
+// tableau is the dense simplex tableau in canonical form.
+type tableau struct {
+	m, ncols   int
+	a          [][]*big.Rat // m rows × ncols
+	rhs        []*big.Rat   // m
+	basis      []int        // basic column of each row
+	objRow     []*big.Rat   // reduced costs, ncols
+	objVal     *big.Rat
+	artStart   int // first artificial column; columns ≥ artStart are blocked in phase 2
+	structural int // number of structural columns
+}
+
+// Solve runs two-phase simplex and returns the solution.
+func (p *Problem) Solve() *Solution {
+	t := p.buildTableau()
+	// Phase 1: minimize the sum of artificials.
+	t.setPhase1Objective()
+	if !t.pivotToOptimality(t.ncols) {
+		// Phase 1 is always bounded below by 0; unboundedness is a bug.
+		panic("simplex: phase 1 unbounded")
+	}
+	if t.objVal.Sign() > 0 {
+		return &Solution{Status: Infeasible}
+	}
+	t.driveOutArtificials()
+
+	// Phase 2: minimize the real objective over non-artificial columns.
+	t.setObjective(p.obj)
+	if !t.pivotToOptimality(t.artStart) {
+		return &Solution{Status: Unbounded}
+	}
+	x := make([]*big.Rat, p.nvars)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i, b := range t.basis {
+		if b < p.nvars {
+			x[b].Set(t.rhs[i])
+		}
+	}
+	return &Solution{Status: Optimal, X: x, Obj: new(big.Rat).Set(t.objVal)}
+}
+
+func (p *Problem) buildTableau() *tableau {
+	m := len(p.rows)
+	// Normalize to b ≥ 0, flipping relations as needed.
+	type normRow struct {
+		row sparseRow
+		rel Rel
+		rhs *big.Rat
+		neg bool
+	}
+	norm := make([]normRow, m)
+	slackCount := 0
+	artCount := 0
+	for i := range p.rows {
+		nr := normRow{row: p.rows[i], rel: p.rels[i], rhs: p.rhs[i]}
+		if nr.rhs.Sign() < 0 {
+			nr.neg = true
+			switch nr.rel {
+			case Le:
+				nr.rel = Ge
+			case Ge:
+				nr.rel = Le
+			}
+		}
+		if nr.rel != Eq {
+			slackCount++
+		}
+		if nr.rel != Le {
+			artCount++
+		}
+		norm[i] = nr
+	}
+	ncols := p.nvars + slackCount + artCount
+	t := &tableau{
+		m:          m,
+		ncols:      ncols,
+		structural: p.nvars,
+		artStart:   p.nvars + slackCount,
+		objVal:     new(big.Rat),
+	}
+	t.a = make([][]*big.Rat, m)
+	t.rhs = make([]*big.Rat, m)
+	t.basis = make([]int, m)
+	for i := range t.a {
+		t.a[i] = make([]*big.Rat, ncols)
+		for j := range t.a[i] {
+			t.a[i][j] = new(big.Rat)
+		}
+	}
+	slack := p.nvars
+	art := t.artStart
+	for i, nr := range norm {
+		for _, e := range nr.row {
+			v := new(big.Rat).Set(e.val)
+			if nr.neg {
+				v.Neg(v)
+			}
+			t.a[i][e.col].Add(t.a[i][e.col], v) // Add: tolerate duplicate cols
+		}
+		t.rhs[i] = new(big.Rat).Set(nr.rhs)
+		if nr.neg {
+			t.rhs[i].Neg(t.rhs[i])
+		}
+		switch nr.rel {
+		case Le:
+			t.a[i][slack].SetInt64(1)
+			t.basis[i] = slack
+			slack++
+		case Ge:
+			t.a[i][slack].SetInt64(-1)
+			slack++
+			t.a[i][art].SetInt64(1)
+			t.basis[i] = art
+			art++
+		case Eq:
+			t.a[i][art].SetInt64(1)
+			t.basis[i] = art
+			art++
+		}
+	}
+	t.objRow = make([]*big.Rat, ncols)
+	for j := range t.objRow {
+		t.objRow[j] = new(big.Rat)
+	}
+	return t
+}
+
+// setPhase1Objective installs reduced costs for minimizing the sum of
+// artificial variables under the initial basis.
+func (t *tableau) setPhase1Objective() {
+	// c_j = 1 for artificial columns, 0 otherwise. For the initial basis,
+	// reduced costs are c_j − Σ_{i: basis(i) artificial} a_ij and the
+	// objective value is Σ_{i: basis(i) artificial} b_i.
+	for j := 0; j < t.ncols; j++ {
+		t.objRow[j].SetInt64(0)
+		if j >= t.artStart {
+			t.objRow[j].SetInt64(1)
+		}
+	}
+	t.objVal.SetInt64(0)
+	for i, b := range t.basis {
+		if b >= t.artStart {
+			for j := 0; j < t.ncols; j++ {
+				t.objRow[j].Sub(t.objRow[j], t.a[i][j])
+			}
+			t.objVal.Add(t.objVal, t.rhs[i])
+		}
+	}
+}
+
+// setObjective installs reduced costs for minimizing Σ obj[j]·x_j under the
+// current basis. A nil objective yields the zero objective (feasibility).
+func (t *tableau) setObjective(obj map[int]*big.Rat) {
+	c := make([]*big.Rat, t.ncols)
+	for j := range c {
+		c[j] = new(big.Rat)
+	}
+	for j, v := range obj {
+		c[j].Set(v)
+	}
+	for j := 0; j < t.ncols; j++ {
+		t.objRow[j].Set(c[j])
+	}
+	t.objVal.SetInt64(0)
+	for i, b := range t.basis {
+		if c[b].Sign() == 0 {
+			continue
+		}
+		cb := new(big.Rat).Set(c[b])
+		for j := 0; j < t.ncols; j++ {
+			if t.a[i][j].Sign() != 0 {
+				t.objRow[j].Sub(t.objRow[j], new(big.Rat).Mul(cb, t.a[i][j]))
+			}
+		}
+		t.objVal.Add(t.objVal, new(big.Rat).Mul(cb, t.rhs[i]))
+	}
+	// Basic columns now have zero reduced cost up to rounding-free exactness.
+}
+
+// pivotToOptimality runs Bland's-rule pivots until no entering column with
+// negative reduced cost exists among columns < colLimit. It returns false
+// when the objective is unbounded below.
+func (t *tableau) pivotToOptimality(colLimit int) bool {
+	for {
+		// Entering: smallest column index with negative reduced cost.
+		enter := -1
+		for j := 0; j < colLimit; j++ {
+			if t.objRow[j].Sign() < 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return true
+		}
+		// Leaving: min-ratio rows, tie broken by smallest basic index.
+		leave := -1
+		var best *big.Rat
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter].Sign() <= 0 {
+				continue
+			}
+			ratio := new(big.Rat).Quo(t.rhs[i], t.a[i][enter])
+			if leave < 0 || ratio.Cmp(best) < 0 ||
+				(ratio.Cmp(best) == 0 && t.basis[i] < t.basis[leave]) {
+				leave = i
+				best = ratio
+			}
+		}
+		if leave < 0 {
+			return false
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	piv := new(big.Rat).Set(t.a[leave][enter])
+	inv := new(big.Rat).Inv(piv)
+	for j := 0; j < t.ncols; j++ {
+		if t.a[leave][j].Sign() != 0 {
+			t.a[leave][j].Mul(t.a[leave][j], inv)
+		}
+	}
+	t.rhs[leave].Mul(t.rhs[leave], inv)
+	factor := new(big.Rat)
+	tmp := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if i == leave || t.a[i][enter].Sign() == 0 {
+			continue
+		}
+		factor.Set(t.a[i][enter])
+		for j := 0; j < t.ncols; j++ {
+			if t.a[leave][j].Sign() != 0 {
+				tmp.Mul(factor, t.a[leave][j])
+				t.a[i][j].Sub(t.a[i][j], tmp)
+			}
+		}
+		tmp.Mul(factor, t.rhs[leave])
+		t.rhs[i].Sub(t.rhs[i], tmp)
+	}
+	if t.objRow[enter].Sign() != 0 {
+		factor.Set(t.objRow[enter])
+		for j := 0; j < t.ncols; j++ {
+			if t.a[leave][j].Sign() != 0 {
+				tmp.Mul(factor, t.a[leave][j])
+				t.objRow[j].Sub(t.objRow[j], tmp)
+			}
+		}
+		// Entering at level b̄_r moves the objective by ĉ_e·b̄_r.
+		tmp.Mul(factor, t.rhs[leave])
+		t.objVal.Add(t.objVal, tmp)
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials pivots zero-level artificial variables out of the
+// basis where possible after phase 1. Rows whose artificial cannot be
+// replaced are redundant; their artificial stays basic at level 0 and the
+// artificial columns are excluded from phase 2 by the column limit.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if t.a[i][j].Sign() != 0 {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package simplex
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func rat(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+func TestFeasibleEquality(t *testing.T) {
+	p := New(2)
+	p.AddRowInt(map[int]int64{0: 1, 1: 1}, Eq, 2)
+	p.SetObjective(map[int]*big.Rat{0: rat(1, 1), 1: rat(1, 1)})
+	sol := p.Solve()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if sol.Obj.Cmp(rat(2, 1)) != 0 {
+		t.Errorf("objective = %s, want 2", sol.Obj)
+	}
+	sum := new(big.Rat).Add(sol.X[0], sol.X[1])
+	if sum.Cmp(rat(2, 1)) != 0 {
+		t.Errorf("x+y = %s, want 2", sum)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := New(2)
+	p.AddRowInt(map[int]int64{0: 1, 1: 1}, Eq, 2)
+	p.AddRowInt(map[int]int64{0: 1, 1: 1}, Eq, 3)
+	if sol := p.Solve(); sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+
+	q := New(1)
+	q.AddRowInt(map[int]int64{0: 1}, Le, -1) // x ≤ −1 with x ≥ 0
+	if sol := q.Solve(); sol.Status != Infeasible {
+		t.Errorf("x ≤ −1: status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestMinimization(t *testing.T) {
+	// min x subject to x ≥ 3.
+	p := New(1)
+	p.AddRowInt(map[int]int64{0: 1}, Ge, 3)
+	p.SetObjective(map[int]*big.Rat{0: rat(1, 1)})
+	sol := p.Solve()
+	if sol.Status != Optimal || sol.X[0].Cmp(rat(3, 1)) != 0 {
+		t.Errorf("min x s.t. x≥3: %v %v", sol.Status, sol.X)
+	}
+
+	// min 2x + 3y subject to x + y ≥ 4, x ≤ 1 → x=1, y=3, obj=11.
+	q := New(2)
+	q.AddRowInt(map[int]int64{0: 1, 1: 1}, Ge, 4)
+	q.AddRowInt(map[int]int64{0: 1}, Le, 1)
+	q.SetObjective(map[int]*big.Rat{0: rat(2, 1), 1: rat(3, 1)})
+	sol = q.Solve()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Obj.Cmp(rat(11, 1)) != 0 {
+		t.Errorf("objective = %s, want 11", sol.Obj)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min −x with x free above.
+	p := New(1)
+	p.AddRowInt(map[int]int64{0: 1}, Ge, 0)
+	p.SetObjective(map[int]*big.Rat{0: rat(-1, 1)})
+	if sol := p.Solve(); sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestFeasibilityOnlyNoObjective(t *testing.T) {
+	p := New(2)
+	p.AddRowInt(map[int]int64{0: 2, 1: 1}, Eq, 4)
+	sol := p.Solve()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	lhs := new(big.Rat).Add(new(big.Rat).Mul(rat(2, 1), sol.X[0]), sol.X[1])
+	if lhs.Cmp(rat(4, 1)) != 0 {
+		t.Errorf("2x+y = %s, want 4", lhs)
+	}
+}
+
+func TestBealeCyclingExample(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate at the
+	// optimum −1/20 (x = (1/25·… ) — specifically x1=1/25? the optimum is
+	// attained at x = (0.04, 0, 1, 0)).
+	p := New(4)
+	p.AddRow(map[int]*big.Rat{0: rat(1, 4), 1: rat(-60, 1), 2: rat(-1, 25), 3: rat(9, 1)}, Le, rat(0, 1))
+	p.AddRow(map[int]*big.Rat{0: rat(1, 2), 1: rat(-90, 1), 2: rat(-1, 50), 3: rat(3, 1)}, Le, rat(0, 1))
+	p.AddRow(map[int]*big.Rat{2: rat(1, 1)}, Le, rat(1, 1))
+	p.SetObjective(map[int]*big.Rat{0: rat(-3, 4), 1: rat(150, 1), 2: rat(-1, 50), 3: rat(6, 1)})
+	sol := p.Solve()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if sol.Obj.Cmp(rat(-1, 20)) != 0 {
+		t.Errorf("objective = %s, want -1/20", sol.Obj)
+	}
+}
+
+func TestRedundantRows(t *testing.T) {
+	// Duplicated equalities leave a redundant artificial basic at zero;
+	// phase 2 must still succeed.
+	p := New(2)
+	p.AddRowInt(map[int]int64{0: 1, 1: 1}, Eq, 2)
+	p.AddRowInt(map[int]int64{0: 1, 1: 1}, Eq, 2)
+	p.AddRowInt(map[int]int64{0: 2, 1: 2}, Eq, 4)
+	p.SetObjective(map[int]*big.Rat{0: rat(1, 1)})
+	sol := p.Solve()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if sol.X[0].Sign() != 0 {
+		t.Errorf("min x should be 0, got %s", sol.X[0])
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// −x ≤ −2 is x ≥ 2.
+	p := New(1)
+	p.AddRowInt(map[int]int64{0: -1}, Le, -2)
+	p.SetObjective(map[int]*big.Rat{0: rat(1, 1)})
+	sol := p.Solve()
+	if sol.Status != Optimal || sol.X[0].Cmp(rat(2, 1)) != 0 {
+		t.Errorf("x = %v (status %v), want 2", sol.X, sol.Status)
+	}
+	// −x ≥ −2 is x ≤ 2; minimize −x… bounded: max x = 2.
+	q := New(1)
+	q.AddRowInt(map[int]int64{0: -1}, Ge, -2)
+	q.SetObjective(map[int]*big.Rat{0: rat(-1, 1)})
+	sol = q.Solve()
+	if sol.Status != Optimal || sol.X[0].Cmp(rat(2, 1)) != 0 {
+		t.Errorf("max x s.t. x ≤ 2: got %v (status %v)", sol.X, sol.Status)
+	}
+}
+
+// TestRandomFeasiblePoint generates systems guaranteed feasible by
+// construction and checks that the solver finds a point satisfying every
+// row exactly.
+func TestRandomFeasiblePoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		point := make([]int64, n)
+		for i := range point {
+			point[i] = int64(rng.Intn(5))
+		}
+		p := New(n)
+		rows := 1 + rng.Intn(5)
+		for r := 0; r < rows; r++ {
+			coeffs := make(map[int]int64)
+			var lhs int64
+			for i := 0; i < n; i++ {
+				c := int64(rng.Intn(7) - 3)
+				if c != 0 {
+					coeffs[i] = c
+					lhs += c * point[i]
+				}
+			}
+			switch rng.Intn(3) {
+			case 0:
+				p.AddRowInt(coeffs, Eq, lhs)
+			case 1:
+				p.AddRowInt(coeffs, Le, lhs+int64(rng.Intn(3)))
+			default:
+				p.AddRowInt(coeffs, Ge, lhs-int64(rng.Intn(3)))
+			}
+		}
+		sol := p.Solve()
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: constructed-feasible system reported %v", trial, sol.Status)
+		}
+	}
+}
+
+// TestRandomSolutionSatisfiesRows re-solves random systems with objectives
+// and verifies returned points satisfy every row.
+func TestRandomSolutionSatisfiesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(4)
+		p := New(n)
+		type savedRow struct {
+			coeffs map[int]int64
+			rel    Rel
+			rhs    int64
+		}
+		var saved []savedRow
+		rows := 1 + rng.Intn(4)
+		for r := 0; r < rows; r++ {
+			coeffs := make(map[int]int64)
+			for i := 0; i < n; i++ {
+				if c := int64(rng.Intn(5) - 2); c != 0 {
+					coeffs[i] = c
+				}
+			}
+			rel := Rel(rng.Intn(3))
+			rhs := int64(rng.Intn(7) - 1)
+			if rel == Le && rhs < 0 {
+				rhs = -rhs // keep a decent share feasible
+			}
+			p.AddRowInt(coeffs, rel, rhs)
+			saved = append(saved, savedRow{coeffs, rel, rhs})
+		}
+		obj := make(map[int]*big.Rat)
+		for i := 0; i < n; i++ {
+			obj[i] = rat(1, 1)
+		}
+		p.SetObjective(obj)
+		sol := p.Solve()
+		if sol.Status != Optimal {
+			continue
+		}
+		for _, r := range saved {
+			lhs := new(big.Rat)
+			for i, c := range r.coeffs {
+				lhs.Add(lhs, new(big.Rat).Mul(rat(c, 1), sol.X[i]))
+			}
+			rhs := rat(r.rhs, 1)
+			ok := false
+			switch r.rel {
+			case Eq:
+				ok = lhs.Cmp(rhs) == 0
+			case Le:
+				ok = lhs.Cmp(rhs) <= 0
+			case Ge:
+				ok = lhs.Cmp(rhs) >= 0
+			}
+			if !ok {
+				t.Fatalf("trial %d: solution violates row %v", trial, r)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if sol.X[i].Sign() < 0 {
+				t.Fatalf("trial %d: negative component %s", trial, sol.X[i])
+			}
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() == "" || Infeasible.String() == "" || Unbounded.String() == "" {
+		t.Error("Status strings must be non-empty")
+	}
+}

@@ -1,0 +1,207 @@
+package witness
+
+import (
+	"fmt"
+
+	"xic/internal/cardinality"
+	"xic/internal/dtd"
+	"xic/internal/xmltree"
+)
+
+// repair re-roots parent/child components disconnected from the root. For
+// acyclic type graphs the wiring is always connected and this is a no-op
+// check. For recursive DTDs the solution's spanning-depth certificate
+// guarantees the following terminating procedure.
+//
+// Every phantom component contains exactly one parent/child cycle, and the
+// whole component descends from the cycle's nodes. Pick, over all phantom
+// cycles, the node c whose element type τ* has minimal certificate depth
+// d(τ*); its flagged spanning occurrence t^i_{τ*,σ} = 1 names a parent
+// type σ with d(σ) < d(τ*) and x^i_{τ*,σ} ≥ 1 marked nodes.
+//
+//   - If some x^i-marked τ*-node is rooted, swap it with c: c's entire
+//     component (which hangs below c through the cycle) re-roots, so the
+//     phantom node count strictly decreases.
+//   - Otherwise every x^i-marked node is phantom; swap c with any of them
+//     (such a node w ≠ c exists: c itself cannot carry the x^i mark, else
+//     its parent would be a σ-node on the cycle, contradicting d
+//     minimality). The rewired component's cycle now passes through w's
+//     σ-typed parent, so the minimal depth over phantom cycles strictly
+//     decreases while the phantom count is unchanged.
+//
+// The pair (phantom count, minimal phantom-cycle depth) therefore
+// decreases lexicographically; the loop terminates within
+// nodes × (types + 2) iterations.
+func (b *builder) repair(nodes map[string][]*typedNode, root *typedNode) error {
+	index := map[*xmltree.Node]*typedNode{}
+	var all []*typedNode
+	for _, ns := range nodes {
+		for _, tn := range ns {
+			index[tn.node] = tn
+			all = append(all, tn)
+		}
+	}
+
+	rootedSet := func() map[*typedNode]bool {
+		seen := map[*typedNode]bool{root: true}
+		queue := []*typedNode{root}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, c := range cur.node.Children {
+				tn := index[c]
+				if tn != nil && !seen[tn] {
+					seen[tn] = true
+					queue = append(queue, tn)
+				}
+			}
+		}
+		return seen
+	}
+
+	limit := len(all)*(len(b.enc.Simp.DTD.Types())+2) + 10
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return fmt.Errorf("witness: component repair did not converge (internal error)")
+		}
+		rooted := rootedSet()
+		anyPhantom := false
+		for _, tn := range all {
+			if !rooted[tn] {
+				anyPhantom = true
+				break
+			}
+		}
+		if !anyPhantom {
+			return nil
+		}
+		if !b.enc.Recursive() {
+			return fmt.Errorf("witness: disconnected wiring for an acyclic DTD (internal error)")
+		}
+
+		// Locate cycle nodes of phantom components.
+		cycleNodes, err := b.phantomCycleNodes(index, all, rooted)
+		if err != nil {
+			return err
+		}
+		if len(cycleNodes) == 0 {
+			return fmt.Errorf("witness: phantom nodes without a cycle (internal error)")
+		}
+
+		// Pick the cycle node with minimal certificate depth.
+		var pick *typedNode
+		pickDepth := 0
+		for _, tn := range cycleNodes {
+			dv, err := b.intValue(cardinality.DepthVarName(tn.node.Label))
+			if err != nil {
+				return err
+			}
+			if pick == nil || dv < pickDepth {
+				pick = tn
+				pickDepth = dv
+			}
+		}
+
+		// Its flagged spanning occurrence.
+		var flagged *cardinality.Occurrence
+		for _, occ := range b.enc.Occurrences() {
+			if occ.Child != pick.node.Label || occ.Child == dtd.TextSymbol {
+				continue
+			}
+			tv, err := b.intValue(cardinality.TreeFlagName(occ.I, occ.Child, occ.Parent))
+			if err != nil {
+				return err
+			}
+			if tv >= 1 {
+				o := occ
+				flagged = &o
+				break
+			}
+		}
+		if flagged == nil {
+			return fmt.Errorf("witness: no flagged spanning occurrence for phantom type %s", pick.node.Label)
+		}
+		want := mark{i: flagged.I, parent: flagged.Parent}
+
+		// Prefer a rooted partner with the flagged mark; fall back to any
+		// other marked node (necessarily phantom).
+		var partner *typedNode
+		for _, tn := range nodes[pick.node.Label] {
+			if tn == pick || tn.mk != want {
+				continue
+			}
+			if rooted[tn] {
+				partner = tn
+				break
+			}
+			if partner == nil {
+				partner = tn
+			}
+		}
+		if partner == nil {
+			return fmt.Errorf("witness: no partner with mark x%d(%s,%s) for phantom type %s (internal error)",
+				flagged.I, flagged.Child, flagged.Parent, pick.node.Label)
+		}
+
+		// Swap the two children in their parents' child lists.
+		pick.par.Children[pick.slot], partner.par.Children[partner.slot] = partner.node, pick.node
+		pick.par, partner.par = partner.par, pick.par
+		pick.slot, partner.slot = partner.slot, pick.slot
+		pick.mk, partner.mk = partner.mk, pick.mk
+	}
+}
+
+// phantomCycleNodes returns the nodes lying on the unique cycle of each
+// phantom component, found by walking parent pointers with three-state
+// colouring.
+func (b *builder) phantomCycleNodes(index map[*xmltree.Node]*typedNode, all []*typedNode, rooted map[*typedNode]bool) ([]*typedNode, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*typedNode]int{}
+	var cycles []*typedNode
+	for _, start := range all {
+		if rooted[start] || start.node.IsText() || color[start] != white {
+			continue
+		}
+		// Walk up, recording the path.
+		var path []*typedNode
+		cur := start
+		for {
+			if rooted[cur] {
+				// A phantom node's chain reached a rooted node — impossible
+				// (rootedness flows down); treat as no cycle on this path.
+				break
+			}
+			if color[cur] == black {
+				break // joins an already-processed path
+			}
+			if color[cur] == gray {
+				// Found the cycle: the suffix of path from cur.
+				for i := len(path) - 1; i >= 0; i-- {
+					cycles = append(cycles, path[i])
+					if path[i] == cur {
+						break
+					}
+				}
+				break
+			}
+			color[cur] = gray
+			path = append(path, cur)
+			if cur.par == nil {
+				return nil, fmt.Errorf("witness: phantom node %s has no parent (internal error)", cur.node.Label)
+			}
+			next := index[cur.par]
+			if next == nil {
+				return nil, fmt.Errorf("witness: parent of %s not indexed (internal error)", cur.node.Label)
+			}
+			cur = next
+		}
+		for _, n := range path {
+			color[n] = black
+		}
+	}
+	return cycles, nil
+}

@@ -1,0 +1,89 @@
+package witness
+
+import (
+	"fmt"
+
+	"xic/internal/cardinality"
+	"xic/internal/setrep"
+	"xic/internal/xmltree"
+)
+
+// assignValues realises the solution's attribute cardinalities on the
+// collapsed tree (Lemmas 4.4 and 5.2).
+//
+// Attributes inside an intersection-cell component draw their value pools
+// from the component's zθ cells, so the required inclusions hold exactly
+// and every negated inclusion has an escaping value. All other attributes
+// share one global prefix pool v0, v1, …: the pool of τ.l is the first
+// |ext(τ.l)| values, which makes every positive inclusion
+// |ext(τ1.l1)| ≤ |ext(τ2.l2)| hold setwise (nested prefixes).
+//
+// Within a type, the first |pool| nodes receive distinct pool values and
+// any remaining nodes repeat the first value: ext(τ.l) equals the pool
+// exactly, keys (|pool| = |ext(τ)|) get pairwise-distinct values, and
+// negated keys (|pool| < |ext(τ)|) get their forced duplicate.
+func (b *builder) assignValues(tree *xmltree.Tree) error {
+	orig := b.enc.Simp.Orig
+
+	// Materialise cell pools per component.
+	cellPool := map[cardinality.AttrRef][]string{}
+	if layout := b.enc.Cells(); layout != nil {
+		for _, comp := range layout.Components {
+			comp := comp
+			cells, err := setrep.BigIntValues(
+				b.values,
+				b.enc.Sys.Lookup,
+				func(m uint64) string { return cardinality.CellVarName(comp.Index, m) },
+				len(comp.Attrs),
+			)
+			if err != nil {
+				return fmt.Errorf("witness: %w", err)
+			}
+			fam := setrep.FromCells(len(comp.Attrs), cells, fmt.Sprintf("c%d", comp.Index))
+			for i, a := range comp.Attrs {
+				cellPool[a] = fam[i]
+			}
+		}
+	}
+
+	var prefix []string
+	prefixPool := func(k int) []string {
+		for len(prefix) < k {
+			prefix = append(prefix, fmt.Sprintf("v%d", len(prefix)))
+		}
+		return prefix[:k]
+	}
+
+	for _, ref := range sortedAttrRefs(orig) {
+		k, err := b.intValue(cardinality.AttrVarName(ref.Type, ref.Attr))
+		if err != nil {
+			return err
+		}
+		nodes := tree.Ext(ref.Type)
+		pool, isCell := cellPool[ref]
+		if isCell {
+			if len(pool) != k {
+				return fmt.Errorf("witness: cell pool of %s has %d values, solution says %d", ref, len(pool), k)
+			}
+		} else {
+			pool = prefixPool(k)
+		}
+		if len(nodes) == 0 {
+			continue
+		}
+		if len(pool) == 0 {
+			return fmt.Errorf("witness: %s has %d nodes but an empty value pool", ref, len(nodes))
+		}
+		if len(pool) > len(nodes) {
+			return fmt.Errorf("witness: %s has more values (%d) than nodes (%d)", ref, len(pool), len(nodes))
+		}
+		for j, n := range nodes {
+			if j < len(pool) {
+				n.SetAttr(ref.Attr, pool[j])
+			} else {
+				n.SetAttr(ref.Attr, pool[0])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package xmltree
+
+import (
+	"fmt"
+	"testing"
+
+	"xic/internal/dtd"
+)
+
+// wideDoc builds a teachers document with n teacher blocks.
+func wideDoc(n int) *Tree {
+	root := NewElement("teachers")
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("T%d", i)
+		root.Append(NewElement("teacher").SetAttr("name", name).Append(
+			NewElement("teach").Append(
+				NewElement("subject").SetAttr("taught_by", name).Append(NewText("s1")),
+				NewElement("subject").SetAttr("taught_by", name).Append(NewText("s2")),
+			),
+			NewElement("research").Append(NewText("r")),
+		))
+	}
+	return NewTree(root)
+}
+
+func BenchmarkValidate(b *testing.B) {
+	d := dtd.Teachers()
+	for _, n := range []int{10, 100, 1000} {
+		doc := wideDoc(n)
+		v := NewValidator(d)
+		b.Run(fmt.Sprintf("teachers-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := v.Validate(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	doc := wideDoc(100)
+	for i := 0; i < b.N; i++ {
+		if len(Serialize(doc)) == 0 {
+			b.Fatal("empty serialization")
+		}
+	}
+}
+
+func BenchmarkParseXML(b *testing.B) {
+	text := Serialize(wideDoc(100))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExt(b *testing.B) {
+	doc := wideDoc(500)
+	for i := 0; i < b.N; i++ {
+		if got := len(doc.Ext("subject")); got != 1000 {
+			b.Fatalf("ext(subject) = %d", got)
+		}
+	}
+}

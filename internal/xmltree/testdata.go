@@ -1,0 +1,24 @@
+package xmltree
+
+// Figure1 builds the XML tree of Figure 1 of the paper: two teachers, the
+// first teaching XML and DB (both taught_by "Joe"), the second with name
+// "Joe". The tree conforms to the teacher DTD D1 but violates the key
+// subject.taught_by → subject of Σ1.
+func Figure1() *Tree {
+	teach := NewElement("teach").Append(
+		NewElement("subject").SetAttr("taught_by", "Joe").Append(NewText("XML")),
+		NewElement("subject").SetAttr("taught_by", "Joe").Append(NewText("DB")),
+	)
+	t1 := NewElement("teacher").SetAttr("name", "Joe").Append(
+		teach,
+		NewElement("research").Append(NewText("Web DB")),
+	)
+	t2 := NewElement("teacher").SetAttr("name", "Ann").Append(
+		NewElement("teach").Append(
+			NewElement("subject").SetAttr("taught_by", "Ann").Append(NewText("Logic")),
+			NewElement("subject").SetAttr("taught_by", "Ann").Append(NewText("Automata")),
+		),
+		NewElement("research").Append(NewText("Theory")),
+	)
+	return NewTree(NewElement("teachers").Append(t1, t2))
+}

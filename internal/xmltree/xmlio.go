@@ -1,0 +1,137 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Parse reads an XML document into a tree. Whitespace-only character data
+// between elements is discarded (it is markup formatting, not content);
+// other character data becomes text nodes, with adjacent runs coalesced.
+// Processing instructions, comments and directives are skipped, matching
+// the simplifications of the paper's model.
+func Parse(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.SetAttr(a.Name.Local, a.Value)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: multiple root elements")
+				}
+				root = n
+			} else {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %q", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text := string(t)
+			if strings.TrimSpace(text) == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: character data outside the root element")
+			}
+			parent := stack[len(stack)-1]
+			if k := len(parent.Children); k > 0 && parent.Children[k-1].IsText() {
+				parent.Children[k-1].Value += text
+				continue
+			}
+			parent.Children = append(parent.Children, NewText(text))
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: unterminated element %q", stack[len(stack)-1].Label)
+	}
+	return NewTree(root), nil
+}
+
+// ParseString is Parse on a string.
+func ParseString(s string) (*Tree, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Serialize renders the tree as indented XML text. Attributes are emitted
+// in sorted name order so output is deterministic.
+func Serialize(t *Tree) string {
+	if t == nil || t.Root == nil {
+		return ""
+	}
+	var b strings.Builder
+	writeNode(&b, t.Root, 0)
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.IsText() {
+		b.WriteString(indent)
+		xml.EscapeText(b, []byte(n.Value))
+		b.WriteString("\n")
+		return
+	}
+	b.WriteString(indent)
+	b.WriteString("<")
+	b.WriteString(n.Label)
+	names := make([]string, 0, len(n.Attrs))
+	for a := range n.Attrs {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		b.WriteString(" ")
+		b.WriteString(a)
+		b.WriteString(`="`)
+		xml.EscapeText(b, []byte(n.Attrs[a]))
+		b.WriteString(`"`)
+	}
+	if len(n.Children) == 0 {
+		b.WriteString("/>\n")
+		return
+	}
+	// A single text child is written inline for readability.
+	if len(n.Children) == 1 && n.Children[0].IsText() {
+		b.WriteString(">")
+		xml.EscapeText(b, []byte(n.Children[0].Value))
+		b.WriteString("</")
+		b.WriteString(n.Label)
+		b.WriteString(">\n")
+		return
+	}
+	b.WriteString(">\n")
+	for _, c := range n.Children {
+		writeNode(b, c, depth+1)
+	}
+	b.WriteString(indent)
+	b.WriteString("</")
+	b.WriteString(n.Label)
+	b.WriteString(">\n")
+}

@@ -1,0 +1,126 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+
+	"xic/internal/dtd"
+)
+
+func TestParseSerializeRoundTrip(t *testing.T) {
+	tr := Figure1()
+	text := Serialize(tr)
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if !equalTrees(tr.Root, back.Root) {
+		t.Errorf("round trip changed the tree:\noriginal:\n%s\nreparsed:\n%s", text, Serialize(back))
+	}
+	if !Conforms(back, dtd.Teachers()) {
+		t.Error("reparsed Figure 1 no longer conforms to D1")
+	}
+}
+
+func equalTrees(a, b *Node) bool {
+	if a.Label != b.Label || a.Value != b.Value {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for k, v := range a.Attrs {
+		if b.Attrs[k] != v {
+			return false
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !equalTrees(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseWhitespaceHandling(t *testing.T) {
+	tr, err := ParseString("<a>\n  <b/>\n  <b/>\n</a>")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(tr.Root.Children) != 2 {
+		t.Errorf("whitespace between elements should be dropped, got %d children", len(tr.Root.Children))
+	}
+}
+
+func TestParseTextCoalescing(t *testing.T) {
+	tr, err := ParseString("<a>one &amp; two</a>")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(tr.Root.Children) != 1 || !tr.Root.Children[0].IsText() {
+		t.Fatalf("expected a single text child, got %v", tr.Root.Children)
+	}
+	if got := tr.Root.Children[0].Value; got != "one & two" {
+		t.Errorf("text = %q, want %q", got, "one & two")
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	tr, err := ParseString(`<a x="1" y="&lt;2&gt;"/>`)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if v, _ := tr.Root.Attr("x"); v != "1" {
+		t.Errorf("x = %q", v)
+	}
+	if v, _ := tr.Root.Attr("y"); v != "<2>" {
+		t.Errorf("y = %q", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"<a>",
+		"<a></b>",
+		"text only",
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	tr := NewTree(NewElement("a").SetAttr("k", `va"l<ue>`).Append(NewText("x < y & z")))
+	text := Serialize(tr)
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse after escaping: %v\n%s", err, text)
+	}
+	if v, _ := back.Root.Attr("k"); v != `va"l<ue>` {
+		t.Errorf("attribute escape round trip = %q", v)
+	}
+	if back.Root.Children[0].Value != "x < y & z" {
+		t.Errorf("text escape round trip = %q", back.Root.Children[0].Value)
+	}
+	if strings.Contains(text, "x < y") {
+		t.Errorf("serialized text is unescaped:\n%s", text)
+	}
+}
+
+func TestSerializeDeterministicAttrOrder(t *testing.T) {
+	n := NewElement("a").SetAttr("z", "1").SetAttr("a", "2").SetAttr("m", "3")
+	s := Serialize(NewTree(n))
+	za := strings.Index(s, `a="2"`)
+	zm := strings.Index(s, `m="3"`)
+	zz := strings.Index(s, `z="1"`)
+	if !(za < zm && zm < zz) {
+		t.Errorf("attributes not sorted: %s", s)
+	}
+}

@@ -1,0 +1,52 @@
+package xic
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedSpecs keeps the files under specs/ working: they are the
+// user-facing starting points referenced by the README and the CLI help.
+func TestShippedSpecs(t *testing.T) {
+	read := func(name string) string {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join("specs", name))
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		return string(data)
+	}
+
+	teachers, err := ParseDTD(read("teachers.dtd"))
+	if err != nil {
+		t.Fatalf("teachers.dtd: %v", err)
+	}
+	sigma1, err := ParseConstraints(read("teachers.xic"))
+	if err != nil {
+		t.Fatalf("teachers.xic: %v", err)
+	}
+	res, err := CheckConsistency(teachers, sigma1, &Options{SkipWitness: true})
+	if err != nil {
+		t.Fatalf("CheckConsistency: %v", err)
+	}
+	if res.Consistent {
+		t.Error("specs/teachers.* must reproduce the paper's inconsistency")
+	}
+
+	school, err := ParseDTD(read("school.dtd"))
+	if err != nil {
+		t.Fatalf("school.dtd: %v", err)
+	}
+	sigma3, err := ParseConstraints(read("school.xic"))
+	if err != nil {
+		t.Fatalf("school.xic: %v", err)
+	}
+	doc, err := ParseDocumentString(read("school.xml"))
+	if err != nil {
+		t.Fatalf("school.xml: %v", err)
+	}
+	if err := ValidateDocument(doc, school, sigma3); err != nil {
+		t.Errorf("specs/school.xml should validate against D3 + Σ3: %v", err)
+	}
+}

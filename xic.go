@@ -1,0 +1,238 @@
+// Package xic is a complete implementation of Fan & Libkin's "On XML
+// Integrity Constraints in the Presence of DTDs" (PODS 2001; JACM 49(3),
+// 2002): static validation of XML specifications that combine a DTD with
+// keys, foreign keys and inclusion constraints.
+//
+// A specification is consistent when some finite XML document both conforms
+// to the DTD and satisfies every constraint. Unlike the relational setting
+// — where any key/foreign-key specification is trivially satisfiable — DTDs
+// impose cardinality constraints that interact with keys and foreign keys,
+// so consistency is a real question: the paper's own teacher example
+// (Section 1) pairs an innocuous-looking DTD with three one-attribute
+// constraints and has no satisfying document at all.
+//
+// The package decides, with the complexity the paper proves optimal:
+//
+//   - consistency of a DTD alone — linear time;
+//   - consistency of keys (any arity) — linear time;
+//   - implication of keys by keys — linear time;
+//   - consistency of unary keys, foreign keys, inclusion constraints and
+//     their negations — NP-complete, via the paper's encoding into linear
+//     integer programming, solved exactly;
+//   - implication of unary keys, inclusion constraints and foreign keys —
+//     coNP-complete, by refutation;
+//   - multi-attribute keys mixed with foreign keys — undecidable
+//     (Theorem 3.1); such sets are rejected with ErrUndecidable.
+//
+// Positive answers come with verified witness documents; failed
+// implications come with counterexample documents. Dynamic validation
+// (checking one concrete document against a DTD and constraints) is also
+// provided.
+//
+// # Quick start
+//
+//	d, _ := xic.ParseDTD(`
+//	<!ELEMENT teachers (teacher+)>
+//	<!ELEMENT teacher (teach, research)>
+//	<!ELEMENT teach (subject, subject)>
+//	<!ELEMENT research (#PCDATA)>
+//	<!ELEMENT subject (#PCDATA)>
+//	<!ATTLIST teacher name CDATA #REQUIRED>
+//	<!ATTLIST subject taught_by CDATA #REQUIRED>`)
+//	sigma, _ := xic.ParseConstraints(`
+//	teacher.name -> teacher
+//	subject.taught_by -> subject
+//	subject.taught_by => teacher.name`)
+//	res, _ := xic.CheckConsistency(d, sigma, nil)
+//	fmt.Println(res.Consistent) // false: the paper's Section 1 example
+package xic
+
+import (
+	"io"
+
+	"xic/internal/constraint"
+	"xic/internal/core"
+	"xic/internal/dtd"
+	"xic/internal/xmltree"
+)
+
+// Core data types, aliased from the implementation packages.
+type (
+	// DTD is a document type definition D = (E, A, P, R, r): element types
+	// with regular-expression content models and single-valued string
+	// attributes (Definition 2.1 of the paper).
+	DTD = dtd.DTD
+
+	// Regex is a DTD content model.
+	Regex = dtd.Regex
+
+	// Tree is a finite XML document in the paper's tree model
+	// (Definition 2.2).
+	Tree = xmltree.Tree
+
+	// Node is an element or text node of a Tree.
+	Node = xmltree.Node
+
+	// Constraint is an XML integrity constraint: Key, ForeignKey,
+	// Inclusion, NotKey or NotInclusion.
+	Constraint = constraint.Constraint
+
+	// Key is τ[X] → τ: the attribute set X identifies τ elements.
+	Key = constraint.Key
+
+	// Inclusion is τ1[X] ⊆ τ2[Y] without a key requirement on Y.
+	Inclusion = constraint.Inclusion
+
+	// ForeignKey is τ1[X] ⊆ τ2[Y] combined with the key τ2[Y] → τ2.
+	ForeignKey = constraint.ForeignKey
+
+	// NotKey is the negation of a unary key.
+	NotKey = constraint.NotKey
+
+	// NotInclusion is the negation of a unary inclusion constraint.
+	NotInclusion = constraint.NotInclusion
+
+	// Class identifies the paper's constraint classes.
+	Class = constraint.Class
+
+	// Options tunes the NP decision procedures (solver budget, witness
+	// size, witness skipping).
+	Options = core.Options
+
+	// Result is a consistency verdict with an optional witness document.
+	Result = core.Result
+
+	// Implication is an implication verdict with an optional
+	// counterexample document.
+	Implication = core.Implication
+
+	// Checker amortises per-DTD work across many checks against the same
+	// DTD — the fixed-DTD PTIME setting of Corollaries 4.11 and 5.5.
+	Checker = core.Checker
+
+	// Diagnosis explains an inconsistent specification with a minimal
+	// inconsistent core.
+	Diagnosis = core.Diagnosis
+
+	// Validator checks documents for DTD conformance.
+	Validator = xmltree.Validator
+)
+
+// ErrUndecidable is returned for constraint sets in the classes the paper
+// proves undecidable.
+var ErrUndecidable = core.ErrUndecidable
+
+// ParseDTD reads a DTD in XML DTD syntax (<!ELEMENT …>, <!ATTLIST …>,
+// optional <!DOCTYPE root>).
+func ParseDTD(src string) (*DTD, error) { return dtd.Parse(src) }
+
+// ParseConstraints reads a constraint set, one constraint per line:
+//
+//	teacher.name -> teacher                 key
+//	course(dept, no) -> course              multi-attribute key
+//	subject.taught_by <= teacher.name       inclusion constraint
+//	subject.taught_by => teacher.name       foreign key
+//	not teacher.name -> teacher             negated unary key
+//	not subject.taught_by <= teacher.name   negated unary inclusion
+func ParseConstraints(src string) ([]Constraint, error) { return constraint.Parse(src) }
+
+// ParseDocument reads an XML document into the tree model.
+func ParseDocument(r io.Reader) (*Tree, error) { return xmltree.Parse(r) }
+
+// ParseDocumentString is ParseDocument on a string.
+func ParseDocumentString(src string) (*Tree, error) { return xmltree.ParseString(src) }
+
+// SerializeDocument renders a tree as indented XML text.
+func SerializeDocument(t *Tree) string { return xmltree.Serialize(t) }
+
+// ConsistentDTD reports whether any finite document conforms to the DTD
+// (Theorem 3.5(1)); linear time.
+func ConsistentDTD(d *DTD) bool { return core.ConsistentDTD(d) }
+
+// CheckConsistency decides whether some finite document conforms to the DTD
+// and satisfies every constraint, returning a verified witness document on
+// success. See package core for the per-class complexity.
+func CheckConsistency(d *DTD, set []Constraint, opt *Options) (*Result, error) {
+	return core.Consistent(d, set, opt)
+}
+
+// CheckImplication decides whether every document conforming to the DTD and
+// satisfying sigma also satisfies phi, returning a counterexample document
+// when not.
+func CheckImplication(d *DTD, sigma []Constraint, phi Constraint, opt *Options) (*Implication, error) {
+	return core.Implies(d, sigma, phi, opt)
+}
+
+// ImpliesKey is the linear-time implication test for keys by keys
+// (Theorem 3.5(3)).
+func ImpliesKey(d *DTD, sigma []Constraint, phi Key) (bool, error) {
+	return core.ImpliesKey(d, sigma, phi)
+}
+
+// NewChecker validates the DTD once for repeated checks against it.
+func NewChecker(d *DTD) (*Checker, error) { return core.NewChecker(d) }
+
+// ValidateDocument checks one concrete document dynamically: it must
+// conform to the DTD and satisfy every constraint. This is the validation
+// mode the paper contrasts with static consistency checking.
+func ValidateDocument(doc *Tree, d *DTD, set []Constraint) error {
+	if err := xmltree.NewValidator(d).Validate(doc); err != nil {
+		return err
+	}
+	if err := constraint.ValidateSet(d, set); err != nil {
+		return err
+	}
+	if ok, violated := constraint.SatisfiedAll(doc, set); !ok {
+		return &ViolationError{Violated: violated}
+	}
+	return nil
+}
+
+// ViolationError reports the first constraint a document violates.
+type ViolationError struct {
+	Violated Constraint
+}
+
+func (e *ViolationError) Error() string {
+	return "xic: document violates constraint " + e.Violated.String()
+}
+
+// ClassOf returns the smallest of the paper's constraint classes containing
+// the set (C_K, C_{K,FK}, C^Unary_{K,FK}, C^Unary_{K,IC}, C^Unary_{K¬,IC},
+// C^Unary_{K¬,IC¬}).
+func ClassOf(set []Constraint) Class { return constraint.ClassOf(set) }
+
+// CheckPrimaryKeys verifies the primary-key restriction of Section 4.2: at
+// most one key per element type.
+func CheckPrimaryKeys(set []Constraint) error {
+	return constraint.CheckPrimaryKeyRestriction(set)
+}
+
+// Diagnose explains an inconsistent specification: it reports whether the
+// DTD alone is unsatisfiable, and otherwise returns a minimal subset of the
+// constraints that is still inconsistent with the DTD (removing any one
+// member restores consistency).
+func Diagnose(d *DTD, set []Constraint, opt *Options) (*Diagnosis, error) {
+	return core.Diagnose(d, set, opt)
+}
+
+// ConstraintsFromIDs derives the unary keys and foreign keys denoted by the
+// DTD's ID and IDREF attribute declarations. It fails when IDREF targets
+// are ambiguous (several element types declare ID attributes) — the
+// unscopedness the paper criticises about DTD's built-in mechanism.
+func ConstraintsFromIDs(d *DTD) ([]Constraint, error) {
+	return constraint.FromIDAttributes(d)
+}
+
+// UnaryKey builds the key τ.l → τ.
+func UnaryKey(typ, attr string) Key { return constraint.UnaryKey(typ, attr) }
+
+// UnaryInclusion builds the inclusion constraint τ1.l1 ⊆ τ2.l2.
+func UnaryInclusion(child, childAttr, parent, parentAttr string) Inclusion {
+	return constraint.UnaryInclusion(child, childAttr, parent, parentAttr)
+}
+
+// UnaryForeignKey builds the foreign key τ1.l1 ⊆ τ2.l2 with key τ2.l2 → τ2.
+func UnaryForeignKey(child, childAttr, parent, parentAttr string) ForeignKey {
+	return constraint.UnaryForeignKey(child, childAttr, parent, parentAttr)
+}

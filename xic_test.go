@@ -1,0 +1,188 @@
+package xic
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const teachersDTD = `
+<!ELEMENT teachers (teacher+)>
+<!ELEMENT teacher (teach, research)>
+<!ELEMENT teach (subject, subject)>
+<!ELEMENT research (#PCDATA)>
+<!ELEMENT subject (#PCDATA)>
+<!ATTLIST teacher name CDATA #REQUIRED>
+<!ATTLIST subject taught_by CDATA #REQUIRED>
+`
+
+const sigma1 = `
+teacher.name -> teacher
+subject.taught_by -> subject
+subject.taught_by => teacher.name
+`
+
+func TestQuickstartFlow(t *testing.T) {
+	d, err := ParseDTD(teachersDTD)
+	if err != nil {
+		t.Fatalf("ParseDTD: %v", err)
+	}
+	sigma, err := ParseConstraints(sigma1)
+	if err != nil {
+		t.Fatalf("ParseConstraints: %v", err)
+	}
+	res, err := CheckConsistency(d, sigma, nil)
+	if err != nil {
+		t.Fatalf("CheckConsistency: %v", err)
+	}
+	if res.Consistent {
+		t.Error("the paper's Section 1 specification must be inconsistent")
+	}
+}
+
+func TestWitnessFlow(t *testing.T) {
+	d, _ := ParseDTD(teachersDTD)
+	sigma, _ := ParseConstraints("teacher.name -> teacher")
+	res, err := CheckConsistency(d, sigma, nil)
+	if err != nil {
+		t.Fatalf("CheckConsistency: %v", err)
+	}
+	if !res.Consistent || res.Witness == nil {
+		t.Fatal("expected consistency with witness")
+	}
+	// The witness round-trips through XML text and revalidates.
+	text := SerializeDocument(res.Witness)
+	doc, err := ParseDocumentString(text)
+	if err != nil {
+		t.Fatalf("ParseDocumentString: %v", err)
+	}
+	if err := ValidateDocument(doc, d, sigma); err != nil {
+		t.Errorf("serialized witness fails dynamic validation: %v", err)
+	}
+}
+
+func TestValidateDocumentViolation(t *testing.T) {
+	d, _ := ParseDTD(teachersDTD)
+	sigma, _ := ParseConstraints("subject.taught_by -> subject")
+	doc, err := ParseDocumentString(`
+<teachers>
+  <teacher name="Joe">
+    <teach>
+      <subject taught_by="Joe">XML</subject>
+      <subject taught_by="Joe">DB</subject>
+    </teach>
+    <research>Web DB</research>
+  </teacher>
+</teachers>`)
+	if err != nil {
+		t.Fatalf("ParseDocumentString: %v", err)
+	}
+	err = ValidateDocument(doc, d, sigma)
+	var viol *ViolationError
+	if !errors.As(err, &viol) {
+		t.Fatalf("expected ViolationError, got %v", err)
+	}
+	if !strings.Contains(viol.Error(), "taught_by") {
+		t.Errorf("violation message %q should name the key", viol)
+	}
+}
+
+func TestImplicationFlow(t *testing.T) {
+	d, _ := ParseDTD(teachersDTD)
+	sigma, _ := ParseConstraints("teacher.name -> teacher")
+	imp, err := CheckImplication(d, sigma, UnaryKey("teacher", "name"), nil)
+	if err != nil {
+		t.Fatalf("CheckImplication: %v", err)
+	}
+	if !imp.Implied {
+		t.Error("Σ must imply its own member")
+	}
+
+	imp, err = CheckImplication(d, nil, UnaryKey("teacher", "name"), nil)
+	if err != nil {
+		t.Fatalf("CheckImplication: %v", err)
+	}
+	if imp.Implied {
+		t.Error("empty Σ implies no key on a plural type")
+	}
+	if imp.Counterexample == nil {
+		t.Error("expected counterexample document")
+	}
+}
+
+func TestImpliesKeyFacade(t *testing.T) {
+	d, _ := ParseDTD(teachersDTD)
+	ok, err := ImpliesKey(d, nil, UnaryKey("teachers", "x"))
+	if err == nil {
+		t.Fatalf("key over undeclared attribute accepted: %v", ok)
+	}
+}
+
+func TestUndecidableSurface(t *testing.T) {
+	d, _ := ParseDTD(`
+<!ELEMENT r (a*, b*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a x CDATA #REQUIRED>
+<!ATTLIST a y CDATA #REQUIRED>
+<!ATTLIST b x CDATA #REQUIRED>
+<!ATTLIST b y CDATA #REQUIRED>
+`)
+	sigma, _ := ParseConstraints("a(x, y) => b(x, y)")
+	_, err := CheckConsistency(d, sigma, nil)
+	if !errors.Is(err, ErrUndecidable) {
+		t.Errorf("multi-attribute foreign keys should surface ErrUndecidable, got %v", err)
+	}
+}
+
+func TestCheckerFacade(t *testing.T) {
+	d, _ := ParseDTD(teachersDTD)
+	c, err := NewChecker(d)
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	sigma, _ := ParseConstraints(sigma1)
+	res, err := c.Consistent(sigma, &Options{SkipWitness: true})
+	if err != nil {
+		t.Fatalf("Consistent: %v", err)
+	}
+	if res.Consistent {
+		t.Error("Σ1 must stay inconsistent through the Checker")
+	}
+}
+
+func TestClassOfAndPrimaryKeys(t *testing.T) {
+	sigma, _ := ParseConstraints(sigma1)
+	if ClassOf(sigma).String() != "C^Unary_{K,FK}" {
+		t.Errorf("ClassOf(Σ1) = %v", ClassOf(sigma))
+	}
+	if err := CheckPrimaryKeys(sigma); err != nil {
+		t.Errorf("Σ1 is primary-key restricted: %v", err)
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	k := UnaryKey("a", "x")
+	if k.String() != "a.x -> a" {
+		t.Errorf("UnaryKey string = %q", k)
+	}
+	ic := UnaryInclusion("a", "x", "b", "y")
+	if ic.String() != "a.x <= b.y" {
+		t.Errorf("UnaryInclusion string = %q", ic)
+	}
+	fk := UnaryForeignKey("a", "x", "b", "y")
+	if fk.String() != "a.x => b.y" {
+		t.Errorf("UnaryForeignKey string = %q", fk)
+	}
+}
+
+func TestConsistentDTDFacade(t *testing.T) {
+	d, _ := ParseDTD(teachersDTD)
+	if !ConsistentDTD(d) {
+		t.Error("teachers DTD has valid documents")
+	}
+	d2, _ := ParseDTD("<!ELEMENT db (foo)>\n<!ELEMENT foo (foo)>")
+	if ConsistentDTD(d2) {
+		t.Error("db → foo → foo … has no finite documents")
+	}
+}
