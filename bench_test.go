@@ -9,6 +9,7 @@ package xic
 // captured run.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -364,6 +365,69 @@ func BenchmarkWitnessConstruction(b *testing.B) {
 		res, err := core.Consistent(d, set, nil)
 		if err != nil || res.Witness == nil {
 			b.Fatalf("expected witness: %v %v", res, err)
+		}
+	}
+}
+
+// ---- The compiled Spec engine ------------------------------------------
+
+// BenchmarkSpecCompile measures the one-off per-DTD cost the Spec API
+// front-loads: validation, simplification and the encoding template.
+func BenchmarkSpecCompile(b *testing.B) {
+	d := randgen.WideDTD(4)
+	set := constraint.MustParse("s0.id -> s0\ns0.id <= s1.id")
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(d, set...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpecServe measures the amortised serving path of Corollary
+// 4.11: one compiled Spec answering many consistency requests, the
+// workload the API is designed around.
+func BenchmarkSpecServe(b *testing.B) {
+	d := randgen.WideDTD(4)
+	spec, err := Compile(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.WithOptions(Options{SkipWitness: true})
+	rng := rand.New(rand.NewSource(3))
+	sets := make([][]Constraint, 64)
+	for i := range sets {
+		sets[i] = randgen.RandUnarySet(rng, d, randgen.SetSpec{Keys: 2, ForeignKeys: 1, Inclusions: 1})
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.ConsistentWith(ctx, sets[i%len(sets)]...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpecConsistentAll measures batch serving on the bounded worker
+// pool against the same workload checked one at a time.
+func BenchmarkSpecConsistentAll(b *testing.B) {
+	d := randgen.WideDTD(4)
+	spec, err := Compile(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.WithOptions(Options{SkipWitness: true})
+	rng := rand.New(rand.NewSource(3))
+	sets := make([][]Constraint, 64)
+	for i := range sets {
+		sets[i] = randgen.RandUnarySet(rng, d, randgen.SetSpec{Keys: 2, ForeignKeys: 1, Inclusions: 1})
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ans := range spec.ConsistentAll(ctx, sets) {
+			if ans.Err != nil {
+				b.Fatal(ans.Err)
+			}
 		}
 	}
 }

@@ -3,21 +3,28 @@
 //
 // Usage:
 //
-//	xic check    -dtd spec.dtd -constraints spec.xic [-witness out.xml] [-skip-witness] [-max-solver-nodes N]
-//	xic imply    -dtd spec.dtd -constraints spec.xic -query "constraint" [-counterexample out.xml]
+//	xic check    -dtd spec.dtd -constraints spec.xic [-witness out.xml] [-skip-witness] [-max-solver-nodes N] [-timeout d]
+//	xic imply    -dtd spec.dtd -constraints spec.xic -query "constraint" [-counterexample out.xml] [-timeout d]
 //	xic validate -dtd spec.dtd [-constraints spec.xic] -doc doc.xml
 //	xic simplify -dtd spec.dtd
 //	xic encode   -dtd spec.dtd [-constraints spec.xic] [-bigm]
 //	xic class    -constraints spec.xic
+//
+// check and imply compile the specification once (xic.Compile) and run the
+// decision under a context: -timeout bounds the NP search, turning an
+// adversarial instance into a clean "deadline exceeded" failure instead of
+// a hung process.
 //
 // Exit status: 0 for a positive answer (consistent / implied / valid),
 // 1 for a negative answer, 2 for usage or processing errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"xic"
 	"xic/internal/cardinality"
@@ -100,6 +107,27 @@ func loadConstraints(path string, required bool) ([]xic.Constraint, error) {
 	return xic.ParseConstraints(string(data))
 }
 
+// loadSpec compiles the DTD and constraint files into a Spec.
+func loadSpec(dtdPath, consPath string) (*xic.Spec, error) {
+	d, err := loadDTD(dtdPath)
+	if err != nil {
+		return nil, err
+	}
+	set, err := loadConstraints(consPath, false)
+	if err != nil {
+		return nil, err
+	}
+	return xic.Compile(d, set...)
+}
+
+// checkContext turns a -timeout value into a context.
+func checkContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.Background(), func() {}
+}
+
 func runCheck(args []string) (negative bool, err error) {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	dtdPath := fs.String("dtd", "", "DTD file")
@@ -107,28 +135,27 @@ func runCheck(args []string) (negative bool, err error) {
 	witnessPath := fs.String("witness", "", "write a witness document here when consistent")
 	skipWitness := fs.Bool("skip-witness", false, "decision only, no witness construction")
 	maxNodes := fs.Int("max-solver-nodes", 0, "branch-and-bound node budget (0 = default)")
+	timeout := fs.Duration("timeout", 0, "abort the NP search after this long (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
-	d, err := loadDTD(*dtdPath)
+	spec, err := loadSpec(*dtdPath, *consPath)
 	if err != nil {
 		return false, err
 	}
-	set, err := loadConstraints(*consPath, false)
-	if err != nil {
-		return false, err
-	}
-	opt := &xic.Options{
+	spec = spec.WithOptions(xic.Options{
 		SkipWitness: *skipWitness && *witnessPath == "",
 		Solver:      ilp.Options{MaxNodes: *maxNodes},
-	}
-	res, err := xic.CheckConsistency(d, set, opt)
+	})
+	ctx, cancel := checkContext(*timeout)
+	defer cancel()
+	res, err := spec.Consistent(ctx)
 	if err != nil {
 		return false, err
 	}
 	if !res.Consistent {
 		fmt.Printf("INCONSISTENT (%s): no document conforms to the DTD and satisfies all %d constraints\n",
-			res.Class, len(set))
+			res.Class, len(spec.Constraints()))
 		return true, nil
 	}
 	fmt.Printf("CONSISTENT (%s)\n", res.Class)
@@ -147,14 +174,11 @@ func runImply(args []string) (negative bool, err error) {
 	consPath := fs.String("constraints", "", "constraint file (Σ)")
 	query := fs.String("query", "", "constraint φ to test, in constraint syntax")
 	cePath := fs.String("counterexample", "", "write a counterexample document here when not implied")
+	timeout := fs.Duration("timeout", 0, "abort the coNP search after this long (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
-	d, err := loadDTD(*dtdPath)
-	if err != nil {
-		return false, err
-	}
-	sigma, err := loadConstraints(*consPath, false)
+	spec, err := loadSpec(*dtdPath, *consPath)
 	if err != nil {
 		return false, err
 	}
@@ -165,7 +189,9 @@ func runImply(args []string) (negative bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	imp, err := xic.CheckImplication(d, sigma, phi, nil)
+	ctx, cancel := checkContext(*timeout)
+	defer cancel()
+	imp, err := spec.Implies(ctx, phi)
 	if err != nil {
 		return false, err
 	}
@@ -191,11 +217,7 @@ func runValidate(args []string) (negative bool, err error) {
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
-	d, err := loadDTD(*dtdPath)
-	if err != nil {
-		return false, err
-	}
-	set, err := loadConstraints(*consPath, false)
+	spec, err := loadSpec(*dtdPath, *consPath)
 	if err != nil {
 		return false, err
 	}
@@ -211,7 +233,7 @@ func runValidate(args []string) (negative bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	if err := xic.ValidateDocument(doc, d, set); err != nil {
+	if err := spec.Validate(doc); err != nil {
 		fmt.Printf("INVALID: %v\n", err)
 		return true, nil
 	}

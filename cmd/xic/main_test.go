@@ -74,6 +74,14 @@ func TestCLIEndToEnd(t *testing.T) {
 		}
 	})
 
+	t.Run("check with timeout flag", func(t *testing.T) {
+		out, code := run(t, bin, "check", "-dtd", teachersDTD, "-constraints", teachersXIC,
+			"-skip-witness", "-timeout", "1m")
+		if code != 1 || !strings.Contains(out, "INCONSISTENT") {
+			t.Errorf("exit=%d out=%q", code, out)
+		}
+	})
+
 	t.Run("validate", func(t *testing.T) {
 		out, code := run(t, bin, "validate", "-dtd", schoolDTD, "-constraints", schoolXIC, "-doc", schoolXML)
 		if code != 0 || !strings.Contains(out, "VALID") {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -32,6 +33,7 @@ func main() {
 	fmt.Println()
 	workedExamples()
 	figure5()
+	batchThroughput()
 	gadgets()
 }
 
@@ -51,7 +53,12 @@ func timeIt(f func()) time.Duration {
 }
 
 func check(d *dtd.DTD, set []xic.Constraint) bool {
-	res, err := xic.CheckConsistency(d, set, &xic.Options{SkipWitness: true})
+	spec, err := xic.Compile(d, set...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xicbench:", err)
+		os.Exit(1)
+	}
+	res, err := spec.WithOptions(xic.Options{SkipWitness: true}).Consistent(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xicbench:", err)
 		os.Exit(1)
@@ -168,15 +175,21 @@ func figure5() {
 
 	// coNP cell: unary implication by keys *and foreign keys* (the inverted,
 	// consistent Σ1 variant), decided by refuting Σ ∧ ¬φ via the encoding.
+	ctx := context.Background()
 	for _, b := range blocks {
 		d := randgen.TeacherFamily(b)
 		sigma := randgen.TeacherFamilyConstraints(b, false)
 		sigma = append(sigma, constraint.UnaryForeignKey("teacher_0", "name", "subject_0", "taught_by"))
 		phi := constraint.UnaryInclusion("subject_0", "taught_by", "teacher_0", "name")
+		spec, err := xic.Compile(d, sigma...)
+		if err != nil {
+			panic(err)
+		}
+		spec = spec.WithOptions(xic.Options{SkipWitness: true})
 		var imp *xic.Implication
 		dur := timeIt(func() {
 			var err error
-			imp, err = xic.CheckImplication(d, sigma, phi, &xic.Options{SkipWitness: true})
+			imp, err = spec.Implies(ctx, phi)
 			if err != nil {
 				panic(err)
 			}
@@ -185,25 +198,26 @@ func figure5() {
 			b, imp.Implied, dur)
 	}
 
-	// Fixed-DTD PTIME cell: one DTD, growing Σ.
+	// Fixed-DTD PTIME cell: one compiled Spec, growing Σ.
 	fixedSizes := []int{4, 8, 16, 32}
 	d := randgen.WideDTD(4)
-	checker, err := xic.NewChecker(d)
+	compiled, err := xic.Compile(d)
 	if err != nil {
 		panic(err)
 	}
+	compiled = compiled.WithOptions(xic.Options{SkipWitness: true})
 	rng := rand.New(rand.NewSource(99))
 	for _, k := range fixedSizes {
 		set := randgen.RandUnarySet(rng, d, randgen.SetSpec{Keys: k / 2, ForeignKeys: k / 4, Inclusions: k / 4})
 		var res *xic.Result
 		dur := timeIt(func() {
 			var err error
-			res, err = checker.Consistent(set, &xic.Options{SkipWitness: true})
+			res, err = compiled.ConsistentWith(ctx, set...)
 			if err != nil {
 				panic(err)
 			}
 		})
-		fmt.Printf("| consistency, fixed DTD | Cor 4.11, PTIME in Σ | wide DTD (fixed), random Σ | %d constraints | %v | %v |\n",
+		fmt.Printf("| consistency, fixed DTD | Cor 4.11, PTIME in Σ | wide DTD (compiled Spec), random Σ | %d constraints | %v | %v |\n",
 			len(set), res.Consistent, dur)
 	}
 
@@ -213,13 +227,58 @@ func figure5() {
 		var res *xic.Result
 		dur := timeIt(func() {
 			var err error
-			res, err = checker.Consistent(set, &xic.Options{SkipWitness: true})
+			res, err = compiled.ConsistentWith(ctx, set...)
 			if err != nil {
 				panic(err)
 			}
 		})
 		fmt.Printf("| consistency, unary K¬+IC¬ | Thm 5.1, NP-complete | wide DTD, Σ with negations | %d constraints | %v | %v |\n",
 			len(set), res.Consistent, dur)
+	}
+	fmt.Println()
+}
+
+// batchThroughput measures the high-throughput serving mode the Spec API
+// is designed for: one compiled schema, many independent constraint sets,
+// checked sequentially vs. on the bounded worker pool of ConsistentAll.
+func batchThroughput() {
+	fmt.Println("## Batch throughput — one compiled Spec, many constraint sets")
+	fmt.Println()
+	fmt.Println("| sets | sequential | ConsistentAll (pooled) |")
+	fmt.Println("|------|------------|------------------------|")
+
+	d := randgen.WideDTD(4)
+	spec, err := xic.Compile(d)
+	if err != nil {
+		panic(err)
+	}
+	spec = spec.WithOptions(xic.Options{SkipWitness: true})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{16, 64}
+	if *full {
+		sizes = []int{16, 64, 256}
+	}
+	for _, n := range sizes {
+		sets := make([][]xic.Constraint, n)
+		for i := range sets {
+			sets[i] = randgen.RandUnarySet(rng, d, randgen.SetSpec{Keys: 2, ForeignKeys: 1, Inclusions: 1})
+		}
+		seq := timeIt(func() {
+			for _, set := range sets {
+				if _, err := spec.ConsistentWith(ctx, set...); err != nil {
+					panic(err)
+				}
+			}
+		})
+		pooled := timeIt(func() {
+			for _, ans := range spec.ConsistentAll(ctx, sets) {
+				if ans.Err != nil {
+					panic(ans.Err)
+				}
+			}
+		})
+		fmt.Printf("| %d | %v | %v |\n", n, seq, pooled)
 	}
 	fmt.Println()
 }

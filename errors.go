@@ -1,0 +1,115 @@
+package xic
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+
+	"xic/internal/constraint"
+	"xic/internal/core"
+	"xic/internal/dtd"
+)
+
+// ErrUndecidable is returned for constraint sets in the classes the paper
+// proves undecidable (multi-attribute keys mixed with foreign keys or
+// inclusion constraints, Theorem 3.1). Match it with errors.Is.
+var ErrUndecidable = core.ErrUndecidable
+
+// ErrCanceled is returned when a check is abandoned because its
+// context.Context was cancelled or its deadline expired before the NP
+// search finished. Errors returned by Spec methods match both ErrCanceled
+// and the context's own error (context.Canceled or
+// context.DeadlineExceeded) under errors.Is, so callers can use whichever
+// sentinel fits their error handling.
+var ErrCanceled = core.ErrCanceled
+
+// ParseError is a syntax error in one of the three textual inputs, with
+// the position of the offending construct. It replaces the stringly
+// errors of the pre-Spec API; match it with errors.As.
+type ParseError struct {
+	// Input names the input kind: "dtd", "constraints" or "document".
+	Input string
+	// Line is the 1-based line of the error within the input.
+	Line int
+	// Offset is the 0-based byte offset of the offending token or line
+	// start within the input; -1 when the underlying parser reports no
+	// offset (XML documents).
+	Offset int
+	// Msg describes the error without position prefixes.
+	Msg string
+
+	err error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s: line %d: %s", e.Input, e.Line, e.Msg)
+}
+
+// Unwrap returns the underlying parser error.
+func (e *ParseError) Unwrap() error { return e.err }
+
+// wrapDTDError lifts structured internal DTD parse errors into the public
+// taxonomy, passing semantic errors (duplicate declarations, Check
+// failures) through untouched.
+func wrapDTDError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *dtd.ParseError
+	if errors.As(err, &pe) {
+		return &ParseError{Input: "dtd", Line: pe.Line, Offset: pe.Offset, Msg: pe.Msg, err: err}
+	}
+	return err
+}
+
+// wrapConstraintsError lifts structured constraint parse errors into the
+// public taxonomy.
+func wrapConstraintsError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *constraint.ParseError
+	if errors.As(err, &pe) {
+		return &ParseError{Input: "constraints", Line: pe.Line, Offset: pe.Offset, Msg: pe.Err.Error(), err: err}
+	}
+	return err
+}
+
+// wrapDocumentError lifts XML decoding errors into the public taxonomy.
+func wrapDocumentError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *xml.SyntaxError
+	if errors.As(err, &se) {
+		return &ParseError{Input: "document", Line: se.Line, Offset: -1, Msg: se.Msg, err: err}
+	}
+	return err
+}
+
+// SpecError reports why Compile rejected a specification. Match it with
+// errors.As; Unwrap exposes the underlying cause (for example a DTD
+// validation error).
+type SpecError struct {
+	// Stage is the compilation stage that failed: "dtd" (DTD validation),
+	// "constraints" (constraint validation against the DTD) or "encode"
+	// (building the cardinality-encoding template).
+	Stage string
+	Err   error
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("compile: %s: %v", e.Stage, e.Err)
+}
+
+func (e *SpecError) Unwrap() error { return e.Err }
+
+// ViolationError reports the first constraint a document violates during
+// dynamic validation.
+type ViolationError struct {
+	Violated Constraint
+}
+
+func (e *ViolationError) Error() string {
+	return "xic: document violates constraint " + e.Violated.String()
+}

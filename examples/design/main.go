@@ -3,10 +3,12 @@
 // paper's conclusion. Starting from DTD-native ID/IDREF typing, the example
 // derives the constraints the DTD denotes, detects that a schema evolution
 // made them unsatisfiable, isolates a minimal inconsistent core, and
-// verifies a repair.
+// verifies a repair. The DTD is compiled once; every probe reuses the
+// compiled encoding through ConsistentWith.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,6 +29,7 @@ const archive = `
 `
 
 func main() {
+	ctx := context.Background()
 	d, err := xic.ParseDTD(archive)
 	if err != nil {
 		log.Fatal(err)
@@ -42,18 +45,28 @@ func main() {
 		fmt.Printf("  %s\n", c)
 	}
 
+	// Compile the schema once; the probes below share its encoding.
+	base, err := xic.Compile(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// 2. Add the designer's intended key: every pin is one message.
 	sigma = append(sigma, xic.UnaryKey("pin", "mid"))
 	withKey := append(sigma, xic.UnaryKey("pin", "in"))
 
-	res, err := xic.CheckConsistency(d, withKey, &xic.Options{SkipWitness: true})
+	res, err := base.WithOptions(xic.Options{SkipWitness: true}).ConsistentWith(ctx, withKey...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nwith 'pin.in -> pin' (one pin per thread): consistent = %v\n", res.Consistent)
 
 	// 3. Why? Ask for a minimal inconsistent core.
-	diag, err := xic.Diagnose(d, withKey, nil)
+	broken, err := xic.Compile(d, withKey...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diag, err := broken.Diagnose(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +77,7 @@ func main() {
 	fmt.Println("— each thread embeds two pins, so pin.in cannot be a key of pin.")
 
 	// 4. Repair: drop the bad key; the rest is satisfiable, with a witness.
-	res, err = xic.CheckConsistency(d, sigma, nil)
+	res, err = base.ConsistentWith(ctx, sigma...)
 	if err != nil {
 		log.Fatal(err)
 	}

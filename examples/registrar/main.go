@@ -3,10 +3,13 @@
 // general (Theorem 3.1), so xic refuses the static question for Σ3 and the
 // example falls back to the two decidable tools the paper provides:
 // dynamic validation of concrete documents, and static analysis of the
-// unary fragment.
+// unary fragment. A Spec compiles for *any* well-formed constraint set —
+// including undecidable classes — and still serves Validate; only the
+// static question reports ErrUndecidable.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -48,6 +51,7 @@ const registry = `
 `
 
 func main() {
+	ctx := context.Background()
 	d, err := xic.ParseDTD(schoolDTD)
 	if err != nil {
 		log.Fatal(err)
@@ -56,12 +60,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Σ3 class: %s\n", xic.ClassOf(s3))
+	spec, err := xic.Compile(d, s3...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Σ3 class: %s\n", spec.Class())
 
 	// Static consistency for C_{K,FK} is undecidable: xic says so rather
 	// than guessing.
-	_, err = xic.CheckConsistency(d, s3, nil)
-	fmt.Printf("static check of Σ3: %v\n", errors.Is(err, xic.ErrUndecidable))
+	_, err = spec.Consistent(ctx)
+	fmt.Printf("static check of Σ3 refused (undecidable): %v\n", errors.Is(err, xic.ErrUndecidable))
 	fmt.Println()
 
 	// Dynamic validation still works for any concrete registry document.
@@ -69,7 +77,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	err = xic.ValidateDocument(doc, d, s3)
+	err = spec.Validate(doc)
 	var viol *xic.ViolationError
 	switch {
 	case errors.As(err, &viol):
@@ -87,7 +95,11 @@ func main() {
 student.student_id -> student
 enroll.student_id => student.student_id
 `)
-	res, err := xic.CheckConsistency(d, unary, nil)
+	base, err := xic.Compile(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := base.ConsistentWith(ctx, unary...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 // Teachers: the full Section 1 story — static consistency, dynamic
 // validation of the Figure 1 document, and a consistent redesign of the
-// constraint set.
+// constraint set. Each specification is compiled once into an xic.Spec;
+// dynamic validation then reuses the compiled conformance automata.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -36,6 +38,7 @@ const figure1 = `
 `
 
 func main() {
+	ctx := context.Background()
 	d, err := xic.ParseDTD(teacherDTD)
 	if err != nil {
 		log.Fatal(err)
@@ -45,19 +48,27 @@ teacher.name -> teacher
 subject.taught_by -> subject
 subject.taught_by => teacher.name
 `)
+	spec1, err := xic.Compile(d, sigma1...)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 1. Dynamic validation: the Figure 1 document conforms to the DTD…
 	doc, err := xic.ParseDocumentString(figure1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := xic.ValidateDocument(doc, d, nil); err != nil {
+	dtdOnly, err := xic.Compile(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dtdOnly.Validate(doc); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Figure 1 conforms to D1: yes")
 
 	// …but violates Σ1.
-	err = xic.ValidateDocument(doc, d, sigma1)
+	err = spec1.Validate(doc)
 	var viol *xic.ViolationError
 	if errors.As(err, &viol) {
 		fmt.Printf("Figure 1 against Σ1: violates %s\n", viol.Violated)
@@ -67,7 +78,7 @@ subject.taught_by => teacher.name
 	// specification. Static analysis can: Σ1 is unsatisfiable over D1, so
 	// *every* document will fail — repeated validation failures are the
 	// specification's fault.
-	res, err := xic.CheckConsistency(d, sigma1, &xic.Options{SkipWitness: true})
+	res, err := spec1.WithOptions(xic.Options{SkipWitness: true}).Consistent(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +90,11 @@ teacher.name -> teacher
 subject.taught_by -> subject
 teacher.name => subject.taught_by
 `)
-	res, err = xic.CheckConsistency(d, redesign, nil)
+	spec2, err := xic.Compile(d, redesign...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = spec2.Consistent(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,7 +103,7 @@ teacher.name => subject.taught_by
 	fmt.Print(xic.SerializeDocument(res.Witness))
 
 	// 4. The witness validates dynamically, closing the loop.
-	if err := xic.ValidateDocument(res.Witness, d, redesign); err != nil {
+	if err := spec2.Validate(res.Witness); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("witness passes dynamic validation: yes")

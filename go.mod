@@ -1,0 +1,3 @@
+module xic
+
+go 1.24

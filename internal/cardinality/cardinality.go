@@ -93,6 +93,24 @@ type Encoding struct {
 	cells         *CellLayout // non-nil after AddFull with negated inclusions
 }
 
+// Clone returns an independent copy of the encoding sharing the immutable
+// parts (the simplified DTD, the occurrence list and any cell layout — all
+// read-only once built) and deep-copying the linear system, so constraint
+// rows can be added to the copy without touching the original. This is
+// what lets a compiled engine build Ψ_{D_N} once and reuse it across many
+// concurrent consistency checks: the base encoding is the template, each
+// request works on a clone.
+func (e *Encoding) Clone() *Encoding {
+	return &Encoding{
+		Sys:           e.Sys.Clone(),
+		Simp:          e.Simp,
+		occs:          e.occs,
+		recursive:     e.recursive,
+		attrVarsAdded: e.attrVarsAdded,
+		cells:         e.cells,
+	}
+}
+
 // Recursive reports whether connectivity constraints were added (the type
 // graph of the simplified DTD is cyclic).
 func (e *Encoding) Recursive() bool { return e.recursive }

@@ -1,6 +1,7 @@
 package cardinality
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -21,7 +22,7 @@ func encode(t *testing.T, d *dtd.DTD) *Encoding {
 
 func feasible(t *testing.T, sys *linear.System) bool {
 	t.Helper()
-	res, err := ilp.Solve(sys, nil)
+	res, err := ilp.Solve(context.Background(), sys, nil)
 	if err != nil {
 		t.Fatalf("ilp.Solve: %v\n%s", err, sys)
 	}

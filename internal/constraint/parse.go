@@ -20,6 +20,7 @@ import (
 // constraints against a DTD.
 func Parse(src string) ([]Constraint, error) {
 	var out []Constraint
+	offset := 0
 	for lineNo, raw := range strings.Split(src, "\n") {
 		line := raw
 		if i := strings.Index(line, "#"); i >= 0 {
@@ -29,17 +30,31 @@ func Parse(src string) ([]Constraint, error) {
 			line = line[:i]
 		}
 		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
+		if line != "" {
+			c, err := ParseOne(line)
+			if err != nil {
+				return nil, &ParseError{Line: lineNo + 1, Offset: offset, Text: line, Err: err}
+			}
+			out = append(out, c)
 		}
-		c, err := ParseOne(line)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
-		}
-		out = append(out, c)
+		offset += len(raw) + 1
 	}
 	return out, nil
 }
+
+// ParseError is a constraint syntax error with the position of the
+// offending line. It wraps the underlying description, so errors.Is/As see
+// through it.
+type ParseError struct {
+	Line   int    // 1-based line number within the constraint source
+	Offset int    // byte offset of the line's start within the source
+	Text   string // the offending line, comments stripped
+	Err    error
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("line %d: %v", e.Line, e.Err) }
+
+func (e *ParseError) Unwrap() error { return e.Err }
 
 // MustParse is Parse panicking on error, for tests and example data.
 func MustParse(src string) []Constraint {

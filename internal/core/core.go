@@ -17,7 +17,17 @@
 // (Theorem 3.1); Consistent reports ErrUndecidable for them. For a fixed
 // DTD the number of encoding variables is a constant, so consistency and
 // implication run in polynomial time in |Σ| (Corollaries 4.11 and 5.5);
-// Checker amortises the per-DTD work for that use.
+// Checker is the engine for that setting: it validates and simplifies the
+// DTD once, builds the cardinality-encoding template Ψ_{D_N} once, and then
+// serves any number of checks — concurrently — by cloning the template per
+// request. All lazy state is guarded by sync.Once; a Checker is safe for
+// use from multiple goroutines.
+//
+// Every NP-class procedure takes a context.Context, plumbed into the ILP
+// branch-and-bound search and the witness construction, so deadlines and
+// cancellation abort the exponential search promptly. Cancelled checks
+// return an error matching both ErrCanceled and the context's own error
+// under errors.Is.
 //
 // Positive consistency results carry a witness document, built by package
 // witness and independently re-validated against the DTD and every
@@ -25,8 +35,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"xic/internal/cardinality"
 	"xic/internal/constraint"
@@ -42,6 +54,34 @@ import (
 var ErrUndecidable = errors.New(
 	"core: consistency of multi-attribute keys and foreign keys is undecidable (Theorem 3.1); " +
 		"only keys-only multi-attribute sets and unary constraint sets are decidable")
+
+// ErrCanceled is reported when a check is abandoned because its context was
+// cancelled or its deadline expired. Errors returned by the deciders match
+// both ErrCanceled and the underlying context error (context.Canceled or
+// context.DeadlineExceeded) under errors.Is.
+var ErrCanceled = errors.New("core: check canceled")
+
+// wrapCanceled translates context-cancellation errors bubbling up from the
+// solver or the witness builder into the ErrCanceled taxonomy, leaving all
+// other errors untouched.
+func wrapCanceled(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}
+
+// orBackground guards against nil contexts so that the ctx-free facade can
+// delegate without allocating one per call site.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
 
 // Options configures the NP procedures.
 type Options struct {
@@ -93,25 +133,49 @@ func ConsistentDTD(d *dtd.DTD) bool {
 //   - unary classes up to C^Unary_{K¬,IC¬}: the NP procedures of
 //     Sections 4–5;
 //   - multi-attribute sets with foreign keys or inclusions: ErrUndecidable.
+//
+// Consistent redoes the per-DTD work on every call; use a Checker (or the
+// public xic.Spec) when checking many sets against one DTD.
 func Consistent(d *dtd.DTD, set []constraint.Constraint, opt *Options) (*Result, error) {
+	return ConsistentContext(context.Background(), d, set, opt)
+}
+
+// ConsistentContext is Consistent under a context: cancellation aborts the
+// NP search and witness construction with an error matching ErrCanceled.
+func ConsistentContext(ctx context.Context, d *dtd.DTD, set []constraint.Constraint, opt *Options) (*Result, error) {
 	if err := d.Check(); err != nil {
 		return nil, err
 	}
-	c := &Checker{d: d}
-	return c.consistentChecked(set, opt)
+	c := &Checker{d: d, ephemeral: true}
+	return c.consistentChecked(orBackground(ctx), set, opt)
 }
 
-// Checker amortises the per-DTD work (validation and simplification) across
-// many consistency and implication checks against the same DTD — the
-// fixed-DTD setting of Corollaries 4.11 and 5.5, where all procedures run
-// in polynomial time because the variable count of the encoding is fixed.
+// Checker is the compiled consistency engine for the fixed-DTD setting of
+// Corollaries 4.11 and 5.5: it amortises DTD validation, Section 4.1
+// simplification and the Ψ_{D_N} encoding template across many consistency
+// and implication checks against the same DTD. The amortised state is
+// built at most once (guarded by sync.Once) and never mutated afterwards;
+// each request clones the encoding template, so a single Checker serves
+// any number of goroutines concurrently.
 type Checker struct {
-	d    *dtd.DTD
-	simp *dtd.Simplified
+	d *dtd.DTD
+
+	// ephemeral marks throwaway checkers behind the one-shot package-level
+	// entry points: encoding once-and-clone would cost more than just
+	// encoding, so template() builds fresh instead of caching.
+	ephemeral bool
+
+	simpOnce sync.Once
+	simp     *dtd.Simplified
+
+	encOnce sync.Once
+	encBase *cardinality.Encoding
+	encErr  error
 }
 
-// NewChecker validates the DTD once; simplification happens lazily on the
-// first NP-class check.
+// NewChecker validates the DTD once; simplification and the encoding
+// template are built lazily on the first NP-class check (or eagerly via
+// Precompile).
 func NewChecker(d *dtd.DTD) (*Checker, error) {
 	if err := d.Check(); err != nil {
 		return nil, err
@@ -122,61 +186,93 @@ func NewChecker(d *dtd.DTD) (*Checker, error) {
 // DTD returns the checker's DTD.
 func (c *Checker) DTD() *dtd.DTD { return c.d }
 
-// Consistent is Consistent against the fixed DTD.
-func (c *Checker) Consistent(set []constraint.Constraint, opt *Options) (*Result, error) {
-	return c.consistentChecked(set, opt)
+// Precompile forces the lazy per-DTD work — simplification and the
+// cardinality-encoding template — so that later checks pay only per-request
+// cost. It is idempotent and safe to call concurrently.
+func (c *Checker) Precompile() error {
+	_, err := c.template()
+	return err
 }
 
-func (c *Checker) consistentChecked(set []constraint.Constraint, opt *Options) (*Result, error) {
+// simplified returns the Section 4.1 simplification, computing it once.
+func (c *Checker) simplified() *dtd.Simplified {
+	c.simpOnce.Do(func() { c.simp = dtd.Simplify(c.d) })
+	return c.simp
+}
+
+// template returns a private clone of the compiled Ψ_{D_N} encoding,
+// building the shared base on first use. Ephemeral checkers skip the
+// cache and hand out a fresh encoding directly.
+func (c *Checker) template() (*cardinality.Encoding, error) {
+	if c.ephemeral {
+		return cardinality.EncodeDTD(c.simplified())
+	}
+	c.encOnce.Do(func() {
+		c.encBase, c.encErr = cardinality.EncodeDTD(c.simplified())
+	})
+	if c.encErr != nil {
+		return nil, c.encErr
+	}
+	return c.encBase.Clone(), nil
+}
+
+// Consistent is Consistent against the fixed DTD.
+func (c *Checker) Consistent(set []constraint.Constraint, opt *Options) (*Result, error) {
+	return c.ConsistentContext(context.Background(), set, opt)
+}
+
+// ConsistentContext is Consistent under a context; see ConsistentContext at
+// package level for cancellation semantics.
+func (c *Checker) ConsistentContext(ctx context.Context, set []constraint.Constraint, opt *Options) (*Result, error) {
+	return c.consistentChecked(orBackground(ctx), set, opt)
+}
+
+func (c *Checker) consistentChecked(ctx context.Context, set []constraint.Constraint, opt *Options) (*Result, error) {
+	if err := wrapCanceled(ctx.Err()); err != nil {
+		return nil, err
+	}
 	if err := constraint.ValidateSet(c.d, set); err != nil {
 		return nil, err
 	}
 	class := constraint.ClassOf(set)
 	switch class {
 	case constraint.ClassK:
-		return c.consistentKeysOnly(set, opt)
+		return c.consistentKeysOnly(ctx, set, opt)
 	case constraint.ClassKFK, constraint.ClassOther:
 		return nil, fmt.Errorf("%w (set is in %s)", ErrUndecidable, class)
 	}
-	enc, err := cardinality.EncodeDTD(c.simplified())
+	enc, err := c.template()
 	if err != nil {
 		return nil, err
 	}
 	if _, err := enc.AddFull(set); err != nil {
 		return nil, err
 	}
-	sol, err := ilp.Solve(enc.Sys, opt.solver())
+	sol, err := ilp.Solve(ctx, enc.Sys, opt.solver())
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(err)
 	}
 	res := &Result{Class: class, Consistent: sol.Feasible}
 	if !sol.Feasible || opt.skipWitness() {
 		return res, nil
 	}
-	tree, err := witness.Build(enc, set, sol.Values, opt.witnessLimits())
+	tree, err := witness.Build(ctx, enc, set, sol.Values, opt.witnessLimits())
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(err)
 	}
 	res.Witness = tree
 	return res, nil
 }
 
-func (c *Checker) simplified() *dtd.Simplified {
-	if c.simp == nil {
-		c.simp = dtd.Simplify(c.d)
-	}
-	return c.simp
-}
-
 // consistentKeysOnly is the linear-time path of Theorem 3.5(2): a set of
 // keys is consistent iff the DTD has any valid tree, since attribute values
 // can always be chosen pairwise distinct.
-func (c *Checker) consistentKeysOnly(set []constraint.Constraint, opt *Options) (*Result, error) {
+func (c *Checker) consistentKeysOnly(ctx context.Context, set []constraint.Constraint, opt *Options) (*Result, error) {
 	res := &Result{Class: constraint.ClassK, Consistent: c.d.HasValidTree()}
 	if !res.Consistent || opt.skipWitness() {
 		return res, nil
 	}
-	tree, err := c.buildSkeleton(opt)
+	tree, err := c.buildSkeleton(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -190,22 +286,23 @@ func (c *Checker) consistentKeysOnly(set []constraint.Constraint, opt *Options) 
 
 // buildSkeleton constructs some tree conforming to the DTD via the
 // unconstrained encoding.
-func (c *Checker) buildSkeleton(opt *Options) (*xmltree.Tree, error) {
-	enc, err := cardinality.EncodeDTD(c.simplified())
+func (c *Checker) buildSkeleton(ctx context.Context, opt *Options) (*xmltree.Tree, error) {
+	enc, err := c.template()
 	if err != nil {
 		return nil, err
 	}
 	if err := enc.AddUnary(nil); err != nil {
 		return nil, err
 	}
-	sol, err := ilp.Solve(enc.Sys, opt.solver())
+	sol, err := ilp.Solve(ctx, enc.Sys, opt.solver())
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(err)
 	}
 	if !sol.Feasible {
 		return nil, fmt.Errorf("core: internal error: DTD with valid trees has infeasible Ψ_D")
 	}
-	return witness.Build(enc, nil, sol.Values, opt.witnessLimits())
+	tree, err := witness.Build(ctx, enc, nil, sol.Values, opt.witnessLimits())
+	return tree, wrapCanceled(err)
 }
 
 // distinctValues overwrites every attribute value in the tree with a

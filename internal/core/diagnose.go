@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"xic/internal/constraint"
@@ -32,15 +33,28 @@ type Diagnosis struct {
 // the foreign key jointly force |subject| ≤ |teacher| < |subject|... the
 // subject key plus foreign key alone suffice, so the core has two members).
 func Diagnose(d *dtd.DTD, set []constraint.Constraint, opt *Options) (*Diagnosis, error) {
+	return DiagnoseContext(context.Background(), d, set, opt)
+}
+
+// DiagnoseContext is Diagnose under a context: cancellation aborts the
+// |Σ|+1 consistency checks with an error matching ErrCanceled.
+func DiagnoseContext(ctx context.Context, d *dtd.DTD, set []constraint.Constraint, opt *Options) (*Diagnosis, error) {
 	if err := d.Check(); err != nil {
 		return nil, err
 	}
-	if !d.HasValidTree() {
+	c := &Checker{d: d}
+	return c.DiagnoseContext(ctx, set, opt)
+}
+
+// DiagnoseContext is Diagnose against the fixed DTD: the per-DTD work is
+// paid once for all |Σ|+1 consistency checks of the deletion filter.
+func (c *Checker) DiagnoseContext(ctx context.Context, set []constraint.Constraint, opt *Options) (*Diagnosis, error) {
+	ctx = orBackground(ctx)
+	if !c.d.HasValidTree() {
 		return &Diagnosis{DTDEmpty: true}, nil
 	}
-	checker := &Checker{d: d}
 	decide := func(s []constraint.Constraint) (bool, error) {
-		res, err := checker.Consistent(s, &Options{Solver: opt.solverOptions(), SkipWitness: true})
+		res, err := c.consistentChecked(ctx, s, &Options{Solver: opt.solverOptions(), SkipWitness: true})
 		if err != nil {
 			return false, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"xic/internal/cardinality"
@@ -30,15 +31,31 @@ type Implication struct {
 //     key is implied iff both its key and its inclusion part are;
 //   - anything else multi-attribute: ErrUndecidable (Corollary 3.4).
 func Implies(d *dtd.DTD, sigma []constraint.Constraint, phi constraint.Constraint, opt *Options) (*Implication, error) {
+	return ImpliesContext(context.Background(), d, sigma, phi, opt)
+}
+
+// ImpliesContext is Implies under a context: cancellation aborts the coNP
+// refutation search with an error matching ErrCanceled.
+func ImpliesContext(ctx context.Context, d *dtd.DTD, sigma []constraint.Constraint, phi constraint.Constraint, opt *Options) (*Implication, error) {
 	if err := d.Check(); err != nil {
 		return nil, err
 	}
-	c := &Checker{d: d}
-	return c.Implies(sigma, phi, opt)
+	c := &Checker{d: d, ephemeral: true}
+	return c.ImpliesContext(ctx, sigma, phi, opt)
 }
 
 // Implies is Implies against the fixed DTD (Corollary 5.5's PTIME setting).
 func (c *Checker) Implies(sigma []constraint.Constraint, phi constraint.Constraint, opt *Options) (*Implication, error) {
+	return c.ImpliesContext(context.Background(), sigma, phi, opt)
+}
+
+// ImpliesContext is Implies under a context; see ImpliesContext at package
+// level for cancellation semantics.
+func (c *Checker) ImpliesContext(ctx context.Context, sigma []constraint.Constraint, phi constraint.Constraint, opt *Options) (*Implication, error) {
+	ctx = orBackground(ctx)
+	if err := wrapCanceled(ctx.Err()); err != nil {
+		return nil, err
+	}
 	if err := constraint.ValidateSet(c.d, sigma); err != nil {
 		return nil, err
 	}
@@ -47,7 +64,7 @@ func (c *Checker) Implies(sigma []constraint.Constraint, phi constraint.Constrai
 	}
 	phiKey, phiIsKey := phi.(constraint.Key)
 	if constraint.ClassOf(sigma) == constraint.ClassK && phiIsKey {
-		return c.impliesKeyByKeys(sigma, phiKey, opt)
+		return c.impliesKeyByKeys(ctx, sigma, phiKey, opt)
 	}
 	if !phi.Unary() {
 		return nil, fmt.Errorf("%w (the conclusion %s is multi-attribute)", ErrUndecidable, phi)
@@ -55,20 +72,20 @@ func (c *Checker) Implies(sigma []constraint.Constraint, phi constraint.Constrai
 	switch x := phi.(type) {
 	case constraint.ForeignKey:
 		// φ = key ∧ inclusion: implied iff both parts are (Section 2.2).
-		keyPart, err := c.Implies(sigma, x.Key(), opt)
+		keyPart, err := c.ImpliesContext(ctx, sigma, x.Key(), opt)
 		if err != nil {
 			return nil, err
 		}
 		if !keyPart.Implied {
 			return keyPart, nil
 		}
-		return c.Implies(sigma, x.Inclusion, opt)
+		return c.ImpliesContext(ctx, sigma, x.Inclusion, opt)
 	case constraint.Key, constraint.Inclusion:
 		negs, err := constraint.Negate(x)
 		if err != nil {
 			return nil, err
 		}
-		refuted, err := c.Consistent(append(append([]constraint.Constraint(nil), sigma...), negs...), opt)
+		refuted, err := c.consistentChecked(ctx, append(append([]constraint.Constraint(nil), sigma...), negs...), opt)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +145,7 @@ func subsumesKey(sigma []constraint.Constraint, phi constraint.Key) bool {
 // when not implied, a valid tree with two τ nodes agreeing on X and
 // pairwise-distinct values elsewhere refutes φ while satisfying every
 // non-subsumed key of Σ (Lemma 3.7's proof).
-func (c *Checker) impliesKeyByKeys(sigma []constraint.Constraint, phi constraint.Key, opt *Options) (*Implication, error) {
+func (c *Checker) impliesKeyByKeys(ctx context.Context, sigma []constraint.Constraint, phi constraint.Key, opt *Options) (*Implication, error) {
 	if subsumesKey(sigma, phi) {
 		return &Implication{Implied: true}, nil
 	}
@@ -140,7 +157,7 @@ func (c *Checker) impliesKeyByKeys(sigma []constraint.Constraint, phi constraint
 	}
 
 	// Build a tree with at least two φ-type nodes.
-	enc, err := cardinality.EncodeDTD(c.simplified())
+	enc, err := c.template()
 	if err != nil {
 		return nil, err
 	}
@@ -152,16 +169,16 @@ func (c *Checker) impliesKeyByKeys(sigma []constraint.Constraint, phi constraint
 		return nil, fmt.Errorf("core: internal error: no extent variable for %q", phi.Type)
 	}
 	enc.Sys.AddGe(linear.Term(extVar, 1), 2)
-	sol, err := ilp.Solve(enc.Sys, opt.solver())
+	sol, err := ilp.Solve(ctx, enc.Sys, opt.solver())
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(err)
 	}
 	if !sol.Feasible {
 		return nil, fmt.Errorf("core: internal error: MaxOccurrences ≥ 2 but encoding forbids two %q nodes", phi.Type)
 	}
-	tree, err := witness.Build(enc, nil, sol.Values, opt.witnessLimits())
+	tree, err := witness.Build(ctx, enc, nil, sol.Values, opt.witnessLimits())
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(err)
 	}
 	distinctValues(tree)
 	nodes := tree.Ext(phi.Type)

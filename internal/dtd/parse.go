@@ -360,8 +360,20 @@ func (p *parser) expectSym(s string) error {
 	return nil
 }
 
+// ParseError is a DTD syntax error with its source position. It unwraps to
+// nothing; callers match it with errors.As.
+type ParseError struct {
+	Line   int    // 1-based line of the offending token
+	Offset int    // 0-based byte offset into the input
+	Msg    string // description without the "dtd: line N:" prefix
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dtd: line %d: %s", e.Line, e.Msg)
+}
+
 func (p *parser) errf(tok token, format string, args ...interface{}) error {
-	return fmt.Errorf("dtd: line %d: %s", tok.line, fmt.Sprintf(format, args...))
+	return &ParseError{Line: tok.line, Offset: tok.off, Msg: fmt.Sprintf(format, args...)}
 }
 
 type tokKind int
@@ -377,6 +389,7 @@ type token struct {
 	kind tokKind
 	text string
 	line int
+	off  int // byte offset of the token's first character
 }
 
 type lexer struct {
@@ -422,36 +435,36 @@ func (l *lexer) scan() (token, error) {
 		}
 		end := strings.Index(l.input[l.pos+4:], "-->")
 		if end < 0 {
-			return token{}, fmt.Errorf("dtd: line %d: unterminated comment", l.line)
+			return token{}, &ParseError{Line: l.line, Offset: l.pos, Msg: "unterminated comment"}
 		}
 		l.advance(4 + end + 3)
 	}
 	if l.pos >= len(l.input) {
-		return token{kind: tokEOF, line: l.line}, nil
+		return token{kind: tokEOF, line: l.line, off: l.pos}, nil
 	}
 	c := l.input[l.pos]
+	start := l.pos
 	switch c {
 	case '<', '>', '(', ')', '|', ',', '*', '+', '?':
 		l.pos++
-		return token{kind: tokSym, text: string(c), line: l.line}, nil
+		return token{kind: tokSym, text: string(c), line: l.line, off: start}, nil
 	case '"', '\'':
 		quote := c
 		end := strings.IndexByte(l.input[l.pos+1:], quote)
 		if end < 0 {
-			return token{}, fmt.Errorf("dtd: line %d: unterminated string", l.line)
+			return token{}, &ParseError{Line: l.line, Offset: l.pos, Msg: "unterminated string"}
 		}
 		text := l.input[l.pos+1 : l.pos+1+end]
 		l.advance(end + 2)
-		return token{kind: tokString, text: text, line: l.line}, nil
+		return token{kind: tokString, text: text, line: l.line, off: start}, nil
 	}
 	if isNameStart(rune(c)) {
-		start := l.pos
 		for l.pos < len(l.input) && isNameChar(rune(l.input[l.pos])) {
 			l.pos++
 		}
-		return token{kind: tokName, text: l.input[start:l.pos], line: l.line}, nil
+		return token{kind: tokName, text: l.input[start:l.pos], line: l.line, off: start}, nil
 	}
-	return token{}, fmt.Errorf("dtd: line %d: unexpected character %q", l.line, string(c))
+	return token{}, &ParseError{Line: l.line, Offset: l.pos, Msg: fmt.Sprintf("unexpected character %q", string(c))}
 }
 
 func (l *lexer) skipSpace() {

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -49,7 +50,7 @@ func BenchmarkSolveFeasible(b *testing.B) {
 		sys := randomFeasibleSystem(rng, size.n, size.rows)
 		b.Run(fmt.Sprintf("%dv-%dr", size.n, size.rows), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := Solve(sys, nil)
+				res, err := Solve(context.Background(), sys, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -66,7 +67,7 @@ func BenchmarkSolveInfeasible(b *testing.B) {
 	s.AddGe(linear.Term(x, 1).Plus(y, 1), 10)
 	s.AddLe(linear.Term(x, 1).Plus(y, 1), 9)
 	for i := 0; i < b.N; i++ {
-		res, err := Solve(s, nil)
+		res, err := Solve(context.Background(), s, nil)
 		if err != nil || res.Feasible {
 			b.Fatalf("want infeasible: %v %v", res, err)
 		}
@@ -96,7 +97,7 @@ func BenchmarkAblationBigMVsNative(b *testing.B) {
 	b.Run("native", func(b *testing.B) {
 		sys := mk()
 		for i := 0; i < b.N; i++ {
-			res, err := Solve(sys, nil)
+			res, err := Solve(context.Background(), sys, nil)
 			if err != nil || !res.Feasible {
 				b.Fatalf("want feasible: %v %v", res, err)
 			}
@@ -105,7 +106,7 @@ func BenchmarkAblationBigMVsNative(b *testing.B) {
 	b.Run("bigM", func(b *testing.B) {
 		m := mk().BigM()
 		for i := 0; i < b.N; i++ {
-			res, err := SolveMatrix(m, nil)
+			res, err := SolveMatrix(context.Background(), m, nil)
 			if err != nil || !res.Feasible {
 				b.Fatalf("want feasible: %v %v", res, err)
 			}

@@ -10,6 +10,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -48,16 +49,18 @@ type Result struct {
 }
 
 // Solve decides whether the system has a nonnegative integer solution
-// satisfying all constraints and conditionals.
-func Solve(sys *linear.System, opt *Options) (*Result, error) {
+// satisfying all constraints and conditionals. The context is checked once
+// per branch-and-bound node: cancelling it aborts the NP search promptly,
+// returning an error wrapping ctx.Err(). A nil context never cancels.
+func Solve(ctx context.Context, sys *linear.System, opt *Options) (*Result, error) {
 	spec := specFromSystem(sys)
-	return branchAndBound(spec, opt)
+	return branchAndBound(ctx, spec, opt)
 }
 
 // SolveMatrix decides nonnegative integer feasibility of the LIP instance
 // A·x ≥ b (the paper's problem statement, with the nonnegativity that all
-// encodings carry explicitly).
-func SolveMatrix(m *linear.Matrix, opt *Options) (*Result, error) {
+// encodings carry explicitly). Cancellation behaves as in Solve.
+func SolveMatrix(ctx context.Context, m *linear.Matrix, opt *Options) (*Result, error) {
 	spec := &problemSpec{n: m.Cols()}
 	for r := range m.A {
 		coeffs := make(map[int]*big.Rat)
@@ -72,7 +75,7 @@ func SolveMatrix(m *linear.Matrix, opt *Options) (*Result, error) {
 			rhs:    new(big.Rat).SetInt(m.B[r]),
 		})
 	}
-	return branchAndBound(spec, opt)
+	return branchAndBound(ctx, spec, opt)
 }
 
 type rowSpec struct {
@@ -122,7 +125,10 @@ func (nd *node) child() *node {
 	return c
 }
 
-func branchAndBound(spec *problemSpec, opt *Options) (*Result, error) {
+func branchAndBound(ctx context.Context, spec *problemSpec, opt *Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if infeasibleByGCD(spec) {
 		return &Result{Feasible: false}, nil
 	}
@@ -132,13 +138,21 @@ func branchAndBound(spec *problemSpec, opt *Options) (*Result, error) {
 	nodes := 0
 	one := big.NewInt(1)
 	for len(stack) > 0 {
+		// The search is NP-complete (Theorem 4.7); the context is the only
+		// way a caller can bound its wall-clock time, so check every node.
+		if err := ctx.Err(); err != nil {
+			return &Result{Nodes: nodes}, fmt.Errorf("ilp: search aborted after %d nodes: %w", nodes, err)
+		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nodes++
 		if nodes > limit {
 			return &Result{Nodes: nodes}, fmt.Errorf("%w (%d nodes)", ErrNodeLimit, limit)
 		}
-		sol := solveLP(spec, nd)
+		sol := solveLP(ctx, spec, nd)
+		if sol.Status == simplex.Interrupted {
+			return &Result{Nodes: nodes}, fmt.Errorf("ilp: search aborted mid-LP after %d nodes: %w", nodes, ctx.Err())
+		}
 		if sol.Status == simplex.Infeasible {
 			continue
 		}
@@ -181,8 +195,13 @@ func branchAndBound(spec *problemSpec, opt *Options) (*Result, error) {
 	return &Result{Nodes: nodes}, nil
 }
 
-func solveLP(spec *problemSpec, nd *node) *simplex.Solution {
+func solveLP(ctx context.Context, spec *problemSpec, nd *node) *simplex.Solution {
 	p := simplex.New(spec.n)
+	if ctx.Done() != nil {
+		// Exact-rational pivots on big tableaus are slow; poll the context
+		// once per pivot so deadlines interrupt even a single LP solve.
+		p.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
 	for _, r := range spec.rows {
 		p.AddRow(r.coeffs, r.rel, r.rhs)
 	}

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"math/big"
 	"math/rand"
@@ -11,7 +12,7 @@ import (
 
 func mustSolve(t *testing.T, s *linear.System) *Result {
 	t.Helper()
-	res, err := Solve(s, nil)
+	res, err := Solve(context.Background(), s, nil)
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -164,7 +165,7 @@ func TestNodeLimit(t *testing.T) {
 	y := s2.Var("y")
 	s2.AddGe(linear.Term(x, 2).Plus(y, 2), 7)
 	s2.AddLe(linear.Term(x, 2).Plus(y, 2), 7)
-	_, err := Solve(s2, &Options{MaxNodes: 1})
+	_, err := Solve(context.Background(), s2, &Options{MaxNodes: 1})
 	if err == nil {
 		t.Skip("system solved within one node; limit not exercised")
 	}
@@ -183,7 +184,7 @@ func TestSolveMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatalf("MatrixGE: %v", err)
 	}
-	res, err := SolveMatrix(m, nil)
+	res, err := SolveMatrix(context.Background(), m, nil)
 	if err != nil {
 		t.Fatalf("SolveMatrix: %v", err)
 	}
@@ -225,11 +226,11 @@ func TestBigMAgreesWithNativeImplications(t *testing.T) {
 		},
 	}
 	for i, mk := range cases {
-		native, err := Solve(mk(), nil)
+		native, err := Solve(context.Background(), mk(), nil)
 		if err != nil {
 			t.Fatalf("case %d native: %v", i, err)
 		}
-		viaBigM, err := SolveMatrix(mk().BigM(), nil)
+		viaBigM, err := SolveMatrix(context.Background(), mk().BigM(), nil)
 		if err != nil {
 			t.Fatalf("case %d bigM: %v", i, err)
 		}
@@ -294,7 +295,7 @@ func TestAgainstBruteForce(t *testing.T) {
 			s.AddImplication(ids[0], ids[1])
 		}
 		want := bruteForce(s, 4)
-		res, err := Solve(s, &Options{MaxNodes: 100000})
+		res, err := Solve(context.Background(), s, &Options{MaxNodes: 100000})
 		if err != nil {
 			t.Fatalf("trial %d: %v\n%s", trial, err, s)
 		}

@@ -1,6 +1,7 @@
 package setrep
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -17,7 +18,7 @@ func BenchmarkHasRepresentation(b *testing.B) {
 		u, v := UV(FromCells(n, cells, "b"))
 		b.Run(fmt.Sprintf("sets-%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, ok, err := HasRepresentation(u, v, nil)
+				_, ok, err := HasRepresentation(context.Background(), u, v, nil)
 				if err != nil || !ok {
 					b.Fatalf("realisable family rejected: %v %v", ok, err)
 				}
@@ -30,7 +31,7 @@ func BenchmarkIsIntersectionPattern(b *testing.B) {
 	f := FromCells(3, map[uint64]int64{0b111: 1, 0b011: 2, 0b100: 1, 0b101: 1}, "ip")
 	u, _ := UV(f)
 	for i := 0; i < b.N; i++ {
-		_, ok, err := IsIntersectionPattern(u, nil)
+		_, ok, err := IsIntersectionPattern(context.Background(), u, nil)
 		if err != nil || !ok {
 			b.Fatalf("pattern rejected: %v %v", ok, err)
 		}

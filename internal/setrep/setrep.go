@@ -8,6 +8,7 @@
 package setrep
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -86,8 +87,8 @@ func UV(f Family) (u, v [][]int64) {
 // solves the intersection-cell system of Lemma 5.3: nonnegative integers zθ
 // with u_ij = Σ_{θ ∋ i,j} zθ and v_ij = Σ_{θ ∋ i, θ ∌ j} zθ. The system is
 // exponential in n — this is the NP certificate of Theorem 5.1 — so n is
-// capped at MaxSets.
-func HasRepresentation(u, v [][]int64, opt *ilp.Options) (Family, bool, error) {
+// capped at MaxSets. Cancelling the context aborts the solve.
+func HasRepresentation(ctx context.Context, u, v [][]int64, opt *ilp.Options) (Family, bool, error) {
 	n := len(u)
 	if err := checkSquare(u, n, "U"); err != nil {
 		return nil, false, err
@@ -125,7 +126,7 @@ func HasRepresentation(u, v [][]int64, opt *ilp.Options) (Family, bool, error) {
 			sys.AddEq(ve, v[i][j])
 		}
 	}
-	res, err := ilp.Solve(sys, opt)
+	res, err := ilp.Solve(ctx, sys, opt)
 	if err != nil {
 		return nil, false, err
 	}
@@ -202,8 +203,8 @@ func WMatrix(u, v [][]int64, k int64) ([][]int64, error) {
 // IsIntersectionPattern decides the INTERSECTION PATTERN problem: is there
 // a family Y_1,…,Y_m with a_ij = |Y_i ∩ Y_j|? It solves the cell system
 // over the m sets and returns a witness family if one exists. m is capped
-// at MaxSets.
-func IsIntersectionPattern(a [][]int64, opt *ilp.Options) (Family, bool, error) {
+// at MaxSets. Cancelling the context aborts the solve.
+func IsIntersectionPattern(ctx context.Context, a [][]int64, opt *ilp.Options) (Family, bool, error) {
 	m := len(a)
 	if err := checkSquare(a, m, "A"); err != nil {
 		return nil, false, err
@@ -231,7 +232,7 @@ func IsIntersectionPattern(a [][]int64, opt *ilp.Options) (Family, bool, error) 
 			sys.AddEq(e, a[i][j])
 		}
 	}
-	res, err := ilp.Solve(sys, opt)
+	res, err := ilp.Solve(ctx, sys, opt)
 	if err != nil {
 		return nil, false, err
 	}

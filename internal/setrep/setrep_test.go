@@ -1,6 +1,7 @@
 package setrep
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -32,7 +33,7 @@ func TestHasRepresentationRoundTrip(t *testing.T) {
 		}
 		f := FromCells(n, cells, "r")
 		u, v := UV(f)
-		got, ok, err := HasRepresentation(u, v, nil)
+		got, ok, err := HasRepresentation(context.Background(), u, v, nil)
 		if err != nil {
 			t.Fatalf("HasRepresentation: %v", err)
 		}
@@ -55,33 +56,33 @@ func TestHasRepresentationRejects(t *testing.T) {
 	// Intersection larger than the sets themselves.
 	u := [][]int64{{1, 2}, {2, 1}}
 	v := [][]int64{{0, 0}, {0, 0}}
-	if _, ok, err := HasRepresentation(u, v, nil); err != nil || ok {
+	if _, ok, err := HasRepresentation(context.Background(), u, v, nil); err != nil || ok {
 		t.Errorf("impossible U accepted (ok=%v err=%v)", ok, err)
 	}
 
 	// u_ii must equal u_ij + v_ij.
 	u = [][]int64{{2, 1}, {1, 1}}
 	v = [][]int64{{0, 0}, {0, 0}} // u00=2 but u01+v01 = 1
-	if _, ok, err := HasRepresentation(u, v, nil); err != nil || ok {
+	if _, ok, err := HasRepresentation(context.Background(), u, v, nil); err != nil || ok {
 		t.Errorf("inconsistent row sums accepted (ok=%v err=%v)", ok, err)
 	}
 
 	// Asymmetric intersection is impossible.
 	u = [][]int64{{1, 1}, {0, 1}}
 	v = [][]int64{{0, 0}, {1, 0}}
-	if _, ok, err := HasRepresentation(u, v, nil); err != nil || ok {
+	if _, ok, err := HasRepresentation(context.Background(), u, v, nil); err != nil || ok {
 		t.Errorf("asymmetric U accepted (ok=%v err=%v)", ok, err)
 	}
 }
 
 func TestHasRepresentationValidation(t *testing.T) {
-	if _, _, err := HasRepresentation([][]int64{{1}}, [][]int64{{1, 2}}, nil); err == nil {
+	if _, _, err := HasRepresentation(context.Background(), [][]int64{{1}}, [][]int64{{1, 2}}, nil); err == nil {
 		t.Error("shape mismatch accepted")
 	}
-	if _, _, err := HasRepresentation([][]int64{{-1}}, [][]int64{{0}}, nil); err == nil {
+	if _, _, err := HasRepresentation(context.Background(), [][]int64{{-1}}, [][]int64{{0}}, nil); err == nil {
 		t.Error("negative entry accepted")
 	}
-	if _, ok, err := HasRepresentation(nil, nil, nil); err != nil || !ok {
+	if _, ok, err := HasRepresentation(context.Background(), nil, nil, nil); err != nil || !ok {
 		t.Errorf("empty family should be trivially representable (ok=%v err=%v)", ok, err)
 	}
 }
@@ -98,7 +99,7 @@ func TestWMatrix(t *testing.T) {
 		t.Fatalf("W is %d×%d, want 4×4", len(w), len(w))
 	}
 	// Theorem 5.1: W is an intersection pattern iff U,V representable.
-	if _, ok, err := IsIntersectionPattern(w, nil); err != nil || !ok {
+	if _, ok, err := IsIntersectionPattern(context.Background(), w, nil); err != nil || !ok {
 		t.Errorf("W of representable U,V rejected as intersection pattern (ok=%v err=%v)", ok, err)
 	}
 
@@ -115,7 +116,7 @@ func TestWMatrixOfImpossibleUV(t *testing.T) {
 	if err != nil {
 		t.Fatalf("WMatrix: %v", err)
 	}
-	if _, ok, err := IsIntersectionPattern(w, nil); err != nil || ok {
+	if _, ok, err := IsIntersectionPattern(context.Background(), w, nil); err != nil || ok {
 		t.Errorf("W of unrepresentable U,V accepted (ok=%v err=%v)", ok, err)
 	}
 }
@@ -127,7 +128,7 @@ func TestIsIntersectionPattern(t *testing.T) {
 		{1, 2, 1},
 		{0, 1, 1},
 	}
-	f, ok, err := IsIntersectionPattern(a, nil)
+	f, ok, err := IsIntersectionPattern(context.Background(), a, nil)
 	if err != nil || !ok {
 		t.Fatalf("valid pattern rejected (ok=%v err=%v)", ok, err)
 	}
@@ -142,7 +143,7 @@ func TestIsIntersectionPattern(t *testing.T) {
 
 	// |Y0 ∩ Y1| > |Y0| is impossible.
 	bad := [][]int64{{1, 2}, {2, 3}}
-	if _, ok, _ := IsIntersectionPattern(bad, nil); ok {
+	if _, ok, _ := IsIntersectionPattern(context.Background(), bad, nil); ok {
 		t.Error("impossible pattern accepted")
 	}
 }
@@ -155,10 +156,10 @@ func TestCapEnforced(t *testing.T) {
 		u[i] = make([]int64, n)
 		v[i] = make([]int64, n)
 	}
-	if _, _, err := HasRepresentation(u, v, nil); err == nil {
+	if _, _, err := HasRepresentation(context.Background(), u, v, nil); err == nil {
 		t.Error("cap not enforced for HasRepresentation")
 	}
-	if _, _, err := IsIntersectionPattern(u, nil); err == nil {
+	if _, _, err := IsIntersectionPattern(context.Background(), u, nil); err == nil {
 		t.Error("cap not enforced for IsIntersectionPattern")
 	}
 }

@@ -28,9 +28,10 @@ type Status int
 
 // Solve outcomes.
 const (
-	Optimal    Status = iota // feasible; X minimizes the objective
-	Infeasible               // the polyhedron is empty
-	Unbounded                // the objective is unbounded below
+	Optimal     Status = iota // feasible; X minimizes the objective
+	Infeasible                // the polyhedron is empty
+	Unbounded                 // the objective is unbounded below
+	Interrupted               // the interrupt hook fired mid-solve
 )
 
 func (s Status) String() string {
@@ -41,18 +42,28 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case Interrupted:
+		return "interrupted"
 	}
 	return "unknown"
 }
 
 // Problem is an LP over nonnegative structural variables x_0 … x_{n-1}.
 type Problem struct {
-	nvars int
-	rows  []sparseRow
-	rels  []Rel
-	rhs   []*big.Rat
-	obj   map[int]*big.Rat // minimized; nil means pure feasibility
+	nvars     int
+	rows      []sparseRow
+	rels      []Rel
+	rhs       []*big.Rat
+	obj       map[int]*big.Rat // minimized; nil means pure feasibility
+	interrupt func() bool
 }
+
+// SetInterrupt installs a hook polled once per pivot; when it returns true
+// the solve stops and reports Status Interrupted. Exact-rational pivots on
+// large tableaus can take a long time, so this is the mechanism by which a
+// context deadline reaches into the middle of an LP solve instead of
+// waiting for it to finish.
+func (p *Problem) SetInterrupt(f func() bool) { p.interrupt = f }
 
 type sparseRow []struct {
 	col int
@@ -119,14 +130,28 @@ type tableau struct {
 	objVal     *big.Rat
 	artStart   int // first artificial column; columns ≥ artStart are blocked in phase 2
 	structural int // number of structural columns
+	interrupt  func() bool
 }
+
+// pivotOutcome is the result of a pivoting phase.
+type pivotOutcome int
+
+const (
+	pivotOptimal pivotOutcome = iota
+	pivotUnbounded
+	pivotInterrupted
+)
 
 // Solve runs two-phase simplex and returns the solution.
 func (p *Problem) Solve() *Solution {
 	t := p.buildTableau()
+	t.interrupt = p.interrupt
 	// Phase 1: minimize the sum of artificials.
 	t.setPhase1Objective()
-	if !t.pivotToOptimality(t.ncols) {
+	switch t.pivotToOptimality(t.ncols) {
+	case pivotInterrupted:
+		return &Solution{Status: Interrupted}
+	case pivotUnbounded:
 		// Phase 1 is always bounded below by 0; unboundedness is a bug.
 		panic("simplex: phase 1 unbounded")
 	}
@@ -137,7 +162,10 @@ func (p *Problem) Solve() *Solution {
 
 	// Phase 2: minimize the real objective over non-artificial columns.
 	t.setObjective(p.obj)
-	if !t.pivotToOptimality(t.artStart) {
+	switch t.pivotToOptimality(t.artStart) {
+	case pivotInterrupted:
+		return &Solution{Status: Interrupted}
+	case pivotUnbounded:
 		return &Solution{Status: Unbounded}
 	}
 	x := make([]*big.Rat, p.nvars)
@@ -291,10 +319,13 @@ func (t *tableau) setObjective(obj map[int]*big.Rat) {
 }
 
 // pivotToOptimality runs Bland's-rule pivots until no entering column with
-// negative reduced cost exists among columns < colLimit. It returns false
-// when the objective is unbounded below.
-func (t *tableau) pivotToOptimality(colLimit int) bool {
+// negative reduced cost exists among columns < colLimit, the objective is
+// found unbounded below, or the interrupt hook fires.
+func (t *tableau) pivotToOptimality(colLimit int) pivotOutcome {
 	for {
+		if t.interrupt != nil && t.interrupt() {
+			return pivotInterrupted
+		}
 		// Entering: smallest column index with negative reduced cost.
 		enter := -1
 		for j := 0; j < colLimit; j++ {
@@ -304,7 +335,7 @@ func (t *tableau) pivotToOptimality(colLimit int) bool {
 			}
 		}
 		if enter < 0 {
-			return true
+			return pivotOptimal
 		}
 		// Leaving: min-ratio rows, tie broken by smallest basic index.
 		leave := -1
@@ -321,7 +352,7 @@ func (t *tableau) pivotToOptimality(colLimit int) bool {
 			}
 		}
 		if leave < 0 {
-			return false
+			return pivotUnbounded
 		}
 		t.pivot(leave, enter)
 	}

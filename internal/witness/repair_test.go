@@ -1,6 +1,7 @@
 package witness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -52,14 +53,14 @@ func buildFor2(t *testing.T, d *dtd.DTD, set []constraint.Constraint) *xmltree.T
 	if _, err := enc.AddFull(set); err != nil {
 		t.Fatalf("AddFull: %v", err)
 	}
-	res, err := ilp.Solve(enc.Sys, nil)
+	res, err := ilp.Solve(context.Background(), enc.Sys, nil)
 	if err != nil {
 		t.Fatalf("ilp.Solve: %v", err)
 	}
 	if !res.Feasible {
 		return nil
 	}
-	tree, err := Build(enc, set, res.Values, nil)
+	tree, err := Build(context.Background(), enc, set, res.Values, nil)
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -151,14 +152,14 @@ func TestRepairRandomRecursive(t *testing.T) {
 		if _, err := enc.AddFull(set); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		res, err := ilp.Solve(enc.Sys, &ilp.Options{MaxNodes: 800})
+		res, err := ilp.Solve(context.Background(), enc.Sys, &ilp.Options{MaxNodes: 800})
 		if err != nil {
 			continue // budget exhausted: skip
 		}
 		if !res.Feasible {
 			continue
 		}
-		if _, err := Build(enc, set, res.Values, nil); err != nil {
+		if _, err := Build(context.Background(), enc, set, res.Values, nil); err != nil {
 			t.Fatalf("trial %d: Build failed: %v\nDTD:\n%s\nΣ:\n%s",
 				trial, err, d, constraint.FormatSet(set))
 		}

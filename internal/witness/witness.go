@@ -22,6 +22,7 @@
 package witness
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -51,9 +52,15 @@ func (l *Limits) maxNodes() int {
 
 // Build constructs a verified witness document from a solution of the
 // encoding. The constraint set must be the same set that was added to the
-// encoding; it is re-checked on the finished tree.
-func Build(enc *cardinality.Encoding, set []constraint.Constraint, values []*big.Int, lim *Limits) (*xmltree.Tree, error) {
-	b := &builder{enc: enc, values: values, lim: lim}
+// encoding; it is re-checked on the finished tree. The context is checked
+// between construction stages and inside the node-allocation loop, so
+// cancelling it aborts even very large witnesses promptly; a nil context
+// never cancels.
+func Build(ctx context.Context, enc *cardinality.Encoding, set []constraint.Constraint, values []*big.Int, lim *Limits) (*xmltree.Tree, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &builder{ctx: ctx, enc: enc, values: values, lim: lim}
 	tree, err := b.run(set)
 	if err != nil {
 		return nil, err
@@ -62,9 +69,18 @@ func Build(enc *cardinality.Encoding, set []constraint.Constraint, values []*big
 }
 
 type builder struct {
+	ctx    context.Context
 	enc    *cardinality.Encoding
 	values []*big.Int
 	lim    *Limits
+}
+
+// checkCtx returns the cancellation error of the builder's context, if any.
+func (b *builder) checkCtx() error {
+	if err := b.ctx.Err(); err != nil {
+		return fmt.Errorf("witness: construction aborted: %w", err)
+	}
+	return nil
 }
 
 // intValue reads a solution variable as an int, failing on absurd sizes.
@@ -114,6 +130,11 @@ func (b *builder) run(set []constraint.Constraint) (*xmltree.Tree, error) {
 			return fmt.Errorf("witness: tree would exceed %d nodes", b.lim.maxNodes())
 		}
 		for k := 0; k < ext; k++ {
+			if k%4096 == 0 {
+				if err := b.checkCtx(); err != nil {
+					return err
+				}
+			}
 			var n *xmltree.Node
 			if typ == dtd.TextSymbol {
 				n = xmltree.NewText("txt")
@@ -175,6 +196,9 @@ func (b *builder) run(set []constraint.Constraint) (*xmltree.Tree, error) {
 	}
 
 	// 2. Wire children following the simple rules.
+	if err := b.checkCtx(); err != nil {
+		return nil, err
+	}
 	take := func(child string, i int, parent string) (*typedNode, error) {
 		mk := mark{i: i, parent: parent}
 		pool := pools[child][mk]
@@ -251,6 +275,9 @@ func (b *builder) run(set []constraint.Constraint) (*xmltree.Tree, error) {
 	}
 
 	// 3. Re-root phantom components (recursive DTDs only).
+	if err := b.checkCtx(); err != nil {
+		return nil, err
+	}
 	if err := b.repair(nodes, root); err != nil {
 		return nil, err
 	}
@@ -260,6 +287,9 @@ func (b *builder) run(set []constraint.Constraint) (*xmltree.Tree, error) {
 	tree := xmltree.NewTree(collapsed)
 
 	// 5. Assign attribute values.
+	if err := b.checkCtx(); err != nil {
+		return nil, err
+	}
 	if err := b.assignValues(tree); err != nil {
 		return nil, err
 	}

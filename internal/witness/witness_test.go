@@ -1,6 +1,7 @@
 package witness
 
 import (
+	"context"
 	"testing"
 
 	"xic/internal/cardinality"
@@ -22,14 +23,14 @@ func buildFor(t *testing.T, d *dtd.DTD, src string) *xmltree.Tree {
 	if _, err := enc.AddFull(set); err != nil {
 		t.Fatalf("AddFull: %v", err)
 	}
-	res, err := ilp.Solve(enc.Sys, nil)
+	res, err := ilp.Solve(context.Background(), enc.Sys, nil)
 	if err != nil {
 		t.Fatalf("ilp.Solve: %v", err)
 	}
 	if !res.Feasible {
 		return nil
 	}
-	tree, err := Build(enc, set, res.Values, nil)
+	tree, err := Build(context.Background(), enc, set, res.Values, nil)
 	if err != nil {
 		t.Fatalf("Build: %v\nsystem:\n%s", err, enc.Sys)
 	}

@@ -2,21 +2,48 @@ package xmltree
 
 import (
 	"fmt"
+	"sync"
 
 	"xic/internal/dtd"
 )
 
 // Validator checks trees for conformance with a fixed DTD (T ⊨ D,
 // Definition 2.2). It compiles one content-model automaton per element type
-// on first use; a Validator must not be shared across mutations of the DTD.
+// on first use, guarded by a mutex so one Validator can serve concurrent
+// Validate calls; it must not be shared across mutations of the DTD.
 type Validator struct {
-	dtd      *dtd.DTD
+	dtd *dtd.DTD
+
+	mu       sync.Mutex
 	automata map[string]*dtd.Automaton
 }
 
 // NewValidator returns a validator for the DTD.
 func NewValidator(d *dtd.DTD) *Validator {
 	return &Validator{dtd: d, automata: make(map[string]*dtd.Automaton)}
+}
+
+// CompileAll eagerly compiles the content-model automata of every declared
+// element type, so later Validate calls only read the cache. Compiled
+// engines call this once at build time to keep automaton construction off
+// the concurrent serving path.
+func (v *Validator) CompileAll() {
+	for _, t := range v.dtd.Types() {
+		v.automaton(t, v.dtd.Element(t).Content)
+	}
+}
+
+// automaton returns the compiled content-model automaton of an element
+// type, compiling and caching it on first use.
+func (v *Validator) automaton(label string, content dtd.Regex) *dtd.Automaton {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	a, ok := v.automata[label]
+	if !ok {
+		a = dtd.Compile(content)
+		v.automata[label] = a
+	}
+	return a
 }
 
 // DTD returns the DTD the validator checks against.
@@ -64,11 +91,7 @@ func (v *Validator) validateNode(t *Tree, n *Node) error {
 	for i, c := range n.Children {
 		labels[i] = c.Label
 	}
-	a, ok := v.automata[n.Label]
-	if !ok {
-		a = dtd.Compile(decl.Content)
-		v.automata[n.Label] = a
-	}
+	a := v.automaton(n.Label, decl.Content)
 	if !a.Match(labels) {
 		return fmt.Errorf("xmltree: children of %s do not match content model %s: %v",
 			t.Path(n), decl.Content, labels)

@@ -1,0 +1,277 @@
+package xic
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"xic/internal/constraint"
+	"xic/internal/core"
+	"xic/internal/xmltree"
+)
+
+// Spec is a compiled XML specification: a DTD together with a set of
+// integrity constraints, with all per-DTD work done once at Compile time —
+// DTD validation, Section 4.1 simplification, the cardinality-encoding
+// template Ψ_{D_N}, constraint validation and classification, and the
+// conformance automata. This is the engine for the paper's fixed-DTD
+// setting (Corollaries 4.11 and 5.5), where one schema serves many
+// consistency, implication and validation requests and each request is
+// polynomial once the per-DTD work is amortised.
+//
+// A Spec is immutable and safe for concurrent use: methods never mutate
+// shared state, so any number of goroutines may share one Spec. Decision
+// methods take a context.Context that is checked inside the ILP
+// branch-and-bound search and the witness builder — cancelling it aborts
+// even an adversarial NP instance promptly with an error matching
+// ErrCanceled.
+type Spec struct {
+	d     *DTD
+	sigma []Constraint
+	class Class
+
+	eng       *core.Checker
+	validator *xmltree.Validator
+
+	opt Options
+	par int // ConsistentAll/ImpliesAll worker bound; 0 = GOMAXPROCS
+}
+
+// Compile builds a Spec from a DTD and a constraint set. It eagerly
+// validates the DTD, simplifies it, builds the cardinality-encoding
+// template, validates every constraint against the DTD and classifies the
+// set, so that compile errors surface here — as a *SpecError — rather
+// than on the serving path.
+//
+// Any well-formed constraint set compiles, including the multi-attribute
+// classes whose static consistency is undecidable (Theorem 3.1): those
+// Specs still serve Validate, while Consistent reports ErrUndecidable.
+func Compile(d *DTD, constraints ...Constraint) (*Spec, error) {
+	if d == nil {
+		return nil, &SpecError{Stage: "dtd", Err: errNilDTD}
+	}
+	eng, err := core.NewChecker(d)
+	if err != nil {
+		return nil, &SpecError{Stage: "dtd", Err: err}
+	}
+	if err := constraint.ValidateSet(d, constraints); err != nil {
+		return nil, &SpecError{Stage: "constraints", Err: err}
+	}
+	if err := eng.Precompile(); err != nil {
+		return nil, &SpecError{Stage: "encode", Err: err}
+	}
+	validator := xmltree.NewValidator(d)
+	validator.CompileAll() // keep automaton construction off the serving path
+	return &Spec{
+		d:         d,
+		sigma:     append([]Constraint(nil), constraints...),
+		class:     constraint.ClassOf(constraints),
+		eng:       eng,
+		validator: validator,
+	}, nil
+}
+
+// CompileStrings is Compile over textual inputs: a DTD in XML DTD syntax
+// and a constraint set in the line-oriented syntax of ParseConstraints.
+// Syntax errors surface as *ParseError with line/offset positions.
+func CompileStrings(dtdSrc, constraintsSrc string) (*Spec, error) {
+	d, err := ParseDTD(dtdSrc)
+	if err != nil {
+		return nil, err
+	}
+	sigma, err := ParseConstraints(constraintsSrc)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(d, sigma...)
+}
+
+// errNilDTD keeps the nil-DTD compile error a stable value.
+var errNilDTD = &nilDTDError{}
+
+type nilDTDError struct{}
+
+func (*nilDTDError) Error() string { return "nil DTD" }
+
+// DTD returns the compiled DTD.
+func (s *Spec) DTD() *DTD { return s.d }
+
+// Constraints returns a copy of the compiled constraint set.
+func (s *Spec) Constraints() []Constraint {
+	return append([]Constraint(nil), s.sigma...)
+}
+
+// Class returns the smallest of the paper's constraint classes containing
+// the compiled set.
+func (s *Spec) Class() Class { return s.class }
+
+// WithOptions returns a Spec sharing this one's compiled state but using
+// opt for subsequent checks (solver budget, witness limits, witness
+// skipping). The receiver is unchanged, so distinct callers can hold
+// differently-tuned views of one compiled engine.
+func (s *Spec) WithOptions(opt Options) *Spec {
+	out := *s
+	out.opt = opt
+	return &out
+}
+
+// WithParallelism returns a Spec sharing this one's compiled state whose
+// ConsistentAll and ImpliesAll use at most n worker goroutines. n < 1
+// restores the default (runtime.GOMAXPROCS).
+func (s *Spec) WithParallelism(n int) *Spec {
+	out := *s
+	if n < 1 {
+		n = 0
+	}
+	out.par = n
+	return &out
+}
+
+// ConsistentDTD reports whether any finite document at all conforms to the
+// DTD (Theorem 3.5(1)); linear time, constraint set ignored.
+func (s *Spec) ConsistentDTD() bool { return s.d.HasValidTree() }
+
+// Consistent decides whether some finite document conforms to the DTD and
+// satisfies every compiled constraint, returning a verified witness
+// document on success (unless Options.SkipWitness is set). Keys-only sets
+// decide in linear time; unary sets with foreign keys, inclusions or
+// negations pay the NP price of Theorems 4.7/5.1, bounded by the context:
+// cancellation returns an error matching ErrCanceled.
+func (s *Spec) Consistent(ctx context.Context) (*Result, error) {
+	return s.eng.ConsistentContext(ctx, s.sigma, &s.opt)
+}
+
+// ConsistentWith is Consistent for the compiled set extended with extra
+// constraints. The extension is per-call: the Spec itself is unchanged,
+// and the compiled encoding template is still reused, which is the
+// intended way to probe many candidate sets against one schema.
+func (s *Spec) ConsistentWith(ctx context.Context, extra ...Constraint) (*Result, error) {
+	return s.eng.ConsistentContext(ctx, s.join(extra), &s.opt)
+}
+
+// Implies decides whether every document conforming to the DTD and
+// satisfying the compiled set also satisfies phi, returning a
+// counterexample document when not. Unary implication is coNP
+// (Theorems 4.10/5.4); keys-only implication is linear. Cancellation
+// returns an error matching ErrCanceled.
+func (s *Spec) Implies(ctx context.Context, phi Constraint) (*Implication, error) {
+	return s.eng.ImpliesContext(ctx, s.sigma, phi, &s.opt)
+}
+
+// ImpliesKey is the linear-time implication test for a key by a keys-only
+// compiled set (Theorem 3.5(3)).
+func (s *Spec) ImpliesKey(phi Key) (bool, error) {
+	return core.ImpliesKey(s.d, s.sigma, phi)
+}
+
+// Diagnose explains an inconsistent specification: it reports whether the
+// DTD alone is unsatisfiable, and otherwise returns a minimal subset of
+// the compiled constraints that is still inconsistent with the DTD
+// (removing any one member restores consistency). The |Σ|+1 consistency
+// checks of the deletion filter all reuse the compiled encoding.
+func (s *Spec) Diagnose(ctx context.Context) (*Diagnosis, error) {
+	return s.eng.DiagnoseContext(ctx, s.sigma, &s.opt)
+}
+
+// Validate checks one concrete document dynamically: it must conform to
+// the DTD and satisfy every compiled constraint. This is the validation
+// mode the paper contrasts with static consistency checking, and it works
+// for every class — including the multi-attribute classes whose static
+// problem is undecidable.
+func (s *Spec) Validate(doc *Tree) error {
+	if err := s.validator.Validate(doc); err != nil {
+		return err
+	}
+	if ok, violated := constraint.SatisfiedAll(doc, s.sigma); !ok {
+		return &ViolationError{Violated: violated}
+	}
+	return nil
+}
+
+// join returns the compiled set extended with extra constraints, copying
+// only when needed.
+func (s *Spec) join(extra []Constraint) []Constraint {
+	if len(extra) == 0 {
+		return s.sigma
+	}
+	out := make([]Constraint, 0, len(s.sigma)+len(extra))
+	return append(append(out, s.sigma...), extra...)
+}
+
+// BatchResult is one outcome of Spec.ConsistentAll: exactly one of Result
+// and Err is non-nil.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// BatchImplication is one outcome of Spec.ImpliesAll: exactly one of
+// Implication and Err is non-nil.
+type BatchImplication struct {
+	Implication *Implication
+	Err         error
+}
+
+// ConsistentAll checks many constraint-set extensions against the compiled
+// specification: element i of the answer is ConsistentWith(ctx, sets[i]...).
+// The checks run on a bounded worker pool (see WithParallelism) and all
+// share the compiled encoding template, so throughput scales with cores
+// instead of re-paying the per-DTD work per set. Cancelling the context
+// makes remaining entries fail with errors matching ErrCanceled.
+func (s *Spec) ConsistentAll(ctx context.Context, sets [][]Constraint) []BatchResult {
+	out := make([]BatchResult, len(sets))
+	s.forEach(len(sets), func(i int) {
+		res, err := s.ConsistentWith(ctx, sets[i]...)
+		out[i] = BatchResult{Result: res, Err: err}
+	})
+	return out
+}
+
+// ImpliesAll decides implication of many conclusions by the compiled set:
+// element i of the answer is Implies(ctx, phis[i]). Scheduling and
+// cancellation behave as in ConsistentAll.
+func (s *Spec) ImpliesAll(ctx context.Context, phis []Constraint) []BatchImplication {
+	out := make([]BatchImplication, len(phis))
+	s.forEach(len(phis), func(i int) {
+		imp, err := s.Implies(ctx, phis[i])
+		out[i] = BatchImplication{Implication: imp, Err: err}
+	})
+	return out
+}
+
+// forEach runs do(0..n-1) on at most s.parallelism() goroutines.
+func (s *Spec) forEach(n int, do func(i int)) {
+	workers := s.parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			do(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				do(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+func (s *Spec) parallelism() int {
+	if s.par > 0 {
+		return s.par
+	}
+	return runtime.GOMAXPROCS(0)
+}

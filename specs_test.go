@@ -1,6 +1,7 @@
 package xic
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,35 +19,27 @@ func TestShippedSpecs(t *testing.T) {
 		return string(data)
 	}
 
-	teachers, err := ParseDTD(read("teachers.dtd"))
+	teachers, err := CompileStrings(read("teachers.dtd"), read("teachers.xic"))
 	if err != nil {
-		t.Fatalf("teachers.dtd: %v", err)
+		t.Fatalf("compile teachers spec: %v", err)
 	}
-	sigma1, err := ParseConstraints(read("teachers.xic"))
+	res, err := teachers.WithOptions(Options{SkipWitness: true}).Consistent(context.Background())
 	if err != nil {
-		t.Fatalf("teachers.xic: %v", err)
-	}
-	res, err := CheckConsistency(teachers, sigma1, &Options{SkipWitness: true})
-	if err != nil {
-		t.Fatalf("CheckConsistency: %v", err)
+		t.Fatalf("Consistent: %v", err)
 	}
 	if res.Consistent {
 		t.Error("specs/teachers.* must reproduce the paper's inconsistency")
 	}
 
-	school, err := ParseDTD(read("school.dtd"))
+	school, err := CompileStrings(read("school.dtd"), read("school.xic"))
 	if err != nil {
-		t.Fatalf("school.dtd: %v", err)
-	}
-	sigma3, err := ParseConstraints(read("school.xic"))
-	if err != nil {
-		t.Fatalf("school.xic: %v", err)
+		t.Fatalf("compile school spec: %v", err)
 	}
 	doc, err := ParseDocumentString(read("school.xml"))
 	if err != nil {
 		t.Fatalf("school.xml: %v", err)
 	}
-	if err := ValidateDocument(doc, school, sigma3); err != nil {
+	if err := school.Validate(doc); err != nil {
 		t.Errorf("specs/school.xml should validate against D3 + Σ3: %v", err)
 	}
 }

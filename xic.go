@@ -29,6 +29,27 @@
 // (checking one concrete document against a DTD and constraints) is also
 // provided.
 //
+// # The compiled Spec engine
+//
+// The API is designed around the paper's fixed-DTD setting (Corollaries
+// 4.11 and 5.5): one schema, many requests. Compile does all per-DTD work
+// once — DTD validation, Section 4.1 simplification, the
+// cardinality-encoding template, constraint classification — and returns
+// an immutable Spec whose methods are safe for concurrent use and take a
+// context.Context that bounds the NP search:
+//
+//	spec, err := xic.Compile(d, sigma...)
+//	if err != nil { … }
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, err := spec.Consistent(ctx)
+//
+// Batch entry points (Spec.ConsistentAll, Spec.ImpliesAll) fan many
+// constraint sets out over a bounded worker pool, all sharing the compiled
+// encoding. Errors are structured: *ParseError carries line/offset
+// positions, *SpecError names the failed compilation stage, and cancelled
+// checks match both ErrCanceled and the context's error under errors.Is.
+//
 // # Quick start
 //
 //	d, _ := xic.ParseDTD(`
@@ -43,11 +64,13 @@
 //	teacher.name -> teacher
 //	subject.taught_by -> subject
 //	subject.taught_by => teacher.name`)
-//	res, _ := xic.CheckConsistency(d, sigma, nil)
+//	spec, _ := xic.Compile(d, sigma...)
+//	res, _ := spec.Consistent(context.Background())
 //	fmt.Println(res.Consistent) // false: the paper's Section 1 example
 package xic
 
 import (
+	"context"
 	"io"
 
 	"xic/internal/constraint"
@@ -107,7 +130,10 @@ type (
 	Implication = core.Implication
 
 	// Checker amortises per-DTD work across many checks against the same
-	// DTD — the fixed-DTD PTIME setting of Corollaries 4.11 and 5.5.
+	// DTD.
+	//
+	// Deprecated: use Compile and Spec, which add eager compilation,
+	// context support and concurrency safety.
 	Checker = core.Checker
 
 	// Diagnosis explains an inconsistent specification with a minimal
@@ -118,13 +144,13 @@ type (
 	Validator = xmltree.Validator
 )
 
-// ErrUndecidable is returned for constraint sets in the classes the paper
-// proves undecidable.
-var ErrUndecidable = core.ErrUndecidable
-
 // ParseDTD reads a DTD in XML DTD syntax (<!ELEMENT …>, <!ATTLIST …>,
-// optional <!DOCTYPE root>).
-func ParseDTD(src string) (*DTD, error) { return dtd.Parse(src) }
+// optional <!DOCTYPE root>). Syntax errors are *ParseError values carrying
+// the line and byte offset of the offending token.
+func ParseDTD(src string) (*DTD, error) {
+	d, err := dtd.Parse(src)
+	return d, wrapDTDError(err)
+}
 
 // ParseConstraints reads a constraint set, one constraint per line:
 //
@@ -134,13 +160,25 @@ func ParseDTD(src string) (*DTD, error) { return dtd.Parse(src) }
 //	subject.taught_by => teacher.name       foreign key
 //	not teacher.name -> teacher             negated unary key
 //	not subject.taught_by <= teacher.name   negated unary inclusion
-func ParseConstraints(src string) ([]Constraint, error) { return constraint.Parse(src) }
+//
+// Syntax errors are *ParseError values carrying the offending line.
+func ParseConstraints(src string) ([]Constraint, error) {
+	set, err := constraint.Parse(src)
+	return set, wrapConstraintsError(err)
+}
 
-// ParseDocument reads an XML document into the tree model.
-func ParseDocument(r io.Reader) (*Tree, error) { return xmltree.Parse(r) }
+// ParseDocument reads an XML document into the tree model. Syntax errors
+// are *ParseError values.
+func ParseDocument(r io.Reader) (*Tree, error) {
+	t, err := xmltree.Parse(r)
+	return t, wrapDocumentError(err)
+}
 
 // ParseDocumentString is ParseDocument on a string.
-func ParseDocumentString(src string) (*Tree, error) { return xmltree.ParseString(src) }
+func ParseDocumentString(src string) (*Tree, error) {
+	t, err := xmltree.ParseString(src)
+	return t, wrapDocumentError(err)
+}
 
 // SerializeDocument renders a tree as indented XML text.
 func SerializeDocument(t *Tree) string { return xmltree.Serialize(t) }
@@ -151,7 +189,10 @@ func ConsistentDTD(d *DTD) bool { return core.ConsistentDTD(d) }
 
 // CheckConsistency decides whether some finite document conforms to the DTD
 // and satisfies every constraint, returning a verified witness document on
-// success. See package core for the per-class complexity.
+// success.
+//
+// Deprecated: use Compile followed by Spec.Consistent, which amortises the
+// per-DTD work and accepts a context.
 func CheckConsistency(d *DTD, set []Constraint, opt *Options) (*Result, error) {
 	return core.Consistent(d, set, opt)
 }
@@ -159,22 +200,32 @@ func CheckConsistency(d *DTD, set []Constraint, opt *Options) (*Result, error) {
 // CheckImplication decides whether every document conforming to the DTD and
 // satisfying sigma also satisfies phi, returning a counterexample document
 // when not.
+//
+// Deprecated: use Compile followed by Spec.Implies.
 func CheckImplication(d *DTD, sigma []Constraint, phi Constraint, opt *Options) (*Implication, error) {
 	return core.Implies(d, sigma, phi, opt)
 }
 
 // ImpliesKey is the linear-time implication test for keys by keys
 // (Theorem 3.5(3)).
+//
+// Deprecated: use Compile followed by Spec.ImpliesKey.
 func ImpliesKey(d *DTD, sigma []Constraint, phi Key) (bool, error) {
 	return core.ImpliesKey(d, sigma, phi)
 }
 
 // NewChecker validates the DTD once for repeated checks against it.
+//
+// Deprecated: use Compile, which also builds the encoding template eagerly
+// and returns a Spec with context-aware, concurrency-safe methods.
 func NewChecker(d *DTD) (*Checker, error) { return core.NewChecker(d) }
 
 // ValidateDocument checks one concrete document dynamically: it must
 // conform to the DTD and satisfy every constraint. This is the validation
 // mode the paper contrasts with static consistency checking.
+//
+// Deprecated: use Compile followed by Spec.Validate, which reuses the
+// compiled conformance automata across documents.
 func ValidateDocument(doc *Tree, d *DTD, set []Constraint) error {
 	if err := xmltree.NewValidator(d).Validate(doc); err != nil {
 		return err
@@ -186,15 +237,6 @@ func ValidateDocument(doc *Tree, d *DTD, set []Constraint) error {
 		return &ViolationError{Violated: violated}
 	}
 	return nil
-}
-
-// ViolationError reports the first constraint a document violates.
-type ViolationError struct {
-	Violated Constraint
-}
-
-func (e *ViolationError) Error() string {
-	return "xic: document violates constraint " + e.Violated.String()
 }
 
 // ClassOf returns the smallest of the paper's constraint classes containing
@@ -212,8 +254,18 @@ func CheckPrimaryKeys(set []Constraint) error {
 // DTD alone is unsatisfiable, and otherwise returns a minimal subset of the
 // constraints that is still inconsistent with the DTD (removing any one
 // member restores consistency).
+//
+// Deprecated: use Compile followed by Spec.Diagnose, which reuses the
+// compiled encoding for all |Σ|+1 checks of the deletion filter.
 func Diagnose(d *DTD, set []Constraint, opt *Options) (*Diagnosis, error) {
 	return core.Diagnose(d, set, opt)
+}
+
+// DiagnoseContext is Diagnose under a context.
+//
+// Deprecated: use Compile followed by Spec.Diagnose.
+func DiagnoseContext(ctx context.Context, d *DTD, set []Constraint, opt *Options) (*Diagnosis, error) {
+	return core.DiagnoseContext(ctx, d, set, opt)
 }
 
 // ConstraintsFromIDs derives the unary keys and foreign keys denoted by the

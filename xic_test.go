@@ -1,6 +1,7 @@
 package xic
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -22,18 +23,21 @@ subject.taught_by -> subject
 subject.taught_by => teacher.name
 `
 
+// mustSpec compiles the Section 1 specification.
+func mustSpec(t *testing.T, dtdSrc, consSrc string) *Spec {
+	t.Helper()
+	spec, err := CompileStrings(dtdSrc, consSrc)
+	if err != nil {
+		t.Fatalf("CompileStrings: %v", err)
+	}
+	return spec
+}
+
 func TestQuickstartFlow(t *testing.T) {
-	d, err := ParseDTD(teachersDTD)
+	spec := mustSpec(t, teachersDTD, sigma1)
+	res, err := spec.Consistent(context.Background())
 	if err != nil {
-		t.Fatalf("ParseDTD: %v", err)
-	}
-	sigma, err := ParseConstraints(sigma1)
-	if err != nil {
-		t.Fatalf("ParseConstraints: %v", err)
-	}
-	res, err := CheckConsistency(d, sigma, nil)
-	if err != nil {
-		t.Fatalf("CheckConsistency: %v", err)
+		t.Fatalf("Consistent: %v", err)
 	}
 	if res.Consistent {
 		t.Error("the paper's Section 1 specification must be inconsistent")
@@ -41,11 +45,10 @@ func TestQuickstartFlow(t *testing.T) {
 }
 
 func TestWitnessFlow(t *testing.T) {
-	d, _ := ParseDTD(teachersDTD)
-	sigma, _ := ParseConstraints("teacher.name -> teacher")
-	res, err := CheckConsistency(d, sigma, nil)
+	spec := mustSpec(t, teachersDTD, "teacher.name -> teacher")
+	res, err := spec.Consistent(context.Background())
 	if err != nil {
-		t.Fatalf("CheckConsistency: %v", err)
+		t.Fatalf("Consistent: %v", err)
 	}
 	if !res.Consistent || res.Witness == nil {
 		t.Fatal("expected consistency with witness")
@@ -56,14 +59,13 @@ func TestWitnessFlow(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParseDocumentString: %v", err)
 	}
-	if err := ValidateDocument(doc, d, sigma); err != nil {
+	if err := spec.Validate(doc); err != nil {
 		t.Errorf("serialized witness fails dynamic validation: %v", err)
 	}
 }
 
-func TestValidateDocumentViolation(t *testing.T) {
-	d, _ := ParseDTD(teachersDTD)
-	sigma, _ := ParseConstraints("subject.taught_by -> subject")
+func TestSpecValidateViolation(t *testing.T) {
+	spec := mustSpec(t, teachersDTD, "subject.taught_by -> subject")
 	doc, err := ParseDocumentString(`
 <teachers>
   <teacher name="Joe">
@@ -77,7 +79,7 @@ func TestValidateDocumentViolation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParseDocumentString: %v", err)
 	}
-	err = ValidateDocument(doc, d, sigma)
+	err = spec.Validate(doc)
 	var viol *ViolationError
 	if !errors.As(err, &viol) {
 		t.Fatalf("expected ViolationError, got %v", err)
@@ -88,19 +90,20 @@ func TestValidateDocumentViolation(t *testing.T) {
 }
 
 func TestImplicationFlow(t *testing.T) {
-	d, _ := ParseDTD(teachersDTD)
-	sigma, _ := ParseConstraints("teacher.name -> teacher")
-	imp, err := CheckImplication(d, sigma, UnaryKey("teacher", "name"), nil)
+	ctx := context.Background()
+	spec := mustSpec(t, teachersDTD, "teacher.name -> teacher")
+	imp, err := spec.Implies(ctx, UnaryKey("teacher", "name"))
 	if err != nil {
-		t.Fatalf("CheckImplication: %v", err)
+		t.Fatalf("Implies: %v", err)
 	}
 	if !imp.Implied {
 		t.Error("Σ must imply its own member")
 	}
 
-	imp, err = CheckImplication(d, nil, UnaryKey("teacher", "name"), nil)
+	empty := mustSpec(t, teachersDTD, "")
+	imp, err = empty.Implies(ctx, UnaryKey("teacher", "name"))
 	if err != nil {
-		t.Fatalf("CheckImplication: %v", err)
+		t.Fatalf("Implies: %v", err)
 	}
 	if imp.Implied {
 		t.Error("empty Σ implies no key on a plural type")
@@ -110,9 +113,9 @@ func TestImplicationFlow(t *testing.T) {
 	}
 }
 
-func TestImpliesKeyFacade(t *testing.T) {
-	d, _ := ParseDTD(teachersDTD)
-	ok, err := ImpliesKey(d, nil, UnaryKey("teachers", "x"))
+func TestSpecImpliesKey(t *testing.T) {
+	spec := mustSpec(t, teachersDTD, "")
+	ok, err := spec.ImpliesKey(UnaryKey("teachers", "x"))
 	if err == nil {
 		t.Fatalf("key over undeclared attribute accepted: %v", ok)
 	}
@@ -129,34 +132,22 @@ func TestUndecidableSurface(t *testing.T) {
 <!ATTLIST b y CDATA #REQUIRED>
 `)
 	sigma, _ := ParseConstraints("a(x, y) => b(x, y)")
-	_, err := CheckConsistency(d, sigma, nil)
+	spec, err := Compile(d, sigma...)
+	if err != nil {
+		t.Fatalf("undecidable classes must still compile (Validate works): %v", err)
+	}
+	_, err = spec.Consistent(context.Background())
 	if !errors.Is(err, ErrUndecidable) {
 		t.Errorf("multi-attribute foreign keys should surface ErrUndecidable, got %v", err)
 	}
 }
 
-func TestCheckerFacade(t *testing.T) {
-	d, _ := ParseDTD(teachersDTD)
-	c, err := NewChecker(d)
-	if err != nil {
-		t.Fatalf("NewChecker: %v", err)
-	}
-	sigma, _ := ParseConstraints(sigma1)
-	res, err := c.Consistent(sigma, &Options{SkipWitness: true})
-	if err != nil {
-		t.Fatalf("Consistent: %v", err)
-	}
-	if res.Consistent {
-		t.Error("Σ1 must stay inconsistent through the Checker")
-	}
-}
-
 func TestClassOfAndPrimaryKeys(t *testing.T) {
-	sigma, _ := ParseConstraints(sigma1)
-	if ClassOf(sigma).String() != "C^Unary_{K,FK}" {
-		t.Errorf("ClassOf(Σ1) = %v", ClassOf(sigma))
+	spec := mustSpec(t, teachersDTD, sigma1)
+	if spec.Class().String() != "C^Unary_{K,FK}" {
+		t.Errorf("Class() = %v", spec.Class())
 	}
-	if err := CheckPrimaryKeys(sigma); err != nil {
+	if err := CheckPrimaryKeys(spec.Constraints()); err != nil {
 		t.Errorf("Σ1 is primary-key restricted: %v", err)
 	}
 }
@@ -184,5 +175,72 @@ func TestConsistentDTDFacade(t *testing.T) {
 	d2, _ := ParseDTD("<!ELEMENT db (foo)>\n<!ELEMENT foo (foo)>")
 	if ConsistentDTD(d2) {
 		t.Error("db → foo → foo … has no finite documents")
+	}
+}
+
+// TestDeprecatedFacade keeps the pre-Spec wrappers working: downstream
+// code compiled against the old flat API must keep getting the same
+// answers until it migrates.
+func TestDeprecatedFacade(t *testing.T) {
+	d, err := ParseDTD(teachersDTD)
+	if err != nil {
+		t.Fatalf("ParseDTD: %v", err)
+	}
+	sigma, err := ParseConstraints(sigma1)
+	if err != nil {
+		t.Fatalf("ParseConstraints: %v", err)
+	}
+
+	res, err := CheckConsistency(d, sigma, nil)
+	if err != nil {
+		t.Fatalf("CheckConsistency: %v", err)
+	}
+	if res.Consistent {
+		t.Error("CheckConsistency must still report Σ1 inconsistent")
+	}
+
+	imp, err := CheckImplication(d, sigma[:1], UnaryKey("teacher", "name"), nil)
+	if err != nil {
+		t.Fatalf("CheckImplication: %v", err)
+	}
+	if !imp.Implied {
+		t.Error("CheckImplication must still work")
+	}
+
+	c, err := NewChecker(d)
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	res, err = c.Consistent(sigma, &Options{SkipWitness: true})
+	if err != nil {
+		t.Fatalf("Checker.Consistent: %v", err)
+	}
+	if res.Consistent {
+		t.Error("Σ1 must stay inconsistent through the Checker")
+	}
+
+	doc, err := ParseDocumentString(`
+<teachers>
+  <teacher name="Joe">
+    <teach>
+      <subject taught_by="a">XML</subject>
+      <subject taught_by="b">DB</subject>
+    </teach>
+    <research>Web DB</research>
+  </teacher>
+</teachers>`)
+	if err != nil {
+		t.Fatalf("ParseDocumentString: %v", err)
+	}
+	if err := ValidateDocument(doc, d, sigma[:2]); err != nil {
+		t.Errorf("ValidateDocument: %v", err)
+	}
+
+	diag, err := Diagnose(d, sigma, nil)
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(diag.Core) == 0 {
+		t.Error("Diagnose must still produce a core")
 	}
 }
