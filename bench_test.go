@@ -9,10 +9,15 @@ package xic
 // captured run.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"xic/internal/cardinality"
 	"xic/internal/constraint"
@@ -469,5 +474,195 @@ func BenchmarkRelationalVsXMLImplication(b *testing.B) {
 		if err != nil || !imp.Implied {
 			b.Fatalf("structural implication must hold: %v %v", imp, err)
 		}
+	}
+}
+
+// ---- Streaming validation (the large-document serving workload) --------
+
+// streamDocCache holds generated benchmark documents by node count, so the
+// generator runs once per size per test binary.
+var streamDocCache = map[int][]byte{}
+
+func streamDoc(tb testing.TB, nodes int) []byte {
+	if doc, ok := streamDocCache[nodes]; ok {
+		return doc
+	}
+	doc := genDoc(tb, streamBenchDTD, nodes, 0, 42)
+	streamDocCache[nodes] = doc
+	return doc
+}
+
+func streamBenchSizes() []int {
+	if testing.Short() {
+		return []int{100_000}
+	}
+	return []int{100_000, 1_000_000}
+}
+
+// BenchmarkValidateTree is the materializing baseline: parse the whole
+// document into an xmltree.Tree, then validate DTD conformance and
+// constraints over it. Allocation grows with the document.
+func BenchmarkValidateTree(b *testing.B) {
+	spec := compileStream(b, streamBenchDTD, streamBenchXIC)
+	for _, n := range streamBenchSizes() {
+		doc := streamDoc(b, n)
+		b.Run(fmt.Sprintf("nodes-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				tree, err := ParseDocument(bytes.NewReader(doc))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := spec.Validate(tree); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkValidateStream is the single-pass path: same verdict, memory
+// bounded by the constraint indexes.
+func BenchmarkValidateStream(b *testing.B) {
+	spec := compileStream(b, streamBenchDTD, streamBenchXIC)
+	ctx := context.Background()
+	for _, n := range streamBenchSizes() {
+		doc := streamDoc(b, n)
+		b.Run(fmt.Sprintf("nodes-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				rep, err := spec.ValidateStream(ctx, bytes.NewReader(doc))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.OK() {
+					b.Fatal(rep.Err())
+				}
+			}
+		})
+	}
+}
+
+// measureValidation runs f once, sampling live heap throughout; f returns
+// its own HeapAlloc snapshot taken while its results are still referenced,
+// so the peak cannot miss the fully-built tree. The returned peak is
+// relative to the post-GC baseline.
+func measureValidation(f func() uint64) (peakBytes uint64, elapsed time.Duration) {
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	base := m0.HeapAlloc
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var sampled uint64
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		var m runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > sampled {
+					sampled = m.HeapAlloc
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	final := f()
+	elapsed = time.Since(start)
+	close(stop)
+	<-done
+	peak := sampled
+	if final > peak {
+		peak = final
+	}
+	if peak <= base {
+		return 0, elapsed
+	}
+	return peak - base, elapsed
+}
+
+func heapNow() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// TestWriteValidateBench records the tree-vs-stream memory comparison to
+// the JSON file named by XIC_BENCH_OUT (skipped otherwise; CI sets it to
+// BENCH_validate.json). It asserts the acceptance bound: peak allocation
+// of streaming validation at least 5× below the tree-building baseline.
+func TestWriteValidateBench(t *testing.T) {
+	out := os.Getenv("XIC_BENCH_OUT")
+	if out == "" {
+		t.Skip("set XIC_BENCH_OUT=BENCH_validate.json to record the streaming-validation benchmark")
+	}
+	spec := compileStream(t, streamBenchDTD, streamBenchXIC)
+	ctx := context.Background()
+	type record struct {
+		Nodes           int     `json:"nodes"`
+		DocBytes        int     `json:"doc_bytes"`
+		TreePeakBytes   uint64  `json:"tree_peak_bytes"`
+		StreamPeakBytes uint64  `json:"stream_peak_bytes"`
+		PeakRatio       float64 `json:"peak_ratio"`
+		TreeMs          float64 `json:"tree_ms"`
+		StreamMs        float64 `json:"stream_ms"`
+	}
+	var records []record
+	for _, n := range streamBenchSizes() {
+		doc := streamDoc(t, n)
+		treePeak, treeDur := measureValidation(func() uint64 {
+			tree, err := ParseDocument(bytes.NewReader(doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := spec.Validate(tree); err != nil {
+				t.Fatal(err)
+			}
+			final := heapNow()
+			runtime.KeepAlive(tree)
+			return final
+		})
+		streamPeak, streamDur := measureValidation(func() uint64 {
+			rep, err := spec.ValidateStream(ctx, bytes.NewReader(doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatal(rep.Err())
+			}
+			final := heapNow()
+			runtime.KeepAlive(rep)
+			return final
+		})
+		if streamPeak == 0 {
+			streamPeak = 1
+		}
+		ratio := float64(treePeak) / float64(streamPeak)
+		t.Logf("nodes=%d doc=%dMB tree: peak=%dMB %v  stream: peak=%dMB %v  ratio=%.1fx",
+			n, len(doc)>>20, treePeak>>20, treeDur, streamPeak>>20, streamDur, ratio)
+		if ratio < 5 {
+			t.Errorf("nodes=%d: stream peak %d not 5x below tree peak %d (ratio %.1f)", n, streamPeak, treePeak, ratio)
+		}
+		records = append(records, record{
+			Nodes: n, DocBytes: len(doc),
+			TreePeakBytes: treePeak, StreamPeakBytes: streamPeak, PeakRatio: ratio,
+			TreeMs:   float64(treeDur.Microseconds()) / 1000,
+			StreamMs: float64(streamDur.Microseconds()) / 1000,
+		})
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

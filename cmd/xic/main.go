@@ -5,7 +5,7 @@
 //
 //	xic check    -dtd spec.dtd -constraints spec.xic [-witness out.xml] [-skip-witness] [-max-solver-nodes N] [-timeout d]
 //	xic imply    -dtd spec.dtd -constraints spec.xic -query "constraint" [-counterexample out.xml] [-timeout d]
-//	xic validate -dtd spec.dtd [-constraints spec.xic] -doc doc.xml
+//	xic validate -dtd spec.dtd [-constraints spec.xic] -doc doc.xml [-stream] [-timeout d]
 //	xic simplify -dtd spec.dtd
 //	xic encode   -dtd spec.dtd [-constraints spec.xic] [-bigm]
 //	xic class    -constraints spec.xic
@@ -76,7 +76,8 @@ func usage() {
 commands:
   check      decide consistency; optionally emit a witness document
   imply      decide implication (D,Σ) ⊢ φ; optionally emit a counterexample
-  validate   check one XML document against DTD and constraints
+  validate   check one XML document against DTD and constraints (-stream for
+             single-pass validation of large documents)
   simplify   print the simple DTD of Section 4.1
   encode     print the cardinality encoding Ψ(D,Σ) (or its big-M matrix)
   class      print the constraint class of a constraint set`)
@@ -214,6 +215,8 @@ func runValidate(args []string) (negative bool, err error) {
 	dtdPath := fs.String("dtd", "", "DTD file")
 	consPath := fs.String("constraints", "", "constraint file (optional)")
 	docPath := fs.String("doc", "", "XML document file")
+	stream := fs.Bool("stream", false, "validate in a single streaming pass; memory is bounded by the constraint indexes, not the document size")
+	timeout := fs.Duration("timeout", 0, "abort streaming validation after this long (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
@@ -229,6 +232,26 @@ func runValidate(args []string) (negative bool, err error) {
 		return false, err
 	}
 	defer f.Close()
+	if *stream {
+		ctx, cancel := checkContext(*timeout)
+		defer cancel()
+		rep, err := spec.ValidateStream(ctx, f)
+		if err != nil {
+			return false, err
+		}
+		if !rep.OK() {
+			fmt.Printf("INVALID: %d violation(s) in %d elements\n", len(rep.Violations), rep.Elements)
+			for _, v := range rep.Violations {
+				fmt.Printf("  %s\n", v)
+			}
+			if rep.Truncated {
+				fmt.Println("  (further violations suppressed)")
+			}
+			return true, nil
+		}
+		fmt.Printf("VALID: %d elements conform to the DTD and satisfy all constraints\n", rep.Elements)
+		return false, nil
+	}
 	doc, err := xic.ParseDocument(f)
 	if err != nil {
 		return false, err

@@ -138,3 +138,51 @@ func TestCLIEndToEnd(t *testing.T) {
 		}
 	})
 }
+
+// TestCLIValidateStream exercises the streaming validation mode end to end:
+// a valid fixture, an invalid in-memory document with line-numbered
+// violations, and verdict agreement with the tree mode.
+func TestCLIValidateStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildCLI(t)
+	schoolDTD := specPath(t, "school.dtd")
+	schoolXIC := specPath(t, "school.xic")
+	schoolXML := specPath(t, "school.xml")
+
+	t.Run("valid fixture", func(t *testing.T) {
+		out, code := run(t, bin, "validate", "-dtd", schoolDTD, "-constraints", schoolXIC, "-doc", schoolXML, "-stream")
+		if code != 0 || !strings.Contains(out, "VALID") {
+			t.Errorf("exit=%d out=%q", code, out)
+		}
+	})
+
+	t.Run("verdicts agree with tree mode", func(t *testing.T) {
+		_, treeCode := run(t, bin, "validate", "-dtd", schoolDTD, "-constraints", schoolXIC, "-doc", schoolXML)
+		_, streamCode := run(t, bin, "validate", "-dtd", schoolDTD, "-constraints", schoolXIC, "-doc", schoolXML, "-stream")
+		if treeCode != streamCode {
+			t.Errorf("tree exit=%d stream exit=%d", treeCode, streamCode)
+		}
+	})
+
+	t.Run("invalid document lists violations", func(t *testing.T) {
+		dtdFile := filepath.Join(t.TempDir(), "db.dtd")
+		xicFile := filepath.Join(t.TempDir(), "db.xic")
+		docFile := filepath.Join(t.TempDir(), "db.xml")
+		writeFile(t, dtdFile, "<!ELEMENT db (rec*)>\n<!ELEMENT rec EMPTY>\n<!ATTLIST rec id CDATA #REQUIRED>\n")
+		writeFile(t, xicFile, "rec.id -> rec\n")
+		writeFile(t, docFile, "<db>\n<rec id=\"1\"/>\n<rec id=\"1\"/>\n</db>\n")
+		out, code := run(t, bin, "validate", "-dtd", dtdFile, "-constraints", xicFile, "-doc", docFile, "-stream")
+		if code != 1 || !strings.Contains(out, "INVALID") || !strings.Contains(out, "line 3") {
+			t.Errorf("exit=%d out=%q", code, out)
+		}
+	})
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,13 @@
 //	xicgen dtd  [-seed N] [-types N] [-depth N] [-attrs N] [-recursive]
 //	xicgen constraints -dtd spec.dtd [-seed N] [-keys N] [-fks N] [-ics N] [-negkeys N] [-negics N]
 //	xicgen lip  [-seed N] [-rows N] [-cols N] [-density PCT] [-as-spec]
+//	xicgen doc  -dtd spec.dtd [-seed N] [-nodes N] [-values N]
+//
+// doc streams a document conforming to the DTD with approximately -nodes
+// element nodes (millions are fine: generation is O(depth) memory), the
+// workload for `xic validate -stream`. -values 0 makes attribute values
+// globally unique, so keys hold; -values N draws them from a pool of N,
+// making collisions likely.
 package main
 
 import (
@@ -23,7 +30,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: xicgen dtd|constraints|lip [flags]")
+		fmt.Fprintln(os.Stderr, "usage: xicgen dtd|constraints|lip|doc [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -34,6 +41,8 @@ func main() {
 		err = genConstraints(os.Args[2:])
 	case "lip":
 		err = genLIP(os.Args[2:])
+	case "doc":
+		err = genDoc(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown kind %q", os.Args[1])
 	}
@@ -88,6 +97,36 @@ func genConstraints(args []string) error {
 		NegKeys: *negKeys, NegInclusions: *negICs,
 	})
 	fmt.Print(constraint.FormatSet(set))
+	return nil
+}
+
+func genDoc(args []string) error {
+	fs := flag.NewFlagSet("doc", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	dtdPath := fs.String("dtd", "", "DTD file to generate against")
+	nodes := fs.Int("nodes", 1000, "approximate number of element nodes (millions are fine)")
+	values := fs.Int("values", 0, "attribute value pool size (0 = globally unique values)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dtdPath == "" {
+		return fmt.Errorf("missing -dtd")
+	}
+	data, err := os.ReadFile(*dtdPath)
+	if err != nil {
+		return err
+	}
+	d, err := xic.ParseDTD(string(data))
+	if err != nil {
+		return err
+	}
+	n, err := randgen.WriteDocument(os.Stdout, d, rand.New(rand.NewSource(*seed)), randgen.DocSpec{
+		TargetNodes: *nodes, ValuePool: *values,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "xicgen: wrote %d element nodes\n", n)
 	return nil
 }
 

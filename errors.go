@@ -8,6 +8,8 @@ import (
 	"xic/internal/constraint"
 	"xic/internal/core"
 	"xic/internal/dtd"
+	"xic/internal/ilp"
+	"xic/internal/xmltree"
 )
 
 // ErrUndecidable is returned for constraint sets in the classes the paper
@@ -32,8 +34,8 @@ type ParseError struct {
 	// Line is the 1-based line of the error within the input.
 	Line int
 	// Offset is the 0-based byte offset of the offending token or line
-	// start within the input; -1 when the underlying parser reports no
-	// offset (XML documents).
+	// start within the input; -1 in the rare case that the underlying
+	// parser reports only a line.
 	Offset int
 	// Msg describes the error without position prefixes.
 	Msg string
@@ -75,10 +77,21 @@ func wrapConstraintsError(err error) error {
 	return err
 }
 
-// wrapDocumentError lifts XML decoding errors into the public taxonomy.
+// wrapDocumentError lifts XML document errors into the public taxonomy.
+// Structured xmltree errors carry the line and the byte offset threaded
+// from xml.Decoder.InputOffset; bare decoder errors (which only know their
+// line) are kept as a fallback with Offset -1.
 func wrapDocumentError(err error) error {
 	if err == nil {
 		return nil
+	}
+	var de *xmltree.ParseError
+	if errors.As(err, &de) {
+		off := int(de.Offset)
+		if int64(off) != de.Offset {
+			off = -1 // document offset exceeds int on this platform
+		}
+		return &ParseError{Input: "document", Line: de.Line, Offset: off, Msg: de.Msg, err: err}
 	}
 	var se *xml.SyntaxError
 	if errors.As(err, &se) {
@@ -87,22 +100,42 @@ func wrapDocumentError(err error) error {
 	return err
 }
 
-// SpecError reports why Compile rejected a specification. Match it with
-// errors.As; Unwrap exposes the underlying cause (for example a DTD
+// SpecError reports why Compile rejected a specification, or that a check
+// failed for an internal reason rather than a property of the input. Match
+// it with errors.As; Unwrap exposes the underlying cause (for example a DTD
 // validation error).
 type SpecError struct {
-	// Stage is the compilation stage that failed: "dtd" (DTD validation),
-	// "constraints" (constraint validation against the DTD) or "encode"
-	// (building the cardinality-encoding template).
+	// Stage is the stage that failed: "dtd" (DTD validation), "constraints"
+	// (constraint validation against the DTD), "encode" (building the
+	// cardinality-encoding template) or "solve" (an internal solver error
+	// during a check).
 	Stage string
 	Err   error
 }
 
 func (e *SpecError) Error() string {
+	if e.Stage == "solve" {
+		return fmt.Sprintf("check: %s: %v", e.Stage, e.Err)
+	}
 	return fmt.Sprintf("compile: %s: %v", e.Stage, e.Err)
 }
 
 func (e *SpecError) Unwrap() error { return e.Err }
+
+// wrapSolveError lifts internal-solver failures bubbling out of the
+// decision procedures into the public taxonomy as a *SpecError with Stage
+// "solve". These signal a solver bug (formerly a panic deep in the simplex)
+// rather than anything about the caller's constraints, so they get their
+// own stage instead of leaking as stringly internal errors.
+func wrapSolveError(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ilp.ErrInternal) {
+		return &SpecError{Stage: "solve", Err: err}
+	}
+	return err
+}
 
 // ViolationError reports the first constraint a document violates during
 // dynamic validation.

@@ -1,0 +1,43 @@
+package constraint
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse checks that the constraint parser never panics, that failures
+// carry their line position, and that successful parses round-trip through
+// the printed syntax to equal constraints.
+func FuzzParse(f *testing.F) {
+	f.Add("teacher.name -> teacher")
+	f.Add("course(dept, no) -> course")
+	f.Add("subject.taught_by <= teacher.name")
+	f.Add("subject.taught_by => teacher.name")
+	f.Add("not teacher.name -> teacher")
+	f.Add("not subject.taught_by <= teacher.name")
+	f.Add("a.b -> c.d -> e")
+	f.Add("# comment\n\na.b => c.d")
+	f.Fuzz(func(t *testing.T, src string) {
+		set, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if errors.As(err, &pe) && pe.Line < 1 {
+				t.Errorf("ParseError with non-positive line %d: %v", pe.Line, pe)
+			}
+			return
+		}
+		printed := FormatSet(set)
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of printed set failed: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if len(back) != len(set) {
+			t.Fatalf("round trip changed cardinality: %d -> %d", len(set), len(back))
+		}
+		for i := range set {
+			if set[i].String() != back[i].String() {
+				t.Errorf("round trip changed constraint %d: %q -> %q", i, set[i], back[i])
+			}
+		}
+	})
+}

@@ -87,6 +87,9 @@ func ParseOne(line string) (Constraint, error) {
 		if err != nil {
 			return nil, err
 		}
+		if len(attrs) == 0 {
+			return nil, fmt.Errorf("constraint: key %q needs at least one attribute on the left", line)
+		}
 		if len(rattrs) != 0 {
 			return nil, fmt.Errorf("constraint: key target %q must be a bare element type", rhs)
 		}
@@ -108,6 +111,9 @@ func ParseOne(line string) (Constraint, error) {
 		ptyp, pattrs, err := parseRef(rhs, true)
 		if err != nil {
 			return nil, err
+		}
+		if len(cattrs) == 0 {
+			return nil, fmt.Errorf("constraint: inclusion %q needs attributes on both sides", line)
 		}
 		if len(cattrs) != len(pattrs) {
 			return nil, fmt.Errorf("constraint: attribute lists of %q and %q differ in length", lhs, rhs)

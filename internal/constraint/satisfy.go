@@ -71,9 +71,22 @@ func inclusionHolds(t *xmltree.Tree, c Inclusion) bool {
 	return true
 }
 
+// TupleKey encodes a sequence of attribute values as a single comparable
+// string. Values may themselves contain any separator, so each one is
+// length-prefixed. Both the tree-walking satisfaction checker and the
+// streaming document checker key their hash indexes with it, which is what
+// keeps their verdicts aligned.
+func TupleKey(values []string) string {
+	var b strings.Builder
+	for _, v := range values {
+		b.WriteString(lengthPrefix(len(v)))
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
 // tupleOf encodes the attribute values of a node as a single comparable
-// string. Attribute values may themselves contain the separator, so each
-// value is length-prefixed.
+// string; ok is false when the node lacks one of the attributes.
 func tupleOf(n *xmltree.Node, attrs []string) (string, bool) {
 	var b strings.Builder
 	for _, a := range attrs {

@@ -1,0 +1,607 @@
+// Package doccheck validates XML documents against a fixed DTD and
+// constraint set in a single streaming pass. It is the serving-path
+// counterpart of xmltree.Validator + constraint.SatisfiedAll for the
+// paper's fixed-DTD setting (Corollaries 4.11 and 5.5): the schema is
+// compiled once and many documents are checked against it, so the checker
+// must not materialize each document as a tree.
+//
+// Memory is bounded by the open-element stack and the constraint hash
+// indexes, never by the document: DTD conformance feeds each element's
+// child-label sequence into the cached Glushkov automaton incrementally
+// (one dtd.Run per open element), keys deduplicate through per-constraint
+// value sets, and inclusion constraints collect child and parent value
+// sets that are resolved at end-of-document — which is also what lets a
+// foreign key reference an element that appears later in the document.
+package doccheck
+
+import (
+	"context"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xic/internal/constraint"
+	"xic/internal/dtd"
+	"xic/internal/xmltree"
+)
+
+// DefaultMaxViolations bounds the violations a Report accumulates when the
+// checker is not configured otherwise, so a pathological document cannot
+// grow the report without bound.
+const DefaultMaxViolations = 64
+
+// Violation is one way the document fails the specification.
+type Violation struct {
+	// Path locates the offending element in the tree-path notation of
+	// xmltree.Tree.Path (teachers/teacher[1]/teach[0]). For verdicts that
+	// only exist at end-of-document (a negated key never witnessed, an
+	// unmatched inclusion value) it is the element type the constraint
+	// ranges over.
+	Path string
+	// Line is the 1-based source line of the reporting position; 0 for
+	// end-of-document verdicts with no single position.
+	Line int
+	// Offset is the byte offset from xml.Decoder.InputOffset; -1 for
+	// end-of-document verdicts.
+	Offset int64
+	// Constraint is the violated constraint; nil for DTD-conformance
+	// violations.
+	Constraint constraint.Constraint
+	// Msg describes the violation.
+	Msg string
+}
+
+func (v Violation) String() string {
+	if v.Line > 0 {
+		return fmt.Sprintf("line %d: %s: %s", v.Line, v.Path, v.Msg)
+	}
+	return fmt.Sprintf("%s: %s", v.Path, v.Msg)
+}
+
+// Report is the outcome of one streaming validation pass.
+type Report struct {
+	// Violations lists conformance and constraint violations in document
+	// order, with end-of-document verdicts last (ordered by the source
+	// position that caused them).
+	Violations []Violation
+	// Truncated reports that the violation limit was reached and further
+	// violations were dropped; the verdict is still exact.
+	Truncated bool
+	// Elements counts the element nodes seen.
+	Elements int
+}
+
+// OK reports whether the document conforms to the DTD and satisfies every
+// constraint.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil for a valid document and an error naming the first
+// violation otherwise.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("doccheck: %d violation(s); first: %s", len(r.Violations), r.Violations[0])
+}
+
+// Checker is a compiled streaming validator for one specification. It
+// holds no per-document state, so one Checker serves any number of
+// concurrent Run calls; the automata come from the shared (frozen)
+// xmltree.Validator cache.
+type Checker struct {
+	d     *dtd.DTD
+	v     *xmltree.Validator
+	sigma []constraint.Constraint
+
+	// MaxViolations bounds the report size; 0 means DefaultMaxViolations.
+	MaxViolations int
+}
+
+// New returns a streaming checker over the DTD, its validator (whose
+// automaton cache should be compiled via CompileAll) and a constraint set
+// already validated against the DTD.
+func New(d *dtd.DTD, v *xmltree.Validator, sigma []constraint.Constraint) *Checker {
+	return &Checker{d: d, v: v, sigma: sigma}
+}
+
+// Run validates one document from r in a single pass. It returns a Report
+// for well-formed documents — valid or not — and an error for documents
+// that cannot be checked at all: XML syntax errors and model violations
+// (multiple roots, attribute local-name collisions) surface as
+// *xmltree.ParseError with line and offset, context cancellation as an
+// error wrapping ctx.Err().
+func (c *Checker) Run(ctx context.Context, r io.Reader) (*Report, error) {
+	rn := &run{
+		c:       c,
+		lr:      xmltree.NewLineReader(r),
+		report:  &Report{},
+		max:     c.MaxViolations,
+		runPool: make(map[string][]*dtd.Run),
+		done:    ctx.Done(),
+	}
+	if rn.max <= 0 {
+		rn.max = DefaultMaxViolations
+	}
+	rn.dec = xml.NewDecoder(rn.lr)
+	rn.collectors, rn.finishers = c.newConstraintState()
+	if err := rn.loop(ctx); err != nil {
+		return nil, err
+	}
+	return rn.report, nil
+}
+
+// frame is the retained state of one open element: constant-size except
+// for the per-label child counters that make violation paths precise.
+type frame struct {
+	label       string
+	decl        *dtd.Element
+	run         *dtd.Run // nil when the element type is undeclared
+	contentBad  bool     // content model already failed; stop stepping
+	lastWasText bool     // coalesce adjacent character-data runs
+	index       int      // index among same-label siblings
+	childCounts map[string]int
+}
+
+// run is the per-document state of one streaming pass.
+type run struct {
+	c      *Checker
+	lr     *xmltree.LineReader
+	dec    *xml.Decoder
+	report *Report
+	max    int
+
+	frames   []frame // frames[:depth] are live; the rest are reusable
+	depth    int
+	rootSeen bool
+
+	line int // position of the most recent token
+	off  int64
+
+	collectors map[string][]collector
+	finishers  []finisher
+	runPool    map[string][]*dtd.Run
+
+	done <-chan struct{}
+}
+
+// loop drives the token stream to EOF.
+func (rn *run) loop(ctx context.Context) error {
+	for tokens := 0; ; tokens++ {
+		if tokens%1024 == 0 && rn.done != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("doccheck: validation aborted after %d elements: %w", rn.report.Elements, err)
+			}
+		}
+		tok, err := rn.dec.Token()
+		rn.off = rn.dec.InputOffset()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var se *xml.SyntaxError
+			if errors.As(err, &se) {
+				return &xmltree.ParseError{Line: se.Line, Offset: rn.off, Msg: se.Msg, Err: err}
+			}
+			return fmt.Errorf("doccheck: %w", err)
+		}
+		rn.line = rn.lr.LineAt(rn.off)
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if err := rn.start(t); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			rn.end()
+		case xml.CharData:
+			if err := rn.text(t); err != nil {
+				return err
+			}
+		}
+	}
+	if !rn.rootSeen {
+		return &xmltree.ParseError{Line: rn.line, Offset: rn.off, Msg: "no root element"}
+	}
+	for _, f := range rn.finishers {
+		f.finish(rn)
+	}
+	return nil
+}
+
+func (rn *run) start(t xml.StartElement) error {
+	label := t.Name.Local
+	if pe := xmltree.AttrCollisionError(t, rn.line, rn.off); pe != nil {
+		return pe
+	}
+	index := 0
+	if rn.depth == 0 {
+		if rn.rootSeen {
+			return &xmltree.ParseError{Line: rn.line, Offset: rn.off, Msg: fmt.Sprintf("multiple root elements (second is %q)", label)}
+		}
+		rn.rootSeen = true
+		if label != rn.c.d.Root {
+			rn.violate(nil, label, "root is %q, DTD requires %q", label, rn.c.d.Root)
+		}
+	} else {
+		parent := &rn.frames[rn.depth-1]
+		index = parent.childCounts[label]
+		parent.childCounts[label]++
+		parent.lastWasText = false
+		if parent.run != nil && !parent.contentBad && !parent.run.Step(label) {
+			parent.contentBad = true
+			rn.violate(nil, rn.path(rn.depth),
+				"children of %s do not match content model %s: %q cannot follow",
+				rn.path(rn.depth), parent.decl.Content, label)
+		}
+	}
+	decl := rn.c.d.Element(label)
+	rn.push(label, decl, index)
+	rn.report.Elements++
+	if decl == nil {
+		rn.violate(nil, rn.path(rn.depth), "element type %q is not declared", label)
+	} else {
+		rn.checkAttrs(decl, t.Attr)
+	}
+	for _, col := range rn.collectors[label] {
+		col.element(rn, t.Attr)
+	}
+	return nil
+}
+
+func (rn *run) end() {
+	if rn.depth == 0 {
+		return // decoder enforces balance; defensive
+	}
+	f := &rn.frames[rn.depth-1]
+	if f.run != nil {
+		if !f.contentBad && !f.run.Accepting() {
+			rn.violate(nil, rn.path(rn.depth),
+				"children of %s do not match content model %s: sequence is incomplete",
+				rn.path(rn.depth), f.decl.Content)
+		}
+		rn.runPool[f.label] = append(rn.runPool[f.label], f.run)
+		f.run = nil
+	}
+	rn.depth--
+}
+
+func (rn *run) text(cd xml.CharData) error {
+	if len(strings.TrimSpace(string(cd))) == 0 {
+		return nil
+	}
+	if rn.depth == 0 {
+		return &xmltree.ParseError{Line: rn.line, Offset: rn.off, Msg: "character data outside the root element"}
+	}
+	f := &rn.frames[rn.depth-1]
+	if f.lastWasText {
+		return nil // adjacent runs form one text node
+	}
+	f.lastWasText = true
+	if f.run != nil && !f.contentBad && !f.run.Step(dtd.TextSymbol) {
+		f.contentBad = true
+		rn.violate(nil, rn.path(rn.depth),
+			"children of %s do not match content model %s: unexpected text content",
+			rn.path(rn.depth), f.decl.Content)
+	}
+	return nil
+}
+
+// push opens a frame for an element, reusing the stack slot (and its child
+// counter map) left behind by a previous sibling subtree.
+func (rn *run) push(label string, decl *dtd.Element, index int) {
+	if rn.depth == len(rn.frames) {
+		rn.frames = append(rn.frames, frame{})
+	}
+	f := &rn.frames[rn.depth]
+	counts := f.childCounts
+	if counts == nil {
+		counts = make(map[string]int)
+	} else {
+		clear(counts)
+	}
+	var ar *dtd.Run
+	if decl != nil {
+		if pool := rn.runPool[label]; len(pool) > 0 {
+			ar = pool[len(pool)-1]
+			rn.runPool[label] = pool[:len(pool)-1]
+			ar.Reset()
+		} else {
+			ar = rn.c.v.Automaton(label).Start()
+		}
+	}
+	*f = frame{label: label, decl: decl, run: ar, index: index, childCounts: counts}
+	rn.depth++
+}
+
+// checkAttrs verifies the element carries exactly the declared attribute
+// set R(τ): every declared attribute present, no undeclared ones.
+func (rn *run) checkAttrs(decl *dtd.Element, attrs []xml.Attr) {
+	for _, want := range decl.Attrs {
+		if lookupAttr(attrs, want) < 0 {
+			rn.violate(nil, rn.path(rn.depth), "element %s lacks required attribute %q", rn.path(rn.depth), want)
+		}
+	}
+	for _, a := range attrs {
+		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+			continue
+		}
+		if !decl.HasAttr(a.Name.Local) {
+			rn.violate(nil, rn.path(rn.depth), "element %s has undeclared attribute %q", rn.path(rn.depth), a.Name.Local)
+		}
+	}
+}
+
+// path renders the element path of frames[:depth] in xmltree.Tree.Path
+// notation; it is only materialized when a violation needs it.
+func (rn *run) path(depth int) string {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		f := &rn.frames[i]
+		if i == 0 {
+			b.WriteString(f.label)
+			continue
+		}
+		fmt.Fprintf(&b, "/%s[%d]", f.label, f.index)
+	}
+	return b.String()
+}
+
+// violate appends a violation at the current stream position.
+func (rn *run) violate(c constraint.Constraint, path, format string, args ...any) {
+	rn.add(Violation{Path: path, Line: rn.line, Offset: rn.off, Constraint: c, Msg: fmt.Sprintf(format, args...)})
+}
+
+// add appends a violation, enforcing the report bound.
+func (rn *run) add(v Violation) {
+	if len(rn.report.Violations) >= rn.max {
+		rn.report.Truncated = true
+		return
+	}
+	rn.report.Violations = append(rn.report.Violations, v)
+}
+
+// lookupAttr returns the index of the attribute with the given local name,
+// skipping namespace declarations, or -1.
+func lookupAttr(attrs []xml.Attr, name string) int {
+	for i, a := range attrs {
+		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+			continue
+		}
+		if a.Name.Local == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// tupleVals fills dst with the values of the named attributes, reporting
+// whether all are present. Nodes lacking a referenced attribute contribute
+// no tuple, exactly as in constraint.Satisfied.
+func tupleVals(attrs []xml.Attr, names []string, dst []string) bool {
+	for i, name := range names {
+		j := lookupAttr(attrs, name)
+		if j < 0 {
+			return false
+		}
+		dst[i] = attrs[j].Value
+	}
+	return true
+}
+
+// ---- constraint state --------------------------------------------------
+
+// collector receives every element of one type during the pass.
+type collector interface {
+	element(rn *run, attrs []xml.Attr)
+}
+
+// finisher emits the verdicts that only exist at end-of-document.
+type finisher interface {
+	finish(rn *run)
+}
+
+// srcPos is a compact source position for index entries: keeping only
+// numbers (not paths) in the hash indexes keeps their memory at a few
+// words per distinct value.
+type srcPos struct {
+	line int
+	off  int64
+}
+
+// newConstraintState instantiates fresh per-document collectors for the
+// compiled constraint set, grouped by the element type they observe.
+func (c *Checker) newConstraintState() (map[string][]collector, []finisher) {
+	byLabel := make(map[string][]collector)
+	var finishers []finisher
+	reg := func(label string, col collector) {
+		byLabel[label] = append(byLabel[label], col)
+	}
+	for _, con := range c.sigma {
+		switch x := con.(type) {
+		case constraint.Key:
+			reg(x.Type, &keyIndex{c: x, typ: x.Type, attrs: x.Attrs, seen: make(map[string]srcPos), vals: make([]string, len(x.Attrs))})
+		case constraint.ForeignKey:
+			k := x.Key()
+			reg(k.Type, &keyIndex{c: x, typ: k.Type, attrs: k.Attrs, seen: make(map[string]srcPos), vals: make([]string, len(k.Attrs))})
+			inc := newInclusionIndex(x, x.Inclusion, false)
+			reg(x.Child, (*inclusionChild)(inc))
+			reg(x.Parent, (*inclusionParent)(inc))
+			finishers = append(finishers, inc)
+		case constraint.Inclusion:
+			inc := newInclusionIndex(x, x, false)
+			reg(x.Child, (*inclusionChild)(inc))
+			reg(x.Parent, (*inclusionParent)(inc))
+			finishers = append(finishers, inc)
+		case constraint.NotKey:
+			nk := &notKeyIndex{c: x, seen: make(map[string]struct{})}
+			reg(x.Type, nk)
+			finishers = append(finishers, nk)
+		case constraint.NotInclusion:
+			inc := newInclusionIndex(x, x.Inclusion(), true)
+			reg(inc.childType, (*inclusionChild)(inc))
+			reg(inc.parentType, (*inclusionParent)(inc))
+			finishers = append(finishers, inc)
+		}
+	}
+	return byLabel, finishers
+}
+
+// keyIndex enforces τ[X] → τ (for keys and the key half of foreign keys):
+// the index is the set of tuples seen, and a repeat is a violation at the
+// repeating element.
+type keyIndex struct {
+	c     constraint.Constraint
+	typ   string
+	attrs []string
+	seen  map[string]srcPos
+	vals  []string
+}
+
+func (k *keyIndex) element(rn *run, attrs []xml.Attr) {
+	if !tupleVals(attrs, k.attrs, k.vals) {
+		return // no tuple, cannot collide (constraint.Satisfied semantics)
+	}
+	t := constraint.TupleKey(k.vals)
+	if first, dup := k.seen[t]; dup {
+		rn.violate(k.c, rn.path(rn.depth),
+			"duplicate key: this %s agrees with the %s at line %d on (%s)",
+			k.typ, k.typ, first.line, strings.Join(k.attrs, ", "))
+		return
+	}
+	k.seen[t] = srcPos{line: rn.line, off: rn.off}
+}
+
+// notKeyIndex enforces the negation τ.l ↛ τ: some duplicate must exist by
+// end-of-document.
+type notKeyIndex struct {
+	c    constraint.NotKey
+	seen map[string]struct{}
+	dup  bool
+}
+
+func (n *notKeyIndex) element(rn *run, attrs []xml.Attr) {
+	if n.dup {
+		return // satisfied; stop growing the index
+	}
+	j := lookupAttr(attrs, n.c.Attr)
+	if j < 0 {
+		return
+	}
+	v := attrs[j].Value
+	if _, ok := n.seen[v]; ok {
+		n.dup = true
+		n.seen = nil
+		return
+	}
+	n.seen[v] = struct{}{}
+}
+
+func (n *notKeyIndex) finish(rn *run) {
+	if n.dup {
+		return
+	}
+	rn.add(Violation{Path: n.c.Type, Line: 0, Offset: -1, Constraint: n.c,
+		Msg: fmt.Sprintf("negated key requires two %s elements sharing %q, but all values are distinct", n.c.Type, n.c.Attr)})
+}
+
+// inclusionIndex enforces τ1[X] ⊆ τ2[Y] (or its negation): child tuples
+// pend until end-of-document, when they are resolved against the parent
+// tuple set — so a foreign key may reference a parent that appears later
+// in the document. Memory is one map entry per distinct tuple.
+type inclusionIndex struct {
+	c                     constraint.Constraint
+	childType, parentType string
+	childAttrs            []string
+	parentAttrs           []string
+	neg                   bool
+	pending               map[string]srcPos // unmatched child tuples, first occurrence
+	parents               map[string]struct{}
+	childLacks            bool // some child element had no tuple: inclusion fails
+	vals                  []string
+}
+
+func newInclusionIndex(reported constraint.Constraint, inc constraint.Inclusion, neg bool) *inclusionIndex {
+	n := len(inc.ChildAttrs)
+	if len(inc.ParentAttrs) > n {
+		n = len(inc.ParentAttrs)
+	}
+	return &inclusionIndex{
+		c:          reported,
+		childType:  inc.Child,
+		parentType: inc.Parent,
+		childAttrs: inc.ChildAttrs, parentAttrs: inc.ParentAttrs,
+		neg:     neg,
+		pending: make(map[string]srcPos),
+		parents: make(map[string]struct{}),
+		vals:    make([]string, n),
+	}
+}
+
+// inclusionChild and inclusionParent are the two element-type views of one
+// shared inclusionIndex (child and parent types may even coincide).
+type inclusionChild inclusionIndex
+
+func (ic *inclusionChild) element(rn *run, attrs []xml.Attr) {
+	in := (*inclusionIndex)(ic)
+	vals := in.vals[:len(in.childAttrs)]
+	if !tupleVals(attrs, in.childAttrs, vals) {
+		if !in.neg && !in.childLacks {
+			rn.violate(in.c, rn.path(rn.depth),
+				"%s element lacks (%s) and cannot be matched", in.childType, strings.Join(in.childAttrs, ", "))
+		}
+		in.childLacks = true
+		return
+	}
+	if in.neg && in.childLacks {
+		return // negation already witnessed
+	}
+	t := constraint.TupleKey(vals)
+	if _, ok := in.parents[t]; ok {
+		return
+	}
+	if _, ok := in.pending[t]; !ok {
+		in.pending[t] = srcPos{line: rn.line, off: rn.off}
+	}
+}
+
+type inclusionParent inclusionIndex
+
+func (ip *inclusionParent) element(rn *run, attrs []xml.Attr) {
+	in := (*inclusionIndex)(ip)
+	vals := in.vals[:len(in.parentAttrs)]
+	if !tupleVals(attrs, in.parentAttrs, vals) {
+		return // contributes no tuple
+	}
+	in.parents[constraint.TupleKey(vals)] = struct{}{}
+}
+
+func (in *inclusionIndex) finish(rn *run) {
+	if in.neg {
+		if in.childLacks {
+			return // inclusion fails, negation holds
+		}
+		for t := range in.pending {
+			if _, ok := in.parents[t]; !ok {
+				return // an unmatched child value witnesses the negation
+			}
+		}
+		rn.add(Violation{Path: in.childType, Line: 0, Offset: -1, Constraint: in.c,
+			Msg: fmt.Sprintf("negated inclusion requires some %s value of %s unmatched by %s, but all are matched",
+				strings.Join(in.childAttrs, ", "), in.childType, in.parentType)})
+		return
+	}
+	var missing []srcPos
+	for t, pos := range in.pending {
+		if _, ok := in.parents[t]; !ok {
+			missing = append(missing, pos)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].off < missing[j].off })
+	for _, pos := range missing {
+		rn.add(Violation{Path: in.childType, Line: pos.line, Offset: pos.off, Constraint: in.c,
+			Msg: fmt.Sprintf("(%s) value of this %s matches no %s element",
+				strings.Join(in.childAttrs, ", "), in.childType, in.parentType)})
+	}
+}

@@ -42,36 +42,83 @@ func Compile(r Regex) *Automaton {
 
 // Match reports whether the label sequence is in the content model language.
 func (a *Automaton) Match(labels []string) bool {
-	if len(labels) == 0 {
-		return a.nullable
+	r := a.Start()
+	for _, lab := range labels {
+		if !r.Step(lab) {
+			return false
+		}
 	}
-	cur := newBitset(a.words)
-	pos, ok := a.bySymbol[labels[0]]
+	return r.Accepting()
+}
+
+// Run is the incremental matching state of one word against the automaton:
+// the set of positions reachable after the symbols consumed so far. A Run
+// holds two bitsets regardless of word length, which is what makes
+// streaming conformance checking memory-bounded — one live Run per open
+// element, none per consumed child. A Run is single-goroutine state; the
+// Automaton it came from may be shared freely.
+type Run struct {
+	a       *Automaton
+	cur     bitset
+	scratch bitset
+	n       int  // symbols consumed
+	dead    bool // no continuation can match
+}
+
+// Start returns a fresh Run positioned before the first symbol.
+func (a *Automaton) Start() *Run {
+	return &Run{a: a, cur: newBitset(a.words), scratch: newBitset(a.words)}
+}
+
+// Reset rewinds the Run to the initial state so it can be reused for
+// another word, sparing an allocation per element on streaming hot paths.
+func (r *Run) Reset() {
+	r.n = 0
+	r.dead = false
+}
+
+// Step consumes one symbol. It reports whether some word with the consumed
+// sequence as a prefix is still in the language; once it returns false the
+// Run is dead and stays dead until Reset.
+func (r *Run) Step(label string) bool {
+	if r.dead {
+		return false
+	}
+	pos, ok := r.a.bySymbol[label]
 	if !ok {
+		r.dead = true
 		return false
 	}
-	cur.intersectInto(a.first, pos)
-	if cur.empty() {
+	if r.n == 0 {
+		r.cur.intersectInto(r.a.first, pos)
+	} else {
+		r.scratch.clear()
+		for wi, w := range r.cur {
+			for w != 0 {
+				p := wi*64 + bits.TrailingZeros64(w)
+				r.scratch.or(r.a.follow[p])
+				w &= w - 1
+			}
+		}
+		r.cur.intersectInto(r.scratch, pos)
+	}
+	r.n++
+	if r.cur.empty() {
+		r.dead = true
 		return false
 	}
-	next := newBitset(a.words)
-	reach := newBitset(a.words)
-	for _, lab := range labels[1:] {
-		pos, ok := a.bySymbol[lab]
-		if !ok {
-			return false
-		}
-		reach.clear()
-		for _, p := range cur.members() {
-			reach.or(a.follow[p])
-		}
-		next.intersectInto(reach, pos)
-		if next.empty() {
-			return false
-		}
-		cur, next = next, cur
+	return true
+}
+
+// Accepting reports whether the consumed sequence itself is in the language.
+func (r *Run) Accepting() bool {
+	if r.dead {
+		return false
 	}
-	return cur.intersects(a.last)
+	if r.n == 0 {
+		return r.a.nullable
+	}
+	return r.cur.intersects(r.a.last)
 }
 
 // glushkovInfo carries the nullable/first/last attributes of a subexpression.

@@ -191,3 +191,37 @@ func TestAutomatonNullableAgreesWithRegex(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRunAgainstMatch checks the incremental Run API against batch Match on
+// random regexes and words, including prefix-death and Reset reuse.
+func TestRunAgainstMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	syms := []string{"a", "b"}
+	for trial := 0; trial < 300; trial++ {
+		re := randRegex(rng, 3)
+		a := Compile(re)
+		run := a.Start()
+		for rep := 0; rep < 3; rep++ {
+			run.Reset()
+			wlen := rng.Intn(5)
+			labels := make([]string, wlen)
+			for i := range labels {
+				labels[i] = syms[rng.Intn(2)]
+			}
+			alive := true
+			for _, lab := range labels {
+				alive = run.Step(lab)
+				if !alive {
+					break
+				}
+			}
+			got := alive && run.Accepting()
+			if !alive && run.Accepting() {
+				t.Fatalf("regex %v: dead run reports accepting", re)
+			}
+			if want := a.Match(labels); got != want {
+				t.Fatalf("regex %v, input %v: run=%v match=%v", re, labels, got, want)
+			}
+		}
+	}
+}

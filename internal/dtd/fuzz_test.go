@@ -1,0 +1,37 @@
+package dtd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the DTD parser never panics, that its failures are
+// positioned (*ParseError carries a 1-based line) and that successful
+// parses round-trip: reprinting and reparsing yields a DTD accepted again.
+func FuzzParse(f *testing.F) {
+	f.Add("<!ELEMENT r (a, b*)>\n<!ELEMENT a (#PCDATA)>\n<!ELEMENT b EMPTY>\n<!ATTLIST b k CDATA #REQUIRED>")
+	f.Add("<!DOCTYPE db>\n<!ELEMENT db (rec*)>\n<!ELEMENT rec EMPTY>")
+	f.Add("<!ELEMENT r (a | (b, c))+>")
+	f.Add("<!ELEMENT r EMPTY")
+	f.Add("<!ATTLIST nosuch x CDATA #REQUIRED>")
+	f.Add("<!-- comment --><!ELEMENT r EMPTY>")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if errors.As(err, &pe) && pe.Line < 1 {
+				t.Errorf("ParseError with non-positive line %d: %v", pe.Line, pe)
+			}
+			return
+		}
+		printed := d.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of printed DTD failed: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if got, want := strings.TrimSpace(back.String()), strings.TrimSpace(printed); got != want {
+			t.Errorf("print/reparse/print not stable:\nfirst:\n%s\nsecond:\n%s", want, got)
+		}
+	})
+}

@@ -24,6 +24,12 @@ import (
 // the honest alternative to unbounded running time.
 var ErrNodeLimit = errors.New("ilp: node limit exceeded")
 
+// ErrInternal is returned when the LP oracle reports an inconsistent
+// tableau — a solver bug, not a property of the input. It used to be a
+// panic deep inside the simplex; surfacing it as an error keeps a serving
+// process alive and lets the Spec boundary classify it.
+var ErrInternal = errors.New("ilp: internal solver error (inconsistent simplex tableau)")
+
 // Options configures the search.
 type Options struct {
 	// MaxNodes bounds the number of branch-and-bound nodes (LP solves).
@@ -152,6 +158,9 @@ func branchAndBound(ctx context.Context, spec *problemSpec, opt *Options) (*Resu
 		sol := solveLP(ctx, spec, nd)
 		if sol.Status == simplex.Interrupted {
 			return &Result{Nodes: nodes}, fmt.Errorf("ilp: search aborted mid-LP after %d nodes: %w", nodes, ctx.Err())
+		}
+		if sol.Status == simplex.Internal {
+			return &Result{Nodes: nodes}, fmt.Errorf("%w (after %d nodes)", ErrInternal, nodes)
 		}
 		if sol.Status == simplex.Infeasible {
 			continue

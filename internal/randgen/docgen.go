@@ -1,0 +1,244 @@
+package randgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"xic/internal/dtd"
+)
+
+// DocSpec configures document generation.
+type DocSpec struct {
+	// TargetNodes is the approximate number of element nodes to emit.
+	// Required content is always emitted, so tiny targets can be exceeded;
+	// optional content (stars, pluses, options) stops expanding once the
+	// budget is spent.
+	TargetNodes int
+	// ValuePool draws attribute values from a pool of this size, making
+	// collisions (key violations, satisfied negations) likely. Zero emits
+	// globally unique values, so generated documents satisfy every key.
+	ValuePool int
+}
+
+// WriteDocument streams a pseudo-random XML document conforming to the DTD
+// to w, without ever materializing it, and returns the number of element
+// nodes written. Stars fill greedily toward the node budget while reserving
+// what required siblings still need, so multi-million-node documents for
+// the streaming-validation benchmarks cost O(depth) memory to generate.
+// The DTD must have a valid tree (dtd.HasValidTree); deterministic in rng.
+func WriteDocument(w io.Writer, d *dtd.DTD, rng *rand.Rand, spec DocSpec) (int, error) {
+	if !d.HasValidTree() {
+		return 0, fmt.Errorf("randgen: DTD has no valid tree to generate")
+	}
+	g := &docGen{
+		d:    d,
+		rng:  rng,
+		w:    bufio.NewWriter(w),
+		spec: spec,
+		cost: minCosts(d),
+	}
+	g.remaining = spec.TargetNodes
+	g.element(d.Root, 0)
+	if g.err != nil {
+		return g.nodes, g.err
+	}
+	if err := g.w.Flush(); err != nil {
+		return g.nodes, err
+	}
+	return g.nodes, nil
+}
+
+type docGen struct {
+	d    *dtd.DTD
+	rng  *rand.Rand
+	w    *bufio.Writer
+	spec DocSpec
+	cost map[string]int
+
+	remaining int
+	nodes     int
+	seq       int
+	err       error
+}
+
+// infCost marks element types and expressions that derive no finite word.
+const infCost = 1 << 30
+
+// minCosts computes, per element type, the minimal number of element nodes
+// in any tree rooted at it (1 + cheapest content expansion), by monotone
+// fixpoint; non-generating types stay at infCost.
+func minCosts(d *dtd.DTD) map[string]int {
+	cost := make(map[string]int, len(d.Types()))
+	for _, t := range d.Types() {
+		cost[t] = infCost
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, t := range d.Types() {
+			c := exprMin(d.Element(t).Content, cost)
+			if c < infCost && 1+c < cost[t] {
+				cost[t] = 1 + c
+				changed = true
+			}
+		}
+	}
+	return cost
+}
+
+// exprMin is the minimal element-node cost of deriving some word from the
+// content model under the current type costs.
+func exprMin(r dtd.Regex, cost map[string]int) int {
+	switch x := r.(type) {
+	case dtd.Empty, dtd.Text:
+		return 0
+	case dtd.Name:
+		return cost[x.Type]
+	case dtd.Seq:
+		sum := 0
+		for _, it := range x.Items {
+			c := exprMin(it, cost)
+			if c >= infCost {
+				return infCost
+			}
+			sum += c
+		}
+		return sum
+	case dtd.Alt:
+		best := infCost
+		for _, it := range x.Items {
+			if c := exprMin(it, cost); c < best {
+				best = c
+			}
+		}
+		return best
+	case dtd.Star, dtd.Opt:
+		return 0
+	case dtd.Plus:
+		return exprMin(x.Inner, cost)
+	}
+	return infCost
+}
+
+func (g *docGen) writeString(s string) {
+	if g.err == nil {
+		_, g.err = g.w.WriteString(s)
+	}
+}
+
+// value emits one attribute value.
+func (g *docGen) value() string {
+	if g.spec.ValuePool > 0 {
+		return fmt.Sprintf("v%d", g.rng.Intn(g.spec.ValuePool))
+	}
+	g.seq++
+	return fmt.Sprintf("u%d", g.seq)
+}
+
+// element emits one element of the given type; reserved is the node budget
+// required content elsewhere in the document still needs.
+func (g *docGen) element(label string, reserved int) {
+	if g.err != nil {
+		return
+	}
+	g.nodes++
+	g.remaining--
+	g.writeString("<")
+	g.writeString(label)
+	e := g.d.Element(label)
+	for _, a := range e.Attrs {
+		g.writeString(" ")
+		g.writeString(a)
+		g.writeString(`="`)
+		g.writeString(g.value())
+		g.writeString(`"`)
+	}
+	if _, empty := e.Content.(dtd.Empty); empty {
+		g.writeString("/>")
+		return
+	}
+	g.writeString(">")
+	g.expand(e.Content, reserved)
+	g.writeString("</")
+	g.writeString(label)
+	g.writeString(">")
+}
+
+// budget is the optional-content budget: element nodes still wanted minus
+// what required content elsewhere reserves.
+func (g *docGen) budget(reserved int) int {
+	return g.remaining - reserved
+}
+
+// expand emits one word of the content model.
+func (g *docGen) expand(r dtd.Regex, reserved int) {
+	if g.err != nil {
+		return
+	}
+	switch x := r.(type) {
+	case dtd.Empty:
+	case dtd.Text:
+		g.writeString("t")
+	case dtd.Name:
+		g.element(x.Type, reserved)
+	case dtd.Seq:
+		// Each item may spend the budget not reserved by its successors.
+		suffix := make([]int, len(x.Items)+1)
+		for i := len(x.Items) - 1; i >= 0; i-- {
+			suffix[i] = suffix[i+1] + exprMin(x.Items[i], g.cost)
+		}
+		for i, it := range x.Items {
+			g.expand(it, reserved+suffix[i+1])
+		}
+	case dtd.Alt:
+		g.expand(g.pickAlt(x, reserved), reserved)
+	case dtd.Star:
+		g.repeat(x.Inner, 0, reserved)
+	case dtd.Plus:
+		g.repeat(x.Inner, 1, reserved)
+	case dtd.Opt:
+		if c := exprMin(x.Inner, g.cost); c < infCost && g.budget(reserved) > c {
+			g.expand(x.Inner, reserved)
+		}
+	}
+}
+
+// pickAlt chooses a feasible alternative: the cheapest when the budget is
+// tight, a random feasible one otherwise.
+func (g *docGen) pickAlt(x dtd.Alt, reserved int) dtd.Regex {
+	cheapest, cheapCost := x.Items[0], infCost
+	var feasible []dtd.Regex
+	for _, it := range x.Items {
+		c := exprMin(it, g.cost)
+		if c < cheapCost {
+			cheapest, cheapCost = it, c
+		}
+		if c < infCost && g.budget(reserved) > c {
+			feasible = append(feasible, it)
+		}
+	}
+	if len(feasible) == 0 {
+		return cheapest
+	}
+	return feasible[g.rng.Intn(len(feasible))]
+}
+
+// repeat emits at least minReps repetitions of the body, then keeps going
+// while the remaining budget covers another repetition.
+func (g *docGen) repeat(inner dtd.Regex, minReps, reserved int) {
+	c := exprMin(inner, g.cost)
+	if c >= infCost {
+		return // infeasible body: a star emits zero repetitions
+	}
+	for i := 0; g.err == nil; i++ {
+		if i >= minReps && g.budget(reserved) <= c {
+			return
+		}
+		before := g.nodes
+		g.expand(inner, reserved)
+		if g.nodes == before && i+1 >= minReps {
+			return // body emitted no elements; repeating cannot converge on the budget
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package randgen
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xic/internal/dtd"
+	"xic/internal/xmltree"
+)
+
+func TestWriteDocumentConforms(t *testing.T) {
+	dtds := map[string]*dtd.DTD{
+		"teachers": dtd.Teachers(),
+		"chain":    ChainDTD(6),
+		"wide":     WideDTD(5),
+		"mixed": dtd.MustParse(`
+<!ELEMENT lib (sec+)>
+<!ELEMENT sec (pub*, note?)>
+<!ELEMENT pub (title, cite*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT cite EMPTY>
+<!ELEMENT note (#PCDATA)>
+<!ATTLIST pub id CDATA #REQUIRED>
+<!ATTLIST cite ref CDATA #REQUIRED>
+`),
+	}
+	for name, d := range dtds {
+		t.Run(name, func(t *testing.T) {
+			for _, target := range []int{1, 50, 2000} {
+				var buf bytes.Buffer
+				rng := rand.New(rand.NewSource(7))
+				n, err := WriteDocument(&buf, d, rng, DocSpec{TargetNodes: target})
+				if err != nil {
+					t.Fatalf("WriteDocument(%d): %v", target, err)
+				}
+				tr, err := xmltree.Parse(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("generated document does not parse: %v\n%s", err, clip(buf.String()))
+				}
+				if err := xmltree.NewValidator(d).Validate(tr); err != nil {
+					t.Fatalf("generated document does not conform: %v\n%s", err, clip(buf.String()))
+				}
+				if len(tr.Ext(d.Root)) != 1 {
+					t.Fatalf("generated document has %d roots", len(tr.Ext(d.Root)))
+				}
+				_ = n
+			}
+		})
+	}
+}
+
+func TestWriteDocumentHitsTarget(t *testing.T) {
+	d := dtd.MustParse(`
+<!ELEMENT db (rec*)>
+<!ELEMENT rec EMPTY>
+<!ATTLIST rec id CDATA #REQUIRED>
+`)
+	var buf bytes.Buffer
+	n, err := WriteDocument(&buf, d, rand.New(rand.NewSource(1)), DocSpec{TargetNodes: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 9000 || n > 11000 {
+		t.Fatalf("nodes = %d, want ≈10000", n)
+	}
+	if c := strings.Count(buf.String(), "<rec"); c != n-1 {
+		t.Fatalf("rec count = %d, nodes = %d", c, n)
+	}
+}
+
+func TestWriteDocumentDeterministic(t *testing.T) {
+	d := WideDTD(4)
+	var a, b bytes.Buffer
+	if _, err := WriteDocument(&a, d, rand.New(rand.NewSource(3)), DocSpec{TargetNodes: 500, ValuePool: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteDocument(&b, d, rand.New(rand.NewSource(3)), DocSpec{TargetNodes: 500, ValuePool: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different documents")
+	}
+}
+
+func TestWriteDocumentRejectsEmptyLanguage(t *testing.T) {
+	d := dtd.New("db")
+	d.AddElement("db", dtd.Name{Type: "foo"})
+	d.AddElement("foo", dtd.Name{Type: "foo"})
+	if _, err := WriteDocument(&bytes.Buffer{}, d, rand.New(rand.NewSource(1)), DocSpec{TargetNodes: 10}); err == nil {
+		t.Fatal("DTD with no valid tree generated a document")
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "…"
+	}
+	return s
+}

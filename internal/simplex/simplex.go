@@ -32,6 +32,7 @@ const (
 	Infeasible                // the polyhedron is empty
 	Unbounded                 // the objective is unbounded below
 	Interrupted               // the interrupt hook fired mid-solve
+	Internal                  // the solver detected an inconsistent tableau (a solver bug, not a property of the input)
 )
 
 func (s Status) String() string {
@@ -44,6 +45,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case Interrupted:
 		return "interrupted"
+	case Internal:
+		return "internal error"
 	}
 	return "unknown"
 }
@@ -148,12 +151,22 @@ func (p *Problem) Solve() *Solution {
 	t.interrupt = p.interrupt
 	// Phase 1: minimize the sum of artificials.
 	t.setPhase1Objective()
+	return p.runPhases(t)
+}
+
+// runPhases pivots a tableau with phase-1 reduced costs already installed
+// through both phases. It is the continuation of Solve, split out so tests
+// can drive it with malformed tableaus directly.
+func (p *Problem) runPhases(t *tableau) *Solution {
 	switch t.pivotToOptimality(t.ncols) {
 	case pivotInterrupted:
 		return &Solution{Status: Interrupted}
 	case pivotUnbounded:
-		// Phase 1 is always bounded below by 0; unboundedness is a bug.
-		panic("simplex: phase 1 unbounded")
+		// Phase 1 is always bounded below by 0 on a well-formed tableau, so
+		// an unbounded report means the tableau is inconsistent. The solver
+		// runs as the oracle inside serving processes; report Internal and
+		// let callers turn it into an error instead of crashing the process.
+		return &Solution{Status: Internal}
 	}
 	if t.objVal.Sign() > 0 {
 		return &Solution{Status: Infeasible}

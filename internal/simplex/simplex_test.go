@@ -250,3 +250,45 @@ func TestStatusString(t *testing.T) {
 		t.Error("Status strings must be non-empty")
 	}
 }
+
+// newMalformedTableau builds a tableau whose phase-1 state is inconsistent:
+// the reduced-cost row claims column 0 improves the objective, but no row
+// has a positive entry in that column, so pivoting reports unbounded even
+// though phase 1 is bounded below by 0 on any well-formed tableau. This is
+// the state a solver bug would have to produce to reach the old
+// "phase 1 unbounded" panic.
+func newMalformedTableau() *tableau {
+	t := &tableau{
+		m:          1,
+		ncols:      2,
+		structural: 1,
+		artStart:   1,
+		objVal:     new(big.Rat),
+	}
+	t.a = [][]*big.Rat{{big.NewRat(-1, 1), big.NewRat(1, 1)}}
+	t.rhs = []*big.Rat{big.NewRat(1, 1)}
+	t.basis = []int{1}
+	t.objRow = []*big.Rat{big.NewRat(-1, 1), new(big.Rat)}
+	return t
+}
+
+// TestMalformedTableauReturnsInternal is the regression test for the
+// phase-1 crash path: before runPhases existed, Solve panicked with
+// "simplex: phase 1 unbounded" on exactly this pivot outcome, which would
+// have taken down a serving process. It must now surface as the Internal
+// status.
+func TestMalformedTableauReturnsInternal(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("runPhases panicked on a malformed tableau: %v", r)
+		}
+	}()
+	p := New(1)
+	sol := p.runPhases(newMalformedTableau())
+	if sol.Status != Internal {
+		t.Fatalf("status = %v, want %v", sol.Status, Internal)
+	}
+	if got := sol.Status.String(); got != "internal error" {
+		t.Fatalf("Status.String() = %q", got)
+	}
+}

@@ -3,16 +3,25 @@ package xmltree
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xic/internal/dtd"
 )
 
 // Validator checks trees for conformance with a fixed DTD (T ⊨ D,
-// Definition 2.2). It compiles one content-model automaton per element type
-// on first use, guarded by a mutex so one Validator can serve concurrent
-// Validate calls; it must not be shared across mutations of the DTD.
+// Definition 2.2). Until CompileAll runs it compiles one content-model
+// automaton per element type on first use, guarded by a mutex; CompileAll
+// freezes the complete cache into an immutable map read without any lock,
+// so concurrent Validate (and streaming ValidateStream) calls never
+// serialize on the hot path. It must not be shared across mutations of the
+// DTD.
 type Validator struct {
 	dtd *dtd.DTD
+
+	// frozen, once non-nil, holds the automaton of every declared element
+	// type and is never mutated again; readers load it atomically and skip
+	// the mutex entirely.
+	frozen atomic.Pointer[map[string]*dtd.Automaton]
 
 	mu       sync.Mutex
 	automata map[string]*dtd.Automaton
@@ -24,18 +33,40 @@ func NewValidator(d *dtd.DTD) *Validator {
 }
 
 // CompileAll eagerly compiles the content-model automata of every declared
-// element type, so later Validate calls only read the cache. Compiled
-// engines call this once at build time to keep automaton construction off
-// the concurrent serving path.
+// element type and freezes them into an immutable map, so later Validate
+// calls are lock-free reads. Compiled engines call this once at build time
+// to keep automaton construction off the concurrent serving path.
 func (v *Validator) CompileAll() {
-	for _, t := range v.dtd.Types() {
-		v.automaton(t, v.dtd.Element(t).Content)
+	if v.frozen.Load() != nil {
+		return
 	}
+	m := make(map[string]*dtd.Automaton, len(v.dtd.Types()))
+	for _, t := range v.dtd.Types() {
+		m[t] = v.automaton(t, v.dtd.Element(t).Content)
+	}
+	v.frozen.Store(&m)
+}
+
+// Automaton returns the compiled content-model automaton of the element
+// type, or nil when the type is not declared. It is the accessor the
+// streaming document checker feeds child labels through incrementally.
+func (v *Validator) Automaton(label string) *dtd.Automaton {
+	e := v.dtd.Element(label)
+	if e == nil {
+		return nil
+	}
+	return v.automaton(label, e.Content)
 }
 
 // automaton returns the compiled content-model automaton of an element
-// type, compiling and caching it on first use.
+// type, compiling and caching it on first use. After CompileAll it is a
+// lock-free map read.
 func (v *Validator) automaton(label string, content dtd.Regex) *dtd.Automaton {
+	if m := v.frozen.Load(); m != nil {
+		if a, ok := (*m)[label]; ok {
+			return a
+		}
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	a, ok := v.automata[label]

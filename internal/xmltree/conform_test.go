@@ -1,0 +1,48 @@
+package xmltree
+
+import (
+	"sync"
+	"testing"
+
+	"xic/internal/dtd"
+)
+
+// TestFrozenValidatorConcurrent checks that a CompileAll'd validator serves
+// concurrent Validate calls correctly; run with -race it also proves the
+// frozen-cache reads are synchronization-free and safe.
+func TestFrozenValidatorConcurrent(t *testing.T) {
+	d := dtd.Teachers()
+	v := NewValidator(d)
+	v.CompileAll()
+	if v.Automaton("teacher") == nil {
+		t.Fatal("Automaton(teacher) = nil after CompileAll")
+	}
+	if v.Automaton("nosuch") != nil {
+		t.Fatal("Automaton(nosuch) != nil")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := v.Validate(Figure1()); err != nil {
+					t.Errorf("Validate: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLazyValidatorStillCompiles covers the pre-freeze mutex path.
+func TestLazyValidatorStillCompiles(t *testing.T) {
+	v := NewValidator(dtd.Teachers())
+	if err := v.Validate(Figure1()); err != nil {
+		t.Fatalf("lazy Validate: %v", err)
+	}
+	if v.Automaton("subject") == nil {
+		t.Fatal("Automaton(subject) = nil on lazy validator")
+	}
+}

@@ -2,31 +2,151 @@ package xmltree
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 )
 
+// ParseError is a document syntax or structure error with its source
+// position: the 1-based line and the 0-based byte offset (from
+// xml.Decoder.InputOffset) of the offending construct. It unwraps to the
+// underlying decoder error when there is one.
+type ParseError struct {
+	Line   int
+	Offset int64
+	Msg    string
+	Err    error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xmltree: line %d: %s", e.Line, e.Msg)
+}
+
+// Unwrap returns the underlying decoder error, if any.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// LineReader wraps an io.Reader and maps byte offsets to 1-based line
+// numbers, so positions obtained from xml.Decoder.InputOffset can be
+// reported as lines. LineAt must be called with non-decreasing offsets;
+// callers that query it at every token keep the pending-newline buffer
+// bounded by the decoder's read-ahead instead of the document size.
+type LineReader struct {
+	r       io.Reader
+	pos     int64   // bytes delivered downstream
+	line    int     // 1 + newlines wholly before the last LineAt offset
+	pending []int64 // newline offsets not yet consumed by LineAt, ascending
+	head    int     // first live index into pending
+}
+
+// NewLineReader returns a LineReader delivering r's bytes unchanged.
+func NewLineReader(r io.Reader) *LineReader {
+	return &LineReader{r: r, line: 1}
+}
+
+// Read implements io.Reader, recording newline positions as bytes pass.
+func (lr *LineReader) Read(p []byte) (int, error) {
+	n, err := lr.r.Read(p)
+	for i := 0; i < n; i++ {
+		if p[i] == '\n' {
+			lr.pending = append(lr.pending, lr.pos+int64(i))
+		}
+	}
+	lr.pos += int64(n)
+	return n, err
+}
+
+// LineAt returns the 1-based line number containing byte offset off.
+// Offsets must be non-decreasing across calls.
+func (lr *LineReader) LineAt(off int64) int {
+	for lr.head < len(lr.pending) && lr.pending[lr.head] < off {
+		lr.line++
+		lr.head++
+	}
+	if lr.head == len(lr.pending) {
+		lr.pending = lr.pending[:0]
+		lr.head = 0
+	}
+	return lr.line
+}
+
+// AttrCollision reports two attributes of one start tag that would collide
+// under local-name keying — for example a:id and b:id, or a plain
+// duplicate — skipping namespace declarations. The paper's model has plain
+// single-valued attribute names, so such documents cannot be represented
+// faithfully and must be rejected rather than silently keeping one value.
+func AttrCollision(attrs []xml.Attr) (first, second xml.Attr, found bool) {
+	for i, a := range attrs {
+		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+			continue
+		}
+		for _, b := range attrs[i+1:] {
+			if b.Name.Space == "xmlns" || b.Name.Local == "xmlns" {
+				continue
+			}
+			if a.Name.Local == b.Name.Local {
+				return a, b, true
+			}
+		}
+	}
+	return xml.Attr{}, xml.Attr{}, false
+}
+
+// attrName renders an attribute name with its namespace prefix when present.
+func attrName(a xml.Attr) string {
+	if a.Name.Space != "" {
+		return a.Name.Space + ":" + a.Name.Local
+	}
+	return a.Name.Local
+}
+
+// AttrCollisionError returns a positioned ParseError when the start tag's
+// attributes collide under local-name keying, or nil. Both the tree parser
+// and the streaming checker report collisions through it, so the two paths
+// cannot drift apart on which documents they reject or how they say so.
+func AttrCollisionError(t xml.StartElement, line int, off int64) *ParseError {
+	a, b, found := AttrCollision(t.Attr)
+	if !found {
+		return nil
+	}
+	return &ParseError{Line: line, Offset: off, Msg: fmt.Sprintf(
+		"element %q: attributes %s and %s collide on local name %q; values would silently overwrite",
+		t.Name.Local, attrName(a), attrName(b), b.Name.Local)}
+}
+
 // Parse reads an XML document into a tree. Whitespace-only character data
 // between elements is discarded (it is markup formatting, not content);
 // other character data becomes text nodes, with adjacent runs coalesced.
 // Processing instructions, comments and directives are skipped, matching
-// the simplifications of the paper's model.
+// the simplifications of the paper's model. Errors are *ParseError values
+// carrying the line and byte offset of the offending construct.
 func Parse(r io.Reader) (*Tree, error) {
-	dec := xml.NewDecoder(r)
+	lr := NewLineReader(r)
+	dec := xml.NewDecoder(lr)
 	var stack []*Node
 	var root *Node
+	line := 1
+	var off int64
 	for {
 		tok, err := dec.Token()
+		off = dec.InputOffset()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			var se *xml.SyntaxError
+			if errors.As(err, &se) {
+				return nil, &ParseError{Line: se.Line, Offset: off, Msg: se.Msg, Err: err}
+			}
 			return nil, fmt.Errorf("xmltree: %w", err)
 		}
+		line = lr.LineAt(off)
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if pe := AttrCollisionError(t, line, off); pe != nil {
+				return nil, pe
+			}
 			n := NewElement(t.Name.Local)
 			for _, a := range t.Attr {
 				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
@@ -36,7 +156,7 @@ func Parse(r io.Reader) (*Tree, error) {
 			}
 			if len(stack) == 0 {
 				if root != nil {
-					return nil, fmt.Errorf("xmltree: multiple root elements")
+					return nil, &ParseError{Line: line, Offset: off, Msg: fmt.Sprintf("multiple root elements (second is %q)", t.Name.Local)}
 				}
 				root = n
 			} else {
@@ -46,7 +166,7 @@ func Parse(r io.Reader) (*Tree, error) {
 			stack = append(stack, n)
 		case xml.EndElement:
 			if len(stack) == 0 {
-				return nil, fmt.Errorf("xmltree: unbalanced end element %q", t.Name.Local)
+				return nil, &ParseError{Line: line, Offset: off, Msg: fmt.Sprintf("unbalanced end element %q", t.Name.Local)}
 			}
 			stack = stack[:len(stack)-1]
 		case xml.CharData:
@@ -55,7 +175,7 @@ func Parse(r io.Reader) (*Tree, error) {
 				continue
 			}
 			if len(stack) == 0 {
-				return nil, fmt.Errorf("xmltree: character data outside the root element")
+				return nil, &ParseError{Line: line, Offset: off, Msg: "character data outside the root element"}
 			}
 			parent := stack[len(stack)-1]
 			if k := len(parent.Children); k > 0 && parent.Children[k-1].IsText() {
@@ -66,10 +186,10 @@ func Parse(r io.Reader) (*Tree, error) {
 		}
 	}
 	if root == nil {
-		return nil, fmt.Errorf("xmltree: no root element")
+		return nil, &ParseError{Line: line, Offset: off, Msg: "no root element"}
 	}
 	if len(stack) != 0 {
-		return nil, fmt.Errorf("xmltree: unterminated element %q", stack[len(stack)-1].Label)
+		return nil, &ParseError{Line: line, Offset: off, Msg: fmt.Sprintf("unterminated element %q", stack[len(stack)-1].Label)}
 	}
 	return NewTree(root), nil
 }

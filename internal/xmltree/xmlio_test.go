@@ -1,6 +1,7 @@
 package xmltree
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -122,5 +123,82 @@ func TestSerializeDeterministicAttrOrder(t *testing.T) {
 	zz := strings.Index(s, `z="1"`)
 	if !(za < zm && zm < zz) {
 		t.Errorf("attributes not sorted: %s", s)
+	}
+}
+
+// TestParseErrorPositions is the regression table for lost parse positions:
+// every structural document error must carry a real 1-based line and a
+// non-negative byte offset threaded from xml.Decoder.InputOffset. Before
+// the fix these paths returned bare fmt.Errorf values with no position.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		contains string
+	}{
+		{"multiple roots", "<a/>\n<b/>", 2, "multiple root elements"},
+		{"unbalanced end", "<a/>\n</a>", 2, "unexpected end element"},
+		{"chardata outside root", "<a/>\nstray", 2, "character data outside the root element"},
+		{"no root", "", 1, "no root element"},
+		{"collision", "<a>\n<b p:id=\"1\" q:id=\"2\"/>\n</a>", 2, "collide on local name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.src)
+			if err == nil {
+				t.Fatalf("ParseString(%q) succeeded, want error", tc.src)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v (%T) is not a *ParseError", err, err)
+			}
+			if pe.Line != tc.wantLine {
+				t.Errorf("line = %d, want %d (err: %v)", pe.Line, tc.wantLine, pe)
+			}
+			if pe.Offset < 0 {
+				t.Errorf("offset = %d, want >= 0", pe.Offset)
+			}
+			if !strings.Contains(pe.Msg, tc.contains) {
+				t.Errorf("msg %q does not mention %q", pe.Msg, tc.contains)
+			}
+		})
+	}
+}
+
+// TestParseAttrCollision is the regression test for silently-overwritten
+// namespaced attributes: a:id and b:id used to collapse into one map entry.
+func TestParseAttrCollision(t *testing.T) {
+	if _, err := ParseString(`<r a:id="1" b:id="2"/>`); err == nil {
+		t.Fatal("colliding a:id/b:id attributes parsed without error")
+	}
+	if _, err := ParseString(`<r id="1" id="2"/>`); err == nil {
+		t.Fatal("duplicate plain attribute parsed without error")
+	}
+	// Distinct locals under namespaces stay fine, as do xmlns declarations.
+	tr, err := ParseString(`<r xmlns:a="u" a:x="1" y="2"/>`)
+	if err != nil {
+		t.Fatalf("non-colliding namespaced attributes rejected: %v", err)
+	}
+	if v, _ := tr.Root.Attr("x"); v != "1" {
+		t.Errorf("x = %q", v)
+	}
+}
+
+func TestLineReader(t *testing.T) {
+	lr := NewLineReader(strings.NewReader("ab\ncd\n\nef"))
+	buf := make([]byte, 64)
+	for {
+		if _, err := lr.Read(buf); err != nil {
+			break
+		}
+	}
+	for _, q := range []struct {
+		off  int64
+		want int
+	}{{0, 1}, {2, 1}, {3, 2}, {5, 2}, {6, 3}, {7, 4}, {9, 4}, {100, 4}} {
+		if got := lr.LineAt(q.off); got != q.want {
+			t.Errorf("LineAt(%d) = %d, want %d", q.off, got, q.want)
+		}
 	}
 }

@@ -2,11 +2,15 @@ package xic
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
 	"xic/internal/constraint"
 	"xic/internal/core"
+	"xic/internal/doccheck"
 	"xic/internal/xmltree"
 )
 
@@ -32,6 +36,7 @@ type Spec struct {
 
 	eng       *core.Checker
 	validator *xmltree.Validator
+	stream    *doccheck.Checker
 
 	opt Options
 	par int // ConsistentAll/ImpliesAll worker bound; 0 = GOMAXPROCS
@@ -62,12 +67,14 @@ func Compile(d *DTD, constraints ...Constraint) (*Spec, error) {
 	}
 	validator := xmltree.NewValidator(d)
 	validator.CompileAll() // keep automaton construction off the serving path
+	sigma := append([]Constraint(nil), constraints...)
 	return &Spec{
 		d:         d,
-		sigma:     append([]Constraint(nil), constraints...),
+		sigma:     sigma,
 		class:     constraint.ClassOf(constraints),
 		eng:       eng,
 		validator: validator,
+		stream:    doccheck.New(d, validator, sigma),
 	}, nil
 }
 
@@ -138,7 +145,8 @@ func (s *Spec) ConsistentDTD() bool { return s.d.HasValidTree() }
 // negations pay the NP price of Theorems 4.7/5.1, bounded by the context:
 // cancellation returns an error matching ErrCanceled.
 func (s *Spec) Consistent(ctx context.Context) (*Result, error) {
-	return s.eng.ConsistentContext(ctx, s.sigma, &s.opt)
+	res, err := s.eng.ConsistentContext(ctx, s.sigma, &s.opt)
+	return res, wrapSolveError(err)
 }
 
 // ConsistentWith is Consistent for the compiled set extended with extra
@@ -146,7 +154,8 @@ func (s *Spec) Consistent(ctx context.Context) (*Result, error) {
 // and the compiled encoding template is still reused, which is the
 // intended way to probe many candidate sets against one schema.
 func (s *Spec) ConsistentWith(ctx context.Context, extra ...Constraint) (*Result, error) {
-	return s.eng.ConsistentContext(ctx, s.join(extra), &s.opt)
+	res, err := s.eng.ConsistentContext(ctx, s.join(extra), &s.opt)
+	return res, wrapSolveError(err)
 }
 
 // Implies decides whether every document conforming to the DTD and
@@ -155,7 +164,8 @@ func (s *Spec) ConsistentWith(ctx context.Context, extra ...Constraint) (*Result
 // (Theorems 4.10/5.4); keys-only implication is linear. Cancellation
 // returns an error matching ErrCanceled.
 func (s *Spec) Implies(ctx context.Context, phi Constraint) (*Implication, error) {
-	return s.eng.ImpliesContext(ctx, s.sigma, phi, &s.opt)
+	imp, err := s.eng.ImpliesContext(ctx, s.sigma, phi, &s.opt)
+	return imp, wrapSolveError(err)
 }
 
 // ImpliesKey is the linear-time implication test for a key by a keys-only
@@ -170,7 +180,8 @@ func (s *Spec) ImpliesKey(phi Key) (bool, error) {
 // (removing any one member restores consistency). The |Σ|+1 consistency
 // checks of the deletion filter all reuse the compiled encoding.
 func (s *Spec) Diagnose(ctx context.Context) (*Diagnosis, error) {
-	return s.eng.DiagnoseContext(ctx, s.sigma, &s.opt)
+	diag, err := s.eng.DiagnoseContext(ctx, s.sigma, &s.opt)
+	return diag, wrapSolveError(err)
 }
 
 // Validate checks one concrete document dynamically: it must conform to
@@ -186,6 +197,36 @@ func (s *Spec) Validate(doc *Tree) error {
 		return &ViolationError{Violated: violated}
 	}
 	return nil
+}
+
+// ValidateStream checks one document in a single SAX-style pass over r:
+// DTD conformance and every compiled constraint — keys, foreign keys,
+// inclusions and their negations — are verified without materializing the
+// document as a tree, so memory is bounded by the open-element stack and
+// the constraint hash indexes rather than the document size. This is the
+// large-document serving mode of the fixed-DTD setting (Corollaries 4.11
+// and 5.5): foreign keys may reference elements appearing later in the
+// stream, because reference sets are resolved at end-of-document.
+//
+// The verdict matches Validate on ParseDocument of the same bytes: a
+// well-formed document yields a Report (whose OK answers the validation
+// question and whose Violations carry element paths, lines and byte
+// offsets), while unparseable documents — syntax errors, multiple roots,
+// colliding attribute names — yield a *ParseError. Cancelling the context
+// aborts the pass with an error matching ErrCanceled. A Spec is immutable,
+// so any number of ValidateStream calls may run concurrently.
+func (s *Spec) ValidateStream(ctx context.Context, r io.Reader) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rep, err := s.stream.Run(ctx, r)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+		return nil, wrapDocumentError(err)
+	}
+	return rep, nil
 }
 
 // join returns the compiled set extended with extra constraints, copying

@@ -27,7 +27,9 @@
 // Positive answers come with verified witness documents; failed
 // implications come with counterexample documents. Dynamic validation
 // (checking one concrete document against a DTD and constraints) is also
-// provided.
+// provided, in two modes: tree-based (Spec.Validate) and single-pass
+// streaming (Spec.ValidateStream), whose memory is bounded by the
+// constraint indexes rather than the document size.
 //
 // # The compiled Spec engine
 //
@@ -75,6 +77,7 @@ import (
 
 	"xic/internal/constraint"
 	"xic/internal/core"
+	"xic/internal/doccheck"
 	"xic/internal/dtd"
 	"xic/internal/xmltree"
 )
@@ -142,6 +145,15 @@ type (
 
 	// Validator checks documents for DTD conformance.
 	Validator = xmltree.Validator
+
+	// Report is the outcome of one streaming validation pass
+	// (Spec.ValidateStream): the violation list answers the validation
+	// question and localizes each failure.
+	Report = doccheck.Report
+
+	// Violation is one way a streamed document fails its specification,
+	// with an element path, source line and byte offset.
+	Violation = doccheck.Violation
 )
 
 // ParseDTD reads a DTD in XML DTD syntax (<!ELEMENT …>, <!ATTLIST …>,
