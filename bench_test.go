@@ -514,7 +514,7 @@ func BenchmarkValidateTree(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := spec.Validate(tree); err != nil {
+				if err := spec.Validate(context.Background(), tree); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -623,7 +623,7 @@ func TestWriteValidateBench(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := spec.Validate(tree); err != nil {
+			if err := spec.Validate(context.Background(), tree); err != nil {
 				t.Fatal(err)
 			}
 			final := heapNow()

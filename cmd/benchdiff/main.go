@@ -1,0 +1,150 @@
+// Command benchdiff gates streaming-validation performance in CI: it
+// compares a freshly measured BENCH_validate.json against the committed
+// baseline and exits non-zero when stream validation regressed.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_validate.json -current BENCH_current.json \
+//	          [-peak-tolerance 0.20] [-time-tolerance 0.20] [-min-time-ms 2]
+//
+// For every node-count present in both files it checks the stream
+// validator's peak heap and wall time; a value more than the tolerance
+// above baseline is a regression. Peak heap is allocation-deterministic,
+// so its tolerance can be tight even across machines; wall time is noisy
+// on shared CI runners, so its tolerance is a flag, and measurements under
+// -min-time-ms are never time-gated (a 1 ms phase doubling is noise).
+// Baselines are refreshed by committing a new BENCH_validate.json (see
+// README, "Refreshing the benchmark baseline").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// record mirrors the schema TestWriteValidateBench writes.
+type record struct {
+	Nodes           int     `json:"nodes"`
+	DocBytes        int     `json:"doc_bytes"`
+	TreePeakBytes   uint64  `json:"tree_peak_bytes"`
+	StreamPeakBytes uint64  `json:"stream_peak_bytes"`
+	PeakRatio       float64 `json:"peak_ratio"`
+	TreeMs          float64 `json:"tree_ms"`
+	StreamMs        float64 `json:"stream_ms"`
+}
+
+// tolerances configures the gate.
+type tolerances struct {
+	peak      float64 // allowed relative growth of stream_peak_bytes
+	time      float64 // allowed relative growth of stream_ms
+	minTimeMs float64 // time gate floor: below this, wall time is all noise
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_validate.json", "committed baseline")
+	currentPath := flag.String("current", "", "freshly measured results")
+	peakTol := flag.Float64("peak-tolerance", 0.20, "allowed relative stream peak-heap growth")
+	timeTol := flag.Float64("time-tolerance", 0.20, "allowed relative stream wall-time growth")
+	minTimeMs := flag.Float64("min-time-ms", 2, "skip the time gate below this many baseline ms")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: missing -current")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	report, regressions := compare(base, cur, tolerances{peak: *peakTol, time: *timeTol, minTimeMs: *minTimeMs})
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s):\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within tolerance")
+}
+
+func load(path string) ([]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: no records", path)
+	}
+	return recs, nil
+}
+
+// compare matches current records to baseline records by node count and
+// applies the gates. It returns human-readable comparison lines and the
+// regression list (empty = pass). Node counts present in only one file are
+// reported but never gate, so widening or narrowing the benchmark matrix
+// does not fail the job by itself.
+func compare(base, cur []record, tol tolerances) (report, regressions []string) {
+	byNodes := make(map[int]record, len(base))
+	for _, b := range base {
+		byNodes[b.Nodes] = b
+	}
+	for _, c := range cur {
+		b, ok := byNodes[c.Nodes]
+		if !ok {
+			report = append(report, fmt.Sprintf("nodes=%d: no baseline entry (informational): stream peak %s, %.1f ms",
+				c.Nodes, mb(c.StreamPeakBytes), c.StreamMs))
+			continue
+		}
+		delete(byNodes, c.Nodes)
+		peakGrowth := growth(float64(b.StreamPeakBytes), float64(c.StreamPeakBytes))
+		timeGrowth := growth(b.StreamMs, c.StreamMs)
+		report = append(report, fmt.Sprintf(
+			"nodes=%d: stream peak %s → %s (%+.1f%%, limit +%.0f%%), stream time %.1f ms → %.1f ms (%+.1f%%, limit +%.0f%%)",
+			c.Nodes, mb(b.StreamPeakBytes), mb(c.StreamPeakBytes), 100*peakGrowth, 100*tol.peak,
+			b.StreamMs, c.StreamMs, 100*timeGrowth, 100*tol.time))
+		if peakGrowth > tol.peak {
+			regressions = append(regressions, fmt.Sprintf(
+				"nodes=%d: stream peak heap grew %.1f%% (%s → %s), tolerance %.0f%%",
+				c.Nodes, 100*peakGrowth, mb(b.StreamPeakBytes), mb(c.StreamPeakBytes), 100*tol.peak))
+		}
+		if b.StreamMs >= tol.minTimeMs && timeGrowth > tol.time {
+			regressions = append(regressions, fmt.Sprintf(
+				"nodes=%d: stream time grew %.1f%% (%.1f ms → %.1f ms), tolerance %.0f%%",
+				c.Nodes, 100*timeGrowth, b.StreamMs, c.StreamMs, 100*tol.time))
+		}
+	}
+	for nodes := range byNodes {
+		report = append(report, fmt.Sprintf("nodes=%d: present in baseline only (informational)", nodes))
+	}
+	return report, regressions
+}
+
+// growth returns (cur-base)/base; a zero baseline only regresses if the
+// current value is non-zero.
+func growth(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (cur - base) / base
+}
+
+func mb(b uint64) string {
+	return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(nodes int, peak uint64, ms float64) record {
+	return record{Nodes: nodes, StreamPeakBytes: peak, StreamMs: ms}
+}
+
+var tol = tolerances{peak: 0.20, time: 0.20, minTimeMs: 2}
+
+func TestWithinToleranceIsClean(t *testing.T) {
+	base := []record{rec(100_000, 10<<20, 100), rec(1_000_000, 12<<20, 1000)}
+	cur := []record{rec(100_000, 11<<20, 115), rec(1_000_000, 12<<20, 990)}
+	report, regs := compare(base, cur, tol)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if len(report) != 2 {
+		t.Fatalf("want 2 report lines, got %v", report)
+	}
+}
+
+func TestPeakRegressionGates(t *testing.T) {
+	base := []record{rec(100_000, 10<<20, 100)}
+	cur := []record{rec(100_000, 13<<20, 100)} // +30% peak
+	_, regs := compare(base, cur, tol)
+	if len(regs) != 1 || !strings.Contains(regs[0], "peak heap") {
+		t.Fatalf("want one peak regression, got %v", regs)
+	}
+}
+
+func TestTimeRegressionGates(t *testing.T) {
+	base := []record{rec(100_000, 10<<20, 100)}
+	cur := []record{rec(100_000, 10<<20, 150)} // +50% time
+	_, regs := compare(base, cur, tol)
+	if len(regs) != 1 || !strings.Contains(regs[0], "stream time") {
+		t.Fatalf("want one time regression, got %v", regs)
+	}
+}
+
+func TestTinyTimesNeverTimeGate(t *testing.T) {
+	base := []record{rec(1000, 1<<20, 0.5)}
+	cur := []record{rec(1000, 1<<20, 5)} // 10x, but under the 2 ms floor
+	if _, regs := compare(base, cur, tol); len(regs) != 0 {
+		t.Fatalf("sub-floor time gated: %v", regs)
+	}
+}
+
+func TestUnmatchedNodeCountsAreInformational(t *testing.T) {
+	base := []record{rec(100_000, 10<<20, 100), rec(1_000_000, 12<<20, 1000)}
+	cur := []record{rec(100_000, 10<<20, 100), rec(2_000_000, 50<<20, 9000)}
+	report, regs := compare(base, cur, tol)
+	if len(regs) != 0 {
+		t.Fatalf("matrix changes must not gate: %v", regs)
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "no baseline entry") || !strings.Contains(joined, "baseline only") {
+		t.Fatalf("missing informational lines:\n%s", joined)
+	}
+}
+
+func TestZeroBaselineRegressesOnGrowth(t *testing.T) {
+	base := []record{rec(100_000, 0, 100)}
+	cur := []record{rec(100_000, 1<<20, 100)}
+	if _, regs := compare(base, cur, tol); len(regs) != 1 {
+		t.Fatalf("growth from zero baseline must gate, got %v", regs)
+	}
+}

@@ -21,6 +21,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -216,7 +217,7 @@ func runValidate(args []string) (negative bool, err error) {
 	consPath := fs.String("constraints", "", "constraint file (optional)")
 	docPath := fs.String("doc", "", "XML document file")
 	stream := fs.Bool("stream", false, "validate in a single streaming pass; memory is bounded by the constraint indexes, not the document size")
-	timeout := fs.Duration("timeout", 0, "abort streaming validation after this long (0 = no deadline)")
+	timeout := fs.Duration("timeout", 0, "abort validation (either mode) after this long (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
@@ -232,9 +233,9 @@ func runValidate(args []string) (negative bool, err error) {
 		return false, err
 	}
 	defer f.Close()
+	ctx, cancel := checkContext(*timeout)
+	defer cancel()
 	if *stream {
-		ctx, cancel := checkContext(*timeout)
-		defer cancel()
 		rep, err := spec.ValidateStream(ctx, f)
 		if err != nil {
 			return false, err
@@ -256,7 +257,10 @@ func runValidate(args []string) (negative bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	if err := spec.Validate(doc); err != nil {
+	if err := spec.Validate(ctx, doc); err != nil {
+		if errors.Is(err, xic.ErrCanceled) {
+			return false, err
+		}
 		fmt.Printf("INVALID: %v\n", err)
 		return true, nil
 	}

@@ -166,6 +166,19 @@ func TestCLIValidateStream(t *testing.T) {
 		}
 	})
 
+	t.Run("timeout honored in both modes", func(t *testing.T) {
+		// An expired 1ns deadline must abort either mode with a processing
+		// error (exit 2) that names the deadline — not a bogus verdict.
+		for _, mode := range [][]string{nil, {"-stream"}} {
+			args := append([]string{"validate", "-dtd", schoolDTD, "-constraints", schoolXIC,
+				"-doc", schoolXML, "-timeout", "1ns"}, mode...)
+			out, code := run(t, bin, args...)
+			if code != 2 || !strings.Contains(out, "deadline") {
+				t.Errorf("mode %v: exit=%d out=%q, want exit 2 naming the deadline", mode, code, out)
+			}
+		}
+	})
+
 	t.Run("invalid document lists violations", func(t *testing.T) {
 		dtdFile := filepath.Join(t.TempDir(), "db.dtd")
 		xicFile := filepath.Join(t.TempDir(), "db.xic")

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// benchSources builds a specification whose per-DTD compile work dominates
+// a single cached check: n element types, each with a key, so the set is
+// keys-only (linear consistency) while Compile pays DTD simplification,
+// the encoding template and n content-model automata.
+func benchSources(n int) (dtdSrc, xicSrc string) {
+	var dtd, cons strings.Builder
+	dtd.WriteString("<!ELEMENT root (")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			dtd.WriteString(", ")
+		}
+		fmt.Fprintf(&dtd, "t%d*", i)
+	}
+	dtd.WriteString(")>\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&dtd, "<!ELEMENT t%d (#PCDATA)>\n<!ATTLIST t%d k CDATA #REQUIRED>\n", i, i)
+		fmt.Fprintf(&cons, "t%d.k -> t%d\n", i, i)
+	}
+	return dtd.String(), cons.String()
+}
+
+const benchSpecTypes = 200
+
+// postOK sends one request through the router and fails the benchmark on a
+// non-2xx answer.
+func postOK(tb testing.TB, h http.Handler, path, body string) {
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK && w.Code != http.StatusCreated {
+		tb.Fatalf("%s: status %d: %s", path, w.Code, w.Body)
+	}
+}
+
+// BenchmarkServerConsistent is the ServerBench of the registry design: the
+// cached case answers a consistency request against an already-compiled
+// spec (the steady state of a long-lived daemon), the cold case pays
+// compile + check per request (the old one-shot CLI model). The gap is the
+// amortised per-DTD work.
+func BenchmarkServerConsistent(b *testing.B) {
+	dtdSrc, xicSrc := benchSources(benchSpecTypes)
+	compileBody, _ := json.Marshal(compileRequest{DTD: dtdSrc, Constraints: xicSrc})
+	checkBody := `{"skip_witness": true}`
+
+	b.Run("cached", func(b *testing.B) {
+		s := newServer(config{})
+		h := s.handler()
+		id := xicFingerprintViaCompile(b, h, string(compileBody))
+		path := "/v1/specs/" + id + "/consistent"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			postOK(b, h, path, checkBody)
+		}
+	})
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := newServer(config{})
+			h := s.handler()
+			id := xicFingerprintViaCompile(b, h, string(compileBody))
+			postOK(b, h, "/v1/specs/"+id+"/consistent", checkBody)
+		}
+	})
+}
+
+// BenchmarkServerValidateStream measures steady-state streaming validation
+// throughput against one cached spec.
+func BenchmarkServerValidateStream(b *testing.B) {
+	dtdSrc, xicSrc := benchSources(32)
+	compileBody, _ := json.Marshal(compileRequest{DTD: dtdSrc, Constraints: xicSrc})
+	s := newServer(config{})
+	h := s.handler()
+	id := xicFingerprintViaCompile(b, h, string(compileBody))
+
+	var doc strings.Builder
+	doc.WriteString("<root>")
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 50; j++ {
+			fmt.Fprintf(&doc, `<t%d k="v%d-%d">x</t%d>`, i, i, j, i)
+		}
+	}
+	doc.WriteString("</root>")
+	path := "/v1/specs/" + id + "/validate"
+	b.SetBytes(int64(doc.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postOK(b, h, path, doc.String())
+	}
+}
+
+func xicFingerprintViaCompile(tb testing.TB, h http.Handler, body string) string {
+	req := httptest.NewRequest("POST", "/v1/specs", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusCreated && w.Code != http.StatusOK {
+		tb.Fatalf("compile: status %d: %s", w.Code, w.Body)
+	}
+	var resp compileResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		tb.Fatal(err)
+	}
+	return resp.ID
+}
+
+// TestCachedSpeedup is the acceptance check behind BenchmarkServerConsistent:
+// a cached consistency request must be at least 10x faster than a cold
+// compile + check of the same specification. Each side takes its best of
+// several rounds, so a one-off scheduler stall or GC pause cannot fail the
+// gate; the real gap is orders of magnitude. Race instrumentation distorts
+// timings unpredictably, so the assertion is meaningless there.
+func TestCachedSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing assertion is not meaningful under the race detector")
+	}
+	dtdSrc, xicSrc := benchSources(benchSpecTypes)
+	compileBody, _ := json.Marshal(compileRequest{DTD: dtdSrc, Constraints: xicSrc})
+	checkBody := `{"skip_witness": true}`
+
+	const rounds = 5
+	cold := make([]time.Duration, rounds)
+	cached := make([]time.Duration, rounds)
+
+	s := newServer(config{})
+	h := s.handler()
+	id := xicFingerprintViaCompile(t, h, string(compileBody))
+	warmPath := "/v1/specs/" + id + "/consistent"
+	postOK(t, h, warmPath, checkBody) // warm up code paths
+
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		postOK(t, h, warmPath, checkBody)
+		cached[i] = time.Since(start)
+
+		cs := newServer(config{})
+		ch := cs.handler()
+		start = time.Now()
+		cid := xicFingerprintViaCompile(t, ch, string(compileBody))
+		postOK(t, ch, "/v1/specs/"+cid+"/consistent", checkBody)
+		cold[i] = time.Since(start)
+	}
+	bestCold, bestCached := minDuration(cold), minDuration(cached)
+	ratio := float64(bestCold) / float64(bestCached)
+	t.Logf("cold compile+check %v, cached check %v, speedup %.1fx", bestCold, bestCached, ratio)
+	if ratio < 10 {
+		t.Errorf("cached requests only %.1fx faster than cold; the registry should amortise ≥10x", ratio)
+	}
+}
+
+func minDuration(ds []time.Duration) time.Duration {
+	min := ds[0]
+	for _, d := range ds[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether the race detector instruments this binary;
+// timing-sensitive assertions skip under it.
+const raceEnabled = false

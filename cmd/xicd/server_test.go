@@ -1,0 +1,555 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xic"
+)
+
+// The paper's Section 1 teachers example: compiles, NP class, inconsistent.
+const teachersDTD = `
+<!ELEMENT teachers (teacher+)>
+<!ELEMENT teacher (teach, research)>
+<!ELEMENT teach (subject, subject)>
+<!ELEMENT research (#PCDATA)>
+<!ELEMENT subject (#PCDATA)>
+<!ATTLIST teacher name CDATA #REQUIRED>
+<!ATTLIST subject taught_by CDATA #REQUIRED>`
+
+const teachersXIC = `
+teacher.name -> teacher
+subject.taught_by -> subject
+subject.taught_by => teacher.name`
+
+// A consistent unary key/foreign-key specification with valid documents.
+const dbDTD = `
+<!ELEMENT db (emp*, dept*)>
+<!ELEMENT emp EMPTY>
+<!ELEMENT dept EMPTY>
+<!ATTLIST emp id CDATA #REQUIRED works_in CDATA #REQUIRED>
+<!ATTLIST dept id CDATA #REQUIRED>`
+
+const dbXIC = `
+emp.id -> emp
+dept.id -> dept
+emp.works_in => dept.id`
+
+const dbDocOK = `<db>
+  <emp id="e1" works_in="d1"/>
+  <emp id="e2" works_in="d1"/>
+  <dept id="d1"/>
+</db>`
+
+const dbDocBad = `<db>
+  <emp id="e1" works_in="d1"/>
+  <emp id="e1" works_in="d9"/>
+  <dept id="d1"/>
+</db>`
+
+func newTestServer(t *testing.T, cfg config) *server {
+	t.Helper()
+	return newServer(cfg)
+}
+
+// post sends a request through the full router and returns the recorder.
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decode[T any](t *testing.T, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("bad JSON response %q: %v", w.Body.String(), err)
+	}
+	return v
+}
+
+// compileSpec registers a spec through the API and returns its id.
+func compileSpec(t *testing.T, h http.Handler, dtd, cons string) string {
+	t.Helper()
+	body, _ := json.Marshal(compileRequest{DTD: dtd, Constraints: cons})
+	w := do(t, h, "POST", "/v1/specs", string(body))
+	if w.Code != http.StatusCreated && w.Code != http.StatusOK {
+		t.Fatalf("compile: status %d: %s", w.Code, w.Body)
+	}
+	return decode[compileResponse](t, w).ID
+}
+
+func TestCompileEndpoint(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+	body, _ := json.Marshal(compileRequest{DTD: teachersDTD, Constraints: teachersXIC})
+
+	w := do(t, h, "POST", "/v1/specs", string(body))
+	if w.Code != http.StatusCreated {
+		t.Fatalf("fresh compile: status %d: %s", w.Code, w.Body)
+	}
+	resp := decode[compileResponse](t, w)
+	if resp.Cached {
+		t.Error("fresh compile reported cached")
+	}
+	if want := xic.Fingerprint(teachersDTD, teachersXIC); resp.ID != want {
+		t.Errorf("id = %q, want content fingerprint %q", resp.ID, want)
+	}
+	if resp.Constraints != 3 {
+		t.Errorf("constraints = %d, want 3", resp.Constraints)
+	}
+
+	if resp.CompileMs <= 0 {
+		t.Error("fresh compile reports no compile_ms")
+	}
+
+	w = do(t, h, "POST", "/v1/specs", string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("cached compile: status %d", w.Code)
+	}
+	cachedResp := decode[compileResponse](t, w)
+	if !cachedResp.Cached {
+		t.Error("identical resubmission missed the cache")
+	}
+	if cachedResp.CompileMs != 0 {
+		t.Error("cached response reports compile_ms although nothing compiled")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+	for _, tc := range []struct {
+		name, body string
+		status     int
+		kind       string
+	}{
+		{"bad json", `{"dtd": `, 400, "request"},
+		{"missing dtd", `{"constraints": "a.b -> a"}`, 400, "request"},
+		{"dtd syntax error", `{"dtd": "<!ELEMENT"}`, 400, "parse"},
+		{"constraint against missing type", fmt.Sprintf(`{"dtd": %q, "constraints": "nosuch.a -> nosuch"}`, "<!ELEMENT r EMPTY>"), 422, "spec"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := do(t, h, "POST", "/v1/specs", tc.body)
+			if w.Code != tc.status {
+				t.Fatalf("status %d, want %d: %s", w.Code, tc.status, w.Body)
+			}
+			env := decode[map[string]errorBody](t, w)
+			if env["error"].Kind != tc.kind {
+				t.Errorf("kind %q, want %q (%s)", env["error"].Kind, tc.kind, w.Body)
+			}
+		})
+	}
+}
+
+func TestUnknownSpec(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+	for _, ep := range []string{"consistent", "implies", "diagnose", "validate"} {
+		if w := do(t, h, "POST", "/v1/specs/deadbeef/"+ep, ""); w.Code != http.StatusNotFound {
+			t.Errorf("%s on unknown spec: status %d, want 404", ep, w.Code)
+		}
+	}
+	if w := do(t, h, "GET", "/v1/specs/deadbeef", ""); w.Code != http.StatusNotFound {
+		t.Errorf("GET unknown spec: status %d, want 404", w.Code)
+	}
+}
+
+func TestConsistentEndpoint(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+
+	teachers := compileSpec(t, h, teachersDTD, teachersXIC)
+	w := do(t, h, "POST", "/v1/specs/"+teachers+"/consistent", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if res := decode[consistentResult](t, w); res.Consistent {
+		t.Error("teachers specification must be inconsistent")
+	}
+
+	db := compileSpec(t, h, dbDTD, dbXIC)
+	w = do(t, h, "POST", "/v1/specs/"+db+"/consistent", "")
+	res := decode[consistentResult](t, w)
+	if !res.Consistent {
+		t.Fatal("db specification must be consistent")
+	}
+	if res.Witness == "" {
+		t.Error("consistent answer carries no witness")
+	}
+	w = do(t, h, "POST", "/v1/specs/"+db+"/consistent", `{"skip_witness": true}`)
+	if res := decode[consistentResult](t, w); res.Witness != "" {
+		t.Error("skip_witness still produced a witness")
+	}
+
+	// A per-request extension flips the verdict: Σ keeps emp.id a key, so
+	// adding its negation leaves no satisfying document.
+	w = do(t, h, "POST", "/v1/specs/"+db+"/consistent", `{"extra": ["not emp.id -> emp"]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("extra: status %d: %s", w.Code, w.Body)
+	}
+	if res := decode[consistentResult](t, w); res.Consistent {
+		t.Error("Σ + ¬(emp.id -> emp) must be inconsistent")
+	}
+}
+
+func TestConsistentBatch(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+	db := compileSpec(t, h, dbDTD, dbXIC)
+	body := `{"sets": [[], ["not dept.id -> dept"], ["bogus ->"]], "skip_witness": true}`
+	w := do(t, h, "POST", "/v1/specs/"+db+"/consistent", body)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("batch with unparseable member: status %d, want 400", w.Code)
+	}
+
+	// "extra" does not compose with "sets"; refusing beats silently
+	// answering a different question than the client asked.
+	body = `{"extra": ["not emp.id -> emp"], "sets": [[]]}`
+	if w := do(t, h, "POST", "/v1/specs/"+db+"/consistent", body); w.Code != http.StatusBadRequest {
+		t.Fatalf("extra+sets: status %d, want 400", w.Code)
+	}
+
+	body = `{"sets": [[], ["not dept.id -> dept"]], "skip_witness": true}`
+	w = do(t, h, "POST", "/v1/specs/"+db+"/consistent", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", w.Code, w.Body)
+	}
+	resp := decode[struct {
+		Results []consistentResult `json:"results"`
+	}](t, w)
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(resp.Results))
+	}
+	if !resp.Results[0].Consistent {
+		t.Error("Σ alone must be consistent")
+	}
+}
+
+func TestImpliesEndpoint(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+	db := compileSpec(t, h, dbDTD, dbXIC)
+
+	// Σ contains emp.id -> emp, so it is trivially implied.
+	w := do(t, h, "POST", "/v1/specs/"+db+"/implies", `{"query": "emp.id -> emp"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if res := decode[impliesResult](t, w); !res.Implied {
+		t.Error("member of Σ not implied")
+	}
+
+	// dept.id ⊆ emp.works_in does not follow; expect a counterexample.
+	w = do(t, h, "POST", "/v1/specs/"+db+"/implies", `{"query": "dept.id <= emp.works_in"}`)
+	res := decode[impliesResult](t, w)
+	if res.Implied {
+		t.Error("reverse inclusion wrongly implied")
+	}
+	if res.Counterexample == "" {
+		t.Error("failed implication carries no counterexample")
+	}
+
+	// Batch.
+	w = do(t, h, "POST", "/v1/specs/"+db+"/implies", `{"queries": ["emp.id -> emp", "dept.id <= emp.works_in"]}`)
+	batch := decode[struct {
+		Results []impliesResult `json:"results"`
+	}](t, w)
+	if len(batch.Results) != 2 || !batch.Results[0].Implied || batch.Results[1].Implied {
+		t.Errorf("batch results wrong: %+v", batch.Results)
+	}
+
+	// Missing query.
+	if w := do(t, h, "POST", "/v1/specs/"+db+"/implies", `{}`); w.Code != http.StatusBadRequest {
+		t.Errorf("missing query: status %d, want 400", w.Code)
+	}
+}
+
+func TestDiagnoseEndpoint(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+
+	teachers := compileSpec(t, h, teachersDTD, teachersXIC)
+	w := do(t, h, "POST", "/v1/specs/"+teachers+"/diagnose", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	diag := decode[struct {
+		DTDEmpty bool     `json:"dtd_empty"`
+		Core     []string `json:"core"`
+	}](t, w)
+	if diag.DTDEmpty {
+		t.Error("teachers DTD has valid trees")
+	}
+	if len(diag.Core) == 0 {
+		t.Error("inconsistent spec has an empty core")
+	}
+
+	// Diagnosing a consistent spec is a client-state error, not a 500.
+	db := compileSpec(t, h, dbDTD, dbXIC)
+	w = do(t, h, "POST", "/v1/specs/"+db+"/diagnose", "")
+	if w.Code != http.StatusConflict {
+		t.Fatalf("diagnose consistent spec: status %d, want 409: %s", w.Code, w.Body)
+	}
+	if env := decode[map[string]errorBody](t, w); env["error"].Kind != "consistent" {
+		t.Errorf("kind = %q, want consistent", env["error"].Kind)
+	}
+}
+
+func TestUndecidableMapsTo422(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+	// Multi-attribute key mixed with a foreign key: compiles, but static
+	// consistency is undecidable (Theorem 3.1).
+	undecDTD := `
+<!ELEMENT db (course*, dept*)>
+<!ELEMENT course EMPTY>
+<!ELEMENT dept EMPTY>
+<!ATTLIST course dep CDATA #REQUIRED num CDATA #REQUIRED>
+<!ATTLIST dept id CDATA #REQUIRED>`
+	undecXIC := `
+course(dep, num) -> course
+course.dep => dept.id`
+	id := compileSpec(t, h, undecDTD, undecXIC)
+	w := do(t, h, "POST", "/v1/specs/"+id+"/consistent", "")
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", w.Code, w.Body)
+	}
+	if env := decode[map[string]errorBody](t, w); env["error"].Kind != "undecidable" {
+		t.Errorf("kind = %q, want undecidable", env["error"].Kind)
+	}
+	// …but dynamic validation of that same spec still works.
+	w = do(t, h, "POST", "/v1/specs/"+id+"/validate",
+		`<db><course dep="cs" num="101"/><dept id="cs"/></db>`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("validate under undecidable class: status %d: %s", w.Code, w.Body)
+	}
+	if res := decode[validateResponse](t, w); !res.OK {
+		t.Errorf("document should validate: %+v", res)
+	}
+}
+
+func TestValidateEndpoint(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+	db := compileSpec(t, h, dbDTD, dbXIC)
+
+	w := do(t, h, "POST", "/v1/specs/"+db+"/validate", dbDocOK)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	res := decode[validateResponse](t, w)
+	if !res.OK || res.Elements != 4 {
+		t.Errorf("valid doc: got %+v", res)
+	}
+
+	w = do(t, h, "POST", "/v1/specs/"+db+"/validate", dbDocBad)
+	res = decode[validateResponse](t, w)
+	if res.OK {
+		t.Fatal("duplicate emp.id and dangling works_in reported valid")
+	}
+	if len(res.Violations) < 2 {
+		t.Errorf("want ≥2 violations (key + foreign key), got %+v", res.Violations)
+	}
+	for _, v := range res.Violations {
+		if v.Constraint == "" {
+			t.Errorf("violation without constraint: %+v", v)
+		}
+	}
+
+	// Malformed XML is a 400 parse error with a position.
+	w = do(t, h, "POST", "/v1/specs/"+db+"/validate", "<db><emp id=")
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed doc: status %d, want 400: %s", w.Code, w.Body)
+	}
+	if env := decode[map[string]errorBody](t, w); env["error"].Kind != "parse" || env["error"].Input != "document" {
+		t.Errorf("malformed doc error: %+v", env["error"])
+	}
+}
+
+func TestBodyLimits(t *testing.T) {
+	// JSON endpoints bound by MaxBody, validate by MaxDoc.
+	h := newTestServer(t, config{MaxBody: 1024, MaxDoc: 1024}).handler()
+
+	big, _ := json.Marshal(compileRequest{DTD: strings.Repeat("<!ELEMENT r EMPTY>", 100)})
+	w := do(t, h, "POST", "/v1/specs", string(big))
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized compile body: status %d, want 413", w.Code)
+	}
+
+	db := compileSpec(t, h, dbDTD, dbXIC) // small enough? dbDTD+dbXIC ≈ 250 bytes JSON — may exceed 256
+	doc := "<db>" + strings.Repeat(`<dept id="d"/>`, 100) + "</db>"
+	w = do(t, h, "POST", "/v1/specs/"+db+"/validate", doc)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized document: status %d, want 413: %s", w.Code, w.Body)
+	}
+}
+
+func TestTimeoutCancelsMidSolve(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+	id := compileSpec(t, h, teachersDTD, teachersXIC)
+
+	// A deadline far below the NP search's cost lands inside the ILP
+	// branch-and-bound, which must surface as 504/"canceled".
+	w := do(t, h, "POST", "/v1/specs/"+id+"/consistent?timeout=1ns", "")
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", w.Code, w.Body)
+	}
+	if env := decode[map[string]errorBody](t, w); env["error"].Kind != "canceled" {
+		t.Errorf("kind = %q, want canceled", env["error"].Kind)
+	}
+
+	// Same via the JSON field.
+	w = do(t, h, "POST", "/v1/specs/"+id+"/consistent", `{"timeout": "1ns"}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Errorf("JSON timeout: status %d, want 504", w.Code)
+	}
+
+	// Bad timeout strings are request errors.
+	if w := do(t, h, "POST", "/v1/specs/"+id+"/consistent?timeout=soon", ""); w.Code != http.StatusBadRequest {
+		t.Errorf("bad timeout: status %d, want 400", w.Code)
+	}
+}
+
+// TestClientDisconnectCancels drops the client mid-request over a real
+// connection and checks the server keeps serving afterwards.
+func TestClientDisconnectCancels(t *testing.T) {
+	s := newTestServer(t, config{})
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/specs", "application/json",
+		bytes.NewReader(mustJSON(compileRequest{DTD: teachersDTD, Constraints: teachersXIC})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr compileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/specs/"+cr.ID+"/consistent", nil)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		// The solve may legitimately win the race; just drain it.
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+
+	// The server is still healthy and the cached spec still answers.
+	resp, err = http.Post(ts.URL+"/v1/specs/"+cr.ID+"/consistent", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("post-disconnect request: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// TestConcurrentRequestsOneSpec hammers one cached spec from many
+// goroutines across every endpoint; run under -race this doubles as the
+// registry/Spec concurrency audit.
+func TestConcurrentRequestsOneSpec(t *testing.T) {
+	s := newTestServer(t, config{})
+	h := s.handler()
+	db := compileSpec(t, h, dbDTD, dbXIC)
+
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				switch (i + j) % 4 {
+				case 0:
+					w := do(t, h, "POST", "/v1/specs/"+db+"/consistent", `{"skip_witness": true}`)
+					if w.Code != http.StatusOK {
+						t.Errorf("consistent: status %d", w.Code)
+					}
+				case 1:
+					w := do(t, h, "POST", "/v1/specs/"+db+"/validate", dbDocOK)
+					if w.Code != http.StatusOK {
+						t.Errorf("validate: status %d", w.Code)
+					}
+				case 2:
+					w := do(t, h, "POST", "/v1/specs/"+db+"/implies", `{"query": "emp.id -> emp"}`)
+					if w.Code != http.StatusOK {
+						t.Errorf("implies: status %d", w.Code)
+					}
+				case 3:
+					body, _ := json.Marshal(compileRequest{DTD: dbDTD, Constraints: dbXIC})
+					w := do(t, h, "POST", "/v1/specs", string(body))
+					if w.Code != http.StatusOK {
+						t.Errorf("re-compile: status %d (want cached 200)", w.Code)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := s.reg.Stats()
+	if st.Misses != 1 {
+		t.Errorf("registry misses = %d, want 1 (every request shares one compiled spec)", st.Misses)
+	}
+	if st.Hits < workers {
+		t.Errorf("registry hits = %d, suspiciously low", st.Hits)
+	}
+}
+
+func TestMetaHealthAndVars(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+	db := compileSpec(t, h, dbDTD, dbXIC)
+
+	w := do(t, h, "GET", "/v1/specs/"+db, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("meta: status %d", w.Code)
+	}
+	meta := decode[struct {
+		Class       string   `json:"class"`
+		Constraints []string `json:"constraints"`
+	}](t, w)
+	if len(meta.Constraints) != 3 || meta.Class == "" {
+		t.Errorf("meta = %+v", meta)
+	}
+
+	if w := do(t, h, "GET", "/healthz", ""); w.Code != http.StatusOK {
+		t.Errorf("healthz: status %d", w.Code)
+	}
+
+	// Drive one cache hit, then read the counters back.
+	do(t, h, "POST", "/v1/specs/"+db+"/consistent", `{"skip_witness": true}`)
+	w = do(t, h, "GET", "/debug/vars", "")
+	vars := decode[struct {
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+			Specs  int    `json:"specs"`
+		} `json:"cache"`
+		Requests map[string]int64 `json:"requests_total"`
+	}](t, w)
+	if vars.Cache.Misses != 1 || vars.Cache.Hits < 1 || vars.Cache.Specs != 1 {
+		t.Errorf("cache vars = %+v", vars.Cache)
+	}
+	if vars.Requests["consistent"] < 1 || vars.Requests["compile"] < 1 {
+		t.Errorf("request counters = %+v", vars.Requests)
+	}
+}

@@ -25,6 +25,52 @@ var ErrUndecidable = core.ErrUndecidable
 // sentinel fits their error handling.
 var ErrCanceled = core.ErrCanceled
 
+// ErrNothingToDiagnose is returned by Spec.Diagnose when the specification
+// is consistent, so there is no inconsistency to explain. Match it with
+// errors.Is; serving layers map it to a client-state status rather than an
+// internal failure.
+var ErrNothingToDiagnose = core.ErrNothingToDiagnose
+
+// HTTPStatus maps the package's error taxonomy onto HTTP status codes, for
+// serving frontends such as cmd/xicd. The values equal the net/http
+// StatusXxx constants (the package avoids importing net/http for three
+// integers):
+//
+//   - nil — 200 OK
+//   - *ParseError (bad DTD/constraint/document syntax) — 400 Bad Request
+//   - *SpecError in a compile stage (valid syntax, invalid specification)
+//     and ErrUndecidable — 422 Unprocessable Entity
+//   - ErrNothingToDiagnose — 409 Conflict
+//   - ErrCanceled (deadline or cancellation during a check) — 504 Gateway
+//     Timeout
+//   - *SpecError{Stage: "solve"} and anything unrecognised — 500 Internal
+//     Server Error
+func HTTPStatus(err error) int {
+	if err == nil {
+		return 200
+	}
+	switch {
+	case errors.Is(err, ErrCanceled):
+		return 504
+	case errors.Is(err, ErrUndecidable):
+		return 422
+	case errors.Is(err, ErrNothingToDiagnose):
+		return 409
+	}
+	var pe *ParseError
+	if errors.As(err, &pe) {
+		return 400
+	}
+	var se *SpecError
+	if errors.As(err, &se) {
+		if se.Stage == "solve" {
+			return 500
+		}
+		return 422
+	}
+	return 500
+}
+
 // ParseError is a syntax error in one of the three textual inputs, with
 // the position of the offending construct. It replaces the stringly
 // errors of the pre-Spec API; match it with errors.As.

@@ -77,7 +77,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	err = spec.Validate(doc)
+	err = spec.Validate(ctx, doc)
 	var viol *xic.ViolationError
 	switch {
 	case errors.As(err, &viol):

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -69,7 +70,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := compiled.Validate(tree); err != nil {
+	if err := compiled.Validate(context.Background(), tree); err != nil {
 		log.Fatalf("tree fails validation — reduction broken: %v", err)
 	}
 	fmt.Println()

@@ -62,13 +62,13 @@ subject.taught_by => teacher.name
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := dtdOnly.Validate(doc); err != nil {
+	if err := dtdOnly.Validate(ctx, doc); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Figure 1 conforms to D1: yes")
 
 	// …but violates Σ1.
-	err = spec1.Validate(doc)
+	err = spec1.Validate(ctx, doc)
 	var viol *xic.ViolationError
 	if errors.As(err, &viol) {
 		fmt.Printf("Figure 1 against Σ1: violates %s\n", viol.Violated)
@@ -103,7 +103,7 @@ teacher.name => subject.taught_by
 	fmt.Print(xic.SerializeDocument(res.Witness))
 
 	// 4. The witness validates dynamically, closing the loop.
-	if err := spec2.Validate(res.Witness); err != nil {
+	if err := spec2.Validate(ctx, res.Witness); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("witness passes dynamic validation: yes")

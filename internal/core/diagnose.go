@@ -2,12 +2,18 @@ package core
 
 import (
 	"context"
-	"fmt"
+	"errors"
 
 	"xic/internal/constraint"
 	"xic/internal/dtd"
 	"xic/internal/ilp"
 )
+
+// ErrNothingToDiagnose is returned by Diagnose when the specification is
+// consistent: there is no inconsistency to explain. It is a sentinel so
+// serving layers can distinguish this client-state condition from real
+// failures.
+var ErrNothingToDiagnose = errors.New("core: specification is consistent; nothing to diagnose")
 
 // Diagnosis explains an inconsistent specification.
 type Diagnosis struct {
@@ -65,7 +71,7 @@ func (c *Checker) DiagnoseContext(ctx context.Context, set []constraint.Constrai
 		return nil, err
 	}
 	if consistent {
-		return nil, fmt.Errorf("core: specification is consistent; nothing to diagnose")
+		return nil, ErrNothingToDiagnose
 	}
 	core := append([]constraint.Constraint(nil), set...)
 	for i := 0; i < len(core); {

@@ -1,0 +1,202 @@
+// Package registry caches compiled xic.Spec engines for long-lived serving
+// processes. The paper's fixed-DTD setting (Corollaries 4.11 and 5.5) makes
+// per-request work polynomial only after the per-DTD compilation is paid;
+// the registry pays it once per distinct specification and serves every
+// later request for the same sources from a concurrency-safe, size-bounded
+// LRU keyed by xic.Fingerprint of (DTD source, constraint source).
+//
+// Compilation of one key is deduplicated: concurrent Compile calls for the
+// same sources share a single in-flight xic.Compile instead of racing N
+// copies of the expensive per-DTD work.
+package registry
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"xic"
+)
+
+// DefaultMaxSpecs bounds the registry when the caller passes no limit. A
+// compiled Spec holds the simplified DTD, the encoding template and the
+// conformance automata — typically tens of kilobytes to a few megabytes —
+// so a default in the low hundreds keeps a busy daemon well under a
+// gigabyte while still amortising virtually all real traffic.
+const DefaultMaxSpecs = 256
+
+// Entry is one cached compiled specification.
+type Entry struct {
+	// ID is the content fingerprint of the sources (xic.Fingerprint), and
+	// is the handle serving layers hand out to clients.
+	ID string
+	// Spec is the compiled engine; immutable and safe for concurrent use.
+	Spec *xic.Spec
+	// CompileTime is how long xic.Compile took when this entry was first
+	// built. Cache hits return the original entry, so this is always the
+	// one real compile's duration, not per-request work.
+	CompileTime time.Duration
+}
+
+// Stats is a point-in-time snapshot of registry counters.
+type Stats struct {
+	// Hits counts Compile and Get calls answered from cache.
+	Hits uint64
+	// Misses counts Compile calls that had to run xic.Compile, and Get
+	// calls for unknown ids.
+	Misses uint64
+	// Evictions counts entries dropped to keep the registry within bounds.
+	Evictions uint64
+	// CompileErrors counts Compile calls whose xic.Compile failed; failed
+	// compilations are never cached, so a retried bad spec re-fails fresh.
+	CompileErrors uint64
+	// CompileTime is the total wall time spent inside xic.Compile.
+	CompileTime time.Duration
+	// Specs is the current number of cached entries.
+	Specs int
+}
+
+// Registry is the LRU cache. The zero value is not usable; call New.
+type Registry struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List               // front = most recently used; values are *Entry
+	byID    map[string]*list.Element // fingerprint → list element
+	pending map[string]*inflight     // fingerprint → in-flight compilation
+	stats   Stats
+}
+
+// inflight is one in-progress compilation that late arrivals wait on.
+type inflight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// New returns a registry holding at most maxSpecs compiled specifications;
+// maxSpecs < 1 means DefaultMaxSpecs.
+func New(maxSpecs int) *Registry {
+	if maxSpecs < 1 {
+		maxSpecs = DefaultMaxSpecs
+	}
+	return &Registry{
+		max:     maxSpecs,
+		order:   list.New(),
+		byID:    make(map[string]*list.Element),
+		pending: make(map[string]*inflight),
+	}
+}
+
+// Compile returns the compiled Spec for the given sources, running
+// xic.CompileStrings only when no byte-identical specification is cached.
+// cached reports whether the answer came from cache. Errors are exactly
+// those of xic.CompileStrings (*xic.ParseError, *xic.SpecError) and are
+// never cached.
+func (r *Registry) Compile(dtdSrc, constraintsSrc string) (e *Entry, cached bool, err error) {
+	id := xic.Fingerprint(dtdSrc, constraintsSrc)
+
+	r.mu.Lock()
+	if el, ok := r.byID[id]; ok {
+		r.order.MoveToFront(el)
+		r.stats.Hits++
+		e := el.Value.(*Entry)
+		r.mu.Unlock()
+		return e, true, nil
+	}
+	if fl, ok := r.pending[id]; ok {
+		// Someone is compiling these exact sources right now: share their
+		// result instead of duplicating the per-DTD work.
+		r.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, false, fl.err
+		}
+		return fl.entry, true, nil
+	}
+	fl := &inflight{done: make(chan struct{})}
+	r.pending[id] = fl
+	r.stats.Misses++
+	r.mu.Unlock()
+
+	// The pending entry must be resolved on every exit — including a panic
+	// inside Compile on pathological input — or every later call for these
+	// sources would block forever on fl.done.
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		fl.err = fmt.Errorf("registry: compilation of spec %s aborted", id[:12])
+		r.mu.Lock()
+		delete(r.pending, id)
+		r.stats.CompileErrors++
+		r.mu.Unlock()
+		close(fl.done)
+	}()
+
+	start := time.Now()
+	spec, err := xic.CompileStrings(dtdSrc, constraintsSrc)
+	elapsed := time.Since(start)
+	completed = true
+
+	r.mu.Lock()
+	delete(r.pending, id)
+	r.stats.CompileTime += elapsed
+	if err != nil {
+		r.stats.CompileErrors++
+		fl.err = err
+		r.mu.Unlock()
+		close(fl.done)
+		return nil, false, err
+	}
+	entry := &Entry{ID: id, Spec: spec, CompileTime: elapsed}
+	r.insert(entry)
+	fl.entry = entry
+	r.mu.Unlock()
+	close(fl.done)
+	return entry, false, nil
+}
+
+// Get returns the cached Spec with the given fingerprint id, refreshing its
+// LRU position.
+func (r *Registry) Get(id string) (*xic.Spec, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byID[id]
+	if !ok {
+		r.stats.Misses++
+		return nil, false
+	}
+	r.order.MoveToFront(el)
+	r.stats.Hits++
+	return el.Value.(*Entry).Spec, true
+}
+
+// Len returns the number of cached specifications.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.Specs = r.order.Len()
+	return s
+}
+
+// insert adds a fresh entry at the front and evicts from the back past the
+// bound. Callers hold r.mu.
+func (r *Registry) insert(e *Entry) {
+	r.byID[e.ID] = r.order.PushFront(e)
+	for r.order.Len() > r.max {
+		back := r.order.Back()
+		r.order.Remove(back)
+		delete(r.byID, back.Value.(*Entry).ID)
+		r.stats.Evictions++
+	}
+}

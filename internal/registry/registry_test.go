@@ -1,0 +1,185 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xic"
+)
+
+const teachersDTD = `
+<!ELEMENT teachers (teacher+)>
+<!ELEMENT teacher (teach, research)>
+<!ELEMENT teach (subject, subject)>
+<!ELEMENT research (#PCDATA)>
+<!ELEMENT subject (#PCDATA)>
+<!ATTLIST teacher name CDATA #REQUIRED>
+<!ATTLIST subject taught_by CDATA #REQUIRED>`
+
+const teachersXIC = `
+teacher.name -> teacher
+subject.taught_by -> subject
+subject.taught_by => teacher.name`
+
+// numberedDTD returns a distinct tiny specification per i, for filling the
+// cache with unequal fingerprints.
+func numberedDTD(i int) string {
+	return fmt.Sprintf(`<!ELEMENT r%d EMPTY>`, i)
+}
+
+func TestCompileCachesByContent(t *testing.T) {
+	r := New(8)
+	e1, cached, err := r.Compile(teachersDTD, teachersXIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first Compile reported cached")
+	}
+	if e1.ID != xic.Fingerprint(teachersDTD, teachersXIC) {
+		t.Errorf("entry id %q is not the content fingerprint", e1.ID)
+	}
+	if e1.CompileTime <= 0 {
+		t.Error("fresh entry has no compile time")
+	}
+	e2, cached, err := r.Compile(teachersDTD, teachersXIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("second Compile of identical sources missed the cache")
+	}
+	if e1.Spec != e2.Spec {
+		t.Error("cache returned a different Spec for identical sources")
+	}
+	if s, ok := r.Get(e1.ID); !ok || s != e1.Spec {
+		t.Error("Get by id did not return the cached Spec")
+	}
+	st := r.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Specs != 1 {
+		t.Errorf("stats = %+v, want 2 hits, 1 miss, 1 spec", st)
+	}
+}
+
+func TestDistinctSourcesDistinctEntries(t *testing.T) {
+	r := New(8)
+	a, _, err := r.Compile(teachersDTD, teachersXIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := r.Compile(teachersDTD+" ", teachersXIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Error("different sources share a fingerprint")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	r := New(3)
+	ids := make([]string, 5)
+	for i := 0; i < 4; i++ {
+		e, _, err := r.Compile(numberedDTD(i), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = e.ID
+	}
+	// Capacity 3, four inserts: entry 0 is the least recently used and gone.
+	if _, ok := r.Get(ids[0]); ok {
+		t.Error("oldest entry survived past the bound")
+	}
+	// Touch entry 1 so entry 2 becomes the eviction victim.
+	if _, ok := r.Get(ids[1]); !ok {
+		t.Fatal("entry 1 missing")
+	}
+	e, _, err := r.Compile(numberedDTD(4), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids[4] = e.ID
+	if _, ok := r.Get(ids[2]); ok {
+		t.Error("LRU order ignored: untouched entry 2 survived, despite Get of entry 1")
+	}
+	for _, id := range []string{ids[1], ids[3], ids[4]} {
+		if _, ok := r.Get(id); !ok {
+			t.Errorf("expected entry %s cached", id[:8])
+		}
+	}
+	if st := r.Stats(); st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+}
+
+func TestCompileErrorsNotCached(t *testing.T) {
+	r := New(8)
+	_, _, err := r.Compile("<!ELEMENT", "")
+	if err == nil {
+		t.Fatal("bad DTD compiled")
+	}
+	var pe *xic.ParseError
+	if !errors.As(err, &pe) {
+		t.Errorf("error %v is not a *xic.ParseError", err)
+	}
+	if r.Len() != 0 {
+		t.Error("failed compilation was cached")
+	}
+	if st := r.Stats(); st.CompileErrors != 1 {
+		t.Errorf("compile errors = %d, want 1", st.CompileErrors)
+	}
+	// And the retry fails identically rather than hitting a poisoned entry.
+	if _, cached, err := r.Compile("<!ELEMENT", ""); err == nil || cached {
+		t.Errorf("retry: cached=%v err=%v, want fresh failure", cached, err)
+	}
+}
+
+// TestConcurrentCompileSharesWork hammers one key from many goroutines and
+// checks they all get the same Spec while xic.Compile ran far fewer times
+// than there were callers (the inflight map dedups identical keys).
+func TestConcurrentCompileSharesWork(t *testing.T) {
+	r := New(8)
+	const workers = 32
+	var wg sync.WaitGroup
+	var fresh atomic.Int64
+	specs := make([]*xic.Spec, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, cached, err := r.Compile(teachersDTD, teachersXIC)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !cached {
+				fresh.Add(1)
+			}
+			specs[i] = e.Spec
+		}(i)
+	}
+	wg.Wait()
+	if fresh.Load() != 1 {
+		t.Errorf("%d goroutines ran a fresh compile, want exactly 1", fresh.Load())
+	}
+	for i := 1; i < workers; i++ {
+		if specs[i] != specs[0] {
+			t.Fatalf("goroutine %d got a different Spec", i)
+		}
+	}
+	// The shared Spec actually answers.
+	res, err := specs[0].Consistent(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consistent {
+		t.Error("teachers specification must be inconsistent (paper Section 1)")
+	}
+}

@@ -2,6 +2,9 @@ package xic
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -80,17 +83,51 @@ func Compile(d *DTD, constraints ...Constraint) (*Spec, error) {
 
 // CompileStrings is Compile over textual inputs: a DTD in XML DTD syntax
 // and a constraint set in the line-oriented syntax of ParseConstraints.
-// Syntax errors surface as *ParseError with line/offset positions.
+// Syntax errors surface as *ParseError with line/offset positions; semantic
+// errors the parsers detect (duplicate declarations, a name used as both
+// element type and attribute) surface as *SpecError naming the compile
+// stage, exactly as if Compile itself had rejected them.
 func CompileStrings(dtdSrc, constraintsSrc string) (*Spec, error) {
 	d, err := ParseDTD(dtdSrc)
 	if err != nil {
-		return nil, err
+		return nil, asStageError(err, "dtd")
 	}
 	sigma, err := ParseConstraints(constraintsSrc)
 	if err != nil {
-		return nil, err
+		return nil, asStageError(err, "constraints")
 	}
 	return Compile(d, sigma...)
+}
+
+// asStageError leaves structured taxonomy errors untouched and wraps
+// anything else as a *SpecError for the given compile stage.
+func asStageError(err error, stage string) error {
+	var pe *ParseError
+	var se *SpecError
+	if errors.As(err, &pe) || errors.As(err, &se) {
+		return err
+	}
+	return &SpecError{Stage: stage, Err: err}
+}
+
+// Fingerprint returns the content hash identifying the compiled form of a
+// textual specification: the hex SHA-256 over the DTD source and the
+// constraint source, each length-prefixed so the pair is unambiguous.
+// Equal sources always hash equal, so a cache keyed by Fingerprint (such as
+// the spec registry behind cmd/xicd) can serve a compiled Spec for any
+// byte-identical resubmission without re-running Compile. It deliberately
+// hashes sources, not parsed structure: two formattings of one DTD get
+// distinct fingerprints, which only costs a duplicate cache entry.
+func Fingerprint(dtdSrc, constraintsSrc string) string {
+	h := sha256.New()
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(dtdSrc)))
+	h.Write(n[:])
+	io.WriteString(h, dtdSrc)
+	binary.BigEndian.PutUint64(n[:], uint64(len(constraintsSrc)))
+	h.Write(n[:])
+	io.WriteString(h, constraintsSrc)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // errNilDTD keeps the nil-DTD compile error a stable value.
@@ -189,12 +226,32 @@ func (s *Spec) Diagnose(ctx context.Context) (*Diagnosis, error) {
 // mode the paper contrasts with static consistency checking, and it works
 // for every class — including the multi-attribute classes whose static
 // problem is undecidable.
-func (s *Spec) Validate(doc *Tree) error {
-	if err := s.validator.Validate(doc); err != nil {
+//
+// The signature mirrors ValidateStream: the context bounds the work, with
+// the conformance walk checking it every few thousand nodes and the
+// constraint pass checking it between constraints, so cancelling aborts
+// validation of even a huge in-memory tree with an error matching both
+// ErrCanceled and the context's own error. A nil context means no bound.
+func (s *Spec) Validate(ctx context.Context, doc *Tree) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := s.validator.ValidateContext(ctx, doc); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
 		return err
 	}
-	if ok, violated := constraint.SatisfiedAll(doc, s.sigma); !ok {
-		return &ViolationError{Violated: violated}
+	done := ctx.Done()
+	for _, c := range s.sigma {
+		select {
+		case <-done:
+			return fmt.Errorf("%w: validation aborted: %w", ErrCanceled, ctx.Err())
+		default:
+		}
+		if !constraint.Satisfied(doc, c) {
+			return &ViolationError{Violated: c}
+		}
 	}
 	return nil
 }

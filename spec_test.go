@@ -75,7 +75,7 @@ func TestSpecConcurrentUse(t *testing.T) {
 					// the document satisfies; the inconsistent Σ1 makes every
 					// document fail on the foreign key, which is also a
 					// deterministic answer.
-					if err := spec.Validate(doc); err == nil {
+					if err := spec.Validate(context.Background(), doc); err == nil {
 						errs <- errors.New("no document can satisfy the inconsistent Σ1")
 					}
 				}

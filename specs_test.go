@@ -39,7 +39,7 @@ func TestShippedSpecs(t *testing.T) {
 	if err != nil {
 		t.Fatalf("school.xml: %v", err)
 	}
-	if err := school.Validate(doc); err != nil {
+	if err := school.Validate(context.Background(), doc); err != nil {
 		t.Errorf("specs/school.xml should validate against D3 + Σ3: %v", err)
 	}
 }

@@ -79,7 +79,7 @@ func TestValidateStreamMatchesValidateOnFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if treeOK := school.Validate(tree) == nil; treeOK != rep.OK() {
+	if treeOK := school.Validate(context.Background(), tree) == nil; treeOK != rep.OK() {
 		t.Fatalf("verdicts differ on school.xml: tree=%v stream=%v (%v)", treeOK, rep.OK(), rep.Violations)
 	}
 	if !rep.OK() {
@@ -99,7 +99,7 @@ func TestValidateStreamMatchesValidateOnFixtures(t *testing.T) {
 	if rep.OK() {
 		t.Error("Figure 1 must violate Σ1 under streaming validation")
 	}
-	if verr := teachers.Validate(xmltree.Figure1()); verr == nil {
+	if verr := teachers.Validate(context.Background(), xmltree.Figure1()); verr == nil {
 		t.Error("Figure 1 must violate Σ1 under tree validation")
 	}
 }
@@ -120,7 +120,7 @@ func TestValidateStreamMatchesValidateOnGenerated(t *testing.T) {
 			if err != nil {
 				t.Fatalf("n=%d pool=%d: ParseDocument: %v", n, pool, err)
 			}
-			treeOK := spec.Validate(tree) == nil
+			treeOK := spec.Validate(context.Background(), tree) == nil
 			if treeOK != rep.OK() {
 				t.Errorf("n=%d pool=%d: verdicts differ: tree=%v stream=%v (%v)",
 					n, pool, treeOK, rep.OK(), rep.Violations)

@@ -59,7 +59,7 @@ func TestWitnessFlow(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParseDocumentString: %v", err)
 	}
-	if err := spec.Validate(doc); err != nil {
+	if err := spec.Validate(context.Background(), doc); err != nil {
 		t.Errorf("serialized witness fails dynamic validation: %v", err)
 	}
 }
@@ -79,7 +79,7 @@ func TestSpecValidateViolation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParseDocumentString: %v", err)
 	}
-	err = spec.Validate(doc)
+	err = spec.Validate(context.Background(), doc)
 	var viol *ViolationError
 	if !errors.As(err, &viol) {
 		t.Fatalf("expected ViolationError, got %v", err)
