@@ -26,6 +26,7 @@ import (
 	"xic/internal/randgen"
 	"xic/internal/reduction"
 	"xic/internal/relational"
+	"xic/internal/solvebench"
 	"xic/internal/xmltree"
 )
 
@@ -657,6 +658,112 @@ func TestWriteValidateBench(t *testing.T) {
 			TreeMs:   float64(treeDur.Microseconds()) / 1000,
 			StreamMs: float64(streamDur.Microseconds()) / 1000,
 		})
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- The ILP presolve + fast-path layer --------------------------------
+
+// The corpus, options and timing discipline live in internal/solvebench —
+// the single source of truth shared with cmd/xicbench — so the published
+// ablation table and the CI-gated BENCH_solve.json can never drift apart.
+
+// BenchmarkSolve measures the consistency decision per corpus case with
+// the presolve + fast-path layer on ("presolve") and off ("raw"): the
+// ratio between the two series is the layer's wall-time win on the
+// serving path.
+func BenchmarkSolve(b *testing.B) {
+	corpus, err := solvebench.Corpus(false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{"presolve", "raw"} {
+		opt := solvebench.Options(mode == "presolve")
+		for _, c := range corpus {
+			b.Run(mode+"/"+c.Name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Run(opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// solveRecord mirrors one entry of BENCH_solve.json (see cmd/benchdiff
+// -kind solve).
+type solveRecord struct {
+	Case          string  `json:"case"`
+	RawMs         float64 `json:"raw_ms"`
+	PresolveMs    float64 `json:"presolve_ms"`
+	Speedup       float64 `json:"speedup"`
+	RawNodes      uint64  `json:"raw_nodes"`
+	PresolveNodes uint64  `json:"presolve_nodes"`
+	VarsFixed     uint64  `json:"vars_fixed"`
+}
+
+// TestWriteSolveBench records the presolve-on/off solver comparison to the
+// JSON file named by XIC_SOLVE_BENCH_OUT (skipped otherwise; CI sets it to
+// BENCH_solve.json). It asserts the acceptance bound of the presolve
+// layer: total presolved wall time at most 0.7× the raw solver on the
+// committed corpus, with identical verdicts case by case.
+func TestWriteSolveBench(t *testing.T) {
+	out := os.Getenv("XIC_SOLVE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set XIC_SOLVE_BENCH_OUT=BENCH_solve.json to record the solver benchmark")
+	}
+	corpus, err := solvebench.Corpus(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []solveRecord
+	var totalRaw, totalPre time.Duration
+	for _, c := range corpus {
+		run := func(presolveOn bool) bool {
+			verdict, err := c.Run(solvebench.Options(presolveOn))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return verdict
+		}
+		if on, off := run(true), run(false); on != off {
+			t.Fatalf("%s: verdict differs with presolve: on=%v off=%v", c.Name, on, off)
+		}
+		preStats1 := c.Checker.SolveStats()
+		preDur := solvebench.BestOf(func() { run(true) })
+		midStats := c.Checker.SolveStats()
+		rawDur := solvebench.BestOf(func() { run(false) })
+		endStats := c.Checker.SolveStats()
+		totalPre += preDur
+		totalRaw += rawDur
+		rec := solveRecord{
+			Case:       c.Name,
+			RawMs:      float64(rawDur.Microseconds()) / 1000,
+			PresolveMs: float64(preDur.Microseconds()) / 1000,
+			// Per-solve counts from the counter deltas (BestOf runs the
+			// decision solvebench.Runs times per side).
+			PresolveNodes: (midStats.Nodes - preStats1.Nodes) / solvebench.Runs,
+			RawNodes:      (endStats.Nodes - midStats.Nodes) / solvebench.Runs,
+			VarsFixed:     (midStats.VarsFixed - preStats1.VarsFixed) / solvebench.Runs,
+		}
+		if rec.PresolveMs > 0 {
+			rec.Speedup = rec.RawMs / rec.PresolveMs
+		}
+		records = append(records, rec)
+		t.Logf("%-24s presolve %8.2fms (%d nodes, %d vars fixed)  raw %8.2fms (%d nodes)  speedup %.2fx",
+			rec.Case, rec.PresolveMs, rec.PresolveNodes, rec.VarsFixed, rec.RawMs, rec.RawNodes, rec.Speedup)
+	}
+	ratio := float64(totalPre) / float64(totalRaw)
+	t.Logf("TOTAL presolve %v, raw %v, ratio %.3f", totalPre, totalRaw, ratio)
+	if ratio > 0.7 {
+		t.Errorf("presolve+fast-path wall time is %.2fx the raw solver on the corpus; the acceptance bound is 0.70x", ratio)
 	}
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {

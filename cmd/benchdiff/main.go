@@ -1,20 +1,31 @@
-// Command benchdiff gates streaming-validation performance in CI: it
-// compares a freshly measured BENCH_validate.json against the committed
-// baseline and exits non-zero when stream validation regressed.
+// Command benchdiff gates benchmark performance in CI: it compares a
+// freshly measured JSON benchmark file against the committed baseline and
+// exits non-zero on a regression. Two benchmark kinds are understood:
+//
+//	-kind validate (default): the streaming-validation records of
+//	BENCH_validate.json (TestWriteValidateBench). For every node-count
+//	present in both files it checks the stream validator's peak heap and
+//	wall time.
+//
+//	-kind solve: the ILP presolve records of BENCH_solve.json
+//	(TestWriteSolveBench). For every corpus case present in both files it
+//	checks the presolved solver's wall time and its speedup over the raw
+//	solver (-min-speedup, so the presolve layer cannot silently decay
+//	into overhead).
 //
 // Usage:
 //
 //	benchdiff -baseline BENCH_validate.json -current BENCH_current.json \
-//	          [-peak-tolerance 0.20] [-time-tolerance 0.20] [-min-time-ms 2]
+//	          [-kind validate|solve] [-peak-tolerance 0.20] \
+//	          [-time-tolerance 0.20] [-min-time-ms 2] [-min-speedup 1.1]
 //
-// For every node-count present in both files it checks the stream
-// validator's peak heap and wall time; a value more than the tolerance
-// above baseline is a regression. Peak heap is allocation-deterministic,
-// so its tolerance can be tight even across machines; wall time is noisy
-// on shared CI runners, so its tolerance is a flag, and measurements under
-// -min-time-ms are never time-gated (a 1 ms phase doubling is noise).
-// Baselines are refreshed by committing a new BENCH_validate.json (see
-// README, "Refreshing the benchmark baseline").
+// A value more than the tolerance above baseline is a regression. Peak
+// heap is allocation-deterministic, so its tolerance can be tight even
+// across machines; wall time is noisy on shared CI runners, so its
+// tolerance is a flag, and measurements under -min-time-ms are never
+// time-gated (a 1 ms phase doubling is noise). Baselines are refreshed by
+// committing a new BENCH_validate.json / BENCH_solve.json (see README,
+// "Refreshing the benchmark baseline").
 package main
 
 import (
@@ -35,35 +46,59 @@ type record struct {
 	StreamMs        float64 `json:"stream_ms"`
 }
 
+// solveRecord mirrors the schema TestWriteSolveBench writes.
+type solveRecord struct {
+	Case          string  `json:"case"`
+	RawMs         float64 `json:"raw_ms"`
+	PresolveMs    float64 `json:"presolve_ms"`
+	Speedup       float64 `json:"speedup"`
+	RawNodes      uint64  `json:"raw_nodes"`
+	PresolveNodes uint64  `json:"presolve_nodes"`
+	VarsFixed     uint64  `json:"vars_fixed"`
+}
+
 // tolerances configures the gate.
 type tolerances struct {
-	peak      float64 // allowed relative growth of stream_peak_bytes
-	time      float64 // allowed relative growth of stream_ms
-	minTimeMs float64 // time gate floor: below this, wall time is all noise
+	peak       float64 // allowed relative growth of stream_peak_bytes
+	time       float64 // allowed relative growth of stream_ms / presolve_ms
+	minTimeMs  float64 // time gate floor: below this, wall time is all noise
+	minSpeedup float64 // solve kind: minimum raw/presolved speedup per case
 }
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_validate.json", "committed baseline")
 	currentPath := flag.String("current", "", "freshly measured results")
+	kind := flag.String("kind", "validate", `benchmark schema: "validate" or "solve"`)
 	peakTol := flag.Float64("peak-tolerance", 0.20, "allowed relative stream peak-heap growth")
-	timeTol := flag.Float64("time-tolerance", 0.20, "allowed relative stream wall-time growth")
+	timeTol := flag.Float64("time-tolerance", 0.20, "allowed relative wall-time growth")
 	minTimeMs := flag.Float64("min-time-ms", 2, "skip the time gate below this many baseline ms")
+	minSpeedup := flag.Float64("min-speedup", 1.1, "solve kind: minimum presolve speedup per case")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: missing -current")
 		os.Exit(2)
 	}
-	base, err := load(*baselinePath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	tol := tolerances{peak: *peakTol, time: *timeTol, minTimeMs: *minTimeMs, minSpeedup: *minSpeedup}
+	var report, regressions []string
+	switch *kind {
+	case "validate":
+		base, cur, err := loadBoth[record](*baselinePath, *currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		report, regressions = compare(base, cur, tol)
+	case "solve":
+		base, cur, err := loadBoth[solveRecord](*baselinePath, *currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		report, regressions = compareSolve(base, cur, tol)
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q\n", *kind)
 		os.Exit(2)
 	}
-	cur, err := load(*currentPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
-	}
-	report, regressions := compare(base, cur, tolerances{peak: *peakTol, time: *timeTol, minTimeMs: *minTimeMs})
 	for _, line := range report {
 		fmt.Println(line)
 	}
@@ -77,12 +112,12 @@ func main() {
 	fmt.Println("benchdiff: within tolerance")
 }
 
-func load(path string) ([]record, error) {
+func load[T any](path string) ([]T, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var recs []record
+	var recs []T
 	if err := json.Unmarshal(data, &recs); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -90,6 +125,16 @@ func load(path string) ([]record, error) {
 		return nil, fmt.Errorf("%s: no records", path)
 	}
 	return recs, nil
+}
+
+func loadBoth[T any](basePath, curPath string) (base, cur []T, err error) {
+	if base, err = load[T](basePath); err != nil {
+		return nil, nil, err
+	}
+	if cur, err = load[T](curPath); err != nil {
+		return nil, nil, err
+	}
+	return base, cur, nil
 }
 
 // compare matches current records to baseline records by node count and
@@ -129,6 +174,47 @@ func compare(base, cur []record, tol tolerances) (report, regressions []string) 
 	}
 	for nodes := range byNodes {
 		report = append(report, fmt.Sprintf("nodes=%d: present in baseline only (informational)", nodes))
+	}
+	return report, regressions
+}
+
+// compareSolve matches current solver records to baseline records by case
+// name. Two gates per case: the presolved solver's wall time must not grow
+// past the time tolerance (with the same noise floor as the validate
+// kind), and its speedup over the raw solver must stay above -min-speedup —
+// the presolve layer exists to win wall time, so a case where it decays to
+// break-even is a regression even if absolute times look fine. Cases
+// present in only one file are reported but never gate.
+func compareSolve(base, cur []solveRecord, tol tolerances) (report, regressions []string) {
+	byCase := make(map[string]solveRecord, len(base))
+	for _, b := range base {
+		byCase[b.Case] = b
+	}
+	for _, c := range cur {
+		b, ok := byCase[c.Case]
+		if !ok {
+			report = append(report, fmt.Sprintf("case %s: no baseline entry (informational): presolved %.1f ms, speedup %.2fx",
+				c.Case, c.PresolveMs, c.Speedup))
+			continue
+		}
+		delete(byCase, c.Case)
+		timeGrowth := growth(b.PresolveMs, c.PresolveMs)
+		report = append(report, fmt.Sprintf(
+			"case %s: presolved %.1f ms → %.1f ms (%+.1f%%, limit +%.0f%%), speedup %.2fx → %.2fx (floor %.2fx)",
+			c.Case, b.PresolveMs, c.PresolveMs, 100*timeGrowth, 100*tol.time, b.Speedup, c.Speedup, tol.minSpeedup))
+		if b.PresolveMs >= tol.minTimeMs && timeGrowth > tol.time {
+			regressions = append(regressions, fmt.Sprintf(
+				"case %s: presolved solve time grew %.1f%% (%.1f ms → %.1f ms), tolerance %.0f%%",
+				c.Case, 100*timeGrowth, b.PresolveMs, c.PresolveMs, 100*tol.time))
+		}
+		if c.RawMs >= tol.minTimeMs && c.Speedup < tol.minSpeedup {
+			regressions = append(regressions, fmt.Sprintf(
+				"case %s: presolve speedup %.2fx under the %.2fx floor (raw %.1f ms, presolved %.1f ms)",
+				c.Case, c.Speedup, tol.minSpeedup, c.RawMs, c.PresolveMs))
+		}
+	}
+	for name := range byCase {
+		report = append(report, fmt.Sprintf("case %s: present in baseline only (informational)", name))
 	}
 	return report, regressions
 }

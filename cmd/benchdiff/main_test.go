@@ -69,3 +69,64 @@ func TestZeroBaselineRegressesOnGrowth(t *testing.T) {
 		t.Fatalf("growth from zero baseline must gate, got %v", regs)
 	}
 }
+
+func srec(name string, rawMs, preMs float64) solveRecord {
+	r := solveRecord{Case: name, RawMs: rawMs, PresolveMs: preMs}
+	if preMs > 0 {
+		r.Speedup = rawMs / preMs
+	}
+	return r
+}
+
+var solveTol = tolerances{time: 0.20, minTimeMs: 2, minSpeedup: 1.1}
+
+func TestSolveWithinToleranceIsClean(t *testing.T) {
+	base := []solveRecord{srec("a", 100, 20), srec("b", 50, 10)}
+	cur := []solveRecord{srec("a", 95, 22), srec("b", 55, 11)}
+	report, regs := compareSolve(base, cur, solveTol)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if len(report) != 2 {
+		t.Fatalf("want 2 report lines, got %v", report)
+	}
+}
+
+func TestSolveTimeRegressionGates(t *testing.T) {
+	base := []solveRecord{srec("a", 100, 20)}
+	cur := []solveRecord{srec("a", 100, 30)} // +50% presolved time
+	_, regs := compareSolve(base, cur, solveTol)
+	if len(regs) != 1 || !strings.Contains(regs[0], "solve time") {
+		t.Fatalf("want one time regression, got %v", regs)
+	}
+}
+
+func TestSolveSpeedupFloorGates(t *testing.T) {
+	base := []solveRecord{srec("a", 100, 20)}
+	cur := []solveRecord{srec("a", 22, 21)} // 1.05x: presolve decayed to break-even
+	_, regs := compareSolve(base, cur, solveTol)
+	if len(regs) != 1 || !strings.Contains(regs[0], "speedup") {
+		t.Fatalf("want one speedup regression, got %v", regs)
+	}
+}
+
+func TestSolveTinyCasesNeverGate(t *testing.T) {
+	base := []solveRecord{srec("a", 1.5, 0.5)}
+	cur := []solveRecord{srec("a", 1.0, 1.0)} // both under the 2 ms floor
+	if _, regs := compareSolve(base, cur, solveTol); len(regs) != 0 {
+		t.Fatalf("sub-floor case gated: %v", regs)
+	}
+}
+
+func TestSolveUnmatchedCasesAreInformational(t *testing.T) {
+	base := []solveRecord{srec("a", 100, 20), srec("old", 50, 10)}
+	cur := []solveRecord{srec("a", 100, 20), srec("new", 80, 8)}
+	report, regs := compareSolve(base, cur, solveTol)
+	if len(regs) != 0 {
+		t.Fatalf("corpus changes must not gate: %v", regs)
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "no baseline entry") || !strings.Contains(joined, "baseline only") {
+		t.Fatalf("missing informational lines:\n%s", joined)
+	}
+}

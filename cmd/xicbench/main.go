@@ -23,6 +23,7 @@ import (
 	"xic/internal/randgen"
 	"xic/internal/reduction"
 	"xic/internal/relational"
+	"xic/internal/solvebench"
 )
 
 var full = flag.Bool("full", false, "run the larger size series")
@@ -34,6 +35,7 @@ func main() {
 	workedExamples()
 	figure5()
 	batchThroughput()
+	presolveAblation()
 	gadgets()
 }
 
@@ -279,6 +281,42 @@ func batchThroughput() {
 			}
 		})
 		fmt.Printf("| %d | %v | %v |\n", n, seq, pooled)
+	}
+	fmt.Println()
+}
+
+// presolveAblation measures the solve pipeline with the presolve +
+// fast-path layer on and off, per corpus case: the wall-time column pair
+// is the layer's win, the stats columns say where it came from (rows and
+// conditionals eliminated, variables fixed before any simplex pivot).
+// The corpus is internal/solvebench's — the same cases BENCH_solve.json
+// is recorded over and CI gates, so this table describes the numbers the
+// gate enforces.
+func presolveAblation() {
+	fmt.Println("## Presolve ablation — solver wall time with the layer on vs off")
+	fmt.Println()
+	fmt.Println("| case | presolved | raw | speedup | presolve decided/fastpath | vars fixed |")
+	fmt.Println("|------|-----------|-----|---------|---------------------------|------------|")
+
+	corpus, err := solvebench.Corpus(*full)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range corpus {
+		run := func(presolveOn bool) {
+			if _, err := c.Run(solvebench.Options(presolveOn)); err != nil {
+				panic(err)
+			}
+		}
+		before := c.Checker.SolveStats()
+		pre := solvebench.BestOf(func() { run(true) })
+		after := c.Checker.SolveStats()
+		raw := solvebench.BestOf(func() { run(false) })
+		decided := (after.PresolveDecided - before.PresolveDecided) / solvebench.Runs
+		fast := (after.FastPath - before.FastPath) / solvebench.Runs
+		fixed := (after.VarsFixed - before.VarsFixed) / solvebench.Runs
+		fmt.Printf("| %s | %v | %v | %.2fx | %d/%d | %d |\n",
+			c.Name, pre, raw, float64(raw)/float64(pre), decided, fast, fixed)
 	}
 	fmt.Println()
 }

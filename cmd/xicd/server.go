@@ -78,6 +78,37 @@ func newServer(cfg config) *server {
 			"compile_ms_total": float64(st.CompileTime.Microseconds()) / 1000,
 		}
 	}))
+	// The solver hit/shrink counters, summed over every cached Spec: how
+	// many ILP-oracle calls presolve answered outright, how many the
+	// no-branching fast path answered, and how much the systems shrank
+	// before any simplex pivot ran. Evicted Specs take their counts with
+	// them, so these are counters over the live cache, not process history.
+	s.vars.Set("solve", expvar.Func(func() any {
+		var total xic.SolveStats
+		for _, e := range s.reg.Entries() {
+			st := e.Spec.SolveStats()
+			total.Solves += st.Solves
+			total.PresolveDecided += st.PresolveDecided
+			total.FastPath += st.FastPath
+			total.Nodes += st.Nodes
+			total.Pivots += st.Pivots
+			total.PresolveRows += st.PresolveRows
+			total.PresolveRowsOut += st.PresolveRowsOut
+			total.VarsFixed += st.VarsFixed
+			total.ImplicationsResolved += st.ImplicationsResolved
+		}
+		return map[string]any{
+			"solves":                total.Solves,
+			"presolve_decided":      total.PresolveDecided,
+			"fastpath":              total.FastPath,
+			"nodes":                 total.Nodes,
+			"pivots":                total.Pivots,
+			"presolve_rows_in":      total.PresolveRows,
+			"presolve_rows_out":     total.PresolveRowsOut,
+			"vars_fixed":            total.VarsFixed,
+			"implications_resolved": total.ImplicationsResolved,
+		}
+	}))
 	return s
 }
 

@@ -544,6 +544,13 @@ func TestMetaHealthAndVars(t *testing.T) {
 			Misses uint64 `json:"misses"`
 			Specs  int    `json:"specs"`
 		} `json:"cache"`
+		Solve struct {
+			Solves          uint64 `json:"solves"`
+			PresolveDecided uint64 `json:"presolve_decided"`
+			FastPath        uint64 `json:"fastpath"`
+			RowsIn          uint64 `json:"presolve_rows_in"`
+			VarsFixed       uint64 `json:"vars_fixed"`
+		} `json:"solve"`
 		Requests map[string]int64 `json:"requests_total"`
 	}](t, w)
 	if vars.Cache.Misses != 1 || vars.Cache.Hits < 1 || vars.Cache.Specs != 1 {
@@ -551,5 +558,16 @@ func TestMetaHealthAndVars(t *testing.T) {
 	}
 	if vars.Requests["consistent"] < 1 || vars.Requests["compile"] < 1 {
 		t.Errorf("request counters = %+v", vars.Requests)
+	}
+	// The db specification is in the NP class, so its consistency check hit
+	// the ILP oracle; the presolve layer must have seen its system.
+	if vars.Solve.Solves < 1 {
+		t.Errorf("solve counters not wired: %+v", vars.Solve)
+	}
+	if vars.Solve.RowsIn == 0 {
+		t.Errorf("presolve saw no rows on an NP-class check: %+v", vars.Solve)
+	}
+	if vars.Solve.PresolveDecided+vars.Solve.FastPath+vars.Solve.VarsFixed == 0 {
+		t.Errorf("presolve did nothing on the db encoding: %+v", vars.Solve)
 	}
 }

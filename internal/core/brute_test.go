@@ -295,6 +295,24 @@ func TestDecisionAgainstBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Consistent failed on\n%s%s: %v", d, constraint.FormatSet(set), err)
 		}
+		// Presolve soundness: the raw search on the unreduced system must
+		// reach the same verdict as the presolved pipeline on every
+		// instance before either is compared to ground truth.
+		raw, err := Consistent(d, set, &Options{
+			Solver:      ilp.Options{MaxNodes: 1500, DisablePresolve: true},
+			SkipWitness: true,
+		})
+		if errors.Is(err, ilp.ErrNodeLimit) {
+			skipped++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("raw Consistent failed on\n%s%s: %v", d, constraint.FormatSet(set), err)
+		}
+		if raw.Consistent != res.Consistent {
+			t.Fatalf("presolve changes the verdict: presolved=%v raw=%v on\nDTD:\n%s\nΣ:\n%s",
+				res.Consistent, raw.Consistent, d, constraint.FormatSet(set))
+		}
 		trials++
 		found, example := bruteConsistent(d, set, maxNodes)
 		if found && !res.Consistent {

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"xic/internal/cardinality"
 	"xic/internal/constraint"
@@ -171,6 +172,91 @@ type Checker struct {
 	encOnce sync.Once
 	encBase *cardinality.Encoding
 	encErr  error
+
+	stats solveCounters
+}
+
+// solveCounters aggregates ILP-oracle outcomes across every check the
+// Checker serves; atomics keep recording free of the request path's
+// concurrency.
+type solveCounters struct {
+	solves          atomic.Uint64
+	presolveDecided atomic.Uint64
+	fastPath        atomic.Uint64
+	nodes           atomic.Uint64
+	pivots          atomic.Uint64
+	presolveRows    atomic.Uint64
+	presolveRowsOut atomic.Uint64
+	varsFixed       atomic.Uint64
+	impsResolved    atomic.Uint64
+}
+
+// SolveStats is a point-in-time snapshot of the checker's cumulative
+// ILP-oracle counters: how many solver calls were answered by presolve
+// alone, how many by the no-branching fast path, and how much the presolve
+// layer shrank the systems that did reach the search. Serving layers (the
+// xic.Spec engine and cmd/xicd's expvar surface) expose these directly.
+type SolveStats struct {
+	// Solves counts ILP-oracle invocations.
+	Solves uint64
+	// PresolveDecided counts solves answered by presolve with no LP at all.
+	PresolveDecided uint64
+	// FastPath counts solves answered by the root LP relaxation alone (no
+	// conditional constraints survived presolve, no branching happened).
+	FastPath uint64
+	// Nodes totals branch-and-bound nodes (LP relaxations solved).
+	Nodes uint64
+	// Pivots totals exact-rational simplex pivots.
+	Pivots uint64
+	// PresolveRows / PresolveRowsOut total constraint rows entering and
+	// leaving presolve; their gap is how much the systems shrank.
+	PresolveRows    uint64
+	PresolveRowsOut uint64
+	// VarsFixed totals variables presolve fixed and substituted out.
+	VarsFixed uint64
+	// ImplicationsResolved totals conditional constraints presolve resolved
+	// before the search had to case-split on them.
+	ImplicationsResolved uint64
+}
+
+// SolveStats returns a snapshot of the cumulative solver counters.
+func (c *Checker) SolveStats() SolveStats {
+	return SolveStats{
+		Solves:               c.stats.solves.Load(),
+		PresolveDecided:      c.stats.presolveDecided.Load(),
+		FastPath:             c.stats.fastPath.Load(),
+		Nodes:                c.stats.nodes.Load(),
+		Pivots:               c.stats.pivots.Load(),
+		PresolveRows:         c.stats.presolveRows.Load(),
+		PresolveRowsOut:      c.stats.presolveRowsOut.Load(),
+		VarsFixed:            c.stats.varsFixed.Load(),
+		ImplicationsResolved: c.stats.impsResolved.Load(),
+	}
+}
+
+// recordSolve folds one ILP result into the counters. The solver returns a
+// non-nil Result on every path, including errors, so aborted searches
+// still account their nodes.
+func (c *Checker) recordSolve(res *ilp.Result) {
+	if res == nil {
+		return
+	}
+	c.stats.solves.Add(1)
+	if res.Stats.PresolveDecided {
+		c.stats.presolveDecided.Add(1)
+	}
+	if res.Stats.FastPath {
+		c.stats.fastPath.Add(1)
+	}
+	c.stats.nodes.Add(uint64(res.Nodes))
+	c.stats.pivots.Add(uint64(res.Stats.Pivots))
+	p := res.Stats.Presolve
+	c.stats.presolveRows.Add(uint64(p.Rows))
+	c.stats.presolveRowsOut.Add(uint64(p.RowsOut))
+	c.stats.varsFixed.Add(uint64(p.VarsFixed))
+	if p.Implications >= p.ImplicationsOut {
+		c.stats.impsResolved.Add(uint64(p.Implications - p.ImplicationsOut))
+	}
 }
 
 // NewChecker validates the DTD once; simplification and the encoding
@@ -249,6 +335,7 @@ func (c *Checker) consistentChecked(ctx context.Context, set []constraint.Constr
 		return nil, err
 	}
 	sol, err := ilp.Solve(ctx, enc.Sys, opt.solver())
+	c.recordSolve(sol)
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}
@@ -295,6 +382,7 @@ func (c *Checker) buildSkeleton(ctx context.Context, opt *Options) (*xmltree.Tre
 		return nil, err
 	}
 	sol, err := ilp.Solve(ctx, enc.Sys, opt.solver())
+	c.recordSolve(sol)
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}

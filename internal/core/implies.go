@@ -170,6 +170,7 @@ func (c *Checker) impliesKeyByKeys(ctx context.Context, sigma []constraint.Const
 	}
 	enc.Sys.AddGe(linear.Term(extVar, 1), 2)
 	sol, err := ilp.Solve(ctx, enc.Sys, opt.solver())
+	c.recordSolve(sol)
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}

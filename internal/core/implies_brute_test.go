@@ -41,6 +41,22 @@ func TestImplicationAgainstBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Implies failed on\n%s Σ:\n%sφ: %s\nerr: %v", d, constraint.FormatSet(sigma), phi, err)
 		}
+		// Presolve soundness on the coNP path: the raw refutation search
+		// must agree with the presolved pipeline.
+		raw, err := Implies(d, sigma, phi, &Options{
+			Solver:      ilp.Options{MaxNodes: 1500, DisablePresolve: true},
+			SkipWitness: true,
+		})
+		if errors.Is(err, ilp.ErrNodeLimit) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("raw Implies failed on\n%s Σ:\n%sφ: %s\nerr: %v", d, constraint.FormatSet(sigma), phi, err)
+		}
+		if raw.Implied != imp.Implied {
+			t.Fatalf("presolve changes the implication verdict: presolved=%v raw=%v on\n%sΣ:\n%sφ: %s",
+				imp.Implied, raw.Implied, d, constraint.FormatSet(sigma), phi)
+		}
 		trials++
 
 		// Brute search for a counterexample tree (Σ ∧ ¬φ).

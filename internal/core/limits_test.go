@@ -43,8 +43,11 @@ func TestSolverBudgetSurfacesAsError(t *testing.T) {
 }
 
 func TestDiagnosePropagatesSolverBudget(t *testing.T) {
+	// Presolve decides the Σ1 checks without any search, so the budget can
+	// only trip — and the test can only exercise its propagation — on the
+	// raw branch-and-bound path.
 	_, err := Diagnose(dtd.Teachers(), constraint.Sigma1(), &Options{
-		Solver: ilp.Options{MaxNodes: 1},
+		Solver: ilp.Options{MaxNodes: 1, DisablePresolve: true},
 	})
 	if !errors.Is(err, ilp.ErrNodeLimit) {
 		t.Errorf("Diagnose should propagate the solver limit: %v", err)

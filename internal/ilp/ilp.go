@@ -16,6 +16,7 @@ import (
 	"math/big"
 
 	"xic/internal/linear"
+	"xic/internal/presolve"
 	"xic/internal/simplex"
 )
 
@@ -35,6 +36,10 @@ type Options struct {
 	// MaxNodes bounds the number of branch-and-bound nodes (LP solves).
 	// Zero means DefaultMaxNodes.
 	MaxNodes int
+	// DisablePresolve skips the presolve and fast-path layer, running the
+	// full branch-and-bound search on the raw system. It exists for
+	// ablation benchmarks and cross-validation; serving paths leave it off.
+	DisablePresolve bool
 }
 
 // DefaultMaxNodes is the node budget used when Options.MaxNodes is 0.
@@ -47,20 +52,62 @@ func (o *Options) maxNodes() int {
 	return o.MaxNodes
 }
 
-// Result is the outcome of a feasibility search.
+func (o *Options) presolveEnabled() bool { return o == nil || !o.DisablePresolve }
+
+// Stats describes how a feasibility question was answered: what presolve
+// eliminated, whether the answer needed any LP solve at all, and how much
+// simplex work the search performed. Serving layers aggregate these into
+// their hit/shrink counters.
+type Stats struct {
+	// Presolve is what the presolve pass did (zero value when disabled).
+	Presolve presolve.Stats
+	// PresolveUsed reports that the presolve layer ran.
+	PresolveUsed bool
+	// PresolveDecided reports that presolve answered the question outright:
+	// no simplex pivot, no branch-and-bound node.
+	PresolveDecided bool
+	// FastPath reports that the (presolved) system had no conditional
+	// constraints and the root LP relaxation alone decided: either the
+	// relaxation was infeasible, or its optimum was integral and is itself
+	// the witness. No branching happened.
+	FastPath bool
+	// Pivots is the total number of exact-rational simplex pivots across
+	// every LP solve of the search.
+	Pivots int
+}
+
+// Result is the outcome of a feasibility search. Nodes counts the LP
+// relaxations actually solved; it never exceeds Options.MaxNodes, and it is
+// 0 when presolve or the GCD test decided without any LP. On error a
+// non-nil Result still reports Nodes and Stats, so callers can account for
+// work even when the search aborts.
 type Result struct {
 	Feasible bool
 	Values   []*big.Int // satisfying assignment, indexed by variable; nil unless Feasible
-	Nodes    int        // branch-and-bound nodes explored
+	Nodes    int        // branch-and-bound nodes explored (LP solves)
+	Stats    Stats      // how the answer was reached
 }
 
 // Solve decides whether the system has a nonnegative integer solution
-// satisfying all constraints and conditionals. The context is checked once
-// per branch-and-bound node: cancelling it aborts the NP search promptly,
-// returning an error wrapping ctx.Err(). A nil context never cancels.
+// satisfying all constraints and conditionals. The pipeline is: presolve
+// (package presolve) first — many encoding-shaped systems are decided or
+// drastically shrunk before any simplex pivot — then, when the surviving
+// system has no conditional constraints, a single root LP relaxation that
+// answers infeasible/integral outcomes directly, and only then the full
+// branch-and-bound search. The context is checked once per node:
+// cancelling it aborts the NP search promptly, returning an error wrapping
+// ctx.Err(). A nil context never cancels.
 func Solve(ctx context.Context, sys *linear.System, opt *Options) (*Result, error) {
-	spec := specFromSystem(sys)
-	return branchAndBound(ctx, spec, opt)
+	if !opt.presolveEnabled() {
+		return branchAndBound(ctx, specFromSystem(sys), opt, nil, Stats{})
+	}
+	pre := presolve.Run(sys)
+	stats := Stats{Presolve: pre.Stats, PresolveUsed: true}
+	if pre.Decided {
+		stats.PresolveDecided = true
+		return &Result{Feasible: pre.Feasible, Values: pre.Values, Stats: stats}, nil
+	}
+	return branchAndBound(ctx, specFromSystem(pre.Sys), opt, pre.Fixed, stats)
 }
 
 // SolveMatrix decides nonnegative integer feasibility of the LIP instance
@@ -81,7 +128,9 @@ func SolveMatrix(ctx context.Context, m *linear.Matrix, opt *Options) (*Result, 
 			rhs:    new(big.Rat).SetInt(m.B[r]),
 		})
 	}
-	return branchAndBound(ctx, spec, opt)
+	// Matrix instances carry big.Int data the int64-based presolve cannot
+	// represent; they go straight to the search.
+	return branchAndBound(ctx, spec, opt, nil, Stats{})
 }
 
 type rowSpec struct {
@@ -102,6 +151,11 @@ func specFromSystem(sys *linear.System) *problemSpec {
 	for _, con := range sys.Constraints() {
 		coeffs := make(map[int]*big.Rat, len(con.Expr))
 		for i, v := range con.Expr {
+			if v == 0 {
+				// A zero entry carries no constraint but would densify the
+				// simplex tableau row; skip it, as SolveMatrix does.
+				continue
+			}
 			coeffs[i] = new(big.Rat).SetInt64(v)
 		}
 		var rel simplex.Rel
@@ -131,44 +185,66 @@ func (nd *node) child() *node {
 	return c
 }
 
-func branchAndBound(ctx context.Context, spec *problemSpec, opt *Options) (*Result, error) {
+// branchAndBound runs the search over spec. fixed carries the values of
+// variables presolve substituted out of the system (nil entries are free);
+// they are merged back into any satisfying assignment so callers always
+// see a complete witness. stats accumulates into the returned Result.
+//
+// Node accounting is exact: Result.Nodes counts LP relaxations actually
+// solved, never exceeds Options.MaxNodes (the search stops before starting
+// node MaxNodes+1), and is 0 when the GCD test refutes the system without
+// any LP. Every error path still returns a non-nil Result carrying the
+// node count, so the Spec boundary can classify the error and callers can
+// read Result.Nodes without a nil check.
+func branchAndBound(ctx context.Context, spec *problemSpec, opt *Options, fixed []*big.Int, stats Stats) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if infeasibleByGCD(spec) {
-		return &Result{Feasible: false}, nil
+		return &Result{Feasible: false, Stats: stats}, nil
 	}
 	limit := opt.maxNodes()
 	root := &node{lo: make([]*big.Int, spec.n), hi: make([]*big.Int, spec.n)}
 	stack := []*node{root}
 	nodes := 0
+	// With no conditional constraints there is nothing to case-split on:
+	// the root LP relaxation alone decides whenever it is infeasible or its
+	// optimum is integral, and the search only branches on fractionality.
+	// Presolve resolves implications aggressively to put systems into this
+	// class; a one-node decision on such a system is the structural fast
+	// path the serving counters report.
+	fastEligible := len(spec.implications) == 0
 	one := big.NewInt(1)
 	for len(stack) > 0 {
 		// The search is NP-complete (Theorem 4.7); the context is the only
 		// way a caller can bound its wall-clock time, so check every node.
 		if err := ctx.Err(); err != nil {
-			return &Result{Nodes: nodes}, fmt.Errorf("ilp: search aborted after %d nodes: %w", nodes, err)
+			return &Result{Nodes: nodes, Stats: stats}, fmt.Errorf("ilp: search aborted after %d nodes: %w", nodes, err)
+		}
+		if nodes >= limit {
+			return &Result{Nodes: nodes, Stats: stats}, fmt.Errorf("%w (%d nodes)", ErrNodeLimit, limit)
 		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nodes++
-		if nodes > limit {
-			return &Result{Nodes: nodes}, fmt.Errorf("%w (%d nodes)", ErrNodeLimit, limit)
-		}
 		sol := solveLP(ctx, spec, nd)
+		stats.Pivots += sol.Pivots
 		if sol.Status == simplex.Interrupted {
-			return &Result{Nodes: nodes}, fmt.Errorf("ilp: search aborted mid-LP after %d nodes: %w", nodes, ctx.Err())
+			return &Result{Nodes: nodes, Stats: stats}, fmt.Errorf("ilp: search aborted mid-LP after %d nodes: %w", nodes, ctx.Err())
 		}
 		if sol.Status == simplex.Internal {
-			return &Result{Nodes: nodes}, fmt.Errorf("%w (after %d nodes)", ErrInternal, nodes)
+			return &Result{Nodes: nodes, Stats: stats}, fmt.Errorf("%w (after %d nodes)", ErrInternal, nodes)
 		}
 		if sol.Status == simplex.Infeasible {
 			continue
 		}
 		if sol.Status == simplex.Unbounded {
 			// Minimizing Σx over x ≥ 0 is bounded below; unbounded status
-			// indicates an internal error.
-			return nil, errors.New("ilp: LP relaxation reported unbounded for a bounded objective")
+			// indicates an internal error. Wrap ErrInternal so the Spec
+			// boundary classifies it like every other solver failure, and
+			// keep the Result non-nil so callers can read Nodes.
+			return &Result{Nodes: nodes, Stats: stats},
+				fmt.Errorf("%w: LP relaxation reported unbounded for a bounded objective (after %d nodes)", ErrInternal, nodes)
 		}
 		if j := firstFractional(sol.X); j >= 0 {
 			floor := ratFloor(sol.X[j])
@@ -199,12 +275,30 @@ func branchAndBound(ctx context.Context, spec *problemSpec, opt *Options) (*Resu
 			stack = append(stack, pos, zero)
 			continue
 		}
-		return &Result{Feasible: true, Values: values, Nodes: nodes}, nil
+		stats.FastPath = fastEligible && nodes == 1
+		mergeFixed(values, fixed)
+		return &Result{Feasible: true, Values: values, Nodes: nodes, Stats: stats}, nil
 	}
-	return &Result{Nodes: nodes}, nil
+	stats.FastPath = fastEligible && nodes == 1
+	return &Result{Nodes: nodes, Stats: stats}, nil
 }
 
-func solveLP(ctx context.Context, spec *problemSpec, nd *node) *simplex.Solution {
+// mergeFixed overwrites the entries presolve fixed: the reduced system no
+// longer mentions those variables, so the LP left them at zero.
+func mergeFixed(values, fixed []*big.Int) {
+	for j, v := range fixed {
+		if v != nil {
+			values[j] = new(big.Int).Set(v)
+		}
+	}
+}
+
+// solveLP is a variable so tests can force solver statuses that are
+// unreachable through well-formed inputs (the min-Σx objective over x ≥ 0
+// is bounded below, so simplex.Unbounded is a defensive branch).
+var solveLP = realSolveLP
+
+func realSolveLP(ctx context.Context, spec *problemSpec, nd *node) *simplex.Solution {
 	p := simplex.New(spec.n)
 	if ctx.Done() != nil {
 		// Exact-rational pivots on big tableaus are slow; poll the context

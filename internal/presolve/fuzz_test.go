@@ -1,0 +1,97 @@
+// The fuzzer lives in an external test package: it drives the presolve
+// layer through ilp.Solve, and ilp itself imports presolve.
+package presolve_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xic/internal/ilp"
+	"xic/internal/linear"
+)
+
+// systemFromBytes decodes fuzz input into a small bounded linear system:
+// byte-driven variable count, rows, coefficients, relations and
+// implications. Variables are capped so the raw search always terminates
+// quickly.
+func systemFromBytes(data []byte) *linear.System {
+	if len(data) < 3 {
+		return nil
+	}
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	s := linear.NewSystem()
+	n := 1 + int(next())%4
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = s.Var(string(rune('a' + i)))
+	}
+	rows := 1 + int(next())%5
+	for r := 0; r < rows; r++ {
+		e := linear.Expr{}
+		for _, id := range ids {
+			if c := int64(next())%7 - 3; c != 0 {
+				e.Plus(id, c)
+			}
+		}
+		rhs := int64(next())%11 - 3
+		switch next() % 3 {
+		case 0:
+			s.AddEq(e, rhs)
+		case 1:
+			s.AddLe(e, rhs)
+		default:
+			s.AddGe(e, rhs)
+		}
+	}
+	// Cap every variable so branch-and-bound cannot wander far.
+	for _, id := range ids {
+		s.AddLe(linear.Term(id, 1), 5)
+	}
+	imps := int(next()) % 3
+	for k := 0; k < imps; k++ {
+		s.AddImplication(ids[int(next())%n], ids[int(next())%n])
+	}
+	return s
+}
+
+// FuzzPresolveAgreement is the soundness fuzzer the CI smoke job runs:
+// for any decodable system, presolved and raw feasibility must agree, and
+// any witness the presolved pipeline returns must satisfy the original
+// system.
+func FuzzPresolveAgreement(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 3, 0, 4})
+	f.Add([]byte{3, 4, 250, 0, 1, 2, 200, 9, 17, 33, 2, 1, 0, 1})
+	f.Add([]byte{2, 2, 6, 6, 1, 1, 5, 5, 0, 2, 1, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys := systemFromBytes(data)
+		if sys == nil {
+			t.Skip()
+		}
+		opt := &ilp.Options{MaxNodes: 20000}
+		on, errOn := ilp.Solve(context.Background(), sys, opt)
+		off, errOff := ilp.Solve(context.Background(), sys,
+			&ilp.Options{MaxNodes: opt.MaxNodes, DisablePresolve: true})
+		if errors.Is(errOn, ilp.ErrNodeLimit) || errors.Is(errOff, ilp.ErrNodeLimit) {
+			t.Skip() // bounded-search truce; agreement is only meaningful on completed searches
+		}
+		if errOn != nil || errOff != nil {
+			t.Fatalf("solve errors: on=%v off=%v\n%s", errOn, errOff, sys)
+		}
+		if on.Feasible != off.Feasible {
+			t.Fatalf("presolved=%v raw=%v on\n%s", on.Feasible, off.Feasible, sys)
+		}
+		if on.Feasible {
+			if msg := sys.EvalBig(on.Values); msg != "" {
+				t.Fatalf("presolved witness invalid (%s) on\n%s", msg, sys)
+			}
+		}
+	})
+}

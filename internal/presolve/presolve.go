@@ -1,0 +1,738 @@
+// Package presolve shrinks — and often outright decides — the linear
+// integer systems produced by the cardinality encodings before the
+// branch-and-bound ILP search runs. Consistency of keys and foreign keys
+// under a DTD is NP-complete in general (Theorem 4.7), but the systems
+// real specifications compile to are dominated by structure a solver never
+// needs to branch on: a unit equality pinning the root extent, chains of
+// two-variable equalities tying extents to occurrence counts, conditional
+// constraints whose antecedent is already forced. Presolve applies the
+// classic MIP reductions, each sound for nonnegative integer variables:
+//
+//   - row normalization and GCD tightening: every row is divided by the
+//     gcd of its coefficients; an equality row whose gcd does not divide
+//     its constant is Diophantine-infeasible, and inequality constants
+//     round to the integer hull (⌈b/g⌉);
+//   - singleton absorption: one-variable rows become variable bounds (a
+//     one-variable equality fixes its variable or refutes the system);
+//   - bound propagation: row activity bounds imply per-variable bounds,
+//     iterated to a fixpoint with integer rounding at every step;
+//   - variable fixing: a variable whose bounds meet is substituted out of
+//     every row, and rows emptied by substitution are checked and dropped;
+//   - implication resolution over the conditional constraints x>0 → y>0
+//     (the Ψ_X case splits of Theorem 4.1): a forced-positive antecedent
+//     turns the conditional into y ≥ 1; a forced-zero consequent forces
+//     the antecedent to zero, propagated backwards through the implication
+//     graph to its transitive closure;
+//   - duplicate and dominated row elimination: syntactically equal rows
+//     merge, opposite inequalities over the same expression merge into an
+//     equality when their constants meet, and contradictions refute.
+//
+// Every deduction is forced: any solution of the input satisfies the
+// tightened bounds and fixed values. The reductions therefore preserve
+// feasibility exactly in both directions — the reduced system plus the
+// fixed values is feasible iff the input is, and any solution of the
+// reduced system extends to a solution of the input via the fixed values.
+// When nothing but consistent bounds remains, presolve decides feasibility
+// with no LP solve at all (the least point x = lo is a witness).
+package presolve
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"xic/internal/linear"
+)
+
+// maxRounds caps the bound-tightening fixpoint loop. Mutually-reinforcing
+// rows — {x − y ≥ 1, y − x ≥ 1}, or the cardinality cycle behind the
+// paper's Σ1 inconsistency — push lower bounds upward forever without
+// converging; on a feasible system propagation converges (every sound
+// bound is capped by a solution), so a spiral indicates infeasibility that
+// interval reasoning alone cannot conclude. Past the cap the loop stops
+// propagating and stabilizes the remaining rules (substitution,
+// implication resolution, fixing), which always reach a fixpoint, so the
+// deductions made so far are kept — they are all sound — and the solver
+// settles the rest. Real encodings converge in a handful of rounds.
+const maxRounds = 24
+
+// Stats reports what presolve did to one system.
+type Stats struct {
+	Rows            int  // constraint rows in the input
+	RowsOut         int  // rows in the reduced system (bounds included)
+	Vars            int  // variables in the input
+	VarsFixed       int  // variables fixed to a single value
+	Implications    int  // conditional constraints in the input
+	ImplicationsOut int  // conditional constraints left after resolution
+	Tightened       int  // inequality constants moved by GCD rounding
+	Rounds          int  // propagation sweeps until fixpoint (or cap)
+	Bailed          bool // propagation diverged or a reduced value overflowed int64; input returned unreduced
+}
+
+// Result is the outcome of a presolve pass. Exactly one of two shapes:
+// Decided answers feasibility outright (with a complete witness assignment
+// in Values when feasible); otherwise Sys is the reduced system over the
+// same variable indexing as the input and Fixed holds the values of
+// substituted-out variables (nil entries are free), to be merged into any
+// solution of Sys.
+type Result struct {
+	Decided  bool
+	Feasible bool
+	Values   []*big.Int
+
+	Sys   *linear.System
+	Fixed []*big.Int
+
+	Stats Stats
+}
+
+// row is a canonicalized constraint: Σ coeffs·x = rhs (eq) or ≥ rhs.
+// ≤-rows enter negated. Coefficients are never zero and never reference a
+// fixed variable.
+type row struct {
+	coeffs map[int]*big.Int
+	eq     bool
+	rhs    *big.Int
+}
+
+type state struct {
+	sys   *linear.System
+	n     int
+	rows  []*row
+	imps  []linear.Implication
+	lo    []*big.Int // lower bounds; start at 0 (all variables nonnegative)
+	hi    []*big.Int // upper bounds; nil = +∞
+	fixed []bool
+
+	infeasible bool
+	changed    bool
+	stats      Stats
+}
+
+// Run presolves the system. The input is never mutated.
+func Run(sys *linear.System) *Result {
+	n := sys.VarCount()
+	st := &state{
+		sys:   sys,
+		n:     n,
+		lo:    make([]*big.Int, n),
+		hi:    make([]*big.Int, n),
+		fixed: make([]bool, n),
+	}
+	for i := range st.lo {
+		st.lo[i] = new(big.Int)
+	}
+	for _, con := range sys.Constraints() {
+		st.addConstraint(con)
+	}
+	st.imps = append([]linear.Implication(nil), sys.Implications()...)
+	st.stats.Rows = len(sys.Constraints())
+	st.stats.Vars = n
+	st.stats.Implications = len(st.imps)
+
+	for st.stats.Rounds < maxRounds {
+		st.stats.Rounds++
+		st.changed = false
+		st.normalizeRows()
+		if !st.infeasible {
+			st.propagateBounds()
+		}
+		if !st.infeasible {
+			st.resolveImplications()
+		}
+		if !st.infeasible {
+			st.fixVariables()
+		}
+		if st.infeasible || !st.changed {
+			break
+		}
+	}
+	// Past the cap, stop the (possibly divergent) bound propagation and
+	// stabilize the remaining monotone rules: substitution consumes
+	// coefficients, implications and rows only shrink, and fixes only grow,
+	// so this loop always reaches a fixpoint. The emit invariants (fixed
+	// variables substituted out of every row, no implication touching a
+	// decided endpoint) need a fixpoint of exactly these rules.
+	for !st.infeasible && st.changed {
+		st.stats.Rounds++
+		st.changed = false
+		st.normalizeRows()
+		if !st.infeasible {
+			st.resolveImplications()
+		}
+		if !st.infeasible {
+			st.fixVariables()
+		}
+	}
+	if st.infeasible {
+		return st.refuted()
+	}
+	st.dedupRows()
+	if st.infeasible {
+		return st.refuted()
+	}
+	return st.emit()
+}
+
+// addConstraint canonicalizes one input constraint into ≥/= form over
+// big.Int, dropping explicit zero coefficients.
+func (st *state) addConstraint(con linear.Constraint) {
+	r := &row{coeffs: make(map[int]*big.Int, len(con.Expr)), rhs: big.NewInt(con.Const)}
+	for j, c := range con.Expr {
+		if c == 0 {
+			continue
+		}
+		r.coeffs[j] = big.NewInt(c)
+	}
+	switch con.Op {
+	case linear.Eq:
+		r.eq = true
+	case linear.Ge:
+	case linear.Le: // Σ a·x ≤ b  ⇔  Σ −a·x ≥ −b
+		for _, c := range r.coeffs {
+			c.Neg(c)
+		}
+		r.rhs.Neg(r.rhs)
+	}
+	st.rows = append(st.rows, r)
+}
+
+// normalizeRows substitutes fixed variables, checks and drops emptied
+// rows, absorbs singletons into bounds, and GCD-tightens what remains.
+func (st *state) normalizeRows() {
+	kept := st.rows[:0]
+	for _, r := range st.rows {
+		for j, c := range r.coeffs {
+			if !st.fixed[j] {
+				continue
+			}
+			r.rhs.Sub(r.rhs, new(big.Int).Mul(c, st.lo[j]))
+			delete(r.coeffs, j)
+			st.changed = true
+		}
+		switch len(r.coeffs) {
+		case 0:
+			if (r.eq && r.rhs.Sign() != 0) || (!r.eq && r.rhs.Sign() > 0) {
+				st.infeasible = true
+				return
+			}
+			st.changed = true
+			continue // trivially satisfied
+		case 1:
+			st.absorbSingleton(r)
+			if st.infeasible {
+				return
+			}
+			st.changed = true
+			continue
+		}
+		st.gcdTighten(r)
+		if st.infeasible {
+			return
+		}
+		kept = append(kept, r)
+	}
+	st.rows = kept
+}
+
+// absorbSingleton turns the one-variable row a·x (=,≥) b into a bound on x
+// (an equality fixes the value or refutes the system).
+func (st *state) absorbSingleton(r *row) {
+	var j int
+	var a *big.Int
+	for k, c := range r.coeffs {
+		j, a = k, c
+	}
+	if r.eq {
+		q, rem := new(big.Int).QuoRem(r.rhs, a, new(big.Int))
+		if rem.Sign() != 0 {
+			st.infeasible = true // a·x = b with a ∤ b has no integer solution
+			return
+		}
+		st.raiseLo(j, q)
+		st.lowerHi(j, q)
+		return
+	}
+	if a.Sign() > 0 {
+		st.raiseLo(j, divCeil(r.rhs, a))
+	} else {
+		st.lowerHi(j, divFloor(r.rhs, a))
+	}
+}
+
+// gcdTighten divides a multi-variable row by the gcd of its coefficients,
+// refuting non-divisible equalities and rounding inequality constants to
+// the integer hull.
+func (st *state) gcdTighten(r *row) {
+	g := new(big.Int)
+	for _, c := range r.coeffs {
+		g.GCD(nil, nil, g, new(big.Int).Abs(c))
+	}
+	if g.CmpAbs(oneInt) <= 0 {
+		return
+	}
+	for _, c := range r.coeffs {
+		c.Quo(c, g)
+	}
+	if r.eq {
+		q, rem := new(big.Int).QuoRem(r.rhs, g, new(big.Int))
+		if rem.Sign() != 0 {
+			st.infeasible = true // Diophantine: g ∤ b
+			return
+		}
+		r.rhs = q
+	} else {
+		tightened := divCeil(r.rhs, g)
+		if new(big.Int).Mul(tightened, g).Cmp(r.rhs) != 0 {
+			st.stats.Tightened++
+		}
+		r.rhs = tightened
+	}
+	st.changed = true
+}
+
+// propagateBounds derives per-variable bounds from row activity bounds.
+// Equality rows propagate in both directions.
+func (st *state) propagateBounds() {
+	for _, r := range st.rows {
+		st.propagateGe(r.coeffs, r.rhs, false)
+		if st.infeasible {
+			return
+		}
+		if r.eq {
+			st.propagateGe(r.coeffs, r.rhs, true)
+			if st.infeasible {
+				return
+			}
+		}
+	}
+}
+
+// propagateGe treats the row as Σ a·x ≥ b (negated when neg is set) and,
+// for each variable, bounds it by the best the remaining terms can
+// contribute: a_j·x_j ≥ b − maxOther.
+func (st *state) propagateGe(coeffs map[int]*big.Int, rhs *big.Int, neg bool) {
+	sign := 1
+	if neg {
+		sign = -1
+	}
+	term := func(j int, a *big.Int) (v *big.Int, inf bool) {
+		// Maximum of (sign·a)·x_j over [lo_j, hi_j].
+		pos := (a.Sign() > 0) == (sign > 0)
+		if pos && st.hi[j] == nil {
+			return nil, true
+		}
+		bound := st.lo[j]
+		if pos {
+			bound = st.hi[j]
+		}
+		v = new(big.Int).Mul(a, bound)
+		if neg {
+			v.Neg(v)
+		}
+		return v, false
+	}
+	b := rhs
+	if neg {
+		b = new(big.Int).Neg(rhs)
+	}
+	finite := new(big.Int)
+	infCount, infVar := 0, -1
+	for j, a := range coeffs {
+		v, inf := term(j, a)
+		if inf {
+			infCount++
+			infVar = j
+			continue
+		}
+		finite.Add(finite, v)
+	}
+	if infCount == 0 && finite.Cmp(b) < 0 {
+		st.infeasible = true // even the best activity misses the constant
+		return
+	}
+	for j, a := range coeffs {
+		var maxOther *big.Int
+		switch {
+		case infCount == 0:
+			v, _ := term(j, a)
+			maxOther = new(big.Int).Sub(finite, v)
+		case infCount == 1 && j == infVar:
+			maxOther = finite
+		default:
+			continue // another variable is unbounded; no deduction on j
+		}
+		residual := new(big.Int).Sub(b, maxOther) // a_j·x_j ≥ residual
+		aj := a
+		if neg {
+			aj = new(big.Int).Neg(a)
+		}
+		if aj.Sign() > 0 {
+			st.raiseLo(j, divCeil(residual, aj))
+		} else {
+			st.lowerHi(j, divFloor(residual, aj))
+		}
+		if st.infeasible {
+			return
+		}
+	}
+}
+
+// resolveImplications applies the conditional-constraint rules: forced-zero
+// consequents zero their antecedents through the transitive closure of the
+// implication graph, then every implication that has become decided is
+// dropped (materializing y ≥ 1 when its antecedent is forced positive).
+func (st *state) resolveImplications() {
+	zero := func(j int) bool { return st.hi[j] != nil && st.hi[j].Sign() == 0 }
+
+	rev := make(map[int][]int)
+	for _, im := range st.imps {
+		rev[im.Then] = append(rev[im.Then], im.If)
+	}
+	var stack []int
+	for j := 0; j < st.n; j++ {
+		if zero(j) {
+			stack = append(stack, j)
+		}
+	}
+	for len(stack) > 0 {
+		y := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, x := range rev[y] {
+			if zero(x) {
+				continue
+			}
+			// x > 0 would force y > 0, impossible: x must be zero too.
+			st.lowerHi(x, new(big.Int))
+			if st.infeasible {
+				return
+			}
+			stack = append(stack, x)
+		}
+	}
+
+	kept := st.imps[:0]
+	for _, im := range st.imps {
+		switch {
+		case zero(im.If): // antecedent dead: vacuously satisfied
+		case st.lo[im.Then].Sign() > 0: // consequent already positive
+		case st.lo[im.If].Sign() > 0: // forced antecedent: becomes Then ≥ 1
+			st.raiseLo(im.Then, big.NewInt(1))
+			if st.infeasible {
+				return
+			}
+		default:
+			kept = append(kept, im)
+			continue
+		}
+		st.changed = true
+	}
+	st.imps = kept
+}
+
+// fixVariables marks every variable whose bounds have met, refuting the
+// system when bounds cross. Substitution into rows happens on the next
+// normalizeRows sweep.
+func (st *state) fixVariables() {
+	for j := 0; j < st.n; j++ {
+		if st.hi[j] == nil {
+			continue
+		}
+		switch st.lo[j].Cmp(st.hi[j]) {
+		case 1:
+			st.infeasible = true
+			return
+		case 0:
+			if !st.fixed[j] {
+				st.fixed[j] = true
+				st.changed = true
+			}
+		}
+	}
+}
+
+// raiseLo raises the lower bound of j to at least v.
+func (st *state) raiseLo(j int, v *big.Int) {
+	if v.Cmp(st.lo[j]) <= 0 {
+		return
+	}
+	st.lo[j] = v
+	st.changed = true
+	if st.hi[j] != nil && st.lo[j].Cmp(st.hi[j]) > 0 {
+		st.infeasible = true
+	}
+}
+
+// lowerHi lowers the upper bound of j to at most v.
+func (st *state) lowerHi(j int, v *big.Int) {
+	if st.hi[j] != nil && v.Cmp(st.hi[j]) >= 0 {
+		return
+	}
+	st.hi[j] = v
+	st.changed = true
+	if st.lo[j].Cmp(v) > 0 {
+		st.infeasible = true
+	}
+}
+
+// mergedRow accumulates every surviving row over one expression (in
+// sign-canonical form): at most one equality constant, the strongest lower
+// constant (c·x ≥ lo) and the strongest upper constant (c·x ≤ hi).
+type mergedRow struct {
+	coeffs map[int]*big.Int
+	hasEq  bool
+	eqRHS  *big.Int
+	lo     *big.Int
+	hi     *big.Int
+}
+
+// dedupRows merges duplicate and dominated rows. Two rows over the same
+// expression keep only the strongest constants; opposite inequalities that
+// meet become an equality; contradictions refute the system.
+func (st *state) dedupRows() {
+	merged := make(map[string]*mergedRow)
+	var order []string
+	for _, r := range st.rows {
+		key, flipped := canonicalKey(r.coeffs)
+		m, ok := merged[key]
+		if !ok {
+			m = &mergedRow{coeffs: make(map[int]*big.Int, len(r.coeffs))}
+			for j, c := range r.coeffs {
+				cc := new(big.Int).Set(c)
+				if flipped {
+					cc.Neg(cc)
+				}
+				m.coeffs[j] = cc
+			}
+			merged[key] = m
+			order = append(order, key)
+		}
+		rhs := new(big.Int).Set(r.rhs)
+		if flipped {
+			rhs.Neg(rhs)
+		}
+		switch {
+		case r.eq:
+			if m.hasEq && m.eqRHS.Cmp(rhs) != 0 {
+				st.infeasible = true // same expression equal to two constants
+				return
+			}
+			m.hasEq, m.eqRHS = true, rhs
+		case !flipped: // c·x ≥ rhs
+			if m.lo == nil || rhs.Cmp(m.lo) > 0 {
+				m.lo = rhs
+			}
+		default: // original was (−c)·x ≥ −rhs, i.e. c·x ≤ rhs
+			if m.hi == nil || rhs.Cmp(m.hi) < 0 {
+				m.hi = rhs
+			}
+		}
+	}
+	st.rows = st.rows[:0]
+	for _, key := range order {
+		m := merged[key]
+		emit := func(eq bool, rhs *big.Int, negate bool) {
+			coeffs := m.coeffs
+			if negate {
+				coeffs = make(map[int]*big.Int, len(m.coeffs))
+				for j, c := range m.coeffs {
+					coeffs[j] = new(big.Int).Neg(c)
+				}
+				rhs = new(big.Int).Neg(rhs)
+			}
+			st.rows = append(st.rows, &row{coeffs: coeffs, eq: eq, rhs: rhs})
+		}
+		switch {
+		case m.hasEq:
+			if (m.lo != nil && m.lo.Cmp(m.eqRHS) > 0) || (m.hi != nil && m.hi.Cmp(m.eqRHS) < 0) {
+				st.infeasible = true // equality outside the inequality window
+				return
+			}
+			emit(true, m.eqRHS, false)
+		case m.lo != nil && m.hi != nil:
+			if m.lo.Cmp(m.hi) > 0 {
+				st.infeasible = true
+				return
+			}
+			if m.lo.Cmp(m.hi) == 0 {
+				emit(true, m.lo, false) // window closed: a·x ≥ b and a·x ≤ b
+				continue
+			}
+			emit(false, m.lo, false)
+			emit(false, m.hi, true)
+		case m.lo != nil:
+			emit(false, m.lo, false)
+		default:
+			emit(false, m.hi, true)
+		}
+	}
+}
+
+// canonicalKey renders a coefficient map in a sign- and order-canonical
+// form, so that a row and its negation share a key. flipped reports that
+// the row was negated to reach the canonical sign.
+func canonicalKey(coeffs map[int]*big.Int) (key string, flipped bool) {
+	idx := make([]int, 0, len(coeffs))
+	for j := range coeffs {
+		idx = append(idx, j)
+	}
+	sort.Ints(idx)
+	flipped = coeffs[idx[0]].Sign() < 0
+	var b strings.Builder
+	for _, j := range idx {
+		c := coeffs[j]
+		if flipped {
+			c = new(big.Int).Neg(c)
+		}
+		fmt.Fprintf(&b, "%d:%s,", j, c)
+	}
+	return b.String(), flipped
+}
+
+// refuted finalizes the counters on a decided-infeasible exit: only the
+// implications actually discharged count as resolved, and only genuinely
+// fixed variables count as fixed, so the serving metrics stay honest on
+// inconsistent-spec traffic.
+func (st *state) refuted() *Result {
+	st.finalizeCounters()
+	return &Result{Decided: true, Stats: st.stats}
+}
+
+// finalizeCounters records the fixed-variable and surviving-implication
+// counts for the state as it stands.
+func (st *state) finalizeCounters() {
+	st.stats.VarsFixed = 0
+	for j := 0; j < st.n; j++ {
+		if st.fixed[j] {
+			st.stats.VarsFixed++
+		}
+	}
+	st.stats.ImplicationsOut = len(st.imps)
+}
+
+// emit assembles the Result after a clean fixpoint: a decision when only
+// consistent bounds remain, otherwise the reduced system.
+func (st *state) emit() *Result {
+	st.finalizeCounters()
+
+	if len(st.rows) == 0 && len(st.imps) == 0 {
+		// Only bounds remain, and every deduction was forced: the least
+		// point x = lo satisfies them all, hence the input system.
+		values := make([]*big.Int, st.n)
+		for j := range values {
+			values[j] = new(big.Int).Set(st.lo[j])
+		}
+		if msg := st.sys.EvalBig(values); msg != "" {
+			if st.allFixed() {
+				// Every value is the only one any solution may take, so a
+				// violated input row refutes the system outright.
+				return &Result{Decided: true, Stats: st.stats}
+			}
+			// A free variable at its least value violating the input would
+			// mean a dropped row lost information — a presolve bug. Stay
+			// sound: hand the untouched input to the solver.
+			return st.bail()
+		}
+		return &Result{Decided: true, Feasible: true, Values: values, Stats: st.stats}
+	}
+
+	red := linear.NewSystem()
+	for _, name := range st.sys.Names() {
+		red.Var(name)
+	}
+	for j := 0; j < st.n; j++ {
+		if st.sys.Auxiliary(j) {
+			red.MarkAuxiliary(j)
+		}
+	}
+	for _, r := range st.rows {
+		e := make(linear.Expr, len(r.coeffs))
+		for j, c := range r.coeffs {
+			if !c.IsInt64() {
+				return st.bail()
+			}
+			e[j] = c.Int64()
+		}
+		if !r.rhs.IsInt64() {
+			return st.bail()
+		}
+		if r.eq {
+			red.AddEq(e, r.rhs.Int64())
+		} else {
+			red.AddGe(e, r.rhs.Int64())
+		}
+	}
+	// Bounds of free variables become singleton rows: the originals were
+	// absorbed above, so this is where that information returns to the
+	// system — now deduplicated, integer-rounded and maximally tight.
+	for j := 0; j < st.n; j++ {
+		if st.fixed[j] {
+			continue
+		}
+		if st.lo[j].Sign() > 0 {
+			if !st.lo[j].IsInt64() {
+				return st.bail()
+			}
+			red.AddGe(linear.Term(j, 1), st.lo[j].Int64())
+		}
+		if st.hi[j] != nil {
+			if !st.hi[j].IsInt64() {
+				return st.bail()
+			}
+			red.AddLe(linear.Term(j, 1), st.hi[j].Int64())
+		}
+	}
+	for _, im := range st.imps {
+		red.AddImplication(im.If, im.Then)
+	}
+	fixed := make([]*big.Int, st.n)
+	for j := 0; j < st.n; j++ {
+		if st.fixed[j] {
+			fixed[j] = new(big.Int).Set(st.lo[j])
+		}
+	}
+	st.stats.RowsOut = len(red.Constraints())
+	return &Result{Sys: red, Fixed: fixed, Stats: st.stats}
+}
+
+func (st *state) allFixed() bool {
+	for j := 0; j < st.n; j++ {
+		if !st.fixed[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// bail returns the untouched input when a reduced coefficient or constant
+// no longer fits the int64 representation of linear.System. The caller
+// solves the raw input, so nothing counts as eliminated, fixed or
+// resolved.
+func (st *state) bail() *Result {
+	st.stats.Bailed = true
+	st.stats.RowsOut = st.stats.Rows
+	st.stats.VarsFixed = 0
+	st.stats.ImplicationsOut = st.stats.Implications
+	return &Result{Sys: st.sys, Stats: st.stats}
+}
+
+var oneInt = big.NewInt(1)
+
+// divCeil returns ⌈b/a⌉ for a ≠ 0.
+func divCeil(b, a *big.Int) *big.Int {
+	q, r := new(big.Int).QuoRem(b, a, new(big.Int))
+	if r.Sign() != 0 && (r.Sign() > 0) == (a.Sign() > 0) {
+		q.Add(q, oneInt)
+	}
+	return q
+}
+
+// divFloor returns ⌊b/a⌋ for a ≠ 0.
+func divFloor(b, a *big.Int) *big.Int {
+	q, r := new(big.Int).QuoRem(b, a, new(big.Int))
+	if r.Sign() != 0 && (r.Sign() > 0) != (a.Sign() > 0) {
+		q.Sub(q, oneInt)
+	}
+	return q
+}

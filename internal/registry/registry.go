@@ -173,6 +173,20 @@ func (r *Registry) Get(id string) (*xic.Spec, bool) {
 	return el.Value.(*Entry).Spec, true
 }
 
+// Entries returns a snapshot of the cached entries, most recently used
+// first, without refreshing LRU positions. Serving layers use it to
+// aggregate per-Spec statistics (such as xic.Spec.SolveStats) across the
+// whole cache.
+func (r *Registry) Entries() []*Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Entry, 0, r.order.Len())
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Entry))
+	}
+	return out
+}
+
 // Len returns the number of cached specifications.
 func (r *Registry) Len() int {
 	r.mu.Lock()

@@ -117,10 +117,13 @@ func (p *Problem) SetObjective(coeffs map[int]*big.Rat) {
 
 // Solution is the result of a solve. X is only meaningful when Status is
 // Optimal; Obj is the objective value (0 for pure feasibility problems).
+// Pivots counts the exact-rational pivot operations performed across both
+// phases — the unit of simplex work that solver-level statistics aggregate.
 type Solution struct {
 	Status Status
 	X      []*big.Rat
 	Obj    *big.Rat
+	Pivots int
 }
 
 // tableau is the dense simplex tableau in canonical form.
@@ -134,6 +137,7 @@ type tableau struct {
 	artStart   int // first artificial column; columns ≥ artStart are blocked in phase 2
 	structural int // number of structural columns
 	interrupt  func() bool
+	pivots     int // pivot operations performed
 }
 
 // pivotOutcome is the result of a pivoting phase.
@@ -160,16 +164,16 @@ func (p *Problem) Solve() *Solution {
 func (p *Problem) runPhases(t *tableau) *Solution {
 	switch t.pivotToOptimality(t.ncols) {
 	case pivotInterrupted:
-		return &Solution{Status: Interrupted}
+		return &Solution{Status: Interrupted, Pivots: t.pivots}
 	case pivotUnbounded:
 		// Phase 1 is always bounded below by 0 on a well-formed tableau, so
 		// an unbounded report means the tableau is inconsistent. The solver
 		// runs as the oracle inside serving processes; report Internal and
 		// let callers turn it into an error instead of crashing the process.
-		return &Solution{Status: Internal}
+		return &Solution{Status: Internal, Pivots: t.pivots}
 	}
 	if t.objVal.Sign() > 0 {
-		return &Solution{Status: Infeasible}
+		return &Solution{Status: Infeasible, Pivots: t.pivots}
 	}
 	t.driveOutArtificials()
 
@@ -177,9 +181,9 @@ func (p *Problem) runPhases(t *tableau) *Solution {
 	t.setObjective(p.obj)
 	switch t.pivotToOptimality(t.artStart) {
 	case pivotInterrupted:
-		return &Solution{Status: Interrupted}
+		return &Solution{Status: Interrupted, Pivots: t.pivots}
 	case pivotUnbounded:
-		return &Solution{Status: Unbounded}
+		return &Solution{Status: Unbounded, Pivots: t.pivots}
 	}
 	x := make([]*big.Rat, p.nvars)
 	for j := range x {
@@ -190,7 +194,7 @@ func (p *Problem) runPhases(t *tableau) *Solution {
 			x[b].Set(t.rhs[i])
 		}
 	}
-	return &Solution{Status: Optimal, X: x, Obj: new(big.Rat).Set(t.objVal)}
+	return &Solution{Status: Optimal, X: x, Obj: new(big.Rat).Set(t.objVal), Pivots: t.pivots}
 }
 
 func (p *Problem) buildTableau() *tableau {
@@ -373,6 +377,7 @@ func (t *tableau) pivotToOptimality(colLimit int) pivotOutcome {
 
 // pivot makes column enter basic in row leave.
 func (t *tableau) pivot(leave, enter int) {
+	t.pivots++
 	piv := new(big.Rat).Set(t.a[leave][enter])
 	inv := new(big.Rat).Inv(piv)
 	for j := 0; j < t.ncols; j++ {

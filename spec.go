@@ -175,6 +175,15 @@ func (s *Spec) WithParallelism(n int) *Spec {
 // DTD (Theorem 3.5(1)); linear time, constraint set ignored.
 func (s *Spec) ConsistentDTD() bool { return s.d.HasValidTree() }
 
+// SolveStats returns a snapshot of the Spec's cumulative solver counters:
+// how many ILP-oracle calls its checks have made, how many were answered
+// by the presolve layer alone or by the no-branching fast path, and how
+// much presolve shrank the systems that did reach branch-and-bound. The
+// counters are shared across WithOptions/WithParallelism views of one
+// compiled engine and are safe to read concurrently; cmd/xicd aggregates
+// them across its spec registry under /debug/vars.
+func (s *Spec) SolveStats() SolveStats { return s.eng.SolveStats() }
+
 // Consistent decides whether some finite document conforms to the DTD and
 // satisfies every compiled constraint, returning a verified witness
 // document on success (unless Options.SkipWitness is set). Keys-only sets

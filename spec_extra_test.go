@@ -114,3 +114,39 @@ func TestCompileStringsSemanticErrors(t *testing.T) {
 		t.Errorf("want ParseError, got %v", err)
 	}
 }
+
+// TestSpecSolveStats: the solver counters accumulate across checks, are
+// shared between WithOptions views of one engine, and report presolve
+// activity on encoding-shaped systems.
+func TestSpecSolveStats(t *testing.T) {
+	spec, err := CompileStrings(`
+<!ELEMENT db (emp*, dept*)>
+<!ELEMENT emp EMPTY>
+<!ELEMENT dept EMPTY>
+<!ATTLIST emp id CDATA #REQUIRED works_in CDATA #REQUIRED>
+<!ATTLIST dept id CDATA #REQUIRED>`, `
+emp.id -> emp
+emp.works_in => dept.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := spec.SolveStats(); st.Solves != 0 {
+		t.Fatalf("fresh spec already has solves: %+v", st)
+	}
+	tuned := spec.WithOptions(Options{SkipWitness: true})
+	for i := 0; i < 3; i++ {
+		if _, err := tuned.Consistent(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := spec.SolveStats() // read through the *other* view: counters are shared
+	if st.Solves != 3 {
+		t.Errorf("Solves = %d, want 3", st.Solves)
+	}
+	if st.PresolveRows == 0 {
+		t.Errorf("presolve saw no rows: %+v", st)
+	}
+	if st.PresolveDecided+st.FastPath+st.VarsFixed == 0 {
+		t.Errorf("presolve idle on an encoding-shaped system: %+v", st)
+	}
+}

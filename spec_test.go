@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"xic/internal/dtd"
+	"xic/internal/ilp"
 	"xic/internal/reduction"
 )
 
@@ -134,7 +135,10 @@ func hardLIPSpec(t *testing.T) *Spec {
 	if err != nil {
 		t.Fatalf("Compile: %v", err)
 	}
-	return spec.WithOptions(Options{SkipWitness: true})
+	// Presolve decides this gadget family without ever reaching the simplex,
+	// which is exactly what these tests must not let happen: they exercise
+	// cancellation inside the LP pivot loop, so pin the raw search.
+	return spec.WithOptions(Options{SkipWitness: true, Solver: ilp.Options{DisablePresolve: true}})
 }
 
 // TestSpecCancellation proves a context deadline aborts an NP-class

@@ -143,6 +143,11 @@ type (
 	// inconsistent core.
 	Diagnosis = core.Diagnosis
 
+	// SolveStats is a snapshot of a Spec's cumulative ILP-oracle counters:
+	// presolve decisions, fast-path hits, and how much the presolve layer
+	// shrank the systems that reached the branch-and-bound search.
+	SolveStats = core.SolveStats
+
 	// Validator checks documents for DTD conformance.
 	Validator = xmltree.Validator
 
