@@ -13,10 +13,16 @@
 //	solver (-min-speedup, so the presolve layer cannot silently decay
 //	into overhead).
 //
+//	-kind compile: the two-stage compile/bind records of
+//	BENCH_compile.json (TestWriteCompileBench). For every specs/ corpus
+//	case present in both files it checks the warm Bind-plus-check wall
+//	time and its speedup over cold Compile-plus-check (-min-speedup, so
+//	Schema.Bind cannot silently decay back toward full recompilation).
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH_validate.json -current BENCH_current.json \
-//	          [-kind validate|solve] [-peak-tolerance 0.20] \
+//	          [-kind validate|solve|compile] [-peak-tolerance 0.20] \
 //	          [-time-tolerance 0.20] [-min-time-ms 2] [-min-speedup 1.1]
 //
 // A value more than the tolerance above baseline is a regression. Peak
@@ -57,6 +63,14 @@ type solveRecord struct {
 	VarsFixed     uint64  `json:"vars_fixed"`
 }
 
+// compileRecord mirrors the schema TestWriteCompileBench writes.
+type compileRecord struct {
+	Case    string  `json:"case"`
+	ColdMs  float64 `json:"cold_ms"`
+	WarmMs  float64 `json:"warm_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
 // tolerances configures the gate.
 type tolerances struct {
 	peak       float64 // allowed relative growth of stream_peak_bytes
@@ -95,6 +109,13 @@ func main() {
 			os.Exit(2)
 		}
 		report, regressions = compareSolve(base, cur, tol)
+	case "compile":
+		base, cur, err := loadBoth[compileRecord](*baselinePath, *currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		report, regressions = compareCompile(base, cur, tol)
 	default:
 		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q\n", *kind)
 		os.Exit(2)
@@ -211,6 +232,47 @@ func compareSolve(base, cur []solveRecord, tol tolerances) (report, regressions 
 			regressions = append(regressions, fmt.Sprintf(
 				"case %s: presolve speedup %.2fx under the %.2fx floor (raw %.1f ms, presolved %.1f ms)",
 				c.Case, c.Speedup, tol.minSpeedup, c.RawMs, c.PresolveMs))
+		}
+	}
+	for name := range byCase {
+		report = append(report, fmt.Sprintf("case %s: present in baseline only (informational)", name))
+	}
+	return report, regressions
+}
+
+// compareCompile matches current compile/bind records to baseline records
+// by case name. Two gates per case: the warm Bind-plus-check wall time must
+// not grow past the time tolerance (with the shared noise floor), and its
+// speedup over the cold path must stay above -min-speedup — the split
+// exists to amortise the per-DTD work, so a case where Bind decays toward
+// the cost of a full compile is a regression even if absolute times look
+// fine. Cases present in only one file are reported but never gate.
+func compareCompile(base, cur []compileRecord, tol tolerances) (report, regressions []string) {
+	byCase := make(map[string]compileRecord, len(base))
+	for _, b := range base {
+		byCase[b.Case] = b
+	}
+	for _, c := range cur {
+		b, ok := byCase[c.Case]
+		if !ok {
+			report = append(report, fmt.Sprintf("case %s: no baseline entry (informational): warm %.3f ms, speedup %.1fx",
+				c.Case, c.WarmMs, c.Speedup))
+			continue
+		}
+		delete(byCase, c.Case)
+		timeGrowth := growth(b.WarmMs, c.WarmMs)
+		report = append(report, fmt.Sprintf(
+			"case %s: warm %.3f ms → %.3f ms (%+.1f%%, limit +%.0f%%), speedup %.1fx → %.1fx (floor %.2fx)",
+			c.Case, b.WarmMs, c.WarmMs, 100*timeGrowth, 100*tol.time, b.Speedup, c.Speedup, tol.minSpeedup))
+		if b.WarmMs >= tol.minTimeMs && timeGrowth > tol.time {
+			regressions = append(regressions, fmt.Sprintf(
+				"case %s: warm bind+check time grew %.1f%% (%.3f ms → %.3f ms), tolerance %.0f%%",
+				c.Case, 100*timeGrowth, b.WarmMs, c.WarmMs, 100*tol.time))
+		}
+		if c.ColdMs >= tol.minTimeMs && c.Speedup < tol.minSpeedup {
+			regressions = append(regressions, fmt.Sprintf(
+				"case %s: bind speedup %.1fx under the %.2fx floor (cold %.3f ms, warm %.3f ms)",
+				c.Case, c.Speedup, tol.minSpeedup, c.ColdMs, c.WarmMs))
 		}
 	}
 	for name := range byCase {

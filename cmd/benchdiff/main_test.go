@@ -130,3 +130,72 @@ func TestSolveUnmatchedCasesAreInformational(t *testing.T) {
 		t.Fatalf("missing informational lines:\n%s", joined)
 	}
 }
+
+func crec(name string, coldMs, warmMs float64) compileRecord {
+	r := compileRecord{Case: name, ColdMs: coldMs, WarmMs: warmMs}
+	if warmMs > 0 {
+		r.Speedup = coldMs / warmMs
+	}
+	return r
+}
+
+var compileTol = tolerances{time: 0.20, minTimeMs: 2, minSpeedup: 2}
+
+func TestCompileWithinToleranceIsClean(t *testing.T) {
+	base := []compileRecord{crec("teachers", 12, 0.01), crec("registrar", 2.2, 0.02)}
+	cur := []compileRecord{crec("teachers", 13, 0.011), crec("registrar", 2.0, 0.022)}
+	report, regs := compareCompile(base, cur, compileTol)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if len(report) != 2 {
+		t.Fatalf("want 2 report lines, got %v", report)
+	}
+}
+
+func TestCompileWarmTimeRegressionGates(t *testing.T) {
+	base := []compileRecord{crec("a", 100, 4)}
+	cur := []compileRecord{crec("a", 100, 6)} // +50% warm time
+	_, regs := compareCompile(base, cur, compileTol)
+	if len(regs) != 1 || !strings.Contains(regs[0], "bind+check time") {
+		t.Fatalf("want one time regression, got %v", regs)
+	}
+}
+
+func TestCompileSpeedupFloorGates(t *testing.T) {
+	base := []compileRecord{crec("a", 100, 4)}
+	cur := []compileRecord{crec("a", 100, 60)} // 1.7x: bind decayed toward recompilation
+	_, regs := compareCompile(base, cur, compileTol)
+	// The warm time also blew the growth gate; the speedup floor must be
+	// among the regressions.
+	found := false
+	for _, r := range regs {
+		if strings.Contains(r, "floor") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a speedup-floor regression, got %v", regs)
+	}
+}
+
+func TestCompileTinyColdCasesNeverSpeedupGate(t *testing.T) {
+	base := []compileRecord{crec("a", 0.4, 0.1)}
+	cur := []compileRecord{crec("a", 0.3, 0.2)} // 1.5x, but cold under the 2 ms floor
+	if _, regs := compareCompile(base, cur, compileTol); len(regs) != 0 {
+		t.Fatalf("sub-floor case gated: %v", regs)
+	}
+}
+
+func TestCompileUnmatchedCasesAreInformational(t *testing.T) {
+	base := []compileRecord{crec("a", 100, 2), crec("old", 50, 1)}
+	cur := []compileRecord{crec("a", 100, 2), crec("new", 80, 1)}
+	report, regs := compareCompile(base, cur, compileTol)
+	if len(regs) != 0 {
+		t.Fatalf("corpus changes must not gate: %v", regs)
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "no baseline entry") || !strings.Contains(joined, "baseline only") {
+		t.Fatalf("missing informational lines:\n%s", joined)
+	}
+}

@@ -3,20 +3,27 @@
 //
 // Usage:
 //
-//	xic check    -dtd spec.dtd -constraints spec.xic [-witness out.xml] [-skip-witness] [-max-solver-nodes N] [-timeout d]
-//	xic imply    -dtd spec.dtd -constraints spec.xic -query "constraint" [-counterexample out.xml] [-timeout d]
+//	xic check    -dtd spec.dtd -constraints spec.xic [-constraints more.xic ...] [-witness out.xml] [-skip-witness] [-max-solver-nodes N] [-timeout d]
+//	xic imply    -dtd spec.dtd -constraints spec.xic [-constraints more.xic ...] -query "constraint" [-counterexample out.xml] [-timeout d]
 //	xic validate -dtd spec.dtd [-constraints spec.xic] -doc doc.xml [-stream] [-timeout d]
 //	xic simplify -dtd spec.dtd
 //	xic encode   -dtd spec.dtd [-constraints spec.xic] [-bigm]
 //	xic class    -constraints spec.xic
 //
-// check and imply compile the specification once (xic.Compile) and run the
-// decision under a context: -timeout bounds the NP search, turning an
-// adversarial instance into a clean "deadline exceeded" failure instead of
-// a hung process.
+// check and imply compile the specification once and run the decision
+// under a context: -timeout bounds the NP search, turning an adversarial
+// instance into a clean "deadline exceeded" failure instead of a hung
+// process.
 //
-// Exit status: 0 for a positive answer (consistent / implied / valid),
-// 1 for a negative answer, 2 for usage or processing errors.
+// -constraints may be repeated: the DTD is then compiled once
+// (xic.CompileDTD) and every constraint file is bound to the shared schema
+// (Schema.Bind), answering one verdict per file — the multi-constraint-set
+// serving shape of the two-stage API. With a single -constraints the
+// commands behave exactly as before.
+//
+// Exit status: 0 for a positive answer (consistent / implied / valid —
+// for every set when several are given), 1 for a negative answer, 2 for
+// usage or processing errors.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"xic"
@@ -95,6 +103,48 @@ func loadDTD(path string) (*xic.DTD, error) {
 	return xic.ParseDTD(string(data))
 }
 
+// fileList collects a repeatable -constraints flag.
+type fileList []string
+
+func (f *fileList) String() string { return strings.Join(*f, ",") }
+
+func (f *fileList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+// loadSchemaSpecs compiles the DTD once and binds every constraint file to
+// the shared schema, returning the specs in input order. With no files it
+// binds the empty set once.
+func loadSchemaSpecs(dtdPath string, consPaths []string) (*xic.Schema, []*xic.Spec, error) {
+	d, err := loadDTD(dtdPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema, err := xic.CompileDTD(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(consPaths) == 0 {
+		spec, err := schema.Bind()
+		if err != nil {
+			return nil, nil, err
+		}
+		return schema, []*xic.Spec{spec}, nil
+	}
+	specs := make([]*xic.Spec, len(consPaths))
+	for i, path := range consPaths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if specs[i], err = schema.BindStrings(string(data)); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return schema, specs, nil
+}
+
 func loadConstraints(path string, required bool) ([]xic.Constraint, error) {
 	if path == "" {
 		if required {
@@ -133,54 +183,75 @@ func checkContext(timeout time.Duration) (context.Context, context.CancelFunc) {
 func runCheck(args []string) (negative bool, err error) {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	dtdPath := fs.String("dtd", "", "DTD file")
-	consPath := fs.String("constraints", "", "constraint file")
-	witnessPath := fs.String("witness", "", "write a witness document here when consistent")
+	var consPaths fileList
+	fs.Var(&consPaths, "constraints", "constraint file (repeat to check several sets against one compiled schema)")
+	witnessPath := fs.String("witness", "", "write a witness document here when consistent (single set only)")
 	skipWitness := fs.Bool("skip-witness", false, "decision only, no witness construction")
 	maxNodes := fs.Int("max-solver-nodes", 0, "branch-and-bound node budget (0 = default)")
 	timeout := fs.Duration("timeout", 0, "abort the NP search after this long (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
-	spec, err := loadSpec(*dtdPath, *consPath)
+	multi := len(consPaths) > 1
+	if multi && *witnessPath != "" {
+		return false, fmt.Errorf("-witness requires a single -constraints file")
+	}
+	_, specs, err := loadSchemaSpecs(*dtdPath, consPaths)
 	if err != nil {
 		return false, err
 	}
-	spec = spec.WithOptions(xic.Options{
-		SkipWitness: *skipWitness && *witnessPath == "",
+	opt := xic.Options{
+		SkipWitness: (*skipWitness && *witnessPath == "") || multi,
 		Solver:      ilp.Options{MaxNodes: *maxNodes},
-	})
+	}
 	ctx, cancel := checkContext(*timeout)
 	defer cancel()
-	res, err := spec.Consistent(ctx)
-	if err != nil {
-		return false, err
-	}
-	if !res.Consistent {
-		fmt.Printf("INCONSISTENT (%s): no document conforms to the DTD and satisfies all %d constraints\n",
-			res.Class, len(spec.Constraints()))
-		return true, nil
-	}
-	fmt.Printf("CONSISTENT (%s)\n", res.Class)
-	if *witnessPath != "" && res.Witness != nil {
-		if err := os.WriteFile(*witnessPath, []byte(xic.SerializeDocument(res.Witness)), 0o644); err != nil {
+	for i, spec := range specs {
+		spec = spec.WithOptions(opt)
+		res, err := spec.Consistent(ctx)
+		if err != nil {
+			if multi {
+				return false, fmt.Errorf("%s: %w", consPaths[i], err)
+			}
 			return false, err
 		}
-		fmt.Printf("witness written to %s\n", *witnessPath)
+		prefix := ""
+		if multi {
+			prefix = consPaths[i] + ": "
+		}
+		if !res.Consistent {
+			fmt.Printf("%sINCONSISTENT (%s): no document conforms to the DTD and satisfies all %d constraints\n",
+				prefix, res.Class, len(spec.Constraints()))
+			negative = true
+			continue
+		}
+		fmt.Printf("%sCONSISTENT (%s)\n", prefix, res.Class)
+		if *witnessPath != "" && res.Witness != nil {
+			if err := os.WriteFile(*witnessPath, []byte(xic.SerializeDocument(res.Witness)), 0o644); err != nil {
+				return false, err
+			}
+			fmt.Printf("witness written to %s\n", *witnessPath)
+		}
 	}
-	return false, nil
+	return negative, nil
 }
 
 func runImply(args []string) (negative bool, err error) {
 	fs := flag.NewFlagSet("imply", flag.ExitOnError)
 	dtdPath := fs.String("dtd", "", "DTD file")
-	consPath := fs.String("constraints", "", "constraint file (Σ)")
+	var consPaths fileList
+	fs.Var(&consPaths, "constraints", "constraint file (Σ; repeat to test the query under several sets on one compiled schema)")
 	query := fs.String("query", "", "constraint φ to test, in constraint syntax")
-	cePath := fs.String("counterexample", "", "write a counterexample document here when not implied")
+	cePath := fs.String("counterexample", "", "write a counterexample document here when not implied (single set only)")
 	timeout := fs.Duration("timeout", 0, "abort the coNP search after this long (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
-	spec, err := loadSpec(*dtdPath, *consPath)
+	multi := len(consPaths) > 1
+	if multi && *cePath != "" {
+		return false, fmt.Errorf("-counterexample requires a single -constraints file")
+	}
+	_, specs, err := loadSchemaSpecs(*dtdPath, consPaths)
 	if err != nil {
 		return false, err
 	}
@@ -193,22 +264,32 @@ func runImply(args []string) (negative bool, err error) {
 	}
 	ctx, cancel := checkContext(*timeout)
 	defer cancel()
-	imp, err := spec.Implies(ctx, phi)
-	if err != nil {
-		return false, err
-	}
-	if imp.Implied {
-		fmt.Printf("IMPLIED: every conforming document satisfying Σ satisfies %s\n", phi)
-		return false, nil
-	}
-	fmt.Printf("NOT IMPLIED: %s can fail while Σ holds\n", phi)
-	if *cePath != "" && imp.Counterexample != nil {
-		if err := os.WriteFile(*cePath, []byte(xic.SerializeDocument(imp.Counterexample)), 0o644); err != nil {
+	for i, spec := range specs {
+		imp, err := spec.Implies(ctx, phi)
+		if err != nil {
+			if multi {
+				return false, fmt.Errorf("%s: %w", consPaths[i], err)
+			}
 			return false, err
 		}
-		fmt.Printf("counterexample written to %s\n", *cePath)
+		prefix := ""
+		if multi {
+			prefix = consPaths[i] + ": "
+		}
+		if imp.Implied {
+			fmt.Printf("%sIMPLIED: every conforming document satisfying Σ satisfies %s\n", prefix, phi)
+			continue
+		}
+		negative = true
+		fmt.Printf("%sNOT IMPLIED: %s can fail while Σ holds\n", prefix, phi)
+		if *cePath != "" && imp.Counterexample != nil {
+			if err := os.WriteFile(*cePath, []byte(xic.SerializeDocument(imp.Counterexample)), 0o644); err != nil {
+				return false, err
+			}
+			fmt.Printf("counterexample written to %s\n", *cePath)
+		}
 	}
-	return true, nil
+	return negative, nil
 }
 
 func runValidate(args []string) (negative bool, err error) {

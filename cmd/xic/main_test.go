@@ -199,3 +199,58 @@ func writeFile(t *testing.T, path, content string) {
 		t.Fatal(err)
 	}
 }
+
+// TestCLIMultiConstraintSets exercises the repeatable -constraints mode:
+// the DTD compiles once, every set binds against the shared schema, and
+// the exit status reflects the worst verdict.
+func TestCLIMultiConstraintSets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildCLI(t)
+	teachersDTD := specPath(t, "teachers.dtd")
+	teachersXIC := specPath(t, "teachers.xic")
+
+	// A second, consistent set over the same DTD.
+	keysOnly := filepath.Join(t.TempDir(), "keys.xic")
+	if err := os.WriteFile(keysOnly, []byte("teacher.name -> teacher\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, code := run(t, bin, "check",
+		"-dtd", teachersDTD, "-constraints", teachersXIC, "-constraints", keysOnly)
+	if code != 1 {
+		t.Fatalf("one inconsistent set must exit 1, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, teachersXIC+": INCONSISTENT") {
+		t.Errorf("missing per-file inconsistent verdict:\n%s", out)
+	}
+	if !strings.Contains(out, keysOnly+": CONSISTENT") {
+		t.Errorf("missing per-file consistent verdict:\n%s", out)
+	}
+
+	// All sets consistent: exit 0.
+	out, code = run(t, bin, "check", "-dtd", teachersDTD,
+		"-constraints", keysOnly, "-constraints", keysOnly)
+	if code != 0 {
+		t.Fatalf("all-consistent multi check must exit 0, got %d:\n%s", code, out)
+	}
+
+	// -witness is a single-set feature.
+	if out, code = run(t, bin, "check", "-dtd", teachersDTD,
+		"-constraints", keysOnly, "-constraints", keysOnly, "-witness", "w.xml"); code != 2 {
+		t.Fatalf("multi -constraints with -witness must exit 2, got %d:\n%s", code, out)
+	}
+
+	// imply under several Σ sets: implied by its own member, not by Σ1?
+	// Σ1 is inconsistent, so everything is (vacuously) implied by it too.
+	out, code = run(t, bin, "imply", "-dtd", teachersDTD,
+		"-constraints", teachersXIC, "-constraints", keysOnly,
+		"-query", "teacher.name -> teacher")
+	if code != 0 {
+		t.Fatalf("imply under both sets must exit 0, got %d:\n%s", code, out)
+	}
+	if strings.Count(out, "IMPLIED") != 2 {
+		t.Errorf("want one IMPLIED line per set:\n%s", out)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"xic"
+	"xic/internal/compilebench"
 	"xic/internal/constraint"
 	"xic/internal/core"
 	"xic/internal/dtd"
@@ -26,7 +27,10 @@ import (
 	"xic/internal/solvebench"
 )
 
-var full = flag.Bool("full", false, "run the larger size series")
+var (
+	full     = flag.Bool("full", false, "run the larger size series")
+	specsDir = flag.String("specs", "specs", "shipped specification corpus for the compile-vs-bind table")
+)
 
 func main() {
 	flag.Parse()
@@ -35,6 +39,7 @@ func main() {
 	workedExamples()
 	figure5()
 	batchThroughput()
+	compileVsBind()
 	presolveAblation()
 	gadgets()
 }
@@ -281,6 +286,45 @@ func batchThroughput() {
 			}
 		})
 		fmt.Printf("| %d | %v | %v |\n", n, seq, pooled)
+	}
+	fmt.Println()
+}
+
+// compileVsBind measures the two-stage split over the shipped specs/
+// corpus: cold xic.CompileStrings plus the case's serving check against
+// Schema.BindStrings on a schema compiled once plus the same check. The
+// corpus is internal/compilebench's — the same cases BENCH_compile.json is
+// recorded over and CI gates, so this table describes the numbers the gate
+// enforces. The implication-sweep cases are answered by the schema's
+// memoized cache on the warm side, which is the serving behaviour the
+// two-stage API exists for.
+func compileVsBind() {
+	fmt.Println("## Compile vs Bind — one schema, many constraint sets")
+	fmt.Println()
+	corpus, err := compilebench.Corpus(*specsDir)
+	if err != nil {
+		fmt.Printf("(corpus unavailable: %v — run from the repository root or pass -specs)\n\n", err)
+		return
+	}
+	fmt.Println("| case | cold Compile+check | warm Bind+check | speedup |")
+	fmt.Println("|------|--------------------|-----------------|---------|")
+	ctx := context.Background()
+	for _, c := range corpus {
+		schema, err := c.CompileSchema()
+		if err != nil {
+			panic(err)
+		}
+		cold := compilebench.BestOf(func() {
+			if err := c.Cold(ctx); err != nil {
+				panic(err)
+			}
+		})
+		warm := compilebench.BestOf(func() {
+			if err := c.Warm(ctx, schema); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("| %s | %v | %v | %.1fx |\n", c.Name, cold, warm, float64(cold)/float64(warm))
 	}
 	fmt.Println()
 }

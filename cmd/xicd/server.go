@@ -67,15 +67,67 @@ func newServer(cfg config) *server {
 	s.vars.Set("requests_total", s.requests)
 	s.vars.Set("responses_by_status", s.statuses)
 	s.vars.Set("validate_elements_total", s.elements)
+	// The two-level cache, one counter block per tier: the schema tier
+	// amortises the heavy per-DTD compilation, the spec tier the cheap
+	// per-constraint-set bind. A spec miss whose schema tier hits is the
+	// serving sweet spot — bind-only work.
 	s.vars.Set("cache", expvar.Func(func() any {
 		st := s.reg.Stats()
+		tier := func(t registry.TierStats) map[string]any {
+			return map[string]any{
+				"size":          t.Size,
+				"hits":          t.Hits,
+				"misses":        t.Misses,
+				"evictions":     t.Evictions,
+				"errors":        t.Errors,
+				"work_ms_total": float64(t.Time.Microseconds()) / 1000,
+			}
+		}
 		return map[string]any{
+			"tiers": map[string]any{
+				"schemas": tier(st.Schemas),
+				"specs":   tier(st.SpecTier),
+			},
+			// Legacy roll-up, kept (types included) for dashboards
+			// predating the two tiers.
 			"specs":            st.Specs,
 			"hits":             st.Hits,
 			"misses":           st.Misses,
 			"evictions":        st.Evictions,
 			"compile_errors":   st.CompileErrors,
 			"compile_ms_total": float64(st.CompileTime.Microseconds()) / 1000,
+		}
+	}))
+	// Every cached spec with its two-part fingerprint, most recently used
+	// first: the schema_id half is the handle for bind-by-fingerprint
+	// compiles (POST /v1/specs with "dtd_id").
+	s.vars.Set("specs", expvar.Func(func() any {
+		entries := s.reg.Entries()
+		out := make([]map[string]any, 0, len(entries))
+		for _, e := range entries {
+			out = append(out, map[string]any{
+				"id":        e.ID,
+				"schema_id": e.SchemaID,
+				"class":     e.Spec.Class().String(),
+				"bind_ms":   float64(e.BindTime.Microseconds()) / 1000,
+			})
+		}
+		return out
+	}))
+	// The schema-wide memoized implication caches, summed over the schema
+	// tier: hits are implication queries answered without a coNP refutation.
+	s.vars.Set("impl_cache", expvar.Func(func() any {
+		var total xic.ImplCacheStats
+		for _, se := range s.reg.SchemaEntries() {
+			st := se.Schema.ImplCacheStats()
+			total.Hits += st.Hits
+			total.Misses += st.Misses
+			total.Entries += st.Entries
+		}
+		return map[string]any{
+			"hits":    total.Hits,
+			"misses":  total.Misses,
+			"entries": total.Entries,
 		}
 	}))
 	// The solver hit/shrink counters, summed over every cached Spec: how
@@ -116,6 +168,8 @@ func newServer(cfg config) *server {
 // 405 from the mux itself.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schemas", s.count("compile_schema", s.handleCompileSchema))
+	mux.HandleFunc("GET /v1/schemas/{id}", s.count("schema_meta", s.handleSchemaMeta))
 	mux.HandleFunc("POST /v1/specs", s.count("compile", s.handleCompile))
 	mux.HandleFunc("GET /v1/specs/{id}", s.count("spec_meta", s.handleSpecMeta))
 	mux.HandleFunc("POST /v1/specs/{id}/consistent", s.count("consistent", s.withSpec(s.handleConsistent)))
@@ -252,23 +306,27 @@ func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) (ok b
 	return true
 }
 
-// ---- POST /v1/specs ----------------------------------------------------
+// ---- POST /v1/schemas --------------------------------------------------
 
-type compileRequest struct {
-	DTD         string `json:"dtd"`
-	Constraints string `json:"constraints"`
+// compileSchemaRequest registers the heavy, constraint-free half of a
+// specification: the DTD alone.
+type compileSchemaRequest struct {
+	DTD string `json:"dtd"`
 }
 
-type compileResponse struct {
-	ID          string  `json:"id"`
-	Cached      bool    `json:"cached"`
-	Class       string  `json:"class"`
-	Constraints int     `json:"constraints"`
-	CompileMs   float64 `json:"compile_ms,omitempty"`
+type compileSchemaResponse struct {
+	ID            string  `json:"id"`
+	Cached        bool    `json:"cached"`
+	DTDConsistent bool    `json:"dtd_consistent"`
+	CompileMs     float64 `json:"compile_ms,omitempty"`
 }
 
-func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	var req compileRequest
+// handleCompileSchema compiles (or recalls) a Schema so that later
+// compiles can bind constraint sets against it by fingerprint, skipping
+// DTD compilation entirely — the batch implies/consistent serving shape
+// for one stable schema.
+func (s *server) handleCompileSchema(w http.ResponseWriter, r *http.Request) {
+	var req compileSchemaRequest
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
@@ -276,7 +334,95 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.writeStatusError(w, http.StatusBadRequest, "request", `missing "dtd" field`)
 		return
 	}
-	entry, cached, err := s.reg.Compile(req.DTD, req.Constraints)
+	entry, cached, err := s.reg.CompileSchema(req.DTD)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	status := http.StatusCreated
+	resp := compileSchemaResponse{
+		ID:            entry.ID,
+		Cached:        cached,
+		DTDConsistent: entry.Schema.ConsistentDTD(),
+	}
+	if cached {
+		status = http.StatusOK
+	} else {
+		resp.CompileMs = float64(entry.CompileTime.Microseconds()) / 1000
+	}
+	s.writeJSON(w, status, resp)
+}
+
+// ---- GET /v1/schemas/{id} ----------------------------------------------
+
+func (s *server) handleSchemaMeta(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	schema, ok := s.reg.GetSchema(id)
+	if !ok {
+		s.writeStatusError(w, http.StatusNotFound, "request",
+			"no schema %q: compile it via POST /v1/schemas (the registry is bounded, so old entries may have been evicted)", id)
+		return
+	}
+	st := schema.ImplCacheStats()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"id":             id,
+		"root":           schema.DTD().Root,
+		"types":          len(schema.DTD().Types()),
+		"dtd_consistent": schema.ConsistentDTD(),
+		"impl_cache": map[string]any{
+			"hits":    st.Hits,
+			"misses":  st.Misses,
+			"entries": st.Entries,
+		},
+	})
+}
+
+// ---- POST /v1/specs ----------------------------------------------------
+
+// compileRequest carries either the DTD source or — the bind-by-fingerprint
+// form — the id of an already-registered schema, plus the constraint set to
+// bind.
+type compileRequest struct {
+	DTD         string `json:"dtd,omitempty"`
+	DTDID       string `json:"dtd_id,omitempty"`
+	Constraints string `json:"constraints"`
+}
+
+type compileResponse struct {
+	ID          string  `json:"id"`
+	SchemaID    string  `json:"schema_id"`
+	Cached      bool    `json:"cached"`
+	Class       string  `json:"class"`
+	Constraints int     `json:"constraints"`
+	CompileMs   float64 `json:"compile_ms,omitempty"`
+	BindMs      float64 `json:"bind_ms,omitempty"`
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req compileRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	var entry *registry.Entry
+	var cached bool
+	var err error
+	switch {
+	case req.DTD != "" && req.DTDID != "":
+		s.writeStatusError(w, http.StatusBadRequest, "request", `"dtd" and "dtd_id" are mutually exclusive`)
+		return
+	case req.DTD != "":
+		entry, cached, err = s.reg.Compile(req.DTD, req.Constraints)
+	case req.DTDID != "":
+		entry, cached, err = s.reg.BindByID(req.DTDID, req.Constraints)
+		if errors.Is(err, registry.ErrUnknownSchema) {
+			s.writeStatusError(w, http.StatusNotFound, "request",
+				"no schema %q: compile it via POST /v1/schemas, or resubmit the DTD source", req.DTDID)
+			return
+		}
+	default:
+		s.writeStatusError(w, http.StatusBadRequest, "request", `missing "dtd" (or "dtd_id") field`)
+		return
+	}
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -284,6 +430,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusCreated
 	resp := compileResponse{
 		ID:          entry.ID,
+		SchemaID:    entry.SchemaID,
 		Cached:      cached,
 		Class:       entry.Spec.Class().String(),
 		Constraints: len(entry.Spec.Constraints()),
@@ -293,7 +440,11 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		// duration here would double-count it in client latency metrics.
 		status = http.StatusOK
 	} else {
+		// CompileMs is the schema compilation this miss had to run (zero on
+		// a schema-tier hit: the whole point of binding by fingerprint);
+		// BindMs is this entry's own Schema.Bind cost.
 		resp.CompileMs = float64(entry.CompileTime.Microseconds()) / 1000
+		resp.BindMs = float64(entry.BindTime.Microseconds()) / 1000
 	}
 	s.writeJSON(w, status, resp)
 }

@@ -538,12 +538,31 @@ func TestMetaHealthAndVars(t *testing.T) {
 	// Drive one cache hit, then read the counters back.
 	do(t, h, "POST", "/v1/specs/"+db+"/consistent", `{"skip_witness": true}`)
 	w = do(t, h, "GET", "/debug/vars", "")
+	type tierVars struct {
+		Size      int    `json:"size"`
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Evictions uint64 `json:"evictions"`
+		Errors    uint64 `json:"errors"`
+	}
 	vars := decode[struct {
 		Cache struct {
 			Hits   uint64 `json:"hits"`
 			Misses uint64 `json:"misses"`
-			Specs  int    `json:"specs"`
+			Specs  int    `json:"specs"` // legacy roll-up: cached spec count
+			Tiers  struct {
+				Schemas tierVars `json:"schemas"`
+				Specs   tierVars `json:"specs"`
+			} `json:"tiers"`
 		} `json:"cache"`
+		Specs []struct {
+			ID       string `json:"id"`
+			SchemaID string `json:"schema_id"`
+		} `json:"specs"`
+		ImplCache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"impl_cache"`
 		Solve struct {
 			Solves          uint64 `json:"solves"`
 			PresolveDecided uint64 `json:"presolve_decided"`
@@ -554,7 +573,18 @@ func TestMetaHealthAndVars(t *testing.T) {
 		Requests map[string]int64 `json:"requests_total"`
 	}](t, w)
 	if vars.Cache.Misses != 1 || vars.Cache.Hits < 1 || vars.Cache.Specs != 1 {
-		t.Errorf("cache vars = %+v", vars.Cache)
+		t.Errorf("legacy cache roll-up = %+v", vars.Cache)
+	}
+	// Per-tier counters: one schema compiled, one spec bound, both reused.
+	if vars.Cache.Tiers.Specs.Size != 1 || vars.Cache.Tiers.Specs.Misses != 1 || vars.Cache.Tiers.Specs.Hits < 1 {
+		t.Errorf("spec-tier vars = %+v", vars.Cache.Tiers.Specs)
+	}
+	if vars.Cache.Tiers.Schemas.Size != 1 || vars.Cache.Tiers.Schemas.Misses != 1 {
+		t.Errorf("schema-tier vars = %+v", vars.Cache.Tiers.Schemas)
+	}
+	// The registry entry listing carries both fingerprint halves.
+	if len(vars.Specs) != 1 || vars.Specs[0].ID != db || vars.Specs[0].SchemaID != db[:64] {
+		t.Errorf("specs listing = %+v", vars.Specs)
 	}
 	if vars.Requests["consistent"] < 1 || vars.Requests["compile"] < 1 {
 		t.Errorf("request counters = %+v", vars.Requests)
@@ -569,5 +599,131 @@ func TestMetaHealthAndVars(t *testing.T) {
 	}
 	if vars.Solve.PresolveDecided+vars.Solve.FastPath+vars.Solve.VarsFixed == 0 {
 		t.Errorf("presolve did nothing on the db encoding: %+v", vars.Solve)
+	}
+}
+
+// TestSchemaEndpointsAndBindByFingerprint covers the two-stage serving
+// flow: register the DTD once, then bind constraint sets against its
+// fingerprint so no later compile touches the DTD again.
+func TestSchemaEndpointsAndBindByFingerprint(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+
+	body, _ := json.Marshal(compileSchemaRequest{DTD: dbDTD})
+	w := do(t, h, "POST", "/v1/schemas", string(body))
+	if w.Code != http.StatusCreated {
+		t.Fatalf("fresh schema compile: status %d: %s", w.Code, w.Body)
+	}
+	sch := decode[compileSchemaResponse](t, w)
+	if want := xic.FingerprintDTD(dbDTD); sch.ID != want {
+		t.Errorf("schema id = %q, want DTD fingerprint %q", sch.ID, want)
+	}
+	if sch.Cached || sch.CompileMs <= 0 || !sch.DTDConsistent {
+		t.Errorf("fresh schema response = %+v", sch)
+	}
+
+	// Byte-identical resubmission hits the schema tier.
+	if w = do(t, h, "POST", "/v1/schemas", string(body)); w.Code != http.StatusOK {
+		t.Fatalf("cached schema compile: status %d", w.Code)
+	}
+	if resp := decode[compileSchemaResponse](t, w); !resp.Cached || resp.CompileMs != 0 {
+		t.Errorf("cached schema response = %+v", resp)
+	}
+
+	// Schema metadata by fingerprint.
+	w = do(t, h, "GET", "/v1/schemas/"+sch.ID, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("schema meta: status %d: %s", w.Code, w.Body)
+	}
+	meta := decode[struct {
+		Root  string `json:"root"`
+		Types int    `json:"types"`
+	}](t, w)
+	if meta.Root != "db" || meta.Types != 3 {
+		t.Errorf("schema meta = %+v", meta)
+	}
+
+	// Bind a constraint set by fingerprint: no DTD source in the request,
+	// no DTD compilation on the server (compile_ms stays zero).
+	bind, _ := json.Marshal(compileRequest{DTDID: sch.ID, Constraints: dbXIC})
+	w = do(t, h, "POST", "/v1/specs", string(bind))
+	if w.Code != http.StatusCreated {
+		t.Fatalf("bind by fingerprint: status %d: %s", w.Code, w.Body)
+	}
+	spec := decode[compileResponse](t, w)
+	if spec.SchemaID != sch.ID || spec.Cached || spec.CompileMs != 0 {
+		t.Errorf("bind response = %+v, want schema_id %q and zero compile_ms", spec, sch.ID)
+	}
+	if spec.ID != sch.ID+xic.FingerprintConstraints(dbXIC) {
+		t.Errorf("spec id %q is not schema fingerprint + constraints fingerprint", spec.ID)
+	}
+
+	// The bound spec is indistinguishable from a source-compiled one: it
+	// serves decisions, and a full-source compile of the same pair hits it.
+	w = do(t, h, "POST", "/v1/specs/"+spec.ID+"/consistent", `{"skip_witness": true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("consistent on bound spec: status %d: %s", w.Code, w.Body)
+	}
+	if res := decode[consistentResult](t, w); !res.Consistent {
+		t.Error("db specification must be consistent")
+	}
+	full, _ := json.Marshal(compileRequest{DTD: dbDTD, Constraints: dbXIC})
+	if w = do(t, h, "POST", "/v1/specs", string(full)); w.Code != http.StatusOK {
+		t.Errorf("full-source recompile of a bound pair: status %d, want cached 200", w.Code)
+	}
+
+	// A second set binds against the same schema without recompiling it.
+	bind2, _ := json.Marshal(compileRequest{DTDID: sch.ID, Constraints: "emp.id -> emp"})
+	w = do(t, h, "POST", "/v1/specs", string(bind2))
+	if w.Code != http.StatusCreated {
+		t.Fatalf("second bind: status %d: %s", w.Code, w.Body)
+	}
+	if resp := decode[compileResponse](t, w); resp.CompileMs != 0 {
+		t.Errorf("second bind recompiled the schema: %+v", resp)
+	}
+
+	// Unknown fingerprints are a 404, mutual exclusion a 400.
+	bad, _ := json.Marshal(compileRequest{DTDID: strings.Repeat("0", 64), Constraints: dbXIC})
+	if w = do(t, h, "POST", "/v1/specs", string(bad)); w.Code != http.StatusNotFound {
+		t.Errorf("unknown dtd_id: status %d, want 404: %s", w.Code, w.Body)
+	}
+	both, _ := json.Marshal(compileRequest{DTD: dbDTD, DTDID: sch.ID, Constraints: dbXIC})
+	if w = do(t, h, "POST", "/v1/specs", string(both)); w.Code != http.StatusBadRequest {
+		t.Errorf("dtd and dtd_id together: status %d, want 400", w.Code)
+	}
+
+	// Bad constraints against a valid schema fail with the usual taxonomy.
+	badCons, _ := json.Marshal(compileRequest{DTDID: sch.ID, Constraints: "nosuch.a -> nosuch"})
+	if w = do(t, h, "POST", "/v1/specs", string(badCons)); w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("bad constraints by fingerprint: status %d, want 422: %s", w.Code, w.Body)
+	}
+}
+
+// TestImplicationMemoAcrossRequests drives the same implication query twice
+// and reads the schema-wide memo counters back through the meta endpoint.
+func TestImplicationMemoAcrossRequests(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+	db := compileSpec(t, h, dbDTD, dbXIC)
+	for i := 0; i < 2; i++ {
+		w := do(t, h, "POST", "/v1/specs/"+db+"/implies", `{"query": "emp.id -> emp"}`)
+		if w.Code != http.StatusOK {
+			t.Fatalf("implies #%d: status %d: %s", i, w.Code, w.Body)
+		}
+		if res := decode[impliesResult](t, w); !res.Implied {
+			t.Fatalf("implies #%d: member of Σ not implied", i)
+		}
+	}
+	w := do(t, h, "GET", "/v1/schemas/"+db[:64], "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("schema meta: status %d: %s", w.Code, w.Body)
+	}
+	meta := decode[struct {
+		ImplCache struct {
+			Hits    uint64 `json:"hits"`
+			Misses  uint64 `json:"misses"`
+			Entries int    `json:"entries"`
+		} `json:"impl_cache"`
+	}](t, w)
+	if meta.ImplCache.Hits < 1 || meta.ImplCache.Misses < 1 || meta.ImplCache.Entries < 1 {
+		t.Errorf("implication memo idle after repeated query: %+v", meta.ImplCache)
 	}
 }

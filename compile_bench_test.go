@@ -1,0 +1,125 @@
+// Benchmarks for the two-stage compile/bind split, in the external test
+// package so they can share internal/compilebench — the committed corpus
+// behind BENCH_compile.json and the CI compile gate — with cmd/xicbench.
+package xic_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"xic/internal/compilebench"
+)
+
+// BenchmarkCompileCold measures the one-shot path over the shipped specs/
+// corpus: full per-DTD compilation plus the case's serving check, per
+// request.
+func BenchmarkCompileCold(b *testing.B) {
+	corpus, err := compilebench.Corpus("specs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, c := range corpus {
+		b.Run(c.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := c.Cold(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchemaBind measures the amortised path: the schema compiled
+// once, each iteration paying only Schema.BindStrings plus the same check.
+func BenchmarkSchemaBind(b *testing.B) {
+	corpus, err := compilebench.Corpus("specs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, c := range corpus {
+		schema, err := c.CompileSchema()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := c.Warm(ctx, schema); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// compileRecord mirrors one entry of BENCH_compile.json (see cmd/benchdiff
+// -kind compile).
+type compileRecord struct {
+	Case    string  `json:"case"`
+	ColdMs  float64 `json:"cold_ms"`
+	WarmMs  float64 `json:"warm_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// TestWriteCompileBench records the cold-Compile vs warm-Bind comparison to
+// the JSON file named by XIC_COMPILE_BENCH_OUT (skipped otherwise; CI sets
+// it to BENCH_compile.json). It asserts the acceptance bound of the
+// two-stage API: Schema.Bind plus the serving check at least 5x faster than
+// cold Compile plus the same check, in aggregate over the specs/ corpus.
+func TestWriteCompileBench(t *testing.T) {
+	out := os.Getenv("XIC_COMPILE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set XIC_COMPILE_BENCH_OUT=BENCH_compile.json to record the compile benchmark")
+	}
+	corpus, err := compilebench.Corpus("specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var records []compileRecord
+	var totalCold, totalWarm time.Duration
+	for _, c := range corpus {
+		schema, err := c.CompileSchema()
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldDur := compilebench.BestOf(func() {
+			if err := c.Cold(ctx); err != nil {
+				t.Fatal(err)
+			}
+		})
+		warmDur := compilebench.BestOf(func() {
+			if err := c.Warm(ctx, schema); err != nil {
+				t.Fatal(err)
+			}
+		})
+		totalCold += coldDur
+		totalWarm += warmDur
+		rec := compileRecord{
+			Case:   c.Name,
+			ColdMs: float64(coldDur.Microseconds()) / 1000,
+			WarmMs: float64(warmDur.Microseconds()) / 1000,
+		}
+		if rec.WarmMs > 0 {
+			rec.Speedup = rec.ColdMs / rec.WarmMs
+		}
+		records = append(records, rec)
+		t.Logf("%-16s cold %8.3fms  warm %8.3fms  speedup %.1fx", rec.Case, rec.ColdMs, rec.WarmMs, rec.Speedup)
+	}
+	ratio := float64(totalCold) / float64(totalWarm)
+	t.Logf("TOTAL cold %v, warm %v, speedup %.1fx", totalCold, totalWarm, ratio)
+	if ratio < 5 {
+		t.Errorf("warm Bind+check is only %.1fx faster than cold Compile+check on the corpus; the acceptance bound is 5x", ratio)
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

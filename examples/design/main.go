@@ -3,8 +3,8 @@
 // paper's conclusion. Starting from DTD-native ID/IDREF typing, the example
 // derives the constraints the DTD denotes, detects that a schema evolution
 // made them unsatisfiable, isolates a minimal inconsistent core, and
-// verifies a repair. The DTD is compiled once; every probe reuses the
-// compiled encoding through ConsistentWith.
+// verifies a repair. The DTD is compiled once (xic.CompileDTD); every
+// probe binds against the shared schema, reusing the compiled encoding.
 package main
 
 import (
@@ -46,7 +46,11 @@ func main() {
 	}
 
 	// Compile the schema once; the probes below share its encoding.
-	base, err := xic.Compile(d)
+	schema, err := xic.CompileDTD(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := schema.Bind()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,8 +65,9 @@ func main() {
 	}
 	fmt.Printf("\nwith 'pin.in -> pin' (one pin per thread): consistent = %v\n", res.Consistent)
 
-	// 3. Why? Ask for a minimal inconsistent core.
-	broken, err := xic.Compile(d, withKey...)
+	// 3. Why? Bind the broken set to the same schema (no recompilation)
+	// and ask for a minimal inconsistent core.
+	broken, err := schema.Bind(withKey...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,10 +4,11 @@
 // key into teacher.name. Counting shows no document can satisfy both, and
 // xic detects this without ever seeing a document.
 //
-// The example compiles the DTD once (xic.Compile) and probes two candidate
-// constraint sets against it with ConsistentWith — the compiled encoding
-// template is shared, which is how the API is meant to be used when one
-// schema faces many constraint sets.
+// The API has two stages. xic.Compile(d, σ...) is the simple path: one
+// DTD, one constraint set, one call. This example uses the serving path —
+// xic.CompileDTD compiles the schema once, and Schema.Bind attaches each
+// candidate constraint set for a fraction of the compile cost — which is
+// how the API is meant to be used when one schema faces many sets.
 package main
 
 import (
@@ -44,15 +45,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Compile the DTD once; every check below reuses the compiled encoding.
-	spec, err := xic.Compile(d)
+	// Stage 1: compile the DTD once; every bind below reuses the compiled
+	// encoding, simplification and automata.
+	schema, err := xic.CompileDTD(d)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ctx := context.Background()
 
-	// Static validation: is any document possible at all?
-	res, err := spec.ConsistentWith(ctx, sigma...)
+	// Stage 2: bind the constraint set (cheap), then decide.
+	spec, err := schema.Bind(sigma...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := spec.Consistent(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,13 +69,17 @@ func main() {
 	fmt.Println("but the key and foreign key force |subject| = |subject.taught_by| ≤ |teacher.name| = |teacher|.")
 	fmt.Println()
 
-	// Drop the foreign key: the remaining keys are satisfiable, and xic
+	// Drop the foreign key: binding the reduced set against the same
+	// schema skips all per-DTD work, the keys are satisfiable, and xic
 	// constructs a verified witness document.
-	keysOnly, _ := xic.ParseConstraints(`
+	repaired, err := schema.BindStrings(`
 teacher.name -> teacher
 subject.taught_by -> subject
 `)
-	res, err = spec.ConsistentWith(ctx, keysOnly...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = repaired.Consistent(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

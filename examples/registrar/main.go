@@ -60,7 +60,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	spec, err := xic.Compile(d, s3...)
+	// The school schema compiles once; Σ3 and the unary fragment below
+	// both bind against it.
+	schema, err := xic.CompileDTD(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := schema.Bind(s3...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +101,7 @@ func main() {
 student.student_id -> student
 enroll.student_id => student.student_id
 `)
-	base, err := xic.Compile(d)
+	base, err := schema.Bind()
 	if err != nil {
 		log.Fatal(err)
 	}

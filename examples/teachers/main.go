@@ -48,7 +48,13 @@ teacher.name -> teacher
 subject.taught_by -> subject
 subject.taught_by => teacher.name
 `)
-	spec1, err := xic.Compile(d, sigma1...)
+	// One schema, three constraint sets below: compile the DTD once and
+	// bind each set (the two-stage API's serving shape).
+	schema, err := xic.CompileDTD(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec1, err := schema.Bind(sigma1...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +64,7 @@ subject.taught_by => teacher.name
 	if err != nil {
 		log.Fatal(err)
 	}
-	dtdOnly, err := xic.Compile(d)
+	dtdOnly, err := schema.Bind()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +96,7 @@ teacher.name -> teacher
 subject.taught_by -> subject
 teacher.name => subject.taught_by
 `)
-	spec2, err := xic.Compile(d, redesign...)
+	spec2, err := schema.Bind(redesign...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,11 +17,13 @@
 // (Theorem 3.1); Consistent reports ErrUndecidable for them. For a fixed
 // DTD the number of encoding variables is a constant, so consistency and
 // implication run in polynomial time in |Σ| (Corollaries 4.11 and 5.5);
-// Checker is the engine for that setting: it validates and simplifies the
-// DTD once, builds the cardinality-encoding template Ψ_{D_N} once, and then
+// Engine and Checker split that setting into two stages: an Engine
+// validates and simplifies the DTD once and builds the cardinality-encoding
+// template Ψ_{D_N} once, and each Checker bound to it (Engine.NewChecker)
 // serves any number of checks — concurrently — by cloning the template per
-// request. All lazy state is guarded by sync.Once; a Checker is safe for
-// use from multiple goroutines.
+// request while keeping its own solver counters. All lazy state is guarded
+// by sync.Once; Engines and Checkers are safe for use from multiple
+// goroutines.
 //
 // Every NP-class procedure takes a context.Context, plumbed into the ILP
 // branch-and-bound search and the witness construction, so deadlines and
@@ -147,24 +149,21 @@ func ConsistentContext(ctx context.Context, d *dtd.DTD, set []constraint.Constra
 	if err := d.Check(); err != nil {
 		return nil, err
 	}
-	c := &Checker{d: d, ephemeral: true}
+	c := ephemeralChecker(d)
 	return c.consistentChecked(orBackground(ctx), set, opt)
 }
 
-// Checker is the compiled consistency engine for the fixed-DTD setting of
-// Corollaries 4.11 and 5.5: it amortises DTD validation, Section 4.1
-// simplification and the Ψ_{D_N} encoding template across many consistency
-// and implication checks against the same DTD. The amortised state is
-// built at most once (guarded by sync.Once) and never mutated afterwards;
-// each request clones the encoding template, so a single Checker serves
-// any number of goroutines concurrently.
-type Checker struct {
+// Engine is the compiled per-DTD artifact of the two-stage API: DTD
+// validation, Section 4.1 simplification and the Ψ_{D_N} encoding template,
+// each built at most once (guarded by sync.Once) and never mutated
+// afterwards. The cardinality system Ψ(D) is determined by the DTD alone —
+// constraint sets only append rows on top of it — so one Engine is the
+// stable, pre-analyzed artifact that any number of Checkers bind against:
+// NewChecker hands out views sharing the compiled state with independent
+// statistics, and every request clones the encoding template, so an Engine
+// serves any number of goroutines concurrently.
+type Engine struct {
 	d *dtd.DTD
-
-	// ephemeral marks throwaway checkers behind the one-shot package-level
-	// entry points: encoding once-and-clone would cost more than just
-	// encoding, so template() builds fresh instead of caching.
-	ephemeral bool
 
 	simpOnce sync.Once
 	simp     *dtd.Simplified
@@ -172,6 +171,69 @@ type Checker struct {
 	encOnce sync.Once
 	encBase *cardinality.Encoding
 	encErr  error
+}
+
+// NewEngine validates the DTD once; simplification and the encoding
+// template are built lazily on the first NP-class check (or eagerly via
+// Precompile).
+func NewEngine(d *dtd.DTD) (*Engine, error) {
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	return &Engine{d: d}, nil
+}
+
+// DTD returns the engine's DTD.
+func (e *Engine) DTD() *dtd.DTD { return e.d }
+
+// Precompile forces the lazy per-DTD work — simplification and the
+// cardinality-encoding template — so that Checkers bound to this engine pay
+// only per-request cost. It is idempotent and safe to call concurrently.
+func (e *Engine) Precompile() error {
+	_, err := e.template()
+	return err
+}
+
+// NewChecker returns a Checker bound to the compiled engine: it shares the
+// simplified DTD and the encoding template (never rebuilding them) but
+// keeps its own solver counters, so distinct bindings of one schema report
+// independent statistics.
+func (e *Engine) NewChecker() *Checker {
+	return &Checker{eng: e}
+}
+
+// simplified returns the Section 4.1 simplification, computing it once.
+func (e *Engine) simplified() *dtd.Simplified {
+	e.simpOnce.Do(func() { e.simp = dtd.Simplify(e.d) })
+	return e.simp
+}
+
+// template returns a private clone of the compiled Ψ_{D_N} encoding,
+// building the shared base on first use.
+func (e *Engine) template() (*cardinality.Encoding, error) {
+	e.encOnce.Do(func() {
+		e.encBase, e.encErr = cardinality.EncodeDTD(e.simplified())
+	})
+	if e.encErr != nil {
+		return nil, e.encErr
+	}
+	return e.encBase.Clone(), nil
+}
+
+// Checker is the compiled consistency engine for the fixed-DTD setting of
+// Corollaries 4.11 and 5.5: it amortises DTD validation, Section 4.1
+// simplification and the Ψ_{D_N} encoding template across many consistency
+// and implication checks against the same DTD. The amortised state lives in
+// an Engine, which several Checkers may share (Engine.NewChecker); each
+// request clones the encoding template, so a single Checker serves any
+// number of goroutines concurrently.
+type Checker struct {
+	eng *Engine
+
+	// ephemeral marks throwaway checkers behind the one-shot package-level
+	// entry points: encoding once-and-clone would cost more than just
+	// encoding, so template() builds fresh instead of caching.
+	ephemeral bool
 
 	stats solveCounters
 }
@@ -261,45 +323,43 @@ func (c *Checker) recordSolve(res *ilp.Result) {
 
 // NewChecker validates the DTD once; simplification and the encoding
 // template are built lazily on the first NP-class check (or eagerly via
-// Precompile).
+// Precompile). The Checker owns a private Engine; use NewEngine plus
+// Engine.NewChecker to share the compiled state across several Checkers.
 func NewChecker(d *dtd.DTD) (*Checker, error) {
-	if err := d.Check(); err != nil {
+	eng, err := NewEngine(d)
+	if err != nil {
 		return nil, err
 	}
-	return &Checker{d: d}, nil
+	return &Checker{eng: eng}, nil
+}
+
+// ephemeralChecker wraps an already-validated DTD for the one-shot
+// package-level entry points.
+func ephemeralChecker(d *dtd.DTD) *Checker {
+	return &Checker{eng: &Engine{d: d}, ephemeral: true}
 }
 
 // DTD returns the checker's DTD.
-func (c *Checker) DTD() *dtd.DTD { return c.d }
+func (c *Checker) DTD() *dtd.DTD { return c.eng.d }
+
+// Engine returns the compiled per-DTD engine the checker is bound to.
+func (c *Checker) Engine() *Engine { return c.eng }
 
 // Precompile forces the lazy per-DTD work — simplification and the
 // cardinality-encoding template — so that later checks pay only per-request
 // cost. It is idempotent and safe to call concurrently.
 func (c *Checker) Precompile() error {
-	_, err := c.template()
-	return err
+	return c.eng.Precompile()
 }
 
-// simplified returns the Section 4.1 simplification, computing it once.
-func (c *Checker) simplified() *dtd.Simplified {
-	c.simpOnce.Do(func() { c.simp = dtd.Simplify(c.d) })
-	return c.simp
-}
-
-// template returns a private clone of the compiled Ψ_{D_N} encoding,
-// building the shared base on first use. Ephemeral checkers skip the
-// cache and hand out a fresh encoding directly.
+// template returns a private clone of the compiled Ψ_{D_N} encoding.
+// Ephemeral checkers skip the engine cache and hand out a fresh encoding
+// directly: encoding once-and-clone would cost more than just encoding.
 func (c *Checker) template() (*cardinality.Encoding, error) {
 	if c.ephemeral {
-		return cardinality.EncodeDTD(c.simplified())
+		return cardinality.EncodeDTD(c.eng.simplified())
 	}
-	c.encOnce.Do(func() {
-		c.encBase, c.encErr = cardinality.EncodeDTD(c.simplified())
-	})
-	if c.encErr != nil {
-		return nil, c.encErr
-	}
-	return c.encBase.Clone(), nil
+	return c.eng.template()
 }
 
 // Consistent is Consistent against the fixed DTD.
@@ -317,7 +377,7 @@ func (c *Checker) consistentChecked(ctx context.Context, set []constraint.Constr
 	if err := wrapCanceled(ctx.Err()); err != nil {
 		return nil, err
 	}
-	if err := constraint.ValidateSet(c.d, set); err != nil {
+	if err := constraint.ValidateSet(c.eng.d, set); err != nil {
 		return nil, err
 	}
 	class := constraint.ClassOf(set)
@@ -355,7 +415,7 @@ func (c *Checker) consistentChecked(ctx context.Context, set []constraint.Constr
 // keys is consistent iff the DTD has any valid tree, since attribute values
 // can always be chosen pairwise distinct.
 func (c *Checker) consistentKeysOnly(ctx context.Context, set []constraint.Constraint, opt *Options) (*Result, error) {
-	res := &Result{Class: constraint.ClassK, Consistent: c.d.HasValidTree()}
+	res := &Result{Class: constraint.ClassK, Consistent: c.eng.d.HasValidTree()}
 	if !res.Consistent || opt.skipWitness() {
 		return res, nil
 	}

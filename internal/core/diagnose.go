@@ -48,7 +48,7 @@ func DiagnoseContext(ctx context.Context, d *dtd.DTD, set []constraint.Constrain
 	if err := d.Check(); err != nil {
 		return nil, err
 	}
-	c := &Checker{d: d}
+	c := &Checker{eng: &Engine{d: d}}
 	return c.DiagnoseContext(ctx, set, opt)
 }
 
@@ -56,7 +56,7 @@ func DiagnoseContext(ctx context.Context, d *dtd.DTD, set []constraint.Constrain
 // paid once for all |Σ|+1 consistency checks of the deletion filter.
 func (c *Checker) DiagnoseContext(ctx context.Context, set []constraint.Constraint, opt *Options) (*Diagnosis, error) {
 	ctx = orBackground(ctx)
-	if !c.d.HasValidTree() {
+	if !c.eng.d.HasValidTree() {
 		return &Diagnosis{DTDEmpty: true}, nil
 	}
 	decide := func(s []constraint.Constraint) (bool, error) {

@@ -40,7 +40,7 @@ func ImpliesContext(ctx context.Context, d *dtd.DTD, sigma []constraint.Constrai
 	if err := d.Check(); err != nil {
 		return nil, err
 	}
-	c := &Checker{d: d, ephemeral: true}
+	c := ephemeralChecker(d)
 	return c.ImpliesContext(ctx, sigma, phi, opt)
 }
 
@@ -56,10 +56,10 @@ func (c *Checker) ImpliesContext(ctx context.Context, sigma []constraint.Constra
 	if err := wrapCanceled(ctx.Err()); err != nil {
 		return nil, err
 	}
-	if err := constraint.ValidateSet(c.d, sigma); err != nil {
+	if err := constraint.ValidateSet(c.eng.d, sigma); err != nil {
 		return nil, err
 	}
-	if err := phi.Validate(c.d); err != nil {
+	if err := phi.Validate(c.eng.d); err != nil {
 		return nil, err
 	}
 	phiKey, phiIsKey := phi.(constraint.Key)
@@ -149,7 +149,7 @@ func (c *Checker) impliesKeyByKeys(ctx context.Context, sigma []constraint.Const
 	if subsumesKey(sigma, phi) {
 		return &Implication{Implied: true}, nil
 	}
-	if c.d.MaxOccurrences(phi.Type) < 2 {
+	if c.eng.d.MaxOccurrences(phi.Type) < 2 {
 		return &Implication{Implied: true}, nil
 	}
 	if opt.skipWitness() {

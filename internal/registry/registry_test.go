@@ -183,3 +183,187 @@ func TestConcurrentCompileSharesWork(t *testing.T) {
 		t.Error("teachers specification must be inconsistent (paper Section 1)")
 	}
 }
+
+// TestTwoTierSchemaReuse: distinct constraint sets over one DTD compile the
+// schema exactly once; the spec tier records one miss per set.
+func TestTwoTierSchemaReuse(t *testing.T) {
+	r := New(8)
+	sets := []string{teachersXIC, "teacher.name -> teacher", ""}
+	for _, cons := range sets {
+		e, cached, err := r.Compile(teachersDTD, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached {
+			t.Errorf("first compile of set %q reported cached", cons)
+		}
+		if e.SchemaID != xic.FingerprintDTD(teachersDTD) {
+			t.Errorf("entry schema id %q is not the DTD fingerprint", e.SchemaID)
+		}
+		if e.ID != e.SchemaID+xic.FingerprintConstraints(cons) {
+			t.Errorf("entry id is not schemaID+constraints fingerprint")
+		}
+	}
+	st := r.Stats()
+	if st.Schemas.Misses != 1 || st.Schemas.Size != 1 {
+		t.Errorf("schema tier = %+v, want exactly one compile for three sets", st.Schemas)
+	}
+	if st.Schemas.Hits != uint64(len(sets)-1) {
+		t.Errorf("schema tier hits = %d, want %d", st.Schemas.Hits, len(sets)-1)
+	}
+	if st.SpecTier.Misses != uint64(len(sets)) || st.SpecTier.Size != len(sets) {
+		t.Errorf("spec tier = %+v, want one miss per set", st.SpecTier)
+	}
+	// Only the first entry paid the schema compile; the others were pure
+	// binds.
+	entries := r.Entries()
+	var paid int
+	for _, e := range entries {
+		if e.CompileTime > 0 {
+			paid++
+		}
+		if e.BindTime <= 0 {
+			t.Errorf("entry %s has no bind time", e.ID[:8])
+		}
+	}
+	if paid != 1 {
+		t.Errorf("%d entries charged schema compile time, want 1", paid)
+	}
+}
+
+// TestBindByID binds constraint sets against a registered schema without
+// resubmitting the DTD, and fails cleanly for unknown fingerprints.
+func TestBindByID(t *testing.T) {
+	r := New(8)
+	se, cached, err := r.CompileSchema(teachersDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || se.CompileTime <= 0 {
+		t.Errorf("fresh schema: cached=%v compileTime=%v", cached, se.CompileTime)
+	}
+	if se.ID != xic.FingerprintDTD(teachersDTD) {
+		t.Errorf("schema id %q is not the DTD fingerprint", se.ID)
+	}
+	if _, cached, err = r.CompileSchema(teachersDTD); err != nil || !cached {
+		t.Errorf("resubmitted schema missed: cached=%v err=%v", cached, err)
+	}
+
+	e, cached, err := r.BindByID(se.ID, teachersXIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || e.CompileTime != 0 {
+		t.Errorf("bind-by-id: cached=%v compileTime=%v, want fresh bind with no schema compile", cached, e.CompileTime)
+	}
+	// The bound entry is the same one a full-source compile resolves to.
+	e2, cached, err := r.Compile(teachersDTD, teachersXIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || e2.Spec != e.Spec {
+		t.Errorf("full-source compile did not hit the bound entry (cached=%v)", cached)
+	}
+
+	if _, _, err := r.BindByID("feedfacefeedface", teachersXIC); !errors.Is(err, ErrUnknownSchema) {
+		t.Errorf("unknown schema id: err=%v, want ErrUnknownSchema", err)
+	}
+
+	if schema, ok := r.GetSchema(se.ID); !ok || schema != se.Schema {
+		t.Error("GetSchema did not return the cached schema")
+	}
+	if len(r.SchemaEntries()) != 1 || r.SchemasLen() != 1 {
+		t.Error("schema tier snapshot inconsistent")
+	}
+}
+
+// TestConcurrentBindSharesWork hammers one (schema, constraints) pair from
+// many goroutines: the spec tier's singleflight must run exactly one bind,
+// and simultaneous binds of a distinct set must not be blocked by it.
+func TestConcurrentBindSharesWork(t *testing.T) {
+	r := New(8)
+	se, _, err := r.CompileSchema(teachersDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 32
+	var wg sync.WaitGroup
+	var freshSame, freshOther atomic.Int64
+	specs := make([]*xic.Spec, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%4 == 3 {
+				// A distinct set interleaved with the hammered one.
+				if _, cached, err := r.BindByID(se.ID, "teacher.name -> teacher"); err != nil {
+					t.Error(err)
+				} else if !cached {
+					freshOther.Add(1)
+				}
+				return
+			}
+			e, cached, err := r.BindByID(se.ID, teachersXIC)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !cached {
+				freshSame.Add(1)
+			}
+			specs[i] = e.Spec
+		}(i)
+	}
+	wg.Wait()
+	if freshSame.Load() != 1 {
+		t.Errorf("%d goroutines ran a fresh bind of the same set, want exactly 1 (singleflight)", freshSame.Load())
+	}
+	if freshOther.Load() != 1 {
+		t.Errorf("%d fresh binds of the distinct set, want exactly 1", freshOther.Load())
+	}
+	var shared *xic.Spec
+	for i, s := range specs {
+		if s == nil {
+			continue
+		}
+		if shared == nil {
+			shared = s
+		} else if s != shared {
+			t.Fatalf("goroutine %d got a different Spec for identical sources", i)
+		}
+	}
+	// The deduped Spec answers.
+	res, err := shared.Consistent(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consistent {
+		t.Error("teachers specification must be inconsistent (paper Section 1)")
+	}
+}
+
+// TestSchemaTierSingleflight: concurrent full-source compiles of distinct
+// constraint sets over one brand-new DTD run the schema compilation once.
+func TestSchemaTierSingleflight(t *testing.T) {
+	r := New(8)
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cons := fmt.Sprintf("teacher.name -> teacher # set %d", i%4)
+			if _, _, err := r.Compile(teachersDTD, cons); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Schemas.Misses != 1 {
+		t.Errorf("schema tier ran %d compiles for one DTD, want 1", st.Schemas.Misses)
+	}
+	if st.SpecTier.Size != 4 {
+		t.Errorf("spec tier holds %d entries, want 4 distinct sets", st.SpecTier.Size)
+	}
+}

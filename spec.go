@@ -3,7 +3,6 @@ package xic
 import (
 	"context"
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -33,9 +32,11 @@ import (
 // even an adversarial NP instance promptly with an error matching
 // ErrCanceled.
 type Spec struct {
-	d     *DTD
-	sigma []Constraint
-	class Class
+	schema *Schema
+	d      *DTD
+	sigma  []Constraint
+	class  Class
+	consFP string // fingerprint of the canonical bound set; implication-cache key part
 
 	eng       *core.Checker
 	validator *xmltree.Validator
@@ -45,58 +46,40 @@ type Spec struct {
 	par int // ConsistentAll/ImpliesAll worker bound; 0 = GOMAXPROCS
 }
 
-// Compile builds a Spec from a DTD and a constraint set. It eagerly
-// validates the DTD, simplifies it, builds the cardinality-encoding
+// Compile builds a Spec from a DTD and a constraint set. It is the
+// composition of the two stages of the API — CompileDTD then Schema.Bind —
+// and remains the simple path when one DTD carries one constraint set. It
+// eagerly validates the DTD, simplifies it, builds the cardinality-encoding
 // template, validates every constraint against the DTD and classifies the
 // set, so that compile errors surface here — as a *SpecError — rather
-// than on the serving path.
+// than on the serving path. When many constraint sets share one DTD,
+// compile the Schema once and Bind each set instead: Bind skips all per-DTD
+// work.
 //
 // Any well-formed constraint set compiles, including the multi-attribute
 // classes whose static consistency is undecidable (Theorem 3.1): those
 // Specs still serve Validate, while Consistent reports ErrUndecidable.
 func Compile(d *DTD, constraints ...Constraint) (*Spec, error) {
-	if d == nil {
-		return nil, &SpecError{Stage: "dtd", Err: errNilDTD}
-	}
-	eng, err := core.NewChecker(d)
+	sch, err := CompileDTD(d)
 	if err != nil {
-		return nil, &SpecError{Stage: "dtd", Err: err}
+		return nil, err
 	}
-	if err := constraint.ValidateSet(d, constraints); err != nil {
-		return nil, &SpecError{Stage: "constraints", Err: err}
-	}
-	if err := eng.Precompile(); err != nil {
-		return nil, &SpecError{Stage: "encode", Err: err}
-	}
-	validator := xmltree.NewValidator(d)
-	validator.CompileAll() // keep automaton construction off the serving path
-	sigma := append([]Constraint(nil), constraints...)
-	return &Spec{
-		d:         d,
-		sigma:     sigma,
-		class:     constraint.ClassOf(constraints),
-		eng:       eng,
-		validator: validator,
-		stream:    doccheck.New(d, validator, sigma),
-	}, nil
+	return sch.Bind(constraints...)
 }
 
 // CompileStrings is Compile over textual inputs: a DTD in XML DTD syntax
-// and a constraint set in the line-oriented syntax of ParseConstraints.
+// and a constraint set in the line-oriented syntax of ParseConstraints —
+// the composition of CompileDTDString and Schema.BindStrings.
 // Syntax errors surface as *ParseError with line/offset positions; semantic
 // errors the parsers detect (duplicate declarations, a name used as both
 // element type and attribute) surface as *SpecError naming the compile
 // stage, exactly as if Compile itself had rejected them.
 func CompileStrings(dtdSrc, constraintsSrc string) (*Spec, error) {
-	d, err := ParseDTD(dtdSrc)
+	sch, err := CompileDTDString(dtdSrc)
 	if err != nil {
-		return nil, asStageError(err, "dtd")
+		return nil, err
 	}
-	sigma, err := ParseConstraints(constraintsSrc)
-	if err != nil {
-		return nil, asStageError(err, "constraints")
-	}
-	return Compile(d, sigma...)
+	return sch.BindStrings(constraintsSrc)
 }
 
 // asStageError leaves structured taxonomy errors untouched and wraps
@@ -110,23 +93,43 @@ func asStageError(err error, stage string) error {
 	return &SpecError{Stage: stage, Err: err}
 }
 
-// Fingerprint returns the content hash identifying the compiled form of a
-// textual specification: the hex SHA-256 over the DTD source and the
-// constraint source, each length-prefixed so the pair is unambiguous.
-// Equal sources always hash equal, so a cache keyed by Fingerprint (such as
-// the spec registry behind cmd/xicd) can serve a compiled Spec for any
-// byte-identical resubmission without re-running Compile. It deliberately
+// FingerprintDTD returns the content hash identifying a DTD source text:
+// the hex SHA-256 of the source under a section-specific domain prefix, so
+// a DTD and a constraint set with identical bytes never collide. This is
+// the schema-tier cache key of the two-level registry behind cmd/xicd:
+// equal sources always hash equal, so byte-identical resubmissions reuse
+// the compiled Schema without re-running CompileDTD. It deliberately
 // hashes sources, not parsed structure: two formattings of one DTD get
-// distinct fingerprints, which only costs a duplicate cache entry.
+// distinct fingerprints, which only costs a duplicate cache entry (use
+// Schema.Fingerprint for the canonical, formatting-independent hash).
+func FingerprintDTD(dtdSrc string) string {
+	return sectionHash("dtd", dtdSrc)
+}
+
+// FingerprintConstraints returns the content hash identifying a constraint
+// source text, under a domain prefix distinct from FingerprintDTD's.
+func FingerprintConstraints(constraintsSrc string) string {
+	return sectionHash("xic", constraintsSrc)
+}
+
+// Fingerprint returns the content hash identifying the compiled form of a
+// full textual specification: the concatenation of FingerprintDTD over the
+// DTD source and FingerprintConstraints over the constraint source. The
+// two-level registry behind cmd/xicd keys its spec tier by this fused form,
+// and the embedded DTD half doubles as the schema-tier key, so a cache can
+// recover the schema identity of any spec id by splitting it in the middle.
 func Fingerprint(dtdSrc, constraintsSrc string) string {
+	return FingerprintDTD(dtdSrc) + FingerprintConstraints(constraintsSrc)
+}
+
+// sectionHash hashes one fingerprint section under a domain prefix. The
+// prefix (with a NUL separator, which neither domain contains) keeps the
+// DTD and constraint hash spaces disjoint.
+func sectionHash(domain, src string) string {
 	h := sha256.New()
-	var n [8]byte
-	binary.BigEndian.PutUint64(n[:], uint64(len(dtdSrc)))
-	h.Write(n[:])
-	io.WriteString(h, dtdSrc)
-	binary.BigEndian.PutUint64(n[:], uint64(len(constraintsSrc)))
-	h.Write(n[:])
-	io.WriteString(h, constraintsSrc)
+	io.WriteString(h, domain)
+	h.Write([]byte{0})
+	io.WriteString(h, src)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -139,6 +142,12 @@ func (*nilDTDError) Error() string { return "nil DTD" }
 
 // DTD returns the compiled DTD.
 func (s *Spec) DTD() *DTD { return s.d }
+
+// Schema returns the compiled Schema the Spec was bound from. Specs built
+// by Compile own a private Schema; Specs bound from a shared Schema return
+// it, so callers can Bind further constraint sets against the same
+// compiled engine.
+func (s *Spec) Schema() *Schema { return s.schema }
 
 // Constraints returns a copy of the compiled constraint set.
 func (s *Spec) Constraints() []Constraint {
@@ -209,9 +218,23 @@ func (s *Spec) ConsistentWith(ctx context.Context, extra ...Constraint) (*Result
 // counterexample document when not. Unary implication is coNP
 // (Theorems 4.10/5.4); keys-only implication is linear. Cancellation
 // returns an error matching ErrCanceled.
+//
+// Settled verdicts are memoized on the Schema, keyed by the bound set's
+// fingerprint, the effective Options and phi, so repeated implication
+// queries against a stable schema — from this Spec or any other Spec
+// binding an identical set — are pure lookups. Errors are never cached,
+// and memoized counterexamples are private copies.
 func (s *Spec) Implies(ctx context.Context, phi Constraint) (*Implication, error) {
+	key := s.consFP + "\x00" + optionsKey(&s.opt) + "\x00" + phi.String()
+	if imp, ok := s.schema.memo.get(key); ok {
+		return imp, nil
+	}
 	imp, err := s.eng.ImpliesContext(ctx, s.sigma, phi, &s.opt)
-	return imp, wrapSolveError(err)
+	if err != nil {
+		return nil, wrapSolveError(err)
+	}
+	s.schema.memo.put(key, imp)
+	return imp, nil
 }
 
 // ImpliesKey is the linear-time implication test for a key by a keys-only

@@ -11,13 +11,25 @@ import (
 
 func TestFingerprint(t *testing.T) {
 	a := Fingerprint("dtd", "cons")
-	if len(a) != 64 {
-		t.Fatalf("fingerprint %q is not hex SHA-256", a)
+	if len(a) != 128 {
+		t.Fatalf("fused fingerprint %q is not two hex SHA-256 halves", a)
 	}
 	if a != Fingerprint("dtd", "cons") {
 		t.Error("fingerprint is not deterministic")
 	}
-	// The length prefix keeps section boundaries unambiguous.
+	// The fused form is exactly the concatenation of the two section
+	// fingerprints, so a cache can split a spec id into its schema half.
+	if a != FingerprintDTD("dtd")+FingerprintConstraints("cons") {
+		t.Error("fused fingerprint is not the concatenation of its sections")
+	}
+	if len(FingerprintDTD("dtd")) != 64 || len(FingerprintConstraints("cons")) != 64 {
+		t.Error("section fingerprints are not hex SHA-256")
+	}
+	// Domain separation: identical bytes hash differently per section.
+	if FingerprintDTD("x") == FingerprintConstraints("x") {
+		t.Error("DTD and constraint hash spaces overlap")
+	}
+	// Section hashing keeps boundaries unambiguous.
 	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
 		t.Error("boundary shift collides")
 	}

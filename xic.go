@@ -31,14 +31,24 @@
 // streaming (Spec.ValidateStream), whose memory is bounded by the
 // constraint indexes rather than the document size.
 //
-// # The compiled Spec engine
+// # The two-stage Schema/Spec engine
 //
 // The API is designed around the paper's fixed-DTD setting (Corollaries
-// 4.11 and 5.5): one schema, many requests. Compile does all per-DTD work
-// once — DTD validation, Section 4.1 simplification, the
-// cardinality-encoding template, constraint classification — and returns
-// an immutable Spec whose methods are safe for concurrent use and take a
-// context.Context that bounds the NP search:
+// 4.11 and 5.5): one schema, many requests. It splits compilation into
+// two stages mirroring the reduction, where the cardinality system Ψ(D)
+// is determined by the DTD alone and constraint sets only append rows:
+//
+//	schema, err := xic.CompileDTD(d)   // heavy, once per DTD
+//	specA, err := schema.Bind(sigmaA...) // cheap, per constraint set
+//	specB, err := schema.Bind(sigmaB...)
+//
+// CompileDTD does all per-DTD work — DTD validation, Section 4.1
+// simplification, the cardinality-encoding template, the conformance
+// automata — and Bind attaches a constraint set (validation and
+// classification only), sharing the compiled engine. Compile is their
+// composition, the simple path when one DTD carries one constraint set;
+// both return an immutable Spec whose methods are safe for concurrent use
+// and take a context.Context that bounds the NP search:
 //
 //	spec, err := xic.Compile(d, sigma...)
 //	if err != nil { … }
@@ -48,9 +58,11 @@
 //
 // Batch entry points (Spec.ConsistentAll, Spec.ImpliesAll) fan many
 // constraint sets out over a bounded worker pool, all sharing the compiled
-// encoding. Errors are structured: *ParseError carries line/offset
-// positions, *SpecError names the failed compilation stage, and cancelled
-// checks match both ErrCanceled and the context's error under errors.Is.
+// encoding, and settled implication verdicts are memoized on the Schema so
+// repeated queries against a stable schema are pure lookups. Errors are
+// structured: *ParseError carries line/offset positions, *SpecError names
+// the failed compilation stage, and cancelled checks match both
+// ErrCanceled and the context's error under errors.Is.
 //
 // # Quick start
 //
@@ -206,21 +218,39 @@ func ConsistentDTD(d *DTD) bool { return core.ConsistentDTD(d) }
 
 // CheckConsistency decides whether some finite document conforms to the DTD
 // and satisfies every constraint, returning a verified witness document on
-// success.
+// success. It is rebased onto the two-stage engine: a throwaway Schema is
+// compiled and the set bound to it, with compile-stage errors unwrapped to
+// their historical raw values.
 //
 // Deprecated: use Compile followed by Spec.Consistent, which amortises the
 // per-DTD work and accepts a context.
 func CheckConsistency(d *DTD, set []Constraint, opt *Options) (*Result, error) {
-	return core.Consistent(d, set, opt)
+	spec, err := legacySpec(d, set)
+	if err != nil {
+		return nil, err
+	}
+	if opt != nil {
+		spec = spec.WithOptions(*opt)
+	}
+	res, err := spec.Consistent(context.Background())
+	return res, unwrapStage(err)
 }
 
 // CheckImplication decides whether every document conforming to the DTD and
 // satisfying sigma also satisfies phi, returning a counterexample document
-// when not.
+// when not. Like CheckConsistency, it runs on a throwaway two-stage Schema.
 //
 // Deprecated: use Compile followed by Spec.Implies.
 func CheckImplication(d *DTD, sigma []Constraint, phi Constraint, opt *Options) (*Implication, error) {
-	return core.Implies(d, sigma, phi, opt)
+	spec, err := legacySpec(d, sigma)
+	if err != nil {
+		return nil, err
+	}
+	if opt != nil {
+		spec = spec.WithOptions(*opt)
+	}
+	imp, err := spec.Implies(context.Background(), phi)
+	return imp, unwrapStage(err)
 }
 
 // ImpliesKey is the linear-time implication test for keys by keys
@@ -275,14 +305,24 @@ func CheckPrimaryKeys(set []Constraint) error {
 // Deprecated: use Compile followed by Spec.Diagnose, which reuses the
 // compiled encoding for all |Σ|+1 checks of the deletion filter.
 func Diagnose(d *DTD, set []Constraint, opt *Options) (*Diagnosis, error) {
-	return core.Diagnose(d, set, opt)
+	return DiagnoseContext(context.Background(), d, set, opt)
 }
 
-// DiagnoseContext is Diagnose under a context.
+// DiagnoseContext is Diagnose under a context. Rebased, like the other
+// legacy helpers, onto a throwaway two-stage Schema whose compiled encoding
+// serves all |Σ|+1 checks of the deletion filter.
 //
 // Deprecated: use Compile followed by Spec.Diagnose.
 func DiagnoseContext(ctx context.Context, d *DTD, set []Constraint, opt *Options) (*Diagnosis, error) {
-	return core.DiagnoseContext(ctx, d, set, opt)
+	spec, err := legacySpec(d, set)
+	if err != nil {
+		return nil, err
+	}
+	if opt != nil {
+		spec = spec.WithOptions(*opt)
+	}
+	diag, err := spec.Diagnose(ctx)
+	return diag, unwrapStage(err)
 }
 
 // ConstraintsFromIDs derives the unary keys and foreign keys denoted by the
