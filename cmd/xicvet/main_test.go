@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestListsFiveAnalyzers pins the registered suite: exactly the five
+// documented analyzers, in order.
+func TestListsFiveAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("xicvet -list exited %d: %s", code, stderr.String())
+	}
+	var names []string
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		name, _, ok := strings.Cut(line, ":")
+		if !ok {
+			t.Fatalf("malformed -list line %q", line)
+		}
+		names = append(names, name)
+	}
+	want := []string{"ctxflow", "frozen", "ratalias", "atomicfield", "errtaxonomy"}
+	if len(names) != len(want) {
+		t.Fatalf("got %d analyzers %v, want %v", len(names), names, want)
+	}
+	for i, name := range names {
+		if name != want[i] {
+			t.Fatalf("analyzer %d = %q, want %q (full list %v)", i, name, want[i], names)
+		}
+	}
+}
+
+// TestRepoIsClean runs the whole suite over the real module: the tree must
+// stay free of findings, since CI runs the same command as a blocking
+// gate.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	diags, err := Vet("../..", "./...")
+	if err != nil {
+		t.Fatalf("Vet: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestSeededViolationFails builds a throwaway module containing a frozen
+// violation and asserts the gate trips: acceptance that seeding a bug
+// makes the CI vet job fail.
+func TestSeededViolationFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module seeded\n\ngo 1.21\n")
+	write("seed.go", `// Package seeded seeds one frozen violation.
+package seeded
+
+// Config is published at startup.
+//
+// xic:frozen
+type Config struct{ N int }
+
+// New is the constructor.
+func New() *Config { return &Config{N: 1} }
+
+// Tweak mutates after publish: the violation under test.
+func Tweak(c *Config) { c.N = 2 }
+`)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "frozen: write to field N of frozen type Config") {
+		t.Fatalf("missing frozen finding in output:\n%s", stdout.String())
+	}
+}

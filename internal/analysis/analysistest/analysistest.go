@@ -1,0 +1,186 @@
+// Package analysistest runs an xicvet analyzer over a fixture package and
+// checks its diagnostics against expectations written in the fixture
+// itself, in the style of golang.org/x/tools/go/analysis/analysistest: a
+// line that should be flagged carries a trailing comment
+//
+//	badThing() // want "regexp matching the message"
+//
+// (several `"..."` patterns on one comment expect several diagnostics on
+// that line). Fixtures live under the analyzer's testdata/src/<pkg>/
+// directory and form one package each; they may import only the standard
+// library, which is resolved from gc export data via the go tool, so tests
+// run offline. Because suppression is built into the framework's
+// Pass.Reportf, fixtures also exercise //xic:ignore directives simply by
+// carrying them on a line with no want expectation.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xic/internal/analysis"
+	"xic/internal/analysis/load"
+)
+
+// wantRe extracts the quoted patterns of a want comment.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one `// want "..."` pattern, keyed by file line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the one-package fixture rooted at dir, applies the analyzer
+// (Collect phase, then Run), and reports any mismatch between its
+// diagnostics and the fixture's want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	files, err := load.ParseFiles(fset, paths)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+
+	var roots []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("bad import in fixture: %v", err)
+			}
+			if !seen[path] {
+				seen[path] = true
+				roots = append(roots, path)
+			}
+		}
+	}
+	imp, err := load.StdImporter(fset, dir, roots)
+	if err != nil {
+		t.Fatalf("building fixture importer: %v", err)
+	}
+
+	// The fixture's package path is its package name, so analyzers that
+	// scope themselves by package (errtaxonomy runs only on package xic)
+	// can be exercised by naming the fixture accordingly.
+	pkgName := files[0].Name.Name
+	tpkg, info, err := load.CheckFiles(fset, pkgName, files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	var got []analysis.Diagnostic
+	record := func(d analysis.Diagnostic) { got = append(got, d) }
+	if a.Collect != nil {
+		if err := a.Collect(analysis.NewPass(a, fset, files, tpkg, info, record)); err != nil {
+			t.Fatalf("%s.Collect: %v", a.Name, err)
+		}
+	}
+	if err := a.Run(analysis.NewPass(a, fset, files, tpkg, info, record)); err != nil {
+		t.Fatalf("%s.Run: %v", a.Name, err)
+	}
+
+	want := collectWants(t, fset, files)
+	check(t, got, want)
+}
+
+// collectWants parses the fixture's want comments into per-line
+// expectations.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string]map[int][]*expectation {
+	t.Helper()
+	want := make(map[string]map[int][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantRe.FindAllString(text, -1)
+				if len(quoted) == 0 {
+					t.Errorf("%s: want comment with no pattern", pos)
+					continue
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %s: %v", pos, q, err)
+						continue
+					}
+					lines := want[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]*expectation)
+						want[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return want
+}
+
+// check pairs diagnostics with expectations: every diagnostic must match
+// an unconsumed expectation on its line, and every expectation must be
+// consumed.
+func check(t *testing.T, got []analysis.Diagnostic, want map[string]map[int][]*expectation) {
+	t.Helper()
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].Pos.Filename != got[j].Pos.Filename {
+			return got[i].Pos.Filename < got[j].Pos.Filename
+		}
+		return got[i].Pos.Offset < got[j].Pos.Offset
+	})
+	for _, d := range got {
+		exps := want[d.Pos.Filename][d.Pos.Line]
+		paired := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				paired = true
+				break
+			}
+		}
+		if !paired {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, lines := range want {
+		for line, exps := range lines {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: no diagnostic matched %q", file, line, e.re)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package atomicfield enforces uniform access to counter fields: a struct
+// field that is ever passed to a sync/atomic operation (atomic.AddUint64,
+// atomic.LoadUint64, ...) must be accessed atomically everywhere — a plain
+// read or write of the same field is a data race under load, the exact
+// mistake the SolveStats/registry-counter pattern invites in test and
+// bench helpers. (Fields typed as atomic.Uint64 and friends are immune by
+// construction; this check covers the address-taken style.)
+//
+// Collect records, across every package, each field whose address is taken
+// directly in a sync/atomic call; Run then reports any other selector of
+// those fields.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"xic/internal/analysis"
+)
+
+// New constructs the analyzer.
+func New() *analysis.Analyzer {
+	a := &atomicfield{
+		fields:     make(map[types.Object][]string),
+		sanctioned: make(map[token.Pos]bool),
+	}
+	return &analysis.Analyzer{
+		Name:    "atomicfield",
+		Doc:     "reports mixed atomic and plain access to the same struct field",
+		Collect: a.collect,
+		Run:     a.run,
+	}
+}
+
+type atomicfield struct {
+	// fields maps a struct field object to the atomic operations applied
+	// to it somewhere in the module.
+	fields map[types.Object][]string
+	// sanctioned marks selector positions that are the &x.f argument of an
+	// atomic call, so Run does not report the atomic accesses themselves.
+	sanctioned map[token.Pos]bool
+}
+
+// atomicOps are the sync/atomic function-name prefixes that operate on an
+// address-taken word.
+var atomicOps = []string{"Add", "And", "Compare", "Load", "Or", "Store", "Swap"}
+
+func (a *atomicfield) collect(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			opOK := false
+			for _, prefix := range atomicOps {
+				if strings.HasPrefix(fn.Name(), prefix) {
+					opOK = true
+					break
+				}
+			}
+			if !opOK {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if selection, ok := pass.Info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+				field := selection.Obj()
+				a.fields[field] = append(a.fields[field], fn.Name())
+				a.sanctioned[sel.Pos()] = true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (a *atomicfield) run(pass *analysis.Pass) error {
+	if len(a.fields) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || a.sanctioned[sel.Pos()] {
+				return true
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			field := selection.Obj()
+			if ops, mixed := a.fields[field]; mixed {
+				pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed with atomic.%s elsewhere; use sync/atomic consistently", field.Name(), ops[0])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression's static callee, if any.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"xic/internal/analysis/analysistest"
+	"xic/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, atomicfield.New(), "../testdata/src/atomicfield")
+}

@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"xic/internal/analysis/analysistest"
+	"xic/internal/analysis/errtaxonomy"
+)
+
+func TestErrtaxonomy(t *testing.T) {
+	analysistest.Run(t, errtaxonomy.New(), "../testdata/src/errtaxonomy")
+}

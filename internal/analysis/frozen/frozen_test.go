@@ -1,0 +1,12 @@
+package frozen_test
+
+import (
+	"testing"
+
+	"xic/internal/analysis/analysistest"
+	"xic/internal/analysis/frozen"
+)
+
+func TestFrozen(t *testing.T) {
+	analysistest.Run(t, frozen.New(), "../testdata/src/frozen")
+}

@@ -1,0 +1,289 @@
+// Package load turns Go packages into the type-checked form the xicvet
+// analyzers consume, using only the standard library and the go tool
+// itself. It shells out to `go list -export -json -deps`, which compiles
+// dependencies into the build cache and reports an export-data file per
+// package; packages outside the module under analysis are then imported
+// from that export data (via go/importer's gc importer), while packages in
+// the module are parsed and type-checked from source in dependency order,
+// so analyzers see full syntax trees with complete type information. This
+// is the same split a go/packages NeedSyntax|NeedTypes load performs,
+// reimplemented on the standard library because the build environment is
+// offline and vendors no x/tools.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded package. Syntax, Types and Info are populated only
+// for packages in the main module; dependencies outside it are imported
+// from export data and carry types through the importer instead.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool // part of the standard library
+	DepOnly    bool // reached only as a dependency, not named by a pattern
+	Module     bool // in the main module (type-checked from source)
+	GoFiles    []string
+
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Program is a load result: the module packages in dependency order (every
+// import of a module package precedes it), sharing one FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+}
+
+// Packages loads the packages matched by patterns (plus their
+// dependencies), running the go tool in dir. Module packages are
+// type-checked from source; a type error in any of them fails the load,
+// matching vet semantics.
+func Packages(dir string, patterns ...string) (*Program, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string) // import path → export-data file
+	byPath := make(map[string]*listedPackage, len(listed))
+	var modulePaths []string
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+		if lp.Module != nil && lp.Module.Main {
+			modulePaths = append(modulePaths, lp.ImportPath)
+		} else if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	imp := &moduleImporter{
+		deps:    importer.ForCompiler(fset, "gc", exportLookup(exports)),
+		module:  make(map[string]*types.Package),
+		exports: exports,
+	}
+
+	order, err := topoSort(modulePaths, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &Program{Fset: fset}
+	for _, path := range order {
+		lp := byPath[path]
+		pkg, err := checkFromSource(fset, lp, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.module[path] = pkg.Types
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// goList runs `go list -export -json -deps` and decodes its stream of
+// package objects.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// exportLookup resolves import paths to export-data readers for the gc
+// importer. The go tool wrote these files into the build cache during the
+// -export list, so every dependency of the analyzed packages is covered.
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// moduleImporter resolves module packages to their from-source types and
+// everything else through gc export data.
+type moduleImporter struct {
+	deps    types.Importer
+	module  map[string]*types.Package
+	exports map[string]string
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.module[path]; ok {
+		return pkg, nil
+	}
+	return m.deps.Import(path)
+}
+
+// topoSort orders the module packages so dependencies precede dependents.
+func topoSort(paths []string, byPath map[string]*listedPackage) ([]string, error) {
+	sort.Strings(paths)
+	inModule := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		inModule[p] = true
+	}
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[string]int, len(paths))
+	var order []string
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("load: import cycle through %q", path)
+		}
+		state[path] = visiting
+		for _, dep := range byPath[path].Imports {
+			if inModule[dep] {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = done
+		order = append(order, path)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// checkFromSource parses and type-checks one module package.
+func checkFromSource(fset *token.FileSet, lp *listedPackage, imp types.Importer) (*Package, error) {
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Name:       lp.Name,
+		Standard:   lp.Standard,
+		DepOnly:    lp.DepOnly,
+		Module:     true,
+	}
+	for _, f := range lp.GoFiles {
+		pkg.GoFiles = append(pkg.GoFiles, filepath.Join(lp.Dir, f))
+	}
+	files, err := ParseFiles(fset, pkg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Syntax = files
+	pkg.Types, pkg.Info, err = CheckFiles(fset, lp.ImportPath, files, imp)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// ParseFiles parses source files with comments retained (the analyzers
+// read marker and suppression comments).
+func ParseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// CheckFiles type-checks one package worth of parsed files under the given
+// import path, returning the package and fully-populated type info.
+func CheckFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	return tpkg, info, nil
+}
+
+// StdImporter returns an importer resolving import paths through gc export
+// data produced by `go list -export` over the given root import paths
+// (typically the imports of a test fixture), run in dir. It is the
+// analysistest harness's importer: fixtures import only the standard
+// library, so no from-source fallback is needed.
+func StdImporter(fset *token.FileSet, dir string, roots []string) (types.Importer, error) {
+	exports := make(map[string]string, len(roots))
+	if len(roots) > 0 {
+		listed, err := goList(dir, roots)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	return importer.ForCompiler(fset, "gc", exportLookup(exports)), nil
+}

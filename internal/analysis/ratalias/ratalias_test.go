@@ -1,0 +1,12 @@
+package ratalias_test
+
+import (
+	"testing"
+
+	"xic/internal/analysis/analysistest"
+	"xic/internal/analysis/ratalias"
+)
+
+func TestRatalias(t *testing.T) {
+	analysistest.Run(t, ratalias.New(), "../testdata/src/ratalias")
+}

@@ -1,0 +1,24 @@
+// Package suite registers the xicvet analyzers. Analyzers carry per-run
+// closure state (Collect tables), so this returns fresh instances on every
+// call rather than package-level singletons.
+package suite
+
+import (
+	"xic/internal/analysis"
+	"xic/internal/analysis/atomicfield"
+	"xic/internal/analysis/ctxflow"
+	"xic/internal/analysis/errtaxonomy"
+	"xic/internal/analysis/frozen"
+	"xic/internal/analysis/ratalias"
+)
+
+// Analyzers returns the full xicvet suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.New(),
+		frozen.New(),
+		ratalias.New(),
+		atomicfield.New(),
+		errtaxonomy.New(),
+	}
+}

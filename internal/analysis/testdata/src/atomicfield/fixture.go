@@ -1,0 +1,36 @@
+// Package atomicfix exercises the atomicfield analyzer: a field touched
+// by sync/atomic anywhere must be accessed atomically everywhere.
+package atomicfix
+
+import "sync/atomic"
+
+type stats struct {
+	hits uint64
+	miss uint64
+}
+
+func (s *stats) hit() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *stats) load() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+func (s *stats) readRace() uint64 {
+	return s.hits // want "plain access to field hits"
+}
+
+func (s *stats) writeRace() {
+	s.hits = 0 // want "plain access to field hits"
+}
+
+// missPlainOnly never uses atomics on miss, so plain access is fine.
+func (s *stats) missPlainOnly() uint64 {
+	s.miss++
+	return s.miss
+}
+
+func (s *stats) suppressed() uint64 {
+	return s.hits //xic:ignore atomicfield fixture reads under an external lock
+}

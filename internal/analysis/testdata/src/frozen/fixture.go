@@ -1,0 +1,67 @@
+// Package frozenfix exercises the frozen analyzer: fields of marked types
+// may only be written in constructors, Once.Do literals, or init.
+package frozenfix
+
+import "sync"
+
+// Frozen is published after construction and shared across goroutines.
+//
+// xic:frozen
+type Frozen struct {
+	N    int
+	M    map[string]int
+	once sync.Once
+	lazy int
+}
+
+// Plain carries no marker; writes to it are unrestricted.
+type Plain struct{ N int }
+
+var defaultFrozen Frozen
+
+func init() {
+	defaultFrozen.N = 7 // ok: init
+}
+
+// NewFrozen is a constructor by the result-type rule.
+func NewFrozen() *Frozen {
+	f := &Frozen{M: make(map[string]int)}
+	f.N = 1
+	return f
+}
+
+// WithN is a copy-update constructor, also allowed by the result-type
+// rule.
+func (f *Frozen) WithN(n int) *Frozen {
+	cp := *f
+	cp.N = n
+	return &cp
+}
+
+// Lazy demonstrates the sanctioned Once.Do lazy-init pattern.
+func (f *Frozen) Lazy() int {
+	f.once.Do(func() {
+		f.lazy = 42
+	})
+	return f.lazy
+}
+
+func Mutate(f *Frozen) {
+	f.N = 2 // want "write to field N of frozen type Frozen outside its constructors"
+}
+
+func MutateMap(f *Frozen) {
+	f.M["k"] = 1 // want "write to field M of frozen type Frozen outside its constructors"
+}
+
+func Inc(f *Frozen) {
+	f.N++ // want "write to field N of frozen type Frozen outside its constructors"
+}
+
+func MutatePlain(p *Plain) {
+	p.N = 3
+}
+
+func Suppressed(f *Frozen) {
+	f.N = 4 //xic:ignore frozen fixture demonstrates a documented exception
+}

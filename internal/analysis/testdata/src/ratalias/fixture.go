@@ -1,0 +1,84 @@
+// Package simplex (a fixture named after a scoped solver package)
+// exercises the ratalias analyzer: parameter-reachable *big values must be
+// copied before they are stored into long-lived structures.
+package simplex
+
+import "math/big"
+
+type row struct{ rhs *big.Int }
+
+type state struct {
+	lo   []*big.Int
+	obj  []*big.Rat
+	rows []*row
+}
+
+func (st *state) raiseLo(j int, v *big.Int) {
+	if st.lo[j] == nil || st.lo[j].Cmp(v) < 0 {
+		st.lo[j] = v // want "may alias"
+	}
+}
+
+func (st *state) raiseLoCopy(j int, v *big.Int) {
+	st.lo[j] = new(big.Int).Set(v)
+}
+
+func (st *state) setObj(coeffs []*big.Rat) {
+	st.obj = make([]*big.Rat, len(coeffs))
+	for j, v := range coeffs {
+		st.obj[j] = v // want "may alias"
+	}
+}
+
+func (st *state) setObjCopy(coeffs []*big.Rat) {
+	st.obj = make([]*big.Rat, len(coeffs))
+	for j, v := range coeffs {
+		st.obj[j] = new(big.Rat).Set(v)
+	}
+}
+
+func (st *state) push(v *big.Int) {
+	st.lo = append(st.lo, v) // want "may alias"
+}
+
+func (st *state) add(rhs *big.Int) {
+	st.rows = append(st.rows, &row{rhs: rhs}) // want "may alias"
+}
+
+func (st *state) addCopy(rhs *big.Int) {
+	st.rows = append(st.rows, &row{rhs: new(big.Int).Set(rhs)})
+}
+
+// via shows taint flowing through a local rebind.
+func (st *state) via(v *big.Int) {
+	w := v
+	st.lo[0] = w // want "may alias"
+}
+
+// shrink stores a slice derived from the receiver back into the receiver:
+// self-aliasing is the compaction idiom and is fine.
+func (st *state) shrink() {
+	kept := st.lo[:0]
+	for _, b := range st.lo {
+		if b != nil {
+			kept = append(kept, b)
+		}
+	}
+	st.lo = kept
+}
+
+// scale stores only fresh call results.
+func (st *state) scale(f *big.Rat) {
+	for j := range st.obj {
+		st.obj[j] = new(big.Rat).Mul(st.obj[j], f)
+	}
+}
+
+type cfg struct{ n int }
+
+// set stores a non-rat-bearing value; out of scope.
+func (c *cfg) set(n int) { c.n = n }
+
+func (st *state) adopt(v *big.Int) {
+	st.lo[0] = v //xic:ignore ratalias fixture documents deliberate ownership transfer
+}

@@ -140,7 +140,7 @@ func ConsistentDTD(d *dtd.DTD) bool {
 // Consistent redoes the per-DTD work on every call; use a Checker (or the
 // public xic.Spec) when checking many sets against one DTD.
 func Consistent(d *dtd.DTD, set []constraint.Constraint, opt *Options) (*Result, error) {
-	return ConsistentContext(context.Background(), d, set, opt)
+	return ConsistentContext(nil, d, set, opt) // nil-guarded by orBackground
 }
 
 // ConsistentContext is Consistent under a context: cancellation aborts the
@@ -162,6 +162,8 @@ func ConsistentContext(ctx context.Context, d *dtd.DTD, set []constraint.Constra
 // NewChecker hands out views sharing the compiled state with independent
 // statistics, and every request clones the encoding template, so an Engine
 // serves any number of goroutines concurrently.
+//
+// xic:frozen
 type Engine struct {
 	d *dtd.DTD
 
@@ -364,7 +366,7 @@ func (c *Checker) template() (*cardinality.Encoding, error) {
 
 // Consistent is Consistent against the fixed DTD.
 func (c *Checker) Consistent(set []constraint.Constraint, opt *Options) (*Result, error) {
-	return c.ConsistentContext(context.Background(), set, opt)
+	return c.ConsistentContext(nil, set, opt) // nil-guarded by orBackground
 }
 
 // ConsistentContext is Consistent under a context; see ConsistentContext at

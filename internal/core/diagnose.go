@@ -39,7 +39,7 @@ type Diagnosis struct {
 // the foreign key jointly force |subject| ≤ |teacher| < |subject|... the
 // subject key plus foreign key alone suffice, so the core has two members).
 func Diagnose(d *dtd.DTD, set []constraint.Constraint, opt *Options) (*Diagnosis, error) {
-	return DiagnoseContext(context.Background(), d, set, opt)
+	return DiagnoseContext(nil, d, set, opt) // nil-guarded by orBackground
 }
 
 // DiagnoseContext is Diagnose under a context: cancellation aborts the

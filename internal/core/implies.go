@@ -31,7 +31,7 @@ type Implication struct {
 //     key is implied iff both its key and its inclusion part are;
 //   - anything else multi-attribute: ErrUndecidable (Corollary 3.4).
 func Implies(d *dtd.DTD, sigma []constraint.Constraint, phi constraint.Constraint, opt *Options) (*Implication, error) {
-	return ImpliesContext(context.Background(), d, sigma, phi, opt)
+	return ImpliesContext(nil, d, sigma, phi, opt) // nil-guarded by orBackground
 }
 
 // ImpliesContext is Implies under a context: cancellation aborts the coNP
@@ -46,7 +46,7 @@ func ImpliesContext(ctx context.Context, d *dtd.DTD, sigma []constraint.Constrai
 
 // Implies is Implies against the fixed DTD (Corollary 5.5's PTIME setting).
 func (c *Checker) Implies(sigma []constraint.Constraint, phi constraint.Constraint, opt *Options) (*Implication, error) {
-	return c.ImpliesContext(context.Background(), sigma, phi, opt)
+	return c.ImpliesContext(nil, sigma, phi, opt) // nil-guarded by orBackground
 }
 
 // ImpliesContext is Implies under a context; see ImpliesContext at package

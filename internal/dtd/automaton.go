@@ -9,6 +9,8 @@ import (
 // membership of a children-label sequence in the language of P(τ) in
 // O(sequence length × positions) time without backtracking, for arbitrary
 // (including non-deterministic) content models.
+//
+// xic:frozen
 type Automaton struct {
 	symbols  []string          // symbol at each position (element type or TextSymbol)
 	first    bitset            // positions that can start a word
@@ -207,10 +209,12 @@ func (a *Automaton) build(r Regex) glushkovInfo {
 
 func (a *Automaton) leaf(sym string) glushkovInfo {
 	p := len(a.symbols)
+	//xic:ignore frozen construction-phase append before Compile publishes the automaton
 	a.symbols = append(a.symbols, sym)
 	set, ok := a.bySymbol[sym]
 	if !ok {
 		set = newBitset(a.words)
+		//xic:ignore frozen construction-phase write before Compile publishes the automaton
 		a.bySymbol[sym] = set
 	}
 	set.set(p)

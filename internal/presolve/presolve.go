@@ -457,7 +457,7 @@ func (st *state) raiseLo(j int, v *big.Int) {
 	if v.Cmp(st.lo[j]) <= 0 {
 		return
 	}
-	st.lo[j] = v
+	st.lo[j] = new(big.Int).Set(v) // copy: v may alias a caller-owned bound
 	st.changed = true
 	if st.hi[j] != nil && st.lo[j].Cmp(st.hi[j]) > 0 {
 		st.infeasible = true
@@ -469,7 +469,7 @@ func (st *state) lowerHi(j int, v *big.Int) {
 	if st.hi[j] != nil && v.Cmp(st.hi[j]) >= 0 {
 		return
 	}
-	st.hi[j] = v
+	st.hi[j] = new(big.Int).Set(v) // copy: v may alias a caller-owned bound
 	st.changed = true
 	if st.lo[j].Cmp(v) > 0 {
 		st.infeasible = true
@@ -540,6 +540,8 @@ func (st *state) dedupRows() {
 					coeffs[j] = new(big.Int).Neg(c)
 				}
 				rhs = new(big.Int).Neg(rhs)
+			} else {
+				rhs = new(big.Int).Set(rhs) // copy: rhs may alias a merged bound
 			}
 			st.rows = append(st.rows, &row{coeffs: coeffs, eq: eq, rhs: rhs})
 		}

@@ -50,6 +50,8 @@ const DefaultMaxSchemas = 64
 var ErrUnknownSchema = errors.New("registry: unknown schema fingerprint")
 
 // SchemaEntry is one cached compiled schema (the DTD-only tier).
+//
+// xic:frozen
 type SchemaEntry struct {
 	// ID is the content fingerprint of the DTD source
 	// (xic.FingerprintDTD), the handle serving layers hand out to clients
@@ -64,6 +66,8 @@ type SchemaEntry struct {
 }
 
 // Entry is one cached bound specification (the spec tier).
+//
+// xic:frozen
 type Entry struct {
 	// ID is the fused content fingerprint of the sources
 	// (xic.Fingerprint), and is the handle serving layers hand out to

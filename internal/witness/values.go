@@ -29,7 +29,6 @@ func (b *builder) assignValues(tree *xmltree.Tree) error {
 	cellPool := map[cardinality.AttrRef][]string{}
 	if layout := b.enc.Cells(); layout != nil {
 		for _, comp := range layout.Components {
-			comp := comp
 			cells, err := setrep.BigIntValues(
 				b.values,
 				b.enc.Sys.Lookup,

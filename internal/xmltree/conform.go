@@ -84,7 +84,7 @@ func (v *Validator) DTD() *dtd.DTD { return v.dtd }
 // Validate reports whether the tree conforms to the DTD, returning a
 // descriptive error naming the offending node otherwise.
 func (v *Validator) Validate(t *Tree) error {
-	return v.ValidateContext(context.Background(), t)
+	return v.ValidateContext(nil, t) // ValidateContext tolerates a nil ctx
 }
 
 // cancelCheckStride is how many nodes a validation walk visits between

@@ -35,6 +35,8 @@ import (
 // fingerprint, the effective options and the queried constraint, so sweeps
 // that revisit (Σ, φ) pairs are answered by lookup instead of a coNP
 // refutation.
+//
+// xic:frozen
 type Schema struct {
 	d         *DTD
 	eng       *core.Engine

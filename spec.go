@@ -31,6 +31,8 @@ import (
 // branch-and-bound search and the witness builder — cancelling it aborts
 // even an adversarial NP instance promptly with an error matching
 // ErrCanceled.
+//
+// xic:frozen
 type Spec struct {
 	schema *Schema
 	d      *DTD
@@ -240,7 +242,11 @@ func (s *Spec) Implies(ctx context.Context, phi Constraint) (*Implication, error
 // ImpliesKey is the linear-time implication test for a key by a keys-only
 // compiled set (Theorem 3.5(3)).
 func (s *Spec) ImpliesKey(phi Key) (bool, error) {
-	return core.ImpliesKey(s.d, s.sigma, phi)
+	ok, err := core.ImpliesKey(s.d, s.sigma, phi)
+	if err != nil {
+		return false, &SpecError{Stage: "constraints", Err: err}
+	}
+	return ok, nil
 }
 
 // Diagnose explains an inconsistent specification: it reports whether the
@@ -272,6 +278,7 @@ func (s *Spec) Validate(ctx context.Context, doc *Tree) error {
 		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
 			return fmt.Errorf("%w: %w", ErrCanceled, err)
 		}
+		//xic:ignore errtaxonomy conformance failures are the documented stringly result of dynamic validation, matching the deprecated ValidateDocument
 		return err
 	}
 	done := ctx.Done()

@@ -232,7 +232,7 @@ func CheckConsistency(d *DTD, set []Constraint, opt *Options) (*Result, error) {
 	if opt != nil {
 		spec = spec.WithOptions(*opt)
 	}
-	res, err := spec.Consistent(context.Background())
+	res, err := spec.Consistent(nil) // nil ctx is guarded in the engine
 	return res, unwrapStage(err)
 }
 
@@ -249,7 +249,7 @@ func CheckImplication(d *DTD, sigma []Constraint, phi Constraint, opt *Options) 
 	if opt != nil {
 		spec = spec.WithOptions(*opt)
 	}
-	imp, err := spec.Implies(context.Background(), phi)
+	imp, err := spec.Implies(nil, phi) // nil ctx is guarded in the engine
 	return imp, unwrapStage(err)
 }
 
@@ -294,7 +294,10 @@ func ClassOf(set []Constraint) Class { return constraint.ClassOf(set) }
 // CheckPrimaryKeys verifies the primary-key restriction of Section 4.2: at
 // most one key per element type.
 func CheckPrimaryKeys(set []Constraint) error {
-	return constraint.CheckPrimaryKeyRestriction(set)
+	if err := constraint.CheckPrimaryKeyRestriction(set); err != nil {
+		return &SpecError{Stage: "constraints", Err: err}
+	}
+	return nil
 }
 
 // Diagnose explains an inconsistent specification: it reports whether the
@@ -305,7 +308,7 @@ func CheckPrimaryKeys(set []Constraint) error {
 // Deprecated: use Compile followed by Spec.Diagnose, which reuses the
 // compiled encoding for all |Σ|+1 checks of the deletion filter.
 func Diagnose(d *DTD, set []Constraint, opt *Options) (*Diagnosis, error) {
-	return DiagnoseContext(context.Background(), d, set, opt)
+	return DiagnoseContext(nil, d, set, opt) // nil ctx is guarded in the engine
 }
 
 // DiagnoseContext is Diagnose under a context. Rebased, like the other
@@ -330,7 +333,11 @@ func DiagnoseContext(ctx context.Context, d *DTD, set []Constraint, opt *Options
 // are ambiguous (several element types declare ID attributes) — the
 // unscopedness the paper criticises about DTD's built-in mechanism.
 func ConstraintsFromIDs(d *DTD) ([]Constraint, error) {
-	return constraint.FromIDAttributes(d)
+	set, err := constraint.FromIDAttributes(d)
+	if err != nil {
+		return nil, &SpecError{Stage: "constraints", Err: err}
+	}
+	return set, nil
 }
 
 // UnaryKey builds the key τ.l → τ.
