@@ -4,14 +4,21 @@
 //
 //	xicvet ./...
 //	xicvet -list
-//	xicvet -C /path/to/module ./internal/...
+//	xicvet -tests -C /path/to/module ./internal/...
+//	xicvet -json ./... | jq .
 //
 // It exits 1 when any analyzer reports a finding, so CI can use it as a
 // blocking gate. Suppress a deliberate exception at the finding site with
-// an `//xic:ignore <analyzer> <reason>` comment.
+// an `//xic:ignore <analyzer> <reason>` comment; malformed directives
+// (unknown analyzer, missing reason) are themselves findings.
+//
+// -tests extends the analysis to _test.go files (CI runs with it on);
+// -json emits one JSON object per finding per line, for tooling; -nocache
+// bypasses the go-list result cache under os.UserCacheDir()/xicvet.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,11 +35,24 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// Options configures one Vet invocation.
+type Options struct {
+	// Dir is the module directory to analyze.
+	Dir string
+	// Tests includes _test.go files in the analysis.
+	Tests bool
+	// NoCache bypasses the go-list result cache.
+	NoCache bool
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xicvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
 	dir := fs.String("C", ".", "run in this directory (the module to analyze)")
+	tests := fs.Bool("tests", false, "also analyze _test.go files")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON, one object per line")
+	nocache := fs.Bool("nocache", false, "bypass the go-list result cache")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,15 +70,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := Vet(*dir, patterns...)
+	diags, err := Vet(Options{Dir: *dir, Tests: *tests, NoCache: *nocache}, patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "xicvet: %v\n", err)
 		return 2
 	}
+	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
 		pos := d.Pos
 		if rel, err := filepath.Rel(*dir, pos.Filename); err == nil && filepath.IsAbs(pos.Filename) {
 			pos.Filename = rel
+		}
+		if *jsonOut {
+			if err := enc.Encode(jsonDiagnostic{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintf(stderr, "xicvet: %v\n", err)
+				return 2
+			}
+			continue
 		}
 		fmt.Fprintf(stdout, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
 	}
@@ -69,12 +103,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// Vet loads the packages matched by patterns in dir and applies the whole
-// suite: every analyzer's Collect phase over every module package first
-// (so cross-package tables are complete), then Run over the packages the
-// patterns actually named. Diagnostics come back sorted by position.
-func Vet(dir string, patterns ...string) ([]analysis.Diagnostic, error) {
-	prog, err := load.Packages(dir, patterns...)
+// jsonDiagnostic is the -json wire form of one finding, one object per
+// line. The field set is pinned by TestJSONOutput and consumed by the
+// GitHub problem matcher in .github/xicvet-problem-matcher.json.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Vet loads the packages matched by patterns and applies the whole suite:
+// every analyzer's Collect phase over every module package first (so
+// cross-package tables are complete), then Run over the packages the
+// patterns actually named, then a directive check that flags malformed
+// //xic:ignore comments. Diagnostics come back sorted by position.
+func Vet(opts Options, patterns ...string) ([]analysis.Diagnostic, error) {
+	prog, err := load.Load(load.Config{Dir: opts.Dir, Tests: opts.Tests, NoCache: opts.NoCache}, patterns...)
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +150,17 @@ func Vet(dir string, patterns ...string) ([]analysis.Diagnostic, error) {
 				return nil, fmt.Errorf("%s: run %s: %v", a.Name, pkg.ImportPath, err)
 			}
 		}
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.DepOnly {
+			continue
+		}
+		diags = append(diags, analysis.CheckDirectives(prog.Fset, pkg.Syntax, known)...)
 	}
 
 	sort.Slice(diags, func(i, j int) bool {

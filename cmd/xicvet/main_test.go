@@ -2,15 +2,17 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// TestListsFiveAnalyzers pins the registered suite: exactly the five
-// documented analyzers, in order.
-func TestListsFiveAnalyzers(t *testing.T) {
+// TestListsNineAnalyzers pins the registered suite: exactly the nine
+// documented analyzers, in order — the original five invariant checkers
+// followed by the concurrency pack.
+func TestListsNineAnalyzers(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("xicvet -list exited %d: %s", code, stderr.String())
@@ -23,7 +25,10 @@ func TestListsFiveAnalyzers(t *testing.T) {
 		}
 		names = append(names, name)
 	}
-	want := []string{"ctxflow", "frozen", "ratalias", "atomicfield", "errtaxonomy"}
+	want := []string{
+		"ctxflow", "frozen", "ratalias", "atomicfield", "errtaxonomy",
+		"lockorder", "lockbalance", "goleak", "chandisc",
+	}
 	if len(names) != len(want) {
 		t.Fatalf("got %d analyzers %v, want %v", len(names), names, want)
 	}
@@ -34,20 +39,36 @@ func TestListsFiveAnalyzers(t *testing.T) {
 	}
 }
 
-// TestRepoIsClean runs the whole suite over the real module: the tree must
-// stay free of findings, since CI runs the same command as a blocking
-// gate.
+// TestRepoIsClean runs the whole suite over the real module, test files
+// included: the tree must stay free of findings, since CI runs the same
+// command as a blocking gate.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
 	}
-	diags, err := Vet("../..", "./...")
+	diags, err := Vet(Options{Dir: "../..", Tests: true}, "./...")
 	if err != nil {
 		t.Fatalf("Vet: %v", err)
 	}
 	for _, d := range diags {
 		t.Errorf("unexpected finding: %s", d)
 	}
+}
+
+// seedModule writes a throwaway module with the given source file and
+// returns its directory.
+func seedModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module seeded\n\ngo 1.21\n")
+	write("seed.go", src)
+	return dir
 }
 
 // TestSeededViolationFails builds a throwaway module containing a frozen
@@ -57,15 +78,7 @@ func TestSeededViolationFails(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shells out to the go tool")
 	}
-	dir := t.TempDir()
-	write := func(name, src string) {
-		t.Helper()
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	write("go.mod", "module seeded\n\ngo 1.21\n")
-	write("seed.go", `// Package seeded seeds one frozen violation.
+	dir := seedModule(t, `// Package seeded seeds one frozen violation.
 package seeded
 
 // Config is published at startup.
@@ -87,5 +100,251 @@ func Tweak(c *Config) { c.N = 2 }
 	}
 	if !strings.Contains(stdout.String(), "frozen: write to field N of frozen type Config") {
 		t.Fatalf("missing frozen finding in output:\n%s", stdout.String())
+	}
+}
+
+// TestSeededLockInversionFails seeds the canonical AB/BA deadlock and
+// asserts the vet gate trips on it: the acceptance criterion for the
+// parallel-solver prerequisite.
+func TestSeededLockInversionFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	dir := seedModule(t, `// Package seeded seeds a lock-order inversion.
+package seeded
+
+import "sync"
+
+var a, b sync.Mutex
+
+// AB nests b under a.
+func AB() {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+// BA nests a under b: together with AB this deadlocks under contention.
+func BA() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+`)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "lockorder: lock order inversion") {
+		t.Fatalf("missing lockorder finding in output:\n%s", stdout.String())
+	}
+}
+
+// TestSeededGoroutineLeakFails seeds a goroutine with no termination
+// signal and asserts the vet gate trips on it.
+func TestSeededGoroutineLeakFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	dir := seedModule(t, `// Package seeded seeds a leaked goroutine.
+package seeded
+
+// Spawn starts a goroutine nothing can stop or await.
+func Spawn(work []int) {
+	go func() {
+		for range work {
+		}
+	}()
+}
+`)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "goleak: goroutine has no termination signal") {
+		t.Fatalf("missing goleak finding in output:\n%s", stdout.String())
+	}
+}
+
+// TestJSONOutput pins the -json wire shape: one object per line with
+// file, line, col, analyzer, and message fields.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	dir := seedModule(t, `// Package seeded seeds a leaked goroutine for the JSON test.
+package seeded
+
+// Spawn starts a goroutine nothing can stop or await.
+func Spawn() {
+	go func() {}()
+}
+`)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON output")
+	}
+	for _, line := range lines {
+		var d jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line %q is not a JSON diagnostic: %v", line, err)
+		}
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic %+v from line %q", d, line)
+		}
+		if filepath.IsAbs(d.File) {
+			t.Errorf("file %q should be relative to the -C directory", d.File)
+		}
+	}
+	found := false
+	for _, line := range lines {
+		var d jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &d); err == nil && d.Analyzer == "goleak" && d.File == "seed.go" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a goleak diagnostic for seed.go, got:\n%s", stdout.String())
+	}
+}
+
+// TestMalformedDirectiveIsAFinding asserts the driver-level directive
+// check: naming an unknown analyzer or omitting the reason is itself a
+// finding, so dead suppressions cannot ship silently.
+func TestMalformedDirectiveIsAFinding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	dir := seedModule(t, `// Package seeded carries two malformed suppressions.
+package seeded
+
+// A is fine on its own.
+func A() int {
+	//xic:ignore gofleak typo'd analyzer name
+	x := 1
+	//xic:ignore goleak
+	return x
+}
+`)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, `unknown analyzer "gofleak"`) {
+		t.Errorf("missing unknown-analyzer finding:\n%s", out)
+	}
+	if !strings.Contains(out, "has no reason and suppresses nothing") {
+		t.Errorf("missing missing-reason finding:\n%s", out)
+	}
+}
+
+// TestTestsFlagExtendsCoverage seeds a violation that lives only in a
+// _test.go file: invisible without -tests, a finding with it.
+func TestTestsFlagExtendsCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	dir := seedModule(t, `// Package seeded is clean; its test file is not.
+package seeded
+
+// A does nothing.
+func A() {}
+`)
+	// A lock-order inversion confined to the test file; lockorder does not
+	// relax in test files, so -tests must surface it.
+	testSrc := `package seeded
+
+import (
+	"sync"
+	"testing"
+)
+
+var a, b sync.Mutex
+
+func TestAB(t *testing.T) {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+func TestBA(t *testing.T) {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "seed_test.go"), []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("without -tests: exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-tests", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("with -tests: exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "lockorder: lock order inversion") {
+		t.Fatalf("missing lockorder finding from test file:\n%s", stdout.String())
+	}
+}
+
+// TestCacheRoundTrip exercises the go-list cache: a second identical run
+// must be served from the cache, a -nocache run must not touch it, and
+// the cached result must agree with the live one.
+func TestCacheRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	dir := seedModule(t, `// Package seeded seeds a leaked goroutine for the cache test.
+package seeded
+
+// Spawn starts a goroutine nothing can stop or await.
+func Spawn() {
+	go func() {}()
+}
+`)
+	cacheDir := t.TempDir()
+	t.Setenv("XDG_CACHE_HOME", cacheDir)
+
+	var first, second, third bytes.Buffer
+	var stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &first, &stderr); code != 1 {
+		t.Fatalf("first run: exit %d\n%s", code, stderr.String())
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "xicvet", "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entry written under %s (err=%v)", cacheDir, err)
+	}
+	if code := run([]string{"-C", dir, "./..."}, &second, &stderr); code != 1 {
+		t.Fatalf("second run: exit %d\n%s", code, stderr.String())
+	}
+	if first.String() != second.String() {
+		t.Errorf("cached run disagrees with live run:\n--- live\n%s--- cached\n%s", first.String(), second.String())
+	}
+	if code := run([]string{"-C", dir, "-nocache", "./..."}, &third, &stderr); code != 1 {
+		t.Fatalf("nocache run: exit %d\n%s", code, stderr.String())
+	}
+	if first.String() != third.String() {
+		t.Errorf("-nocache run disagrees:\n--- live\n%s--- nocache\n%s", first.String(), third.String())
 	}
 }

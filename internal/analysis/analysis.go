@@ -29,6 +29,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"xic/internal/analysis/cfg"
 )
 
 // Analyzer is one xicvet checker.
@@ -69,6 +71,7 @@ type Pass struct {
 
 	suppress *Suppressions
 	report   func(Diagnostic)
+	graphs   map[*ast.BlockStmt]*cfg.Graph
 }
 
 // NewPass assembles a Pass. report receives every non-suppressed
@@ -83,6 +86,30 @@ func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pac
 		suppress: NewSuppressions(fset, files),
 		report:   report,
 	}
+}
+
+// CFG returns the control-flow graph of a function body belonging to this
+// pass's package, memoized per Pass so an analyzer visiting the same body
+// from several angles builds it once. See package cfg for the graph shape
+// and the Forward dataflow solver.
+func (p *Pass) CFG(body *ast.BlockStmt) *cfg.Graph {
+	if g, ok := p.graphs[body]; ok {
+		return g
+	}
+	if p.graphs == nil {
+		p.graphs = make(map[*ast.BlockStmt]*cfg.Graph)
+	}
+	g := cfg.New(body, p.Info)
+	p.graphs[body] = g
+	return g
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several
+// analyzers relax their invariants for test code (manufactured contexts
+// and raw goroutines are idiomatic there), which only matters when the
+// loader runs with test files included.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
 // Reportf reports a finding at pos unless an //xic:ignore directive for
@@ -139,6 +166,40 @@ func NewSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 		}
 	}
 	return s
+}
+
+// CheckDirectives validates the //xic:ignore directives of a package
+// against the set of known analyzer names: a directive naming an analyzer
+// that does not exist suppresses nothing and is almost certainly a typo,
+// and a directive with no reason is inert by design — both are reported as
+// driver-level diagnostics (Analyzer "xicvet") so the vet gate catches
+// them instead of silently shipping a dead suppression.
+func CheckDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					out = append(out, Diagnostic{Pos: pos, Analyzer: "xicvet",
+						Message: "//xic:ignore directive names no analyzer and suppresses nothing; write //xic:ignore <analyzer> <reason>"})
+				case !known[fields[0]]:
+					out = append(out, Diagnostic{Pos: pos, Analyzer: "xicvet",
+						Message: fmt.Sprintf("//xic:ignore names unknown analyzer %q; the directive suppresses nothing", fields[0])})
+				case len(fields) < 2:
+					out = append(out, Diagnostic{Pos: pos, Analyzer: "xicvet",
+						Message: fmt.Sprintf("//xic:ignore %s has no reason and suppresses nothing; document why the finding is acceptable", fields[0])})
+				}
+			}
+		}
+	}
+	return out
 }
 
 // Covers reports whether a directive for analyzer covers the position.

@@ -1,0 +1,119 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"xic/internal/analysis"
+)
+
+// parse parses one source string as a single-file package.
+func parse(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "suppress.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// reportAt sends one diagnostic for the named analyzer at pos and reports
+// whether it survived suppression.
+func reportAt(fset *token.FileSet, files []*ast.File, analyzer string, pos token.Pos) bool {
+	a := &analysis.Analyzer{Name: analyzer}
+	delivered := false
+	pass := analysis.NewPass(a, fset, files, nil, nil, func(analysis.Diagnostic) { delivered = true })
+	pass.Reportf(pos, "finding")
+	return delivered
+}
+
+// lineStart returns a Pos on the given 1-based line of the file.
+func lineStart(fset *token.FileSet, files []*ast.File, line int) token.Pos {
+	tf := fset.File(files[0].Pos())
+	return tf.LineStart(line)
+}
+
+const suppressedSrc = `package p
+
+func a() {
+	x := 1 //xic:ignore demo trailing directive with a reason
+	_ = x
+	//xic:ignore demo directive on the line above
+	y := 2
+	_ = y
+	//xic:ignore demo
+	z := 3
+	_ = z
+}
+`
+
+// TestSuppressionPlacement pins both sanctioned directive placements: the
+// end of the flagged line and the line directly above it. A directive
+// with no reason (line 9) is inert, and a directive never reaches past
+// the line below it.
+func TestSuppressionPlacement(t *testing.T) {
+	fset, files := parse(t, suppressedSrc)
+
+	if reportAt(fset, files, "demo", lineStart(fset, files, 4)) {
+		t.Error("end-of-line directive did not suppress the finding on its own line")
+	}
+	if reportAt(fset, files, "demo", lineStart(fset, files, 7)) {
+		t.Error("line-above directive did not suppress the finding below it")
+	}
+	if !reportAt(fset, files, "demo", lineStart(fset, files, 10)) {
+		t.Error("reasonless directive suppressed a finding; the reason is mandatory")
+	}
+	if !reportAt(fset, files, "demo", lineStart(fset, files, 8)) {
+		t.Error("directive leaked two lines down")
+	}
+	if !reportAt(fset, files, "other", lineStart(fset, files, 4)) {
+		t.Error("directive for analyzer demo suppressed a different analyzer")
+	}
+}
+
+const directiveSrc = `package p
+
+func a() {
+	//xic:ignore
+	x := 1
+	//xic:ignore nosuch typo'd analyzer names suppress nothing
+	y := 2
+	//xic:ignore demo
+	z := 3
+	w := 4 //xic:ignore demo documented exception
+	_, _, _, _ = x, y, z, w
+}
+`
+
+// TestCheckDirectives pins the three malformed-directive diagnostics:
+// no analyzer at all, an unknown analyzer name, and a known analyzer with
+// no reason. The well-formed directive on line 10 is not reported.
+func TestCheckDirectives(t *testing.T) {
+	fset, files := parse(t, directiveSrc)
+	known := map[string]bool{"demo": true}
+	diags := analysis.CheckDirectives(fset, files, known)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	wants := []struct {
+		line int
+		frag string
+	}{
+		{4, "names no analyzer"},
+		{6, `unknown analyzer "nosuch"`},
+		{8, "has no reason"},
+	}
+	for i, w := range wants {
+		d := diags[i]
+		if d.Pos.Line != w.line || !strings.Contains(d.Message, w.frag) {
+			t.Errorf("diagnostic %d = line %d %q, want line %d containing %q", i, d.Pos.Line, d.Message, w.line, w.frag)
+		}
+		if d.Analyzer != "xicvet" {
+			t.Errorf("diagnostic %d attributed to %q, want the driver name xicvet", i, d.Analyzer)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package cfg
+
+// Forward runs a forward dataflow analysis over g to fixpoint and returns
+// the in- and out-state of every reached block. boundary is the state on
+// entry to g.Entry; transfer computes a block's out-state from its
+// in-state (it must not mutate its argument — return a fresh or shared
+// immutable value); join merges the out-states of converging edges; equal
+// decides convergence. Termination requires the usual lattice conditions:
+// join is monotone and the state space has finite height.
+//
+// Blocks never reached from Entry (unreachable code) have no entry in the
+// returned maps; callers iterating g.Blocks should skip states that are
+// absent.
+func Forward[S any](g *Graph, boundary S, join func(S, S) S, equal func(S, S) bool, transfer func(*Block, S) S) (in, out map[*Block]S) {
+	in = make(map[*Block]S, len(g.Blocks))
+	out = make(map[*Block]S, len(g.Blocks))
+	in[g.Entry] = boundary
+
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		o := transfer(b, in[b])
+		if prev, done := out[b]; done && equal(prev, o) {
+			continue
+		}
+		out[b] = o
+
+		for _, s := range b.Succs {
+			ni, seen := in[s]
+			merged := o
+			if seen {
+				merged = join(ni, o)
+			}
+			if !seen || !equal(merged, ni) {
+				in[s] = merged
+				if !queued[s] {
+					work = append(work, s)
+					queued[s] = true
+				}
+			}
+		}
+	}
+	return in, out
+}

@@ -1,0 +1,286 @@
+// Package chandisc enforces channel discipline in the packages that will
+// host the parallel branch-and-bound machinery (internal/ilp,
+// internal/core, internal/registry): the shapes of channel misuse that
+// turn into runtime panics or unkillable loops the moment work is spread
+// across goroutines.
+//
+// Three rules, all built on the lockset class abstraction (a channel
+// canonicalizes to the struct field, package var, or local var that holds
+// it):
+//
+//   - close by non-owner: the only function allowed to close a channel is
+//     the one that created it (the function whose body contains the
+//     `make`, counting its nested literals — the registry's deferred
+//     `close(fl.done)` closure belongs to `do`, which made the channel).
+//     Ownership makes double-close and close-while-sending structurally
+//     impossible; a deliberate hand-off is documented with //xic:ignore.
+//
+//   - send racing a close: a send on a channel class that a *different*
+//     function closes panics if the close wins the race. The closer is
+//     named in the diagnostic so the conflict is auditable.
+//
+//   - select in a loop with no cancellation case: a `select` inside a
+//     `for` that has no receive on a struct{}-element channel (the quit
+//     convention, and exactly what ctx.Done() returns) can block forever;
+//     the loop around it can never be shut down. A `default` clause does
+//     not count — it makes the select non-blocking but leaves the loop
+//     itself unstoppable.
+//
+// The analyzer runs only on the solver-adjacent packages (by package
+// name: ilp, core, registry — which also scopes the fixture package);
+// Collect still indexes make and close sites module-wide so cross-package
+// closers are visible.
+package chandisc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"xic/internal/analysis"
+	"xic/internal/analysis/lockset"
+)
+
+// scoped names the packages the discipline applies to.
+var scoped = map[string]bool{"ilp": true, "core": true, "registry": true, "chandisc": true}
+
+// New constructs the analyzer.
+func New() *analysis.Analyzer {
+	c := &chandisc{
+		makes:  make(map[types.Object]map[*types.Func]bool),
+		closes: make(map[types.Object]map[*types.Func]bool),
+	}
+	return &analysis.Analyzer{
+		Name:    "chandisc",
+		Doc:     "enforces channel ownership (only the maker closes), flags sends racing a close, and selects in loops with no cancellation case",
+		Collect: c.collect,
+		Run:     c.run,
+	}
+}
+
+type chandisc struct {
+	// makes records which functions contain a `make(chan ...)` bound to a
+	// class; closes records which functions close a class. Both are
+	// module-wide, keyed by canonical class object.
+	makes  map[types.Object]map[*types.Func]bool
+	closes map[types.Object]map[*types.Func]bool
+}
+
+func (c *chandisc) collect(pass *analysis.Pass) error {
+	lockset.Bodies(pass.Info, pass.Files, func(body *ast.BlockStmt, owner *types.Func) {
+		walkShallow(body, func(n ast.Node) {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Rhs {
+						if isMakeChan(pass.Info, x.Rhs[i]) {
+							c.recordMake(pass.Info, x.Lhs[i], owner)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i := range x.Values {
+					if i < len(x.Names) && isMakeChan(pass.Info, x.Values[i]) {
+						if obj, ok := pass.Info.Defs[x.Names[i]].(*types.Var); ok {
+							c.add(c.makes, obj, owner)
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				// &inflight{done: make(chan struct{})}: the field is the
+				// class, the literal's function is the owner.
+				if isMakeChan(pass.Info, x.Value) {
+					if id, ok := x.Key.(*ast.Ident); ok {
+						if f, ok := pass.Info.Uses[id].(*types.Var); ok && f.IsField() {
+							c.add(c.makes, f, owner)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if cls, ok := closedClass(pass.Info, x); ok {
+					c.add(c.closes, cls, owner)
+				}
+			}
+		})
+	})
+	return nil
+}
+
+func (c *chandisc) recordMake(info *types.Info, lhs ast.Expr, owner *types.Func) {
+	if cls, _, ok := lockset.ClassOf(info, lhs); ok {
+		c.add(c.makes, cls, owner)
+	}
+}
+
+func (c *chandisc) add(m map[types.Object]map[*types.Func]bool, cls types.Object, owner *types.Func) {
+	if m[cls] == nil {
+		m[cls] = make(map[*types.Func]bool)
+	}
+	m[cls][owner] = true
+}
+
+func (c *chandisc) run(pass *analysis.Pass) error {
+	if !scoped[pass.Pkg.Name()] {
+		return nil
+	}
+	lockset.Bodies(pass.Info, pass.Files, func(body *ast.BlockStmt, owner *types.Func) {
+		c.checkBody(pass, body, owner)
+	})
+	return nil
+}
+
+// checkBody walks one function body (literals excluded — they are their
+// own bodies, attributed to the same owner), tracking loop nesting for the
+// select rule.
+func (c *chandisc) checkBody(pass *analysis.Pass, body *ast.BlockStmt, owner *types.Func) {
+	var stack []ast.Node
+	loops := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			switch top.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops--
+			}
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			c.checkSend(pass, x, owner)
+		case *ast.CallExpr:
+			c.checkClose(pass, x, owner)
+		case *ast.SelectStmt:
+			if loops > 0 && !hasCancellationCase(pass.Info, x) && !pass.InTestFile(x.Pos()) {
+				pass.Reportf(x.Pos(), "select inside a loop has no cancellation case (no receive on a struct{} channel such as a quit channel or ctx.Done()): the loop cannot be shut down")
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops++
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// checkClose reports a close in a function that did not make the channel.
+func (c *chandisc) checkClose(pass *analysis.Pass, call *ast.CallExpr, owner *types.Func) {
+	cls, ok := closedClass(pass.Info, call)
+	if !ok || pass.InTestFile(call.Pos()) {
+		return
+	}
+	if owner != nil && c.makes[cls][owner] {
+		return
+	}
+	_, display, _ := lockset.ClassOf(pass.Info, call.Args[0])
+	pass.Reportf(call.Pos(), "close of %s by a non-owner: only the function that makes a channel may close it (ownership rules out double-close and send-after-close)", display)
+}
+
+// checkSend reports a send on a class some other function closes.
+func (c *chandisc) checkSend(pass *analysis.Pass, send *ast.SendStmt, owner *types.Func) {
+	cls, display, ok := lockset.ClassOf(pass.Info, send.Chan)
+	if !ok || pass.InTestFile(send.Pos()) {
+		return
+	}
+	var closers []string
+	for fn := range c.closes[cls] {
+		if fn != nil && fn != owner {
+			closers = append(closers, fn.Name())
+		}
+	}
+	if len(closers) == 0 {
+		return
+	}
+	sort.Strings(closers)
+	pass.Reportf(send.Pos(), "send on %s, which %s closes: a send racing that close panics", display, closers[0])
+}
+
+// closedClass recognizes close(ch) and canonicalizes its argument.
+func closedClass(info *types.Info, call *ast.CallExpr) (types.Object, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) != 1 {
+		return nil, false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+		return nil, false
+	}
+	cls, _, ok := lockset.ClassOf(info, call.Args[0])
+	return cls, ok
+}
+
+// isMakeChan reports whether e is a make call producing a channel.
+func isMakeChan(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// hasCancellationCase reports whether any case of the select receives from
+// a struct{}-element channel — the quit-channel convention, and the type
+// of ctx.Done().
+func hasCancellationCase(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, s := range sel.Body.List {
+		cc, ok := s.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			for _, r := range comm.Rhs {
+				if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recv = u.X
+				}
+			}
+		}
+		if recv == nil {
+			continue
+		}
+		tv, ok := info.Types[recv]
+		if !ok {
+			continue
+		}
+		ch, ok := tv.Type.Underlying().(*types.Chan)
+		if !ok {
+			continue
+		}
+		if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// walkShallow visits every node under n except function literal bodies
+// (each body is enumerated separately by lockset.Bodies).
+func walkShallow(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x != nil {
+			visit(x)
+		}
+		return true
+	})
+}

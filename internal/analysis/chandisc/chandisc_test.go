@@ -1,0 +1,12 @@
+package chandisc_test
+
+import (
+	"testing"
+
+	"xic/internal/analysis/analysistest"
+	"xic/internal/analysis/chandisc"
+)
+
+func TestChandisc(t *testing.T) {
+	analysistest.Run(t, chandisc.New(), "../testdata/src/chandisc")
+}

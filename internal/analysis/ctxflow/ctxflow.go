@@ -116,6 +116,12 @@ func (c *ctxflow) run(pass *analysis.Pass) error {
 			if isDeprecated(fd.Doc) {
 				continue
 			}
+			if pass.InTestFile(fd.Pos()) {
+				// Tests are the root of their own cancellation chain:
+				// manufacturing a context there is the invariant working,
+				// not a violation of it.
+				continue
+			}
 			c.checkFunc(pass, fd)
 		}
 	}

@@ -1,0 +1,256 @@
+// Package goleak flags `go` statements that start a goroutine with no
+// visible termination signal. A long-lived library (the registry, the
+// future parallel solver, xicd's serving layers) must be able to wind
+// every goroutine down: a goroutine that neither watches a context, nor
+// participates in a WaitGroup, nor communicates over a channel has no way
+// to be stopped or awaited, and accumulates across requests — the classic
+// slow leak the race detector never sees.
+//
+// A goroutine counts as signaled when any of these appears in its body
+// (for a `go func(){...}()` literal) or its declaration (for a named
+// function, resolved module-wide in the Collect phase):
+//
+//   - a value of type context.Context (parameter, capture, or argument);
+//   - a (*sync.WaitGroup).Done / Add / Wait call;
+//   - any channel operation: send, receive, close, range over a channel,
+//     or a select statement — owning a result or quit channel is a
+//     termination protocol;
+//   - a *testing.T/B method call (the goroutine is test-scoped).
+//
+// Main packages are exempt (a daemon's accept loop lives as long as the
+// process) and so are test files, where raw goroutines joined by the test
+// body are idiomatic.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"xic/internal/analysis"
+)
+
+// New constructs the analyzer.
+func New() *analysis.Analyzer {
+	g := &goleak{signaled: make(map[*types.Func]bool)}
+	return &analysis.Analyzer{
+		Name:    "goleak",
+		Doc:     "reports go statements whose goroutine has no termination signal (context, WaitGroup, or channel)",
+		Collect: g.collect,
+		Run:     g.run,
+	}
+}
+
+type goleak struct {
+	// signaled records, module-wide, whether a declared function's body
+	// contains a termination signal, so `go pkg.Worker(x)` resolves across
+	// packages.
+	signaled map[*types.Func]bool
+}
+
+func (g *goleak) collect(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if hasSignal(pass.Info, fd.Body) || signatureSignaled(fn) {
+				g.signaled[fn] = true
+			}
+		}
+	}
+	return nil
+}
+
+func (g *goleak) run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(gs.Pos()) {
+				return true
+			}
+			if g.goSignaled(pass, gs) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "goroutine has no termination signal (no context, WaitGroup, or channel operation): it cannot be stopped or awaited and will leak")
+			return true
+		})
+	}
+	return nil
+}
+
+// goSignaled decides whether the spawned goroutine has a termination
+// signal: in the arguments passed to it, in its literal body, or in the
+// declaration of the named function it runs.
+func (g *goleak) goSignaled(pass *analysis.Pass, gs *ast.GoStmt) bool {
+	for _, arg := range gs.Call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && typeSignaled(tv.Type) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return hasSignal(pass.Info, fun.Body)
+	default:
+		var id *ast.Ident
+		switch f := fun.(type) {
+		case *ast.Ident:
+			id = f
+		case *ast.SelectorExpr:
+			id = f.Sel
+		default:
+			return false
+		}
+		fn, ok := pass.Info.Uses[id].(*types.Func)
+		if !ok {
+			// A func-typed value: unknowable body; treat as signaled to
+			// stay quiet on dynamic dispatch.
+			return true
+		}
+		if g.signaled[fn] || signatureSignaled(fn) {
+			return true
+		}
+		// Method expressions on bound receivers may close over signals the
+		// signature hides; methods of types holding channels or contexts
+		// count as signaled through their receiver.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && typeSignaled(sig.Recv().Type()) {
+			return true
+		}
+		return false
+	}
+}
+
+// signatureSignaled reports whether a function's parameters carry a
+// signal type.
+func signatureSignaled(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if typeSignaled(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeSignaled reports whether a value of type t can carry a termination
+// protocol: a context, a channel, a WaitGroup, or a struct containing one
+// (one level deep — signal-carrying config structs are common).
+func typeSignaled(t types.Type) bool {
+	return typeSignaledDepth(t, 1)
+}
+
+func typeSignaledDepth(t types.Type, depth int) bool {
+	if isContext(t) || isWaitGroup(t) || isTesting(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		return typeSignaledDepth(u.Elem(), depth)
+	case *types.Struct:
+		if depth == 0 {
+			return false
+		}
+		for i := 0; i < u.NumFields(); i++ {
+			if typeSignaledDepth(u.Field(i).Type(), depth-1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasSignal scans a body (including nested literals — a signal anywhere
+// in the goroutine's reach counts) for termination constructs.
+func hasSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					found = true
+				}
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						if isWaitGroup(sig.Recv().Type()) || isTesting(sig.Recv().Type()) {
+							found = true
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj, ok := info.Uses[x].(*types.Var); ok && isContext(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isContext(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isWaitGroup(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+func isTesting(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "testing"
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

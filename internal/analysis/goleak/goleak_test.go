@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"xic/internal/analysis/analysistest"
+	"xic/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, goleak.New(), "../testdata/src/goleak")
+}

@@ -9,10 +9,29 @@
 // is the same split a go/packages NeedSyntax|NeedTypes load performs,
 // reimplemented on the standard library because the build environment is
 // offline and vendors no x/tools.
+//
+// With Config.Tests set, the loader asks the go tool for test variants
+// (`go list -test`): each package p that has in-package test files gains a
+// variant `p [p.test]` whose file list includes the _test.go files, and
+// each external test package appears as `p_test [p.test]`. The generated
+// test-main packages (`p.test`) are skipped, a plain package superseded by
+// its variant is demoted to dependency-only so analyzers do not report the
+// same finding twice, and each variant's ImportMap is honored during type
+// checking so a test package importing p resolves to the augmented
+// variant, exactly as the go tool builds it.
+//
+// The go list invocation dominates a warm xicvet run, so its JSON output
+// is cached under os.UserCacheDir()/xicvet keyed by the go version, the
+// flags, the patterns, and the content of go.mod/go.sum and every .go file
+// beneath the module root. A hit is revalidated by checking that every
+// export-data file it names still exists (the build cache may have been
+// trimmed since); Config.NoCache bypasses the cache entirely.
 package load
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -21,11 +40,28 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 )
+
+// Config selects what to load and how.
+type Config struct {
+	// Dir is the directory to run the go tool in (the module to analyze).
+	Dir string
+	// Tests includes _test.go files: packages with in-package tests are
+	// loaded as their test variants, and external _test packages are loaded
+	// too.
+	Tests bool
+	// NoCache disables the go-list result cache for this load.
+	NoCache bool
+	// CacheDir overrides the cache location (default:
+	// os.UserCacheDir()/xicvet).
+	CacheDir string
+}
 
 // Package is one loaded package. Syntax, Types and Info are populated only
 // for packages in the main module; dependencies outside it are imported
@@ -37,6 +73,7 @@ type Package struct {
 	Standard   bool // part of the standard library
 	DepOnly    bool // reached only as a dependency, not named by a pattern
 	Module     bool // in the main module (type-checked from source)
+	ForTest    string
 	GoFiles    []string
 
 	Syntax []*ast.File
@@ -49,6 +86,9 @@ type Package struct {
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
+	// FromCache reports that the go list step was served from the xicvet
+	// cache rather than a live go tool invocation.
+	FromCache bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader reads.
@@ -58,9 +98,11 @@ type listedPackage struct {
 	Name       string
 	Standard   bool
 	DepOnly    bool
+	ForTest    string
 	Export     string
 	GoFiles    []string
 	Imports    []string
+	ImportMap  map[string]string
 	Module     *struct {
 		Path string
 		Main bool
@@ -68,11 +110,17 @@ type listedPackage struct {
 }
 
 // Packages loads the packages matched by patterns (plus their
-// dependencies), running the go tool in dir. Module packages are
-// type-checked from source; a type error in any of them fails the load,
-// matching vet semantics.
+// dependencies), running the go tool in dir, without test files. It is
+// Load with a zero Config.
 func Packages(dir string, patterns ...string) (*Program, error) {
-	listed, err := goList(dir, patterns)
+	return Load(Config{Dir: dir}, patterns...)
+}
+
+// Load loads the packages matched by patterns (plus their dependencies)
+// according to cfg. Module packages are type-checked from source; a type
+// error in any of them fails the load, matching vet semantics.
+func Load(cfg Config, patterns ...string) (*Program, error) {
+	listed, fromCache, err := listPackages(cfg, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -80,11 +128,20 @@ func Packages(dir string, patterns ...string) (*Program, error) {
 	fset := token.NewFileSet()
 	exports := make(map[string]string) // import path → export-data file
 	byPath := make(map[string]*listedPackage, len(listed))
+	hasVariant := make(map[string]bool) // base path → test variant listed
 	var modulePaths []string
 	for _, lp := range listed {
+		if lp.Name == "main" && strings.HasSuffix(lp.ImportPath, ".test") {
+			// Generated test-main package: its sources live in the build
+			// cache and hold nothing to analyze.
+			continue
+		}
 		byPath[lp.ImportPath] = lp
 		if lp.Module != nil && lp.Module.Main {
 			modulePaths = append(modulePaths, lp.ImportPath)
+			if lp.ForTest != "" && basePath(lp.ImportPath) == lp.ForTest {
+				hasVariant[lp.ForTest] = true
+			}
 		} else if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
 		}
@@ -101,12 +158,18 @@ func Packages(dir string, patterns ...string) (*Program, error) {
 		return nil, err
 	}
 
-	prog := &Program{Fset: fset}
+	prog := &Program{Fset: fset, FromCache: fromCache}
 	for _, path := range order {
 		lp := byPath[path]
-		pkg, err := checkFromSource(fset, lp, imp)
+		pkg, err := checkFromSource(fset, lp, imp.forPackage(lp))
 		if err != nil {
 			return nil, err
+		}
+		if lp.ForTest == "" && hasVariant[lp.ImportPath] {
+			// The test variant supersedes this plain package for analysis:
+			// it carries the same files plus the in-package tests. Keep the
+			// plain one for importers, demote it past the Run phase.
+			pkg.DepOnly = true
 		}
 		imp.module[path] = pkg.Types
 		prog.Packages = append(prog.Packages, pkg)
@@ -114,20 +177,61 @@ func Packages(dir string, patterns ...string) (*Program, error) {
 	return prog, nil
 }
 
-// goList runs `go list -export -json -deps` and decodes its stream of
-// package objects.
-func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+// basePath strips the test-variant annotation: "p [p.test]" → "p".
+func basePath(importPath string) string {
+	base, _, _ := strings.Cut(importPath, " [")
+	return base
+}
+
+// listPackages obtains the `go list -export -json -deps` output for the
+// load, from the cache when possible.
+func listPackages(cfg Config, patterns []string) ([]*listedPackage, bool, error) {
+	args := []string{"list", "-export", "-json", "-deps"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+
+	cachePath := ""
+	if !cfg.NoCache {
+		if key, err := cacheKey(cfg, args); err == nil {
+			cachePath = key
+			if raw, err := os.ReadFile(cachePath); err == nil {
+				if listed, err := decodeList(raw); err == nil && exportsExist(listed) {
+					return listed, true, nil
+				}
+				// Stale or corrupt: fall through to a live run, which
+				// rewrites the entry.
+			}
+		}
+	}
+
 	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
+	cmd.Dir = cfg.Dir
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+		return nil, false, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.Bytes())
 	}
+	listed, err := decodeList(stdout.Bytes())
+	if err != nil {
+		return nil, false, err
+	}
+	if cachePath != "" {
+		if err := os.MkdirAll(filepath.Dir(cachePath), 0o755); err == nil {
+			// Best effort: an unwritable cache never fails the load.
+			_ = os.WriteFile(cachePath, stdout.Bytes(), 0o644)
+		}
+	}
+	return listed, false, nil
+}
+
+// decodeList decodes a stream of go list JSON package objects.
+func decodeList(raw []byte) ([]*listedPackage, error) {
 	var out []*listedPackage
-	dec := json.NewDecoder(&stdout)
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	for {
 		lp := new(listedPackage)
 		if err := dec.Decode(lp); err == io.EOF {
@@ -138,6 +242,97 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 		out = append(out, lp)
 	}
 	return out, nil
+}
+
+// exportsExist revalidates a cache hit: every export-data file the cached
+// listing names must still be present, or the listing is stale (the go
+// build cache may have been trimmed since it was written).
+func exportsExist(listed []*listedPackage) bool {
+	for _, lp := range listed {
+		if lp.Export == "" {
+			continue
+		}
+		if _, err := os.Stat(lp.Export); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheKey computes the cache file path for a load: a content hash over
+// everything that can change the go list result — the go version, the
+// exact argument list, go.mod/go.sum, and the name and content of every
+// .go file under the module root.
+func cacheKey(cfg Config, args []string) (string, error) {
+	dir := cfg.CacheDir
+	if dir == "" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return "", err
+		}
+		dir = filepath.Join(base, "xicvet")
+	}
+
+	h := sha256.New()
+	// The listing embeds absolute paths, so the module's location is part
+	// of the key: two modules with identical content in different
+	// directories (say, successive t.TempDir() runs) must not share an
+	// entry.
+	abs, err := filepath.Abs(cfg.Dir)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(h, "dir %q\n", abs)
+	version := exec.Command("go", "env", "GOVERSION")
+	version.Dir = cfg.Dir
+	out, err := version.Output()
+	if err != nil {
+		return "", fmt.Errorf("load: go env GOVERSION: %v", err)
+	}
+	h.Write(out)
+	for _, a := range args {
+		fmt.Fprintf(h, "arg %q\n", a)
+	}
+	for _, name := range []string{"go.mod", "go.sum"} {
+		data, err := os.ReadFile(filepath.Join(cfg.Dir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return "", err
+		}
+		fmt.Fprintf(h, "file %q %x\n", name, sha256.Sum256(data))
+	}
+	err = filepath.WalkDir(cfg.Dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip hidden directories, but never the walk root itself (whose
+			// name may be "." or ".." depending on how Dir was spelled).
+			if path != cfg.Dir && strings.HasPrefix(d.Name(), ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(cfg.Dir, path)
+		if err != nil {
+			rel = path
+		}
+		fmt.Fprintf(h, "file %q %x\n", rel, sha256.Sum256(data))
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, hex.EncodeToString(h.Sum(nil))+".json"), nil
 }
 
 // exportLookup resolves import paths to export-data readers for the gc
@@ -168,6 +363,28 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	return m.deps.Import(path)
 }
 
+// forPackage wraps the importer with one package's ImportMap, so a test
+// package importing p resolves to the test variant `p [p.test]` exactly as
+// the go tool built it.
+func (m *moduleImporter) forPackage(lp *listedPackage) types.Importer {
+	if len(lp.ImportMap) == 0 {
+		return m
+	}
+	return &mappedImporter{m: m, importMap: lp.ImportMap}
+}
+
+type mappedImporter struct {
+	m         *moduleImporter
+	importMap map[string]string
+}
+
+func (mi *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.importMap[path]; ok {
+		path = mapped
+	}
+	return mi.m.Import(path)
+}
+
 // topoSort orders the module packages so dependencies precede dependents.
 func topoSort(paths []string, byPath map[string]*listedPackage) ([]string, error) {
 	sort.Strings(paths)
@@ -190,7 +407,11 @@ func topoSort(paths []string, byPath map[string]*listedPackage) ([]string, error
 			return fmt.Errorf("load: import cycle through %q", path)
 		}
 		state[path] = visiting
-		for _, dep := range byPath[path].Imports {
+		lp := byPath[path]
+		for _, dep := range lp.Imports {
+			if mapped, ok := lp.ImportMap[dep]; ok {
+				dep = mapped
+			}
 			if inModule[dep] {
 				if err := visit(dep); err != nil {
 					return err
@@ -209,7 +430,9 @@ func topoSort(paths []string, byPath map[string]*listedPackage) ([]string, error
 	return order, nil
 }
 
-// checkFromSource parses and type-checks one module package.
+// checkFromSource parses and type-checks one module package. Test variants
+// type-check under their base import path ("p [p.test]" → "p"), matching
+// how the go tool compiles them.
 func checkFromSource(fset *token.FileSet, lp *listedPackage, imp types.Importer) (*Package, error) {
 	pkg := &Package{
 		ImportPath: lp.ImportPath,
@@ -217,6 +440,7 @@ func checkFromSource(fset *token.FileSet, lp *listedPackage, imp types.Importer)
 		Name:       lp.Name,
 		Standard:   lp.Standard,
 		DepOnly:    lp.DepOnly,
+		ForTest:    lp.ForTest,
 		Module:     true,
 	}
 	for _, f := range lp.GoFiles {
@@ -227,7 +451,7 @@ func checkFromSource(fset *token.FileSet, lp *listedPackage, imp types.Importer)
 		return nil, err
 	}
 	pkg.Syntax = files
-	pkg.Types, pkg.Info, err = CheckFiles(fset, lp.ImportPath, files, imp)
+	pkg.Types, pkg.Info, err = CheckFiles(fset, basePath(lp.ImportPath), files, imp)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +499,7 @@ func CheckFiles(fset *token.FileSet, path string, files []*ast.File, imp types.I
 func StdImporter(fset *token.FileSet, dir string, roots []string) (types.Importer, error) {
 	exports := make(map[string]string, len(roots))
 	if len(roots) > 0 {
-		listed, err := goList(dir, roots)
+		listed, _, err := listPackages(Config{Dir: dir, NoCache: true}, roots)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,12 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"xic/internal/analysis/analysistest"
+	"xic/internal/analysis/lockbalance"
+)
+
+func TestLockbalance(t *testing.T) {
+	analysistest.Run(t, lockbalance.New(), "../testdata/src/lockbalance")
+}

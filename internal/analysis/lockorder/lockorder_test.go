@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"xic/internal/analysis/analysistest"
+	"xic/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, lockorder.New(), "../testdata/src/lockorder")
+}

@@ -6,13 +6,19 @@ package suite
 import (
 	"xic/internal/analysis"
 	"xic/internal/analysis/atomicfield"
+	"xic/internal/analysis/chandisc"
 	"xic/internal/analysis/ctxflow"
 	"xic/internal/analysis/errtaxonomy"
 	"xic/internal/analysis/frozen"
+	"xic/internal/analysis/goleak"
+	"xic/internal/analysis/lockbalance"
+	"xic/internal/analysis/lockorder"
 	"xic/internal/analysis/ratalias"
 )
 
-// Analyzers returns the full xicvet suite in reporting order.
+// Analyzers returns the full xicvet suite in reporting order: the original
+// five invariant checkers, then the concurrency pack built on the
+// CFG/dataflow layer (see internal/analysis/cfg).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxflow.New(),
@@ -20,5 +26,9 @@ func Analyzers() []*analysis.Analyzer {
 		ratalias.New(),
 		atomicfield.New(),
 		errtaxonomy.New(),
+		lockorder.New(),
+		lockbalance.New(),
+		goleak.New(),
+		chandisc.New(),
 	}
 }

@@ -1,0 +1,111 @@
+// Package chandisc (named after the analyzer so the scope check admits
+// it) exercises channel ownership, send-vs-close races, and cancellable
+// selects.
+package chandisc
+
+import "context"
+
+// pipe couples a data channel with its quit signal.
+type pipe struct {
+	res  chan int
+	quit chan struct{}
+}
+
+// newPipe makes both channels: it is their owner.
+func newPipe() *pipe {
+	return &pipe{res: make(chan int), quit: make(chan struct{})}
+}
+
+// drain closes a channel it did not make: only the maker may close.
+func (p *pipe) drain() {
+	for range p.res {
+	}
+	close(p.res) // want "close of p.res by a non-owner"
+}
+
+// feed sends on the channel drain closes: if the close wins the race the
+// send panics.
+func (p *pipe) feed(v int) {
+	p.res <- v // want "send on p.res, which drain closes"
+}
+
+// makeUseClose keeps the whole lifecycle in one function: clean.
+func makeUseClose() int {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+	return <-ch
+}
+
+// deferredLitClose mirrors the registry's singleflight shape: the close
+// sits in a deferred literal, but the literal belongs to the function that
+// made the channel, so ownership holds.
+func deferredLitClose(build func() error) error {
+	done := make(chan struct{})
+	defer func() {
+		close(done)
+	}()
+	return build()
+}
+
+// pumpNoCancel loops over a select that can only ever see data: nothing
+// can stop it.
+func pumpNoCancel(in chan int, out []int) {
+	for {
+		select { // want "select inside a loop has no cancellation case"
+		case v := <-in:
+			out = append(out, v)
+		}
+	}
+}
+
+// pumpQuit has a struct{} quit case: clean.
+func pumpQuit(in chan int, quit chan struct{}) {
+	for {
+		select {
+		case <-in:
+		case <-quit:
+			return
+		}
+	}
+}
+
+// pumpCtx cancels through the context: ctx.Done() is a struct{} receive.
+func pumpCtx(ctx context.Context, in chan int) {
+	for {
+		select {
+		case <-in:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// oneShotSelect is not in a loop: blocking here is the caller's choice.
+func oneShotSelect(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// litLoopSelect nests the unstoppable loop inside a goroutine literal:
+// the literal's own body is still checked.
+func litLoopSelect(in chan int) {
+	go func() {
+		for {
+			select { // want "select inside a loop has no cancellation case"
+			case <-in:
+			}
+		}
+	}()
+}
+
+// stop documents the deliberate Stop-closes-quit hand-off instead of
+// restructuring: the suppression carries the reason.
+func (p *pipe) stop() {
+	//xic:ignore chandisc stop is the documented owner of the quit signal
+	close(p.quit)
+}

@@ -1,0 +1,109 @@
+// Package goleakfix exercises the goleak analyzer: every goroutine must
+// carry a termination signal — a context, a WaitGroup, or a channel.
+package goleakfix
+
+import (
+	"context"
+	"sync"
+)
+
+// LeakBare spawns a goroutine nothing can stop or await.
+func LeakBare(work []int) {
+	go func() { // want "goroutine has no termination signal"
+		for range work {
+		}
+	}()
+}
+
+// WaitGrouped participates in a WaitGroup: awaitable, clean.
+func WaitGrouped(wg *sync.WaitGroup, work []int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range work {
+		}
+	}()
+}
+
+// CtxWatcher captures a context: stoppable, clean.
+func CtxWatcher(ctx context.Context) {
+	go func() {
+		_ = ctx
+	}()
+}
+
+// ChannelWorker ranges over a channel: it terminates when the channel is
+// closed, clean.
+func ChannelWorker(in chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+// ResultSender owns a result channel: the send is its termination
+// protocol.
+func ResultSender() chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return out
+}
+
+func compute(n int) {}
+
+// LeakNamed runs a declared function whose body and signature carry no
+// signal.
+func LeakNamed() {
+	go compute(7) // want "goroutine has no termination signal"
+}
+
+func worker(quit chan struct{}) {
+	<-quit
+}
+
+// NamedWithChanParam passes a channel to the callee: clean by signature.
+func NamedWithChanParam(quit chan struct{}) {
+	go worker(quit)
+}
+
+func pump(in chan int) {
+	for range in {
+	}
+}
+
+// NamedWithSignalBody is clean because pump's body ranges a channel.
+func NamedWithSignalBody(in chan int) {
+	go pump(in)
+}
+
+// srv holds a quit channel; its methods are signaled through the
+// receiver.
+type srv struct {
+	quit chan struct{}
+}
+
+func (s *srv) loop() {
+	<-s.quit
+}
+
+// MethodOnSignaledReceiver is clean: the receiver type carries the
+// signal.
+func MethodOnSignaledReceiver(s *srv) {
+	go s.loop()
+}
+
+// DynamicDispatch runs a func value: the body is unknowable, so goleak
+// stays quiet rather than guess.
+func DynamicDispatch(f func()) {
+	go f()
+}
+
+// Suppressed documents a deliberate fire-and-forget goroutine.
+func Suppressed() {
+	//xic:ignore goleak metrics flush is best-effort by design
+	go func() {
+		_ = 1 + 1
+	}()
+}

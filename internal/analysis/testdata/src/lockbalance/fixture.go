@@ -1,0 +1,149 @@
+// Package lockbalancefix exercises the lockbalance analyzer: every path
+// out of a function leaves each mutex the way it found it.
+package lockbalancefix
+
+import "sync"
+
+var mu sync.Mutex
+
+// LeakOnBranch returns with mu held on the early path.
+func LeakOnBranch(cond bool) {
+	mu.Lock()
+	if cond {
+		return // want "returns with mu held: no Unlock or deferred Unlock on this path"
+	}
+	mu.Unlock()
+}
+
+// LeakFallOff never releases; the closing brace is the return point.
+func LeakFallOff() {
+	mu.Lock()
+} // want "returns with mu held"
+
+// Balanced releases on every path.
+func Balanced(cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+
+// DeferredIsFine discharges the lock at every return.
+func DeferredIsFine(cond bool) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if cond {
+		return 1
+	}
+	return 2
+}
+
+// DoubleUnlock releases twice on one path.
+func DoubleUnlock() {
+	mu.Lock()
+	mu.Unlock()
+	mu.Unlock() // want "Unlock of mu, but mu was already released on this path"
+}
+
+// UnlockForCaller releases a lock its caller acquired: the *Locked
+// helper convention, deliberately not reported.
+func UnlockForCaller() {
+	mu.Unlock()
+}
+
+// MaybeReleased joins a released and a held path: no must fact, no
+// report on the unlock or the return.
+func MaybeReleased(cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+	}
+	mu.Unlock()
+}
+
+// T holds its own lock and a callback field.
+type T struct {
+	mu sync.Mutex
+	cb func()
+}
+
+// CallbackWhileHeld invokes a user callback with the lock held and no
+// defer: a panic in cb leaks t.mu forever.
+func (t *T) CallbackWhileHeld(f func()) {
+	t.mu.Lock()
+	f() // want "t.mu is held across a call to a function value with no deferred Unlock"
+	t.mu.Unlock()
+}
+
+// FieldCallbackWhileHeld is the same defect through a callback field.
+func (t *T) FieldCallbackWhileHeld() {
+	t.mu.Lock()
+	t.cb() // want "t.mu is held across a call to a function value with no deferred Unlock"
+	t.mu.Unlock()
+}
+
+// CallbackWithDefer is the sanctioned shape: the deferred unlock survives
+// a panicking callback.
+func (t *T) CallbackWithDefer(f func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f()
+}
+
+// StaticCallWhileHeld calls a declared function, not a func value: the
+// compiler-visible callee is covered by lockorder summaries instead, and
+// lockbalance stays quiet.
+func (t *T) StaticCallWhileHeld() {
+	t.mu.Lock()
+	helper()
+	t.mu.Unlock()
+}
+
+func helper() {}
+
+// PanicPathIsNotALeak: crashing with the lock held is the crash's
+// problem; only returns are leak sites.
+func PanicPathIsNotALeak(cond bool) {
+	mu.Lock()
+	if cond {
+		panic("boom")
+	}
+	mu.Unlock()
+}
+
+// RWBalanced checks the read side flows through the same lattice.
+func RWBalanced(rw *sync.RWMutex, cond bool) {
+	rw.RLock()
+	if cond {
+		rw.RUnlock()
+		return
+	}
+	rw.RUnlock()
+}
+
+// RWLeak leaks the read lock on the early return.
+func RWLeak(rw *sync.RWMutex, cond bool) {
+	rw.RLock()
+	if cond {
+		return // want "returns with rw held"
+	}
+	rw.RUnlock()
+}
+
+// LoopLocked reacquires and releases per iteration: balanced at every
+// back edge and at the exit.
+func LoopLocked(n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		mu.Unlock()
+	}
+}
+
+// Suppressed documents a deliberate hand-off of a held lock.
+func Suppressed() {
+	mu.Lock()
+	//xic:ignore lockbalance fixture exercises suppression plumbing
+	return
+}

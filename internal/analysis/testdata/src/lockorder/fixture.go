@@ -1,0 +1,137 @@
+// Package lockorderfix exercises the lockorder analyzer: consistent
+// acquisition order, no reacquisition of a held class, directly or
+// through calls.
+package lockorderfix
+
+import "sync"
+
+var a, b sync.Mutex
+
+// AB and BA acquire the same two mutexes in opposite orders: both inner
+// acquisitions are inversions, each naming the other site.
+func AB() {
+	a.Lock()
+	b.Lock() // want "lock order inversion: b acquired while a is held"
+	b.Unlock()
+	a.Unlock()
+}
+
+func BA() {
+	b.Lock()
+	a.Lock() // want "lock order inversion: a acquired while b is held"
+	a.Unlock()
+	b.Unlock()
+}
+
+var c, d sync.Mutex
+
+// CD is the only function ordering c and d, so the nesting is consistent
+// and clean.
+func CD() {
+	c.Lock()
+	d.Lock()
+	d.Unlock()
+	c.Unlock()
+}
+
+// T carries a field mutex: all instances share one lock class.
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Double reacquires the class it already holds.
+func (t *T) Double() {
+	t.mu.Lock()
+	t.mu.Lock() // want "Lock of T.mu while T.mu is already held"
+	t.n++
+	t.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// Reentry calls a method whose summary acquires the held class.
+func (t *T) Reentry() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.locked() // want "call to locked acquires T.mu while T.mu is already held"
+}
+
+// Transitive reaches the same reacquisition through an intermediate
+// helper: summaries close over the static call graph.
+func (t *T) Transitive() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.helper() // want "call to helper acquires T.mu while T.mu is already held"
+}
+
+func (t *T) helper() {
+	t.locked()
+}
+
+func (t *T) locked() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}
+
+// SequentialIsFine releases before the next acquisition: no pair, no
+// inversion, even though BA orders the same mutexes the other way.
+func SequentialIsFine() {
+	c.Lock()
+	c.Unlock()
+	d.Lock()
+	d.Unlock()
+}
+
+// MaybeHeld only holds a on one inbound path, and the analysis is
+// must-held: no pair is recorded, no inversion reported.
+func MaybeHeld(cond bool) {
+	if cond {
+		a.Lock()
+		a.Unlock()
+	}
+	c.Lock()
+	c.Unlock()
+}
+
+var rw sync.RWMutex
+
+// ReadRead is the one sanctioned same-class reacquisition: RLock under
+// RLock shares the read side.
+func ReadRead() {
+	rw.RLock()
+	rw.RLock()
+	rw.RUnlock()
+	rw.RUnlock()
+}
+
+// WriteUnderRead blocks forever once a writer queues between the two.
+func WriteUnderRead() {
+	rw.RLock()
+	rw.Lock() // want "Lock of rw while rw is already held"
+	rw.Unlock()
+	rw.RUnlock()
+}
+
+// E embeds its mutex; promoted Lock calls canonicalize to the embedded
+// field.
+type E struct {
+	sync.Mutex
+	n int
+}
+
+func (e *E) Double() {
+	e.Lock()
+	e.Lock() // want "Lock of E.Mutex while E.Mutex is already held"
+	e.n++
+	e.Unlock()
+	e.Unlock()
+}
+
+// Suppressed documents a deliberate exception: the directive keeps the
+// finding out of the report.
+func (t *T) Suppressed() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.locked() //xic:ignore lockorder fixture exercises suppression plumbing
+}
