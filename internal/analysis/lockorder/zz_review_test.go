@@ -1,0 +1,87 @@
+package lockorder_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xic/internal/analysis"
+	"xic/internal/analysis/load"
+	"xic/internal/analysis/lockbalance"
+	"xic/internal/analysis/lockorder"
+)
+
+const src = `package rangefix
+
+import "sync"
+
+var a, b sync.Mutex
+
+func AB() {
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+}
+
+func BAInRange(xs []int) {
+	for range xs {
+		b.Lock()
+		a.Lock() // inversion: expect exactly one report here
+		a.Unlock()
+		b.Unlock()
+	}
+}
+
+func LeakInRange(xs []int) {
+	for range xs {
+		muCond(len(xs) > 1)
+	}
+}
+
+func muCond(c bool) {}
+
+func BalancedInRange(xs []int) {
+	for range xs {
+		a.Lock()
+		a.Unlock()
+	}
+}
+`
+
+func TestReviewRangeDup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	files, err := load.ParseFiles(fset, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := load.StdImporter(fset, dir, []string{"sync"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpkg, info, err := load.CheckFiles(fset, "rangefix", files, imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []*analysis.Analyzer{lockorder.New(), lockbalance.New()} {
+		var got []analysis.Diagnostic
+		record := func(d analysis.Diagnostic) { got = append(got, d) }
+		if a.Collect != nil {
+			if err := a.Collect(analysis.NewPass(a, fset, files, tpkg, info, record)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.Run(analysis.NewPass(a, fset, files, tpkg, info, record)); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range got {
+			t.Logf("%s: %s", a.Name, d)
+		}
+	}
+}
