@@ -675,9 +675,9 @@ func TestWriteValidateBench(t *testing.T) {
 // ablation table and the CI-gated BENCH_solve.json can never drift apart.
 
 // BenchmarkSolve measures the consistency decision per corpus case with
-// the presolve + fast-path layer on ("presolve") and off ("raw"): the
-// ratio between the two series is the layer's wall-time win on the
-// serving path.
+// the accelerated pipeline — presolve, root cuts, int64 fast tableau —
+// on ("presolve", the historical series name) and off ("raw"): the ratio
+// between the two series is the stack's wall-time win on the serving path.
 func BenchmarkSolve(b *testing.B) {
 	corpus, err := solvebench.Corpus(false)
 	if err != nil {
@@ -709,10 +709,12 @@ type solveRecord struct {
 	VarsFixed     uint64  `json:"vars_fixed"`
 }
 
-// TestWriteSolveBench records the presolve-on/off solver comparison to the
-// JSON file named by XIC_SOLVE_BENCH_OUT (skipped otherwise; CI sets it to
-// BENCH_solve.json). It asserts the acceptance bound of the presolve
-// layer: total presolved wall time at most 0.7× the raw solver on the
+// TestWriteSolveBench records the accelerated-vs-raw solver comparison to
+// the JSON file named by XIC_SOLVE_BENCH_OUT (skipped otherwise; CI sets
+// it to BENCH_solve.json). The accelerated side is the serving pipeline —
+// presolve, root cuts and the int64 fast tableau — and the raw side turns
+// all of it off. It asserts the acceptance bound: total accelerated wall
+// time at most 0.5× the raw solver (an aggregate ≥2x speedup) on the
 // committed corpus, with identical verdicts case by case.
 func TestWriteSolveBench(t *testing.T) {
 	out := os.Getenv("XIC_SOLVE_BENCH_OUT")
@@ -761,9 +763,9 @@ func TestWriteSolveBench(t *testing.T) {
 			rec.Case, rec.PresolveMs, rec.PresolveNodes, rec.VarsFixed, rec.RawMs, rec.RawNodes, rec.Speedup)
 	}
 	ratio := float64(totalPre) / float64(totalRaw)
-	t.Logf("TOTAL presolve %v, raw %v, ratio %.3f", totalPre, totalRaw, ratio)
-	if ratio > 0.7 {
-		t.Errorf("presolve+fast-path wall time is %.2fx the raw solver on the corpus; the acceptance bound is 0.70x", ratio)
+	t.Logf("TOTAL accelerated %v, raw %v, ratio %.3f", totalPre, totalRaw, ratio)
+	if ratio > 0.5 {
+		t.Errorf("accelerated wall time is %.2fx the raw solver on the corpus; the acceptance bound is 0.50x (≥2x aggregate speedup)", ratio)
 	}
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {

@@ -7,11 +7,12 @@
 //	present in both files it checks the stream validator's peak heap and
 //	wall time.
 //
-//	-kind solve: the ILP presolve records of BENCH_solve.json
+//	-kind solve: the accelerated-vs-raw solver records of BENCH_solve.json
 //	(TestWriteSolveBench). For every corpus case present in both files it
-//	checks the presolved solver's wall time and its speedup over the raw
-//	solver (-min-speedup, so the presolve layer cannot silently decay
-//	into overhead).
+//	checks the accelerated solver's wall time and its speedup over the raw
+//	solver (-min-speedup, so the presolve + fast-tableau stack cannot
+//	silently decay into overhead), and optionally the corpus-wide
+//	aggregate speedup of the current file (-min-aggregate-speedup).
 //
 //	-kind compile: the two-stage compile/bind records of
 //	BENCH_compile.json (TestWriteCompileBench). For every specs/ corpus
@@ -77,6 +78,13 @@ type tolerances struct {
 	time       float64 // allowed relative growth of stream_ms / presolve_ms
 	minTimeMs  float64 // time gate floor: below this, wall time is all noise
 	minSpeedup float64 // solve kind: minimum raw/presolved speedup per case
+	// minAggregate is the solve kind's corpus-wide floor: the ratio of
+	// summed raw wall time to summed accelerated wall time over the
+	// CURRENT file must stay at or above it. Gating the current file (not
+	// the baseline ratio) keeps the invariant meaningful after a baseline
+	// refresh: it asserts "the accelerated stack still wins ≥Nx", not
+	// "the win never moved".
+	minAggregate float64
 }
 
 func main() {
@@ -87,12 +95,13 @@ func main() {
 	timeTol := flag.Float64("time-tolerance", 0.20, "allowed relative wall-time growth")
 	minTimeMs := flag.Float64("min-time-ms", 2, "skip the time gate below this many baseline ms")
 	minSpeedup := flag.Float64("min-speedup", 1.1, "solve kind: minimum presolve speedup per case")
+	minAggregate := flag.Float64("min-aggregate-speedup", 0, "solve kind: minimum sum(raw_ms)/sum(presolve_ms) over the current file (0 = no gate)")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: missing -current")
 		os.Exit(2)
 	}
-	tol := tolerances{peak: *peakTol, time: *timeTol, minTimeMs: *minTimeMs, minSpeedup: *minSpeedup}
+	tol := tolerances{peak: *peakTol, time: *timeTol, minTimeMs: *minTimeMs, minSpeedup: *minSpeedup, minAggregate: *minAggregate}
 	var report, regressions []string
 	switch *kind {
 	case "validate":
@@ -236,6 +245,25 @@ func compareSolve(base, cur []solveRecord, tol tolerances) (report, regressions 
 	}
 	for name := range byCase {
 		report = append(report, fmt.Sprintf("case %s: present in baseline only (informational)", name))
+	}
+	if tol.minAggregate > 0 {
+		var rawSum, preSum float64
+		for _, c := range cur {
+			rawSum += c.RawMs
+			preSum += c.PresolveMs
+		}
+		agg := 0.0
+		if preSum > 0 {
+			agg = rawSum / preSum
+		}
+		report = append(report, fmt.Sprintf(
+			"aggregate: raw %.1f ms / accelerated %.1f ms = %.2fx (floor %.2fx)",
+			rawSum, preSum, agg, tol.minAggregate))
+		if agg < tol.minAggregate {
+			regressions = append(regressions, fmt.Sprintf(
+				"aggregate speedup %.2fx under the %.2fx floor (raw %.1f ms, accelerated %.1f ms)",
+				agg, tol.minAggregate, rawSum, preSum))
+		}
 	}
 	return report, regressions
 }

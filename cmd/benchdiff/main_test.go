@@ -199,3 +199,33 @@ func TestCompileUnmatchedCasesAreInformational(t *testing.T) {
 		t.Fatalf("missing informational lines:\n%s", joined)
 	}
 }
+
+func TestSolveAggregateFloorGates(t *testing.T) {
+	tol := solveTol
+	tol.minAggregate = 2.0
+	base := []solveRecord{srec("a", 100, 20), srec("b", 50, 10)}
+
+	// Aggregate 150/30 = 5x: clean, with an aggregate report line.
+	cur := []solveRecord{srec("a", 100, 20), srec("b", 50, 10)}
+	report, regs := compareSolve(base, cur, tol)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if joined := strings.Join(report, "\n"); !strings.Contains(joined, "aggregate") {
+		t.Fatalf("missing aggregate report line:\n%s", joined)
+	}
+
+	// Aggregate 150/90 ≈ 1.67x: under the 2x floor even though each case
+	// clears the 1.1x per-case floor and its own time tolerance is off the
+	// hook via fresh baselines.
+	decayed := []solveRecord{srec("a", 100, 60), srec("b", 50, 30)}
+	_, regs = compareSolve(decayed, decayed, tol)
+	if len(regs) != 1 || !strings.Contains(regs[0], "aggregate speedup") {
+		t.Fatalf("want one aggregate regression, got %v", regs)
+	}
+
+	// minAggregate 0 disables the gate entirely.
+	if _, regs := compareSolve(decayed, decayed, solveTol); len(regs) != 0 {
+		t.Fatalf("aggregate gate fired while disabled: %v", regs)
+	}
+}

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	xic check    -dtd spec.dtd -constraints spec.xic [-constraints more.xic ...] [-witness out.xml] [-skip-witness] [-max-solver-nodes N] [-timeout d]
-//	xic imply    -dtd spec.dtd -constraints spec.xic [-constraints more.xic ...] -query "constraint" [-counterexample out.xml] [-timeout d]
+//	xic check    -dtd spec.dtd -constraints spec.xic [-constraints more.xic ...] [-witness out.xml] [-skip-witness] [-max-solver-nodes N] [-solver-par N] [-exact] [-timeout d]
+//	xic imply    -dtd spec.dtd -constraints spec.xic [-constraints more.xic ...] -query "constraint" [-counterexample out.xml] [-solver-par N] [-exact] [-timeout d]
 //	xic validate -dtd spec.dtd [-constraints spec.xic] -doc doc.xml [-stream] [-timeout d]
 //	xic simplify -dtd spec.dtd
 //	xic encode   -dtd spec.dtd [-constraints spec.xic] [-bigm]
@@ -39,7 +39,6 @@ import (
 	"xic/internal/cardinality"
 	"xic/internal/constraint"
 	"xic/internal/dtd"
-	"xic/internal/ilp"
 )
 
 func main() {
@@ -188,6 +187,8 @@ func runCheck(args []string) (negative bool, err error) {
 	witnessPath := fs.String("witness", "", "write a witness document here when consistent (single set only)")
 	skipWitness := fs.Bool("skip-witness", false, "decision only, no witness construction")
 	maxNodes := fs.Int("max-solver-nodes", 0, "branch-and-bound node budget (0 = default)")
+	solverPar := fs.Int("solver-par", 0, "branch-and-bound worker goroutines (0 = serial)")
+	exact := fs.Bool("exact", false, "force the exact big.Rat simplex kernel (skip the int64 fast tableau)")
 	timeout := fs.Duration("timeout", 0, "abort the NP search after this long (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
@@ -200,14 +201,20 @@ func runCheck(args []string) (negative bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	opt := xic.Options{
-		SkipWitness: (*skipWitness && *witnessPath == "") || multi,
-		Solver:      ilp.Options{MaxNodes: *maxNodes},
+	opts := []xic.SolveOption{
+		xic.WithMaxNodes(*maxNodes),
+		xic.WithSolverParallelism(*solverPar),
+	}
+	if (*skipWitness && *witnessPath == "") || multi {
+		opts = append(opts, xic.WithSkipWitness())
+	}
+	if *exact {
+		opts = append(opts, xic.WithoutFastTableau())
 	}
 	ctx, cancel := checkContext(*timeout)
 	defer cancel()
 	for i, spec := range specs {
-		spec = spec.WithOptions(opt)
+		spec = spec.WithSolveOptions(opts...)
 		res, err := spec.Consistent(ctx)
 		if err != nil {
 			if multi {
@@ -243,6 +250,8 @@ func runImply(args []string) (negative bool, err error) {
 	fs.Var(&consPaths, "constraints", "constraint file (Σ; repeat to test the query under several sets on one compiled schema)")
 	query := fs.String("query", "", "constraint φ to test, in constraint syntax")
 	cePath := fs.String("counterexample", "", "write a counterexample document here when not implied (single set only)")
+	solverPar := fs.Int("solver-par", 0, "branch-and-bound worker goroutines (0 = serial)")
+	exact := fs.Bool("exact", false, "force the exact big.Rat simplex kernel (skip the int64 fast tableau)")
 	timeout := fs.Duration("timeout", 0, "abort the coNP search after this long (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
@@ -265,7 +274,17 @@ func runImply(args []string) (negative bool, err error) {
 	ctx, cancel := checkContext(*timeout)
 	defer cancel()
 	for i, spec := range specs {
-		imp, err := spec.Implies(ctx, phi)
+		var imp *xic.Implication
+		if *solverPar != 0 || *exact {
+			var opts []xic.SolveOption
+			opts = append(opts, xic.WithSolverParallelism(*solverPar))
+			if *exact {
+				opts = append(opts, xic.WithoutFastTableau())
+			}
+			imp, err = spec.ImpliesOpts(ctx, phi, opts...)
+		} else {
+			imp, err = spec.Implies(ctx, phi)
+		}
 		if err != nil {
 			if multi {
 				return false, fmt.Errorf("%s: %w", consPaths[i], err)

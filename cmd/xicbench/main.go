@@ -41,6 +41,7 @@ func main() {
 	batchThroughput()
 	compileVsBind()
 	presolveAblation()
+	fastTableauAblation()
 	gadgets()
 }
 
@@ -361,6 +362,39 @@ func presolveAblation() {
 		fixed := (after.VarsFixed - before.VarsFixed) / solvebench.Runs
 		fmt.Printf("| %s | %v | %v | %.2fx | %d/%d | %d |\n",
 			c.Name, pre, raw, float64(raw)/float64(pre), decided, fast, fixed)
+	}
+	fmt.Println()
+}
+
+// fastTableauAblation isolates the simplex-kernel contribution: both sides
+// run the serving configuration (presolve on), one on the overflow-checked
+// int64 fast tableau, the other forced onto the exact big.Rat kernel. The
+// pivot columns show how the work split — fast pivots answered on int64,
+// exact fallbacks where a magnitude overflow pushed an LP back to big.Rat.
+func fastTableauAblation() {
+	fmt.Println("## Fast-tableau ablation — int64 kernel vs exact big.Rat kernel")
+	fmt.Println()
+	fmt.Println("| case | fast | exact | speedup | fast pivots | exact fallbacks |")
+	fmt.Println("|------|------|-------|---------|-------------|-----------------|")
+
+	corpus, err := solvebench.Corpus(*full)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range corpus {
+		run := func(fastOn bool) {
+			if _, err := c.Run(solvebench.FastOptions(fastOn)); err != nil {
+				panic(err)
+			}
+		}
+		before := c.Checker.SolveStats()
+		fastDur := solvebench.BestOf(func() { run(true) })
+		after := c.Checker.SolveStats()
+		exactDur := solvebench.BestOf(func() { run(false) })
+		fastPivots := (after.FastPivots - before.FastPivots) / solvebench.Runs
+		fallbacks := (after.ExactFallbacks - before.ExactFallbacks) / solvebench.Runs
+		fmt.Printf("| %s | %v | %v | %.2fx | %d | %d |\n",
+			c.Name, fastDur, exactDur, float64(exactDur)/float64(fastDur), fastPivots, fallbacks)
 	}
 	fmt.Println()
 }

@@ -132,9 +132,13 @@ func newServer(cfg config) *server {
 	}))
 	// The solver hit/shrink counters, summed over every cached Spec: how
 	// many ILP-oracle calls presolve answered outright, how many the
-	// no-branching fast path answered, and how much the systems shrank
-	// before any simplex pivot ran. Evicted Specs take their counts with
-	// them, so these are counters over the live cache, not process history.
+	// no-branching fast path answered, how much the systems shrank before
+	// any simplex pivot ran, and how the pivots split between the int64
+	// fast tableau and the exact big.Rat kernel. Evicted Specs take their
+	// counts with them, so these are counters over the live cache, not
+	// process history. The nested "options" map states the SolveOptions
+	// the server applies when a request carries no overrides
+	// (solver_parallelism 0 = serial search per check).
 	s.vars.Set("solve", expvar.Func(func() any {
 		var total xic.SolveStats
 		for _, e := range s.reg.Entries() {
@@ -144,6 +148,10 @@ func newServer(cfg config) *server {
 			total.FastPath += st.FastPath
 			total.Nodes += st.Nodes
 			total.Pivots += st.Pivots
+			total.FastPivots += st.FastPivots
+			total.ExactFallbacks += st.ExactFallbacks
+			total.Steals += st.Steals
+			total.Cuts += st.Cuts
 			total.PresolveRows += st.PresolveRows
 			total.PresolveRowsOut += st.PresolveRowsOut
 			total.VarsFixed += st.VarsFixed
@@ -155,10 +163,21 @@ func newServer(cfg config) *server {
 			"fastpath":              total.FastPath,
 			"nodes":                 total.Nodes,
 			"pivots":                total.Pivots,
+			"fast_pivots":           total.FastPivots,
+			"exact_fallbacks":       total.ExactFallbacks,
+			"steals":                total.Steals,
+			"cuts":                  total.Cuts,
 			"presolve_rows_in":      total.PresolveRows,
 			"presolve_rows_out":     total.PresolveRowsOut,
 			"vars_fixed":            total.VarsFixed,
 			"implications_resolved": total.ImplicationsResolved,
+			"options": map[string]any{
+				"max_nodes":          xic.DefaultMaxNodes,
+				"solver_parallelism": 0,
+				"presolve":           true,
+				"fast_tableau":       true,
+				"skip_witness":       false,
+			},
 		}
 	}))
 	return s
@@ -490,7 +509,36 @@ type consistentRequest struct {
 	Extra       []string   `json:"extra,omitempty"`
 	Sets        [][]string `json:"sets,omitempty"`
 	SkipWitness bool       `json:"skip_witness,omitempty"`
-	Timeout     string     `json:"timeout,omitempty"`
+	// SolverParallelism bounds the branch-and-bound workers (and, for
+	// "sets" batches, the batch pool) for this request. Absent or 0 keeps
+	// the server default; values outside [0, maxSolverParallelism] are a
+	// 400.
+	SolverParallelism *int `json:"solver_parallelism,omitempty"`
+	// FastTableau toggles the int64 fast simplex kernel; absent means on.
+	// false forces every LP onto the exact big.Rat kernel.
+	FastTableau *bool  `json:"fast_tableau,omitempty"`
+	Timeout     string `json:"timeout,omitempty"`
+}
+
+// maxSolverParallelism caps per-request solver parallelism: a shared
+// daemon must not let one request fan a single NP search out over an
+// unbounded goroutine count.
+const maxSolverParallelism = 64
+
+// requestSolveOptions translates the wire-level solver knobs into
+// SolveOption tweaks, rejecting out-of-range values.
+func requestSolveOptions(par *int, fast *bool) ([]xic.SolveOption, error) {
+	var opts []xic.SolveOption
+	if par != nil {
+		if *par < 0 || *par > maxSolverParallelism {
+			return nil, fmt.Errorf("solver_parallelism %d out of range [0, %d]", *par, maxSolverParallelism)
+		}
+		opts = append(opts, xic.WithSolverParallelism(*par))
+	}
+	if fast != nil && !*fast {
+		opts = append(opts, xic.WithoutFastTableau())
+	}
+	return opts, nil
 }
 
 type consistentResult struct {
@@ -511,8 +559,16 @@ func (s *server) handleConsistent(w http.ResponseWriter, r *http.Request, spec *
 		return
 	}
 	defer cancel()
+	opts, err := requestSolveOptions(req.SolverParallelism, req.FastTableau)
+	if err != nil {
+		s.writeStatusError(w, http.StatusBadRequest, "request", "%v", err)
+		return
+	}
 	if req.SkipWitness {
-		spec = spec.WithOptions(xic.Options{SkipWitness: true})
+		opts = append(opts, xic.WithSkipWitness())
+	}
+	if len(opts) > 0 {
+		spec = spec.WithSolveOptions(opts...)
 	}
 
 	if req.Sets != nil && req.Extra != nil {
@@ -587,7 +643,11 @@ func parseConstraintList(strs []string) ([]xic.Constraint, error) {
 type impliesRequest struct {
 	Query   string   `json:"query,omitempty"`
 	Queries []string `json:"queries,omitempty"`
-	Timeout string   `json:"timeout,omitempty"`
+	// SolverParallelism and FastTableau tune the solver for this request,
+	// with the same bounds and semantics as on /consistent.
+	SolverParallelism *int   `json:"solver_parallelism,omitempty"`
+	FastTableau       *bool  `json:"fast_tableau,omitempty"`
+	Timeout           string `json:"timeout,omitempty"`
 }
 
 type impliesResult struct {
@@ -607,6 +667,14 @@ func (s *server) handleImplies(w http.ResponseWriter, r *http.Request, spec *xic
 		return
 	}
 	defer cancel()
+	opts, err := requestSolveOptions(req.SolverParallelism, req.FastTableau)
+	if err != nil {
+		s.writeStatusError(w, http.StatusBadRequest, "request", "%v", err)
+		return
+	}
+	if len(opts) > 0 {
+		spec = spec.WithSolveOptions(opts...)
+	}
 
 	if req.Queries != nil {
 		phis, err := parseConstraintList(req.Queries)

@@ -727,3 +727,82 @@ func TestImplicationMemoAcrossRequests(t *testing.T) {
 		t.Errorf("implication memo idle after repeated query: %+v", meta.ImplCache)
 	}
 }
+
+// TestSolverRequestOptions: the per-request solver knobs tune the check
+// without changing verdicts, nonsense values are a 400, and the new
+// kernel/parallelism counters plus the effective defaults appear under
+// /debug/vars.
+func TestSolverRequestOptions(t *testing.T) {
+	h := newTestServer(t, config{}).handler()
+	db := compileSpec(t, h, dbDTD, dbXIC)
+	teachers := compileSpec(t, h, teachersDTD, teachersXIC)
+
+	// Tuned requests keep their verdicts: parallel search on the
+	// inconsistent teachers spec, exact-kernel solve on the consistent db
+	// spec.
+	w := do(t, h, "POST", "/v1/specs/"+teachers+"/consistent",
+		`{"solver_parallelism": 4, "skip_witness": true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("parallel consistent: status %d: %s", w.Code, w.Body)
+	}
+	if res := decode[consistentResult](t, w); res.Consistent {
+		t.Error("teachers specification must stay inconsistent under parallel search")
+	}
+	w = do(t, h, "POST", "/v1/specs/"+db+"/consistent", `{"fast_tableau": false}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("exact consistent: status %d: %s", w.Code, w.Body)
+	}
+	if res := decode[consistentResult](t, w); !res.Consistent {
+		t.Error("db specification must stay consistent on the exact kernel")
+	}
+	w = do(t, h, "POST", "/v1/specs/"+db+"/implies",
+		`{"query": "emp.id -> emp", "solver_parallelism": 2, "fast_tableau": false}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("tuned implies: status %d: %s", w.Code, w.Body)
+	}
+	if res := decode[impliesResult](t, w); !res.Implied {
+		t.Error("member of Σ must be implied under tuned options")
+	}
+
+	// Nonsense values are rejected up front, before any solving.
+	for _, body := range []string{
+		`{"solver_parallelism": -1}`,
+		`{"solver_parallelism": 65}`,
+		`{"solver_parallelism": "many"}`,
+		`{"fast_tableau": "yes"}`,
+	} {
+		if w := do(t, h, "POST", "/v1/specs/"+db+"/consistent", body); w.Code != http.StatusBadRequest {
+			t.Errorf("consistent %s: status %d, want 400", body, w.Code)
+		}
+		if w := do(t, h, "POST", "/v1/specs/"+db+"/implies", body); w.Code != http.StatusBadRequest {
+			t.Errorf("implies %s: status %d, want 400", body, w.Code)
+		}
+	}
+
+	// The solve vars report the kernel split and the effective defaults.
+	w = do(t, h, "GET", "/debug/vars", "")
+	vars := decode[struct {
+		Solve struct {
+			Solves         uint64 `json:"solves"`
+			Pivots         uint64 `json:"pivots"`
+			FastPivots     uint64 `json:"fast_pivots"`
+			ExactFallbacks uint64 `json:"exact_fallbacks"`
+			Steals         uint64 `json:"steals"`
+			Cuts           uint64 `json:"cuts"`
+			Options        struct {
+				MaxNodes          int  `json:"max_nodes"`
+				SolverParallelism int  `json:"solver_parallelism"`
+				Presolve          bool `json:"presolve"`
+				FastTableau       bool `json:"fast_tableau"`
+				SkipWitness       bool `json:"skip_witness"`
+			} `json:"options"`
+		} `json:"solve"`
+	}](t, w)
+	if vars.Solve.Solves < 3 {
+		t.Errorf("solve counters = %+v, want at least the three tuned checks", vars.Solve)
+	}
+	o := vars.Solve.Options
+	if o.MaxNodes != xic.DefaultMaxNodes || o.SolverParallelism != 0 || !o.Presolve || !o.FastTableau || o.SkipWitness {
+		t.Errorf("effective options = %+v", o)
+	}
+}

@@ -31,6 +31,12 @@ var ErrCanceled = core.ErrCanceled
 // internal failure.
 var ErrNothingToDiagnose = core.ErrNothingToDiagnose
 
+// ErrInvalidOptions is returned when a check is handed nonsense solver
+// options — a negative MaxNodes or a negative SolverParallelism — instead
+// of silently substituting defaults. Errors from Spec methods wrap it in a
+// *SpecError with Stage "options"; match it with errors.Is.
+var ErrInvalidOptions = ilp.ErrInvalidOptions
+
 // HTTPStatus maps the package's error taxonomy onto HTTP status codes, for
 // serving frontends such as cmd/xicd. The values equal the net/http
 // StatusXxx constants (the package avoids importing net/http for three
@@ -38,8 +44,9 @@ var ErrNothingToDiagnose = core.ErrNothingToDiagnose
 //
 //   - nil — 200 OK
 //   - *ParseError (bad DTD/constraint/document syntax) — 400 Bad Request
-//   - *SpecError in a compile stage (valid syntax, invalid specification)
-//     and ErrUndecidable — 422 Unprocessable Entity
+//   - *SpecError in a compile stage (valid syntax, invalid specification),
+//     *SpecError{Stage: "options"} (ErrInvalidOptions: nonsense solver
+//     options) and ErrUndecidable — 422 Unprocessable Entity
 //   - ErrNothingToDiagnose — 409 Conflict
 //   - ErrCanceled (deadline or cancellation during a check) — 504 Gateway
 //     Timeout
@@ -153,14 +160,15 @@ func wrapDocumentError(err error) error {
 type SpecError struct {
 	// Stage is the stage that failed: "dtd" (DTD validation), "constraints"
 	// (constraint validation against the DTD), "encode" (building the
-	// cardinality-encoding template) or "solve" (an internal solver error
-	// during a check).
+	// cardinality-encoding template), "options" (invalid solver options
+	// handed to a check) or "solve" (an internal solver error during a
+	// check).
 	Stage string
 	Err   error
 }
 
 func (e *SpecError) Error() string {
-	if e.Stage == "solve" {
+	if e.Stage == "solve" || e.Stage == "options" {
 		return fmt.Sprintf("check: %s: %v", e.Stage, e.Err)
 	}
 	return fmt.Sprintf("compile: %s: %v", e.Stage, e.Err)
@@ -179,6 +187,9 @@ func wrapSolveError(err error) error {
 	}
 	if errors.Is(err, ilp.ErrInternal) {
 		return &SpecError{Stage: "solve", Err: err}
+	}
+	if errors.Is(err, ilp.ErrInvalidOptions) {
+		return &SpecError{Stage: "options", Err: err}
 	}
 	return err
 }

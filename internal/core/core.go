@@ -249,6 +249,10 @@ type solveCounters struct {
 	fastPath        atomic.Uint64
 	nodes           atomic.Uint64
 	pivots          atomic.Uint64
+	fastPivots      atomic.Uint64
+	exactFallbacks  atomic.Uint64
+	steals          atomic.Uint64
+	cuts            atomic.Uint64
 	presolveRows    atomic.Uint64
 	presolveRowsOut atomic.Uint64
 	varsFixed       atomic.Uint64
@@ -270,8 +274,20 @@ type SolveStats struct {
 	FastPath uint64
 	// Nodes totals branch-and-bound nodes (LP relaxations solved).
 	Nodes uint64
-	// Pivots totals exact-rational simplex pivots.
+	// Pivots totals simplex pivots across both kernels (int64 fast pivots,
+	// including wasted fallback attempts, plus exact big.Rat pivots).
 	Pivots uint64
+	// FastPivots is the subset of Pivots performed on the overflow-checked
+	// int64 fast tableau; Pivots − FastPivots is the exact-kernel share.
+	FastPivots uint64
+	// ExactFallbacks counts LP solves whose fast tableau overflowed and
+	// were redone on the exact big.Rat kernel.
+	ExactFallbacks uint64
+	// Steals counts subproblems parallel branch-and-bound workers took
+	// from a sibling's deque; 0 under serial solves.
+	Steals uint64
+	// Cuts totals Chvátal–Gomory cutting planes presolve added at roots.
+	Cuts uint64
 	// PresolveRows / PresolveRowsOut total constraint rows entering and
 	// leaving presolve; their gap is how much the systems shrank.
 	PresolveRows    uint64
@@ -291,6 +307,10 @@ func (c *Checker) SolveStats() SolveStats {
 		FastPath:             c.stats.fastPath.Load(),
 		Nodes:                c.stats.nodes.Load(),
 		Pivots:               c.stats.pivots.Load(),
+		FastPivots:           c.stats.fastPivots.Load(),
+		ExactFallbacks:       c.stats.exactFallbacks.Load(),
+		Steals:               c.stats.steals.Load(),
+		Cuts:                 c.stats.cuts.Load(),
 		PresolveRows:         c.stats.presolveRows.Load(),
 		PresolveRowsOut:      c.stats.presolveRowsOut.Load(),
 		VarsFixed:            c.stats.varsFixed.Load(),
@@ -314,7 +334,11 @@ func (c *Checker) recordSolve(res *ilp.Result) {
 	}
 	c.stats.nodes.Add(uint64(res.Nodes))
 	c.stats.pivots.Add(uint64(res.Stats.Pivots))
+	c.stats.fastPivots.Add(uint64(res.Stats.FastPivots))
+	c.stats.exactFallbacks.Add(uint64(res.Stats.ExactFallbacks))
+	c.stats.steals.Add(uint64(res.Stats.Steals))
 	p := res.Stats.Presolve
+	c.stats.cuts.Add(uint64(p.Cuts))
 	c.stats.presolveRows.Add(uint64(p.Rows))
 	c.stats.presolveRowsOut.Add(uint64(p.RowsOut))
 	c.stats.varsFixed.Add(uint64(p.VarsFixed))

@@ -31,28 +31,71 @@ var ErrNodeLimit = errors.New("ilp: node limit exceeded")
 // process alive and lets the Spec boundary classify it.
 var ErrInternal = errors.New("ilp: internal solver error (inconsistent simplex tableau)")
 
+// ErrInvalidOptions is returned (wrapped, with the offending field named)
+// when Options carries a nonsense value — a negative node budget or a
+// negative parallelism. Rejecting loudly replaces the old behaviour of
+// silently substituting DefaultMaxNodes for negative MaxNodes, which gave
+// API callers 20000 nodes instead of a diagnostic.
+var ErrInvalidOptions = errors.New("ilp: invalid options")
+
 // Options configures the search.
 type Options struct {
 	// MaxNodes bounds the number of branch-and-bound nodes (LP solves).
-	// Zero means DefaultMaxNodes.
+	// Zero means DefaultMaxNodes; negative values are rejected with
+	// ErrInvalidOptions.
 	MaxNodes int
+	// Parallelism is the number of branch-and-bound worker goroutines. 0
+	// and 1 both mean the serial search; negative values are rejected with
+	// ErrInvalidOptions. Verdicts are identical at any parallelism — only
+	// the witness and the node count may differ, because workers explore
+	// the tree in a different order than the serial stack.
+	Parallelism int
 	// DisablePresolve skips the presolve and fast-path layer, running the
 	// full branch-and-bound search on the raw system. It exists for
 	// ablation benchmarks and cross-validation; serving paths leave it off.
 	DisablePresolve bool
+	// DisableFastTableau forces every LP onto the exact big.Rat kernel,
+	// skipping the overflow-checked int64 fast tableau. It exists for
+	// ablation benchmarks and cross-validation; serving paths leave it off.
+	DisableFastTableau bool
 }
 
 // DefaultMaxNodes is the node budget used when Options.MaxNodes is 0.
 const DefaultMaxNodes = 20000
 
 func (o *Options) maxNodes() int {
-	if o == nil || o.MaxNodes == 0 {
+	if o == nil || o.MaxNodes <= 0 {
 		return DefaultMaxNodes
 	}
 	return o.MaxNodes
 }
 
+// validate rejects nonsense option values up front, before any search
+// work. Solve and SolveMatrix call it first, so an invalid Options never
+// silently degrades into defaults.
+func (o *Options) validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.MaxNodes < 0 {
+		return fmt.Errorf("%w: MaxNodes %d is negative", ErrInvalidOptions, o.MaxNodes)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("%w: Parallelism %d is negative", ErrInvalidOptions, o.Parallelism)
+	}
+	return nil
+}
+
 func (o *Options) presolveEnabled() bool { return o == nil || !o.DisablePresolve }
+
+func (o *Options) fastTableauEnabled() bool { return o == nil || !o.DisableFastTableau }
+
+func (o *Options) parallelism() int {
+	if o == nil || o.Parallelism <= 1 {
+		return 1
+	}
+	return o.Parallelism
+}
 
 // Stats describes how a feasibility question was answered: what presolve
 // eliminated, whether the answer needed any LP solve at all, and how much
@@ -71,9 +114,19 @@ type Stats struct {
 	// relaxation was infeasible, or its optimum was integral and is itself
 	// the witness. No branching happened.
 	FastPath bool
-	// Pivots is the total number of exact-rational simplex pivots across
-	// every LP solve of the search.
+	// Pivots is the total number of simplex pivots across every LP solve
+	// of the search, on both kernels: int64 fast pivots (including wasted
+	// attempts that fell back) plus exact big.Rat pivots.
 	Pivots int
+	// FastPivots is the subset of Pivots performed on the int64 fast
+	// tableau.
+	FastPivots int
+	// ExactFallbacks counts LP solves whose fast tableau overflowed (or
+	// hit the magnitude cap) and were redone on the exact kernel.
+	ExactFallbacks int
+	// Steals counts subproblems a parallel worker took from another
+	// worker's deque; always 0 for the serial search.
+	Steals int
 }
 
 // Result is the outcome of a feasibility search. Nodes counts the LP
@@ -98,8 +151,11 @@ type Result struct {
 // cancelling it aborts the NP search promptly, returning an error wrapping
 // ctx.Err(). A nil context never cancels.
 func Solve(ctx context.Context, sys *linear.System, opt *Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return &Result{}, err
+	}
 	if !opt.presolveEnabled() {
-		return branchAndBound(ctx, specFromSystem(sys), opt, nil, Stats{})
+		return branchAndBound(ctx, specForOptions(specFromSystem(sys), opt), opt, nil, Stats{})
 	}
 	pre := presolve.Run(sys)
 	stats := Stats{Presolve: pre.Stats, PresolveUsed: true}
@@ -107,13 +163,23 @@ func Solve(ctx context.Context, sys *linear.System, opt *Options) (*Result, erro
 		stats.PresolveDecided = true
 		return &Result{Feasible: pre.Feasible, Values: pre.Values, Stats: stats}, nil
 	}
-	return branchAndBound(ctx, specFromSystem(pre.Sys), opt, pre.Fixed, stats)
+	return branchAndBound(ctx, specForOptions(specFromSystem(pre.Sys), opt), opt, pre.Fixed, stats)
+}
+
+// specForOptions threads per-solve solver options into the spec, where the
+// LP builder can see them.
+func specForOptions(spec *problemSpec, opt *Options) *problemSpec {
+	spec.exactLP = !opt.fastTableauEnabled()
+	return spec
 }
 
 // SolveMatrix decides nonnegative integer feasibility of the LIP instance
 // A·x ≥ b (the paper's problem statement, with the nonnegativity that all
 // encodings carry explicitly). Cancellation behaves as in Solve.
 func SolveMatrix(ctx context.Context, m *linear.Matrix, opt *Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return &Result{}, err
+	}
 	spec := &problemSpec{n: m.Cols()}
 	for r := range m.A {
 		coeffs := make(map[int]*big.Rat)
@@ -130,7 +196,7 @@ func SolveMatrix(ctx context.Context, m *linear.Matrix, opt *Options) (*Result, 
 	}
 	// Matrix instances carry big.Int data the int64-based presolve cannot
 	// represent; they go straight to the search.
-	return branchAndBound(ctx, spec, opt, nil, Stats{})
+	return branchAndBound(ctx, specForOptions(spec, opt), opt, nil, Stats{})
 }
 
 type rowSpec struct {
@@ -144,6 +210,7 @@ type problemSpec struct {
 	rows         []rowSpec
 	implications []linear.Implication
 	auxiliary    func(i int) bool // excluded from the min-sum objective
+	exactLP      bool             // force the exact big.Rat simplex kernel
 }
 
 func specFromSystem(sys *linear.System) *problemSpec {
@@ -203,6 +270,9 @@ func branchAndBound(ctx context.Context, spec *problemSpec, opt *Options, fixed 
 	if infeasibleByGCD(spec) {
 		return &Result{Feasible: false, Stats: stats}, nil
 	}
+	if w := opt.parallelism(); w > 1 {
+		return searchParallel(ctx, spec, opt, fixed, stats, w)
+	}
 	limit := opt.maxNodes()
 	root := &node{lo: make([]*big.Int, spec.n), hi: make([]*big.Int, spec.n)}
 	stack := []*node{root}
@@ -214,7 +284,6 @@ func branchAndBound(ctx context.Context, spec *problemSpec, opt *Options, fixed 
 	// class; a one-node decision on such a system is the structural fast
 	// path the serving counters report.
 	fastEligible := len(spec.implications) == 0
-	one := big.NewInt(1)
 	for len(stack) > 0 {
 		// The search is NP-complete (Theorem 4.7); the context is the only
 		// way a caller can bound its wall-clock time, so check every node.
@@ -227,8 +296,12 @@ func branchAndBound(ctx context.Context, spec *problemSpec, opt *Options, fixed 
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nodes++
-		sol := solveLP(ctx, spec, nd)
+		sol := solveLP(ctx, spec, nd, nil)
 		stats.Pivots += sol.Pivots
+		stats.FastPivots += sol.FastPivots
+		if sol.ExactFallback {
+			stats.ExactFallbacks++
+		}
 		if sol.Status == simplex.Interrupted {
 			return &Result{Nodes: nodes, Stats: stats}, fmt.Errorf("ilp: search aborted mid-LP after %d nodes: %w", nodes, ctx.Err())
 		}
@@ -247,31 +320,14 @@ func branchAndBound(ctx context.Context, spec *problemSpec, opt *Options, fixed 
 				fmt.Errorf("%w: LP relaxation reported unbounded for a bounded objective (after %d nodes)", ErrInternal, nodes)
 		}
 		if j := firstFractional(sol.X); j >= 0 {
-			floor := ratFloor(sol.X[j])
-			left := nd.child() // x_j ≤ ⌊v⌋
-			if left.hi[j] == nil || left.hi[j].Cmp(floor) > 0 {
-				left.hi[j] = floor
-			}
-			right := nd.child() // x_j ≥ ⌊v⌋+1
-			up := new(big.Int).Add(floor, one)
-			if right.lo[j] == nil || right.lo[j].Cmp(up) < 0 {
-				right.lo[j] = up
-			}
+			left, right := branchChildren(nd, j, sol.X[j])
 			// Explore the smaller-value branch first: witnesses stay small.
 			stack = append(stack, right, left)
 			continue
 		}
-		values := make([]*big.Int, spec.n)
-		for i, v := range sol.X {
-			values[i] = new(big.Int).Set(v.Num())
-		}
+		values := integralValues(spec, sol)
 		if imp, ok := violatedImplication(spec, values); ok {
-			zero := nd.child() // x = 0 branch satisfies the conditional
-			zero.hi[imp.If] = big.NewInt(0)
-			pos := nd.child() // y ≥ 1 branch satisfies it too
-			if pos.lo[imp.Then] == nil || pos.lo[imp.Then].Cmp(one) < 0 {
-				pos.lo[imp.Then] = big.NewInt(1)
-			}
+			zero, pos := implicationChildren(nd, imp)
 			stack = append(stack, pos, zero)
 			continue
 		}
@@ -281,6 +337,45 @@ func branchAndBound(ctx context.Context, spec *problemSpec, opt *Options, fixed 
 	}
 	stats.FastPath = fastEligible && nodes == 1
 	return &Result{Nodes: nodes, Stats: stats}, nil
+}
+
+// branchChildren splits nd on the fractional value v of variable j:
+// left gets x_j ≤ ⌊v⌋, right gets x_j ≥ ⌊v⌋+1. Shared by the serial and
+// parallel searches so both explore the identical tree shape.
+func branchChildren(nd *node, j int, v *big.Rat) (left, right *node) {
+	floor := ratFloor(v)
+	left = nd.child() // x_j ≤ ⌊v⌋
+	if left.hi[j] == nil || left.hi[j].Cmp(floor) > 0 {
+		left.hi[j] = floor
+	}
+	right = nd.child() // x_j ≥ ⌊v⌋+1
+	up := new(big.Int).Add(floor, big.NewInt(1))
+	if right.lo[j] == nil || right.lo[j].Cmp(up) < 0 {
+		right.lo[j] = up
+	}
+	return left, right
+}
+
+// implicationChildren case-splits nd on a violated conditional x>0 → y>0:
+// the zero branch forces x = 0, the pos branch forces y ≥ 1.
+func implicationChildren(nd *node, imp linear.Implication) (zero, pos *node) {
+	zero = nd.child() // x = 0 branch satisfies the conditional
+	zero.hi[imp.If] = big.NewInt(0)
+	pos = nd.child() // y ≥ 1 branch satisfies it too
+	one := big.NewInt(1)
+	if pos.lo[imp.Then] == nil || pos.lo[imp.Then].Cmp(one) < 0 {
+		pos.lo[imp.Then] = big.NewInt(1)
+	}
+	return zero, pos
+}
+
+// integralValues copies an integral LP vertex into integer values.
+func integralValues(spec *problemSpec, sol *simplex.Solution) []*big.Int {
+	values := make([]*big.Int, spec.n)
+	for i, v := range sol.X {
+		values[i] = new(big.Int).Set(v.Num())
+	}
+	return values
 }
 
 // mergeFixed overwrites the entries presolve fixed: the reduced system no
@@ -295,15 +390,27 @@ func mergeFixed(values, fixed []*big.Int) {
 
 // solveLP is a variable so tests can force solver statuses that are
 // unreachable through well-formed inputs (the min-Σx objective over x ≥ 0
-// is bounded below, so simplex.Unbounded is a defensive branch).
+// is bounded below, so simplex.Unbounded is a defensive branch). The stop
+// hook is the parallel search's lock-free kill switch: non-nil only for
+// worker goroutines, polled once per pivot alongside the context so a
+// finished search interrupts every sibling LP promptly.
 var solveLP = realSolveLP
 
-func realSolveLP(ctx context.Context, spec *problemSpec, nd *node) *simplex.Solution {
+func realSolveLP(ctx context.Context, spec *problemSpec, nd *node, stop func() bool) *simplex.Solution {
 	p := simplex.New(spec.n)
-	if ctx.Done() != nil {
+	if spec.exactLP {
+		p.SetExact(true)
+	}
+	if cancellable := ctx.Done() != nil; cancellable || stop != nil {
 		// Exact-rational pivots on big tableaus are slow; poll the context
-		// once per pivot so deadlines interrupt even a single LP solve.
-		p.SetInterrupt(func() bool { return ctx.Err() != nil })
+		// (and the parallel stop flag) once per pivot so deadlines and
+		// sibling-worker verdicts interrupt even a single LP solve.
+		p.SetInterrupt(func() bool {
+			if stop != nil && stop() {
+				return true
+			}
+			return cancellable && ctx.Err() != nil
+		})
 	}
 	for _, r := range spec.rows {
 		p.AddRow(r.coeffs, r.rel, r.rhs)

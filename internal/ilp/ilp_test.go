@@ -332,7 +332,7 @@ func TestValuesAreSmall(t *testing.T) {
 // ErrInternal so the Spec boundary can classify it.
 func TestUnboundedReportsInternal(t *testing.T) {
 	orig := solveLP
-	solveLP = func(ctx context.Context, spec *problemSpec, nd *node) *simplex.Solution {
+	solveLP = func(ctx context.Context, spec *problemSpec, nd *node, stop func() bool) *simplex.Solution {
 		return &simplex.Solution{Status: simplex.Unbounded}
 	}
 	defer func() { solveLP = orig }()

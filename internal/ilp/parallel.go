@@ -1,0 +1,261 @@
+// Parallel branch-and-bound. The search tree from ilp.go's serial loop is
+// explored by a pool of worker goroutines over per-worker subproblem
+// deques: each worker pops its own deque LIFO (depth-first, like the
+// serial stack) and steals from the head of a sibling's deque when it runs
+// dry (breadth-ish, so stolen work is a big subtree, not a leaf). One
+// mutex + condition variable coordinates everything; the only other shared
+// state is an atomic stop flag that the simplex interrupt hook polls
+// lock-free once per pivot, so the first worker to reach a verdict kills
+// every in-flight LP promptly.
+//
+// Termination uses a pending counter (subproblems queued or in flight):
+// a worker that finds every deque empty while pending is zero has proven
+// exhaustion — every subproblem was refuted — and closes the search as
+// infeasible. The first close wins, whether it carries a witness, an
+// exhaustion verdict, or an error; later closes are no-ops.
+//
+// Node accounting stays exact under parallelism: workers reserve a node
+// under the mutex before starting its LP, and a reservation that would
+// exceed MaxNodes closes the search with ErrNodeLimit instead, so
+// Result.Nodes never exceeds the budget no matter how many workers race.
+package ilp
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"sync"
+	"sync/atomic"
+
+	"xic/internal/simplex"
+)
+
+// psearch is the shared state of one parallel search.
+type psearch struct {
+	spec  *problemSpec
+	limit int
+
+	// stop mirrors closed for lock-free reads: simplex pivots poll it via
+	// the solveLP stop hook, where taking mu would serialize the workers.
+	stop atomic.Bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled on push, exhaustion, and close
+	deques  [][]*node  // per-worker: own pops at the tail, steals at the head
+	pending int        // subproblems queued or in flight
+	nodes   int        // LPs started; reserved under mu, never exceeds limit
+	closed  bool
+	found   []*big.Int // witness of the winning close; nil = infeasible/error
+	err     error
+
+	// LP work counters, merged into Stats after the workers join.
+	pivots         int
+	fastPivots     int
+	exactFallbacks int
+	steals         int
+}
+
+// searchParallel explores spec across workers goroutines and merges the
+// first verdict. It mirrors the serial loop's contract exactly: identical
+// feasibility verdicts, a valid (possibly different) witness, exact node
+// accounting against opt.maxNodes(), and non-nil Results on error paths.
+func searchParallel(ctx context.Context, spec *problemSpec, opt *Options, fixed []*big.Int, stats Stats, workers int) (*Result, error) {
+	ps := &psearch{
+		spec:   spec,
+		limit:  opt.maxNodes(),
+		deques: make([][]*node, workers),
+	}
+	ps.cond = sync.NewCond(&ps.mu)
+	root := &node{lo: make([]*big.Int, spec.n), hi: make([]*big.Int, spec.n)}
+	ps.deques[0] = append(ps.deques[0], root)
+	ps.pending = 1
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ps.worker(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+
+	stats.Pivots += ps.pivots
+	stats.FastPivots += ps.fastPivots
+	stats.ExactFallbacks += ps.exactFallbacks
+	stats.Steals += ps.steals
+	if ps.err != nil {
+		return &Result{Nodes: ps.nodes, Stats: stats}, ps.err
+	}
+	stats.FastPath = len(spec.implications) == 0 && ps.nodes == 1
+	if ps.found != nil {
+		mergeFixed(ps.found, fixed)
+		return &Result{Feasible: true, Values: ps.found, Nodes: ps.nodes, Stats: stats}, nil
+	}
+	return &Result{Nodes: ps.nodes, Stats: stats}, nil
+}
+
+// worker is one search goroutine: pop/steal a subproblem, solve its LP
+// relaxation, then refute it, branch on it, or close the whole search.
+func (ps *psearch) worker(ctx context.Context, w int) {
+	for {
+		nd, ok := ps.next(w)
+		if !ok {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			ps.closeWith(func(nodes int) ([]*big.Int, error) {
+				return nil, fmt.Errorf("ilp: search aborted after %d nodes: %w", nodes, err)
+			})
+			ps.finish(w)
+			continue
+		}
+		sol := solveLP(ctx, ps.spec, nd, ps.stop.Load)
+		ps.recordLP(sol)
+		switch sol.Status {
+		case simplex.Interrupted:
+			// Either a sibling closed the search (stop flag) — nothing to
+			// do — or the context fired, which is this worker's to report.
+			if err := ctx.Err(); err != nil {
+				ps.closeWith(func(nodes int) ([]*big.Int, error) {
+					return nil, fmt.Errorf("ilp: search aborted mid-LP after %d nodes: %w", nodes, err)
+				})
+			}
+			ps.finish(w)
+		case simplex.Internal:
+			ps.closeWith(func(nodes int) ([]*big.Int, error) {
+				return nil, fmt.Errorf("%w (after %d nodes)", ErrInternal, nodes)
+			})
+			ps.finish(w)
+		case simplex.Unbounded:
+			ps.closeWith(func(nodes int) ([]*big.Int, error) {
+				return nil, fmt.Errorf("%w: LP relaxation reported unbounded for a bounded objective (after %d nodes)", ErrInternal, nodes)
+			})
+			ps.finish(w)
+		case simplex.Infeasible:
+			ps.finish(w)
+		default: // Optimal
+			if j := firstFractional(sol.X); j >= 0 {
+				left, right := branchChildren(nd, j, sol.X[j])
+				// Tail order matches the serial stack: left pops next.
+				ps.finish(w, right, left)
+				continue
+			}
+			values := integralValues(ps.spec, sol)
+			if imp, ok := violatedImplication(ps.spec, values); ok {
+				zero, pos := implicationChildren(nd, imp)
+				ps.finish(w, pos, zero)
+				continue
+			}
+			ps.closeWith(func(nodes int) ([]*big.Int, error) { return values, nil })
+			ps.finish(w)
+		}
+	}
+}
+
+// next blocks until worker w has a subproblem reserved against the node
+// budget, or the search is over (closed, exhausted, or out of budget) —
+// then ok is false and the worker exits.
+func (ps *psearch) next(w int) (nd *node, ok bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for {
+		if ps.closed {
+			return nil, false
+		}
+		if own := ps.deques[w]; len(own) > 0 {
+			nd = own[len(own)-1]
+			ps.deques[w] = own[:len(own)-1]
+			return ps.reserveLocked(nd)
+		}
+		if nd = ps.stealLocked(w); nd != nil {
+			ps.steals++
+			return ps.reserveLocked(nd)
+		}
+		if ps.pending == 0 {
+			// Every subproblem was refuted: the system is infeasible.
+			ps.closeLocked(nil, nil)
+			return nil, false
+		}
+		ps.cond.Wait()
+	}
+}
+
+// stealLocked takes the head (oldest, largest subtree) of the longest
+// sibling deque. Caller holds mu.
+func (ps *psearch) stealLocked(w int) *node {
+	victim, best := -1, 0
+	for v := range ps.deques {
+		if v != w && len(ps.deques[v]) > best {
+			victim, best = v, len(ps.deques[v])
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	nd := ps.deques[victim][0]
+	ps.deques[victim] = ps.deques[victim][1:]
+	return nd
+}
+
+// reserveLocked charges one node against the budget, closing the search
+// with ErrNodeLimit when the budget is already spent. Caller holds mu.
+func (ps *psearch) reserveLocked(nd *node) (*node, bool) {
+	if ps.nodes >= ps.limit {
+		ps.closeLocked(nil, fmt.Errorf("%w (%d nodes)", ErrNodeLimit, ps.limit))
+		return nil, false
+	}
+	ps.nodes++
+	return nd, true
+}
+
+// finish retires the subproblem worker w was processing and queues its
+// children (if any) on w's deque.
+func (ps *psearch) finish(w int, children ...*node) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.pending += len(children) - 1
+	//xic:ignore ratalias ownership transfer: branchChildren/implicationChildren allocate fresh bound slices per child and the caller never touches them again
+	ps.deques[w] = append(ps.deques[w], children...)
+	// Wake stealers when work appeared, and idle workers when pending hit
+	// zero so one of them can run the exhaustion close.
+	ps.cond.Broadcast()
+}
+
+// recordLP accumulates one LP solve's pivot work.
+func (ps *psearch) recordLP(sol *simplex.Solution) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.pivots += sol.Pivots
+	ps.fastPivots += sol.FastPivots
+	if sol.ExactFallback {
+		ps.exactFallbacks++
+	}
+}
+
+// closeWith ends the search with a verdict built under the mutex (so it
+// can read the exact node count). The first close wins.
+func (ps *psearch) closeWith(verdict func(nodes int) ([]*big.Int, error)) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.closed {
+		return
+	}
+	found, err := verdict(ps.nodes)
+	ps.closeLocked(found, err)
+}
+
+// closeLocked records the winning verdict, flips the lock-free stop flag
+// so in-flight LPs interrupt, and wakes every waiting worker. Caller holds
+// mu; later calls are no-ops.
+func (ps *psearch) closeLocked(found []*big.Int, err error) {
+	if ps.closed {
+		return
+	}
+	ps.closed = true
+	//xic:ignore ratalias ownership transfer: the winning verdict's witness is freshly built by integralValues and no worker retains a reference
+	ps.found = found
+	ps.err = err
+	ps.stop.Store(true)
+	ps.cond.Broadcast()
+}

@@ -1,0 +1,165 @@
+package presolve
+
+import (
+	"math/rand"
+	"testing"
+
+	"xic/internal/linear"
+)
+
+// TestCutEqualityBothDirections: an equality row is cut in both
+// directions. 2x + 3y + 5z = 11 survives bound propagation (a two-var
+// equality in a small box gets fixed by interval reasoning alone, which
+// is exactly why cuts only run after the fixpoint), and yields forward
+// cuts (λ=2: x+2y+3z ≥ 6, …) and reverse cuts from the negated row (λ=3:
+// −y−z ≥ −3, …). At least one cut per direction must fire, and every
+// integer point of the box must keep its verdict in the reduced system.
+func TestCutEqualityBothDirections(t *testing.T) {
+	s := linear.NewSystem()
+	x, y, z := s.Var("x"), s.Var("y"), s.Var("z")
+	s.AddEq(linear.Term(x, 2).Plus(y, 3).Plus(z, 5), 11)
+	res := Run(s)
+	if res.Stats.Cuts < 2 {
+		t.Fatalf("Cuts = %d, want ≥ 2 (both directions of the equality): %+v", res.Stats.Cuts, res.Stats)
+	}
+	if res.Decided {
+		if !res.Feasible {
+			t.Fatal("2x+3y+5z = 11 is feasible (x=3, z=1)")
+		}
+		if msg := s.EvalBig(res.Values); msg != "" {
+			t.Fatalf("witness invalid: %s", msg)
+		}
+		return
+	}
+	// The reduced system must agree point-for-point on integer points:
+	// cuts and derived bounds are valid for every integer solution, and
+	// the original equality row is still present.
+	for xi := int64(0); xi <= 6; xi++ {
+		for yi := int64(0); yi <= 6; yi++ {
+			for zi := int64(0); zi <= 6; zi++ {
+				orig := s.Eval([]int64{xi, yi, zi}) == ""
+				red := res.Sys.Eval([]int64{xi, yi, zi}) == ""
+				if orig != red {
+					t.Errorf("(%d,%d,%d): original=%v reduced=%v", xi, yi, zi, orig, red)
+				}
+			}
+		}
+	}
+}
+
+// TestCutTightensGe: on 2x + 3y ≥ 7 the λ=3 cut x + y ≥ ⌈7/3⌉ = 3 cuts
+// off the min-Σx relaxation optimum (0, 7/3), so the solver's root LP on
+// the reduced system lands on an integer vertex without branching. Note
+// 3x + 3y ≥ 8 would NOT cut here: a modulus dividing every coefficient is
+// gcdTighten's case, and usefulModulus must leave it alone.
+func TestCutTightensGe(t *testing.T) {
+	s := linear.NewSystem()
+	x, y := s.Var("x"), s.Var("y")
+	s.AddGe(linear.Term(x, 2).Plus(y, 3), 7)
+	res := Run(s)
+	if res.Stats.Cuts == 0 {
+		t.Fatalf("no cut generated for 2x+3y ≥ 7: %+v", res.Stats)
+	}
+	if res.Decided {
+		if !res.Feasible {
+			t.Fatal("2x+3y ≥ 7 is feasible (e.g. x=2, y=1)")
+		}
+		if msg := s.EvalBig(res.Values); msg != "" {
+			t.Fatalf("witness invalid: %s", msg)
+		}
+		return
+	}
+	// If not decided outright, the cut must survive into the reduced
+	// system so the solver's root LP benefits.
+	found := false
+	for _, con := range res.Sys.Constraints() {
+		if con.Op == linear.Ge && con.Expr[x] == 1 && con.Expr[y] == 1 && con.Const == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cut x+y ≥ 3 missing from reduced system: %v", res.Sys)
+	}
+
+	// The pure-common-divisor row must keep producing zero cuts.
+	g := linear.NewSystem()
+	gx, gy := g.Var("x"), g.Var("y")
+	g.AddGe(linear.Term(gx, 3).Plus(gy, 3), 8)
+	if gres := Run(g); gres.Stats.Cuts != 0 {
+		t.Errorf("3x+3y ≥ 8 generated %d cuts; gcdTighten owns that modulus", gres.Stats.Cuts)
+	}
+}
+
+// TestCutsSound: randomized agreement — presolve with cuts must never flip
+// a verdict against brute force over the capped box.
+func TestCutsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		s := linear.NewSystem()
+		n := 1 + rng.Intn(3)
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = s.Var(string(rune('a' + i)))
+		}
+		rows := 1 + rng.Intn(3)
+		for r := 0; r < rows; r++ {
+			e := linear.Expr{}
+			for _, id := range ids {
+				if c := int64(rng.Intn(9) - 4); c != 0 {
+					e.Plus(id, c)
+				}
+			}
+			rhs := int64(rng.Intn(11) - 3)
+			switch rng.Intn(3) {
+			case 0:
+				s.AddEq(e, rhs)
+			case 1:
+				s.AddLe(e, rhs)
+			default:
+				s.AddGe(e, rhs)
+			}
+		}
+		for _, id := range ids {
+			s.AddLe(linear.Term(id, 1), 4)
+		}
+		want := bruteForceBox(s, 4)
+		res := Run(s)
+		if res.Decided {
+			if res.Feasible != want {
+				t.Fatalf("trial %d: presolve=%v brute=%v\n%s", trial, res.Feasible, want, s)
+			}
+			if res.Feasible {
+				if msg := s.EvalBig(res.Values); msg != "" {
+					t.Fatalf("trial %d: witness invalid: %s\n%s", trial, msg, s)
+				}
+			}
+			continue
+		}
+		// Reduced system: every cut row must be satisfied by every integer
+		// point of the original within the box — check by brute agreement.
+		got := bruteForceBox(res.Sys, 6)
+		if want && !got {
+			t.Fatalf("trial %d: reduced system lost a solution\n%s\nreduced:\n%s", trial, s, res.Sys)
+		}
+	}
+}
+
+// bruteForceBox enumerates integer assignments in [0,bound]^n.
+func bruteForceBox(s *linear.System, bound int64) bool {
+	n := s.VarCount()
+	x := make([]int64, n)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return s.Eval(x) == ""
+		}
+		for v := int64(0); v <= bound; v++ {
+			x[i] = v
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}

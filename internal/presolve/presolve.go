@@ -66,6 +66,7 @@ type Stats struct {
 	Implications    int  // conditional constraints in the input
 	ImplicationsOut int  // conditional constraints left after resolution
 	Tightened       int  // inequality constants moved by GCD rounding
+	Cuts            int  // Chvátal–Gomory cutting planes added at the root
 	Rounds          int  // propagation sweeps until fixpoint (or cap)
 	Bailed          bool // propagation diverged or a reduced value overflowed int64; input returned unreduced
 }
@@ -131,22 +132,13 @@ func Run(sys *linear.System) *Result {
 	st.stats.Vars = n
 	st.stats.Implications = len(st.imps)
 
-	for st.stats.Rounds < maxRounds {
-		st.stats.Rounds++
-		st.changed = false
-		st.normalizeRows()
-		if !st.infeasible {
-			st.propagateBounds()
-		}
-		if !st.infeasible {
-			st.resolveImplications()
-		}
-		if !st.infeasible {
-			st.fixVariables()
-		}
-		if st.infeasible || !st.changed {
-			break
-		}
+	st.runFixpoint()
+	// Root-node cutting planes: after a clean fixpoint (and only then — a
+	// capped, still-changing state signals a divergence spiral that new
+	// rows could feed), inject Chvátal–Gomory cuts and run the fixpoint
+	// again so bound propagation exploits them. See cuts.go.
+	if !st.infeasible && !st.changed && st.generateCuts() {
+		st.runFixpoint()
 	}
 	// Past the cap, stop the (possibly divergent) bound propagation and
 	// stabilize the remaining monotone rules: substitution consumes
@@ -173,6 +165,30 @@ func Run(sys *linear.System) *Result {
 		return st.refuted()
 	}
 	return st.emit()
+}
+
+// runFixpoint sweeps the full rule set — normalization, bound
+// propagation, implication resolution, variable fixing — until nothing
+// changes, the system is refuted, or the shared round cap trips. On exit
+// st.changed is false exactly when a clean fixpoint was reached.
+func (st *state) runFixpoint() {
+	for st.stats.Rounds < maxRounds {
+		st.stats.Rounds++
+		st.changed = false
+		st.normalizeRows()
+		if !st.infeasible {
+			st.propagateBounds()
+		}
+		if !st.infeasible {
+			st.resolveImplications()
+		}
+		if !st.infeasible {
+			st.fixVariables()
+		}
+		if st.infeasible || !st.changed {
+			break
+		}
+	}
 }
 
 // addConstraint canonicalizes one input constraint into ≥/= form over
@@ -716,6 +732,7 @@ func (st *state) bail() *Result {
 	st.stats.RowsOut = st.stats.Rows
 	st.stats.VarsFixed = 0
 	st.stats.ImplicationsOut = st.stats.Implications
+	st.stats.Cuts = 0
 	return &Result{Sys: st.sys, Stats: st.stats}
 }
 

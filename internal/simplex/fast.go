@@ -1,0 +1,591 @@
+// The int64 fast tableau: a second pivot kernel behind Problem.Solve that
+// runs the same two-phase Bland's-rule simplex as the big.Rat tableau, but
+// over machine-word rationals. Every operation is overflow-checked and the
+// numerator/denominator magnitudes are capped (maxFastMag); the moment any
+// value escapes the representable range — overflow, or a near-degenerate
+// pivot blowing entries up — the whole solve falls back to the exact
+// kernel. Arithmetic here is still exact (normalized int64 fractions, never
+// floats), so a completed fast solve returns bit-identical results to the
+// rational path: same pivot sequence, same statuses, same vertex.
+package simplex
+
+import (
+	"math"
+	"math/big"
+)
+
+// maxFastMag caps the absolute numerator and the denominator of every
+// fast-kernel rational. 1<<46 leaves ~17 bits of headroom under int64 for
+// the cross-multiplications inside add/compare, and doubles as the
+// near-degenerate guard: tableaus whose entries genuinely need larger
+// numbers are exactly the ones where int64 pivoting would thrash through
+// fallbacks one operation at a time, so bail out early and wholesale.
+const maxFastMag = int64(1) << 46
+
+// rat64 is a normalized machine-word rational: d > 0, gcd(|n|, d) == 1.
+// The zero value is 0/0 and invalid; use makeRat.
+type rat64 struct {
+	n, d int64
+}
+
+func (r rat64) sign() int {
+	switch {
+	case r.n > 0:
+		return 1
+	case r.n < 0:
+		return -1
+	}
+	return 0
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// gcd64 is the nonnegative gcd of nonnegative operands (gcd64(0, b) == b).
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// makeRat normalizes n/d. It fails on d == 0, on MinInt64 operands (whose
+// negation overflows), and on magnitudes beyond maxFastMag.
+func makeRat(n, d int64) (rat64, bool) {
+	if d == 0 || n == math.MinInt64 || d == math.MinInt64 {
+		return rat64{}, false
+	}
+	if d < 0 {
+		n, d = -n, -d
+	}
+	if n == 0 {
+		return rat64{0, 1}, true
+	}
+	g := gcd64(abs64(n), d)
+	n, d = n/g, d/g
+	if n > maxFastMag || n < -maxFastMag || d > maxFastMag {
+		return rat64{}, false
+	}
+	return rat64{n, d}, true
+}
+
+// mul64 is overflow-checked multiplication. Operands of MinInt64 are
+// rejected up front: MinInt64 * -1 wraps to itself and would pass the
+// division test below.
+func mul64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		return 0, false
+	}
+	r := a * b
+	if r/b != a {
+		return 0, false
+	}
+	return r, true
+}
+
+// add64 is overflow-checked addition.
+func add64(a, b int64) (int64, bool) {
+	r := a + b
+	if (a > 0 && b > 0 && r < 0) || (a < 0 && b < 0 && r >= 0) {
+		return 0, false
+	}
+	return r, true
+}
+
+func negRat(a rat64) rat64 { return rat64{-a.n, a.d} }
+
+// invRat fails on zero (a pivot element is never zero, so this is defensive).
+func invRat(a rat64) (rat64, bool) {
+	if a.n == 0 {
+		return rat64{}, false
+	}
+	return makeRat(a.d*int64(sign1(a.n)), abs64(a.n))
+}
+
+func sign1(v int64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+func addRat(a, b rat64) (rat64, bool) {
+	n1, ok := mul64(a.n, b.d)
+	if !ok {
+		return rat64{}, false
+	}
+	n2, ok := mul64(b.n, a.d)
+	if !ok {
+		return rat64{}, false
+	}
+	n, ok := add64(n1, n2)
+	if !ok {
+		return rat64{}, false
+	}
+	d, ok := mul64(a.d, b.d)
+	if !ok {
+		return rat64{}, false
+	}
+	return makeRat(n, d)
+}
+
+func subRat(a, b rat64) (rat64, bool) { return addRat(a, negRat(b)) }
+
+// mulRat cross-cancels before multiplying so products stay as small as the
+// normalized result allows.
+func mulRat(a, b rat64) (rat64, bool) {
+	g1 := gcd64(abs64(a.n), b.d)
+	g2 := gcd64(abs64(b.n), a.d)
+	n, ok := mul64(a.n/g1, b.n/g2)
+	if !ok {
+		return rat64{}, false
+	}
+	d, ok := mul64(a.d/g2, b.d/g1)
+	if !ok {
+		return rat64{}, false
+	}
+	return makeRat(n, d)
+}
+
+// cmpRat compares a and b by cross-multiplication; the products are checked
+// because two in-range rationals can still overflow int64 when crossed.
+func cmpRat(a, b rat64) (int, bool) {
+	l, ok := mul64(a.n, b.d)
+	if !ok {
+		return 0, false
+	}
+	r, ok := mul64(b.n, a.d)
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case l < r:
+		return -1, true
+	case l > r:
+		return 1, true
+	}
+	return 0, true
+}
+
+// ratFromBig converts an exact rational into the fast representation,
+// failing when it does not fit in the capped int64 range.
+func ratFromBig(v *big.Rat) (rat64, bool) {
+	if !v.Num().IsInt64() || !v.Denom().IsInt64() {
+		return rat64{}, false
+	}
+	return makeRat(v.Num().Int64(), v.Denom().Int64())
+}
+
+func (r rat64) toBig() *big.Rat { return new(big.Rat).SetFrac64(r.n, r.d) }
+
+// fastTableau mirrors tableau field-for-field over rat64 entries. Its
+// pivoting methods follow the exact kernel's control flow precisely —
+// same entering/leaving choices under Bland's rule — so that a completed
+// fast solve and an exact solve of the same Problem are indistinguishable.
+type fastTableau struct {
+	m, ncols   int
+	a          [][]rat64
+	rhs        []rat64
+	basis      []int
+	objRow     []rat64
+	objVal     rat64
+	artStart   int
+	structural int
+	interrupt  func() bool
+	pivots     int
+}
+
+// buildFastTableau converts the problem into a fast tableau, mirroring
+// buildTableau. It fails when any coefficient, right-hand side, or
+// objective entry does not fit the capped int64 rationals.
+func (p *Problem) buildFastTableau() (*fastTableau, bool) {
+	m := len(p.rows)
+	type normRow struct {
+		row sparseRow
+		rel Rel
+		rhs *big.Rat
+		neg bool
+	}
+	norm := make([]normRow, m)
+	slackCount := 0
+	artCount := 0
+	for i := range p.rows {
+		nr := normRow{row: p.rows[i], rel: p.rels[i], rhs: p.rhs[i]}
+		if nr.rhs.Sign() < 0 {
+			nr.neg = true
+			switch nr.rel {
+			case Le:
+				nr.rel = Ge
+			case Ge:
+				nr.rel = Le
+			}
+		}
+		if nr.rel != Eq {
+			slackCount++
+		}
+		if nr.rel != Le {
+			artCount++
+		}
+		norm[i] = nr
+	}
+	ncols := p.nvars + slackCount + artCount
+	t := &fastTableau{
+		m:          m,
+		ncols:      ncols,
+		structural: p.nvars,
+		artStart:   p.nvars + slackCount,
+		objVal:     rat64{0, 1},
+	}
+	t.a = make([][]rat64, m)
+	t.rhs = make([]rat64, m)
+	t.basis = make([]int, m)
+	for i := range t.a {
+		t.a[i] = make([]rat64, ncols)
+		for j := range t.a[i] {
+			t.a[i][j] = rat64{0, 1}
+		}
+	}
+	slack := p.nvars
+	art := t.artStart
+	for i, nr := range norm {
+		for _, e := range nr.row {
+			v, ok := ratFromBig(e.val)
+			if !ok {
+				return nil, false
+			}
+			if nr.neg {
+				v = negRat(v)
+			}
+			sum, ok := addRat(t.a[i][e.col], v) // Add: tolerate duplicate cols
+			if !ok {
+				return nil, false
+			}
+			t.a[i][e.col] = sum
+		}
+		r, ok := ratFromBig(nr.rhs)
+		if !ok {
+			return nil, false
+		}
+		if nr.neg {
+			r = negRat(r)
+		}
+		t.rhs[i] = r
+		switch nr.rel {
+		case Le:
+			t.a[i][slack] = rat64{1, 1}
+			t.basis[i] = slack
+			slack++
+		case Ge:
+			t.a[i][slack] = rat64{-1, 1}
+			slack++
+			t.a[i][art] = rat64{1, 1}
+			t.basis[i] = art
+			art++
+		case Eq:
+			t.a[i][art] = rat64{1, 1}
+			t.basis[i] = art
+			art++
+		}
+	}
+	t.objRow = make([]rat64, ncols)
+	for j := range t.objRow {
+		t.objRow[j] = rat64{0, 1}
+	}
+	return t, true
+}
+
+// setPhase1Objective mirrors tableau.setPhase1Objective.
+func (t *fastTableau) setPhase1Objective() bool {
+	for j := 0; j < t.ncols; j++ {
+		t.objRow[j] = rat64{0, 1}
+		if j >= t.artStart {
+			t.objRow[j] = rat64{1, 1}
+		}
+	}
+	t.objVal = rat64{0, 1}
+	for i, b := range t.basis {
+		if b >= t.artStart {
+			for j := 0; j < t.ncols; j++ {
+				v, ok := subRat(t.objRow[j], t.a[i][j])
+				if !ok {
+					return false
+				}
+				t.objRow[j] = v
+			}
+			v, ok := addRat(t.objVal, t.rhs[i])
+			if !ok {
+				return false
+			}
+			t.objVal = v
+		}
+	}
+	return true
+}
+
+// setObjective mirrors tableau.setObjective.
+func (t *fastTableau) setObjective(obj map[int]*big.Rat) bool {
+	c := make([]rat64, t.ncols)
+	for j := range c {
+		c[j] = rat64{0, 1}
+	}
+	for j, v := range obj {
+		fv, ok := ratFromBig(v)
+		if !ok {
+			return false
+		}
+		c[j] = fv
+	}
+	for j := 0; j < t.ncols; j++ {
+		t.objRow[j] = c[j]
+	}
+	t.objVal = rat64{0, 1}
+	for i, b := range t.basis {
+		if c[b].sign() == 0 {
+			continue
+		}
+		cb := c[b]
+		for j := 0; j < t.ncols; j++ {
+			if t.a[i][j].sign() != 0 {
+				prod, ok := mulRat(cb, t.a[i][j])
+				if !ok {
+					return false
+				}
+				v, ok := subRat(t.objRow[j], prod)
+				if !ok {
+					return false
+				}
+				t.objRow[j] = v
+			}
+		}
+		prod, ok := mulRat(cb, t.rhs[i])
+		if !ok {
+			return false
+		}
+		v, ok := addRat(t.objVal, prod)
+		if !ok {
+			return false
+		}
+		t.objVal = v
+	}
+	return true
+}
+
+// pivotToOptimality mirrors tableau.pivotToOptimality: same Bland's-rule
+// entering column, same min-ratio/smallest-basic-index leaving row. The
+// extra bool distinguishes "ran to a verdict" from "overflowed mid-search";
+// the outcome is only meaningful when ok is true.
+func (t *fastTableau) pivotToOptimality(colLimit int) (pivotOutcome, bool) {
+	for {
+		if t.interrupt != nil && t.interrupt() {
+			return pivotInterrupted, true
+		}
+		enter := -1
+		for j := 0; j < colLimit; j++ {
+			if t.objRow[j].sign() < 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return pivotOptimal, true
+		}
+		leave := -1
+		var best rat64
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter].sign() <= 0 {
+				continue
+			}
+			inv, ok := invRat(t.a[i][enter])
+			if !ok {
+				return pivotOptimal, false
+			}
+			ratio, ok := mulRat(t.rhs[i], inv)
+			if !ok {
+				return pivotOptimal, false
+			}
+			if leave < 0 {
+				leave = i
+				best = ratio
+				continue
+			}
+			cmp, ok := cmpRat(ratio, best)
+			if !ok {
+				return pivotOptimal, false
+			}
+			if cmp < 0 || (cmp == 0 && t.basis[i] < t.basis[leave]) {
+				leave = i
+				best = ratio
+			}
+		}
+		if leave < 0 {
+			return pivotUnbounded, true
+		}
+		if !t.pivot(leave, enter) {
+			return pivotOptimal, false
+		}
+	}
+}
+
+// pivot mirrors tableau.pivot; false means an entry escaped the fast range.
+func (t *fastTableau) pivot(leave, enter int) bool {
+	t.pivots++
+	inv, ok := invRat(t.a[leave][enter])
+	if !ok {
+		return false
+	}
+	for j := 0; j < t.ncols; j++ {
+		if t.a[leave][j].sign() != 0 {
+			v, ok := mulRat(t.a[leave][j], inv)
+			if !ok {
+				return false
+			}
+			t.a[leave][j] = v
+		}
+	}
+	v, ok := mulRat(t.rhs[leave], inv)
+	if !ok {
+		return false
+	}
+	t.rhs[leave] = v
+	for i := 0; i < t.m; i++ {
+		if i == leave || t.a[i][enter].sign() == 0 {
+			continue
+		}
+		factor := t.a[i][enter]
+		for j := 0; j < t.ncols; j++ {
+			if t.a[leave][j].sign() != 0 {
+				prod, ok := mulRat(factor, t.a[leave][j])
+				if !ok {
+					return false
+				}
+				nv, ok := subRat(t.a[i][j], prod)
+				if !ok {
+					return false
+				}
+				t.a[i][j] = nv
+			}
+		}
+		prod, ok := mulRat(factor, t.rhs[leave])
+		if !ok {
+			return false
+		}
+		nv, ok := subRat(t.rhs[i], prod)
+		if !ok {
+			return false
+		}
+		t.rhs[i] = nv
+	}
+	if t.objRow[enter].sign() != 0 {
+		factor := t.objRow[enter]
+		for j := 0; j < t.ncols; j++ {
+			if t.a[leave][j].sign() != 0 {
+				prod, ok := mulRat(factor, t.a[leave][j])
+				if !ok {
+					return false
+				}
+				nv, ok := subRat(t.objRow[j], prod)
+				if !ok {
+					return false
+				}
+				t.objRow[j] = nv
+			}
+		}
+		prod, ok := mulRat(factor, t.rhs[leave])
+		if !ok {
+			return false
+		}
+		nv, ok := addRat(t.objVal, prod)
+		if !ok {
+			return false
+		}
+		t.objVal = nv
+	}
+	t.basis[leave] = enter
+	return true
+}
+
+// driveOutArtificials mirrors tableau.driveOutArtificials.
+func (t *fastTableau) driveOutArtificials() bool {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if t.a[i][j].sign() != 0 {
+				if !t.pivot(i, j) {
+					return false
+				}
+				break
+			}
+		}
+	}
+	return true
+}
+
+// solveFast attempts the whole two-phase solve on the fast kernel. It
+// returns the solution, the number of fast pivots performed, and whether
+// the kernel ran to completion. A false return means overflow or the
+// magnitude cap fired somewhere; the caller reruns on the exact kernel and
+// charges the attempted pivots as wasted fast work. Interrupted counts as
+// completion — the caller is abandoning the solve either way, and rerunning
+// the exact kernel would only re-discover the same interrupt.
+func (p *Problem) solveFast() (*Solution, int, bool) {
+	t, ok := p.buildFastTableau()
+	if !ok {
+		return nil, 0, false
+	}
+	t.interrupt = p.interrupt
+	if !t.setPhase1Objective() {
+		return nil, t.pivots, false
+	}
+	outcome, ok := t.pivotToOptimality(t.ncols)
+	if !ok {
+		return nil, t.pivots, false
+	}
+	switch outcome {
+	case pivotInterrupted:
+		return &Solution{Status: Interrupted, Pivots: t.pivots}, t.pivots, true
+	case pivotUnbounded:
+		// Phase 1 is bounded below by 0 on a well-formed tableau; since the
+		// fast kernel is exact (no rounding), an unbounded report here is
+		// the same solver bug the exact kernel would diagnose. Fall back so
+		// the authoritative kernel makes the call.
+		return nil, t.pivots, false
+	}
+	if t.objVal.sign() > 0 {
+		return &Solution{Status: Infeasible, Pivots: t.pivots}, t.pivots, true
+	}
+	if !t.driveOutArtificials() {
+		return nil, t.pivots, false
+	}
+	if !t.setObjective(p.obj) {
+		return nil, t.pivots, false
+	}
+	outcome, ok = t.pivotToOptimality(t.artStart)
+	if !ok {
+		return nil, t.pivots, false
+	}
+	switch outcome {
+	case pivotInterrupted:
+		return &Solution{Status: Interrupted, Pivots: t.pivots}, t.pivots, true
+	case pivotUnbounded:
+		return &Solution{Status: Unbounded, Pivots: t.pivots}, t.pivots, true
+	}
+	x := make([]*big.Rat, p.nvars)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i, b := range t.basis {
+		if b < p.nvars {
+			x[b] = t.rhs[i].toBig()
+		}
+	}
+	return &Solution{Status: Optimal, X: x, Obj: t.objVal.toBig(), Pivots: t.pivots}, t.pivots, true
+}

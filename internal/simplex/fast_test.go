@@ -1,0 +1,215 @@
+package simplex
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestRat64Arithmetic(t *testing.T) {
+	a, ok := makeRat(6, -4)
+	if !ok || a.n != -3 || a.d != 2 {
+		t.Fatalf("makeRat(6,-4) = %v %v, want -3/2", a, ok)
+	}
+	if _, ok := makeRat(1, 0); ok {
+		t.Error("makeRat(1,0) accepted a zero denominator")
+	}
+	if _, ok := makeRat(math.MinInt64, 1); ok {
+		t.Error("makeRat(MinInt64,1) accepted an unnegatable numerator")
+	}
+	if _, ok := makeRat(maxFastMag+1, 1); ok {
+		t.Error("makeRat above the magnitude cap accepted")
+	}
+	sum, ok := addRat(rat64{1, 3}, rat64{1, 6})
+	if !ok || sum.n != 1 || sum.d != 2 {
+		t.Errorf("1/3 + 1/6 = %v %v, want 1/2", sum, ok)
+	}
+	prod, ok := mulRat(rat64{2, 3}, rat64{3, 4})
+	if !ok || prod.n != 1 || prod.d != 2 {
+		t.Errorf("2/3 * 3/4 = %v %v, want 1/2", prod, ok)
+	}
+	if _, ok := mulRat(rat64{maxFastMag, 1}, rat64{maxFastMag, 1}); ok {
+		t.Error("mulRat beyond the cap accepted")
+	}
+	if _, ok := mul64(math.MinInt64, -1); ok {
+		t.Error("mul64(MinInt64,-1) reported ok despite wrapping")
+	}
+	cmp, ok := cmpRat(rat64{1, 3}, rat64{1, 2})
+	if !ok || cmp != -1 {
+		t.Errorf("cmp(1/3,1/2) = %d %v, want -1", cmp, ok)
+	}
+	inv, ok := invRat(rat64{-2, 5})
+	if !ok || inv.n != -5 || inv.d != 2 {
+		t.Errorf("inv(-2/5) = %v %v, want -5/2", inv, ok)
+	}
+	if _, ok := invRat(rat64{0, 1}); ok {
+		t.Error("invRat(0) reported ok")
+	}
+}
+
+// randomProblem builds a small LP with integer data in a range the fast
+// kernel always handles, so fast-vs-exact agreement is a real comparison
+// rather than a fallback test.
+func randomProblem(rng *rand.Rand) *Problem {
+	n := 1 + rng.Intn(4)
+	p := New(n)
+	rows := 1 + rng.Intn(5)
+	for i := 0; i < rows; i++ {
+		coeffs := make(map[int]int64)
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				coeffs[j] = int64(rng.Intn(7) - 3)
+			}
+		}
+		rel := Rel(rng.Intn(3))
+		p.AddRowInt(coeffs, rel, int64(rng.Intn(9)-4))
+	}
+	if rng.Intn(2) == 0 {
+		obj := make(map[int]*big.Rat, n)
+		for j := 0; j < n; j++ {
+			obj[j] = big.NewRat(int64(1+rng.Intn(3)), 1)
+		}
+		p.SetObjective(obj)
+	}
+	return p
+}
+
+// TestFastMatchesExact cross-validates the two kernels: on problems where
+// the fast tableau completes, it must report the identical status,
+// objective, vertex, and pivot count as the exact kernel — the fast path is
+// the same algorithm in a different number representation, not an
+// approximation.
+func TestFastMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	completed := 0
+	for trial := 0; trial < 500; trial++ {
+		p := randomProblem(rng)
+		fastSol, fastPivots, ok := p.solveFast()
+		if !ok {
+			continue
+		}
+		completed++
+		exactSol := p.solveExact()
+		if fastSol.Status != exactSol.Status {
+			t.Fatalf("trial %d: fast status %v, exact %v", trial, fastSol.Status, exactSol.Status)
+		}
+		if fastPivots != exactSol.Pivots {
+			t.Fatalf("trial %d: fast pivots %d, exact %d (kernels must pivot identically)",
+				trial, fastPivots, exactSol.Pivots)
+		}
+		if fastSol.Status != Optimal {
+			continue
+		}
+		if fastSol.Obj.Cmp(exactSol.Obj) != 0 {
+			t.Fatalf("trial %d: fast obj %s, exact %s", trial, fastSol.Obj, exactSol.Obj)
+		}
+		for j := range fastSol.X {
+			if fastSol.X[j].Cmp(exactSol.X[j]) != 0 {
+				t.Fatalf("trial %d: x[%d] fast %s, exact %s", trial, j, fastSol.X[j], exactSol.X[j])
+			}
+		}
+	}
+	if completed < 400 {
+		t.Fatalf("only %d/500 trials completed on the fast kernel; the corpus should be int64-friendly", completed)
+	}
+}
+
+// TestFallbackOnBigData feeds coefficients outside int64 so the fast build
+// fails and Solve reruns on the exact kernel, reporting the fallback.
+func TestFallbackOnBigData(t *testing.T) {
+	huge := new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), 80))
+	p := New(1)
+	p.AddRow(map[int]*big.Rat{0: big.NewRat(1, 1)}, Ge, huge)
+	sol := p.Solve()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !sol.ExactFallback {
+		t.Error("ExactFallback not reported for 2^80 data")
+	}
+	if sol.FastPivots != 0 {
+		t.Errorf("FastPivots = %d, want 0 (build-time fallback)", sol.FastPivots)
+	}
+	if sol.X[0].Cmp(huge) != 0 {
+		t.Errorf("x = %s, want %s", sol.X[0], huge)
+	}
+}
+
+// TestFallbackOnMagnitudeCap exercises a mid-pivot fallback: in-range input
+// whose tableau entries blow past maxFastMag during elimination.
+func TestFallbackOnMagnitudeCap(t *testing.T) {
+	near := maxFastMag - 1
+	p := New(2)
+	p.AddRowInt(map[int]int64{0: near, 1: 1}, Ge, near)
+	p.AddRowInt(map[int]int64{0: 1, 1: near}, Ge, near)
+	p.AddRowInt(map[int]int64{0: 1, 1: 1}, Le, 2)
+	p.SetObjective(map[int]*big.Rat{0: big.NewRat(1, 1), 1: big.NewRat(1, 1)})
+	sol := p.Solve()
+	exact := &Problem{}
+	*exact = *p
+	exact.SetExact(true)
+	want := exact.Solve()
+	if sol.Status != want.Status {
+		t.Fatalf("status = %v, exact says %v", sol.Status, want.Status)
+	}
+	if sol.ExactFallback {
+		// A fallback happened; the wasted fast pivots must be accounted for.
+		if sol.Pivots != want.Pivots+sol.FastPivots {
+			t.Errorf("Pivots = %d, want exact %d + fast %d", sol.Pivots, want.Pivots, sol.FastPivots)
+		}
+	}
+	if sol.Status == Optimal && want.Status == Optimal {
+		for j := range sol.X {
+			if sol.X[j].Cmp(want.X[j]) != 0 {
+				t.Errorf("x[%d] = %s, exact says %s", j, sol.X[j], want.X[j])
+			}
+		}
+	}
+}
+
+// TestSetExact pins the ablation switch: with SetExact(true) the fast
+// kernel never runs, so FastPivots stays zero and no fallback is reported.
+func TestSetExact(t *testing.T) {
+	p := New(2)
+	p.AddRowInt(map[int]int64{0: 1, 1: 2}, Ge, 3)
+	p.SetExact(true)
+	sol := p.Solve()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.FastPivots != 0 || sol.ExactFallback {
+		t.Errorf("exact-only solve reported FastPivots=%d ExactFallback=%v", sol.FastPivots, sol.ExactFallback)
+	}
+
+	q := New(2)
+	q.AddRowInt(map[int]int64{0: 1, 1: 2}, Ge, 3)
+	fastSol := q.Solve()
+	if fastSol.Status != Optimal {
+		t.Fatalf("fast status = %v", fastSol.Status)
+	}
+	if fastSol.ExactFallback {
+		t.Error("small instance should not fall back")
+	}
+	if fastSol.FastPivots == 0 || fastSol.FastPivots != fastSol.Pivots {
+		t.Errorf("fast solve: FastPivots=%d Pivots=%d, want equal and nonzero", fastSol.FastPivots, fastSol.Pivots)
+	}
+	if fastSol.Pivots != sol.Pivots {
+		t.Errorf("fast pivots %d != exact pivots %d for the same problem", fastSol.Pivots, sol.Pivots)
+	}
+}
+
+// TestFastInterrupt pins that the interrupt hook reaches the fast kernel:
+// an immediately-firing hook interrupts without falling back to exact.
+func TestFastInterrupt(t *testing.T) {
+	p := New(2)
+	p.AddRowInt(map[int]int64{0: 1, 1: 1}, Ge, 2)
+	p.SetInterrupt(func() bool { return true })
+	sol := p.Solve()
+	if sol.Status != Interrupted {
+		t.Fatalf("status = %v, want interrupted", sol.Status)
+	}
+	if sol.ExactFallback {
+		t.Error("interrupt must not trigger an exact rerun")
+	}
+}

@@ -59,7 +59,13 @@ type Problem struct {
 	rhs       []*big.Rat
 	obj       map[int]*big.Rat // minimized; nil means pure feasibility
 	interrupt func() bool
+	exact     bool // skip the int64 fast kernel, pivot on big.Rat only
 }
+
+// SetExact forces the exact big.Rat kernel, skipping the int64 fast tableau
+// entirely. It exists for ablation benchmarks and cross-validation; serving
+// paths leave it off and rely on the fast kernel's automatic fallback.
+func (p *Problem) SetExact(on bool) { p.exact = on }
 
 // SetInterrupt installs a hook polled once per pivot; when it returns true
 // the solve stops and reports Status Interrupted. Exact-rational pivots on
@@ -117,13 +123,20 @@ func (p *Problem) SetObjective(coeffs map[int]*big.Rat) {
 
 // Solution is the result of a solve. X is only meaningful when Status is
 // Optimal; Obj is the objective value (0 for pure feasibility problems).
-// Pivots counts the exact-rational pivot operations performed across both
-// phases — the unit of simplex work that solver-level statistics aggregate.
+// Pivots counts pivot operations performed across both phases and both
+// kernels — the unit of simplex work that solver-level statistics
+// aggregate. FastPivots is the subset performed on the int64 fast tableau;
+// ExactFallback reports that the fast kernel overflowed (or hit its
+// magnitude cap) and the solve was redone on the exact big.Rat kernel, in
+// which case Pivots includes both the wasted fast pivots and the exact
+// rerun.
 type Solution struct {
-	Status Status
-	X      []*big.Rat
-	Obj    *big.Rat
-	Pivots int
+	Status        Status
+	X             []*big.Rat
+	Obj           *big.Rat
+	Pivots        int
+	FastPivots    int
+	ExactFallback bool
 }
 
 // tableau is the dense simplex tableau in canonical form.
@@ -149,8 +162,29 @@ const (
 	pivotInterrupted
 )
 
-// Solve runs two-phase simplex and returns the solution.
+// Solve runs two-phase simplex and returns the solution. Unless SetExact
+// forced the rational kernel, the int64 fast tableau (fast.go) is tried
+// first; it pivots in machine words with the identical Bland's-rule
+// sequence, and the exact kernel reruns the solve only when the fast one
+// overflows or trips its magnitude cap.
 func (p *Problem) Solve() *Solution {
+	if p.exact {
+		return p.solveExact()
+	}
+	sol, attempted, ok := p.solveFast()
+	if ok {
+		sol.FastPivots = attempted
+		return sol
+	}
+	s := p.solveExact()
+	s.ExactFallback = true
+	s.FastPivots = attempted
+	s.Pivots += attempted
+	return s
+}
+
+// solveExact runs two-phase simplex on the big.Rat tableau.
+func (p *Problem) solveExact() *Solution {
 	t := p.buildTableau()
 	t.interrupt = p.interrupt
 	// Phase 1: minimize the sum of artificials.

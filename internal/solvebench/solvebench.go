@@ -78,11 +78,27 @@ func Corpus(full bool) ([]Case, error) {
 
 // Options returns the solver options for one side of the comparison:
 // witnesses skipped (the serving configuration the corpus models) and the
-// presolve + fast-path layer on or off.
-func Options(presolveOn bool) *core.Options {
+// full accelerated pipeline — presolve, root cuts and the int64 fast
+// tableau — on or off together. The raw side disables both layers so the
+// committed speedup measures the whole optimisation stack, not presolve
+// alone.
+func Options(acceleratedOn bool) *core.Options {
 	return &core.Options{
 		SkipWitness: true,
-		Solver:      ilp.Options{DisablePresolve: !presolveOn},
+		Solver: ilp.Options{
+			DisablePresolve:    !acceleratedOn,
+			DisableFastTableau: !acceleratedOn,
+		},
+	}
+}
+
+// FastOptions returns the options for one side of the fast-tableau
+// ablation: the serving configuration (presolve on) with the int64 kernel
+// on or off, isolating the simplex-kernel contribution from presolve's.
+func FastOptions(fastOn bool) *core.Options {
+	return &core.Options{
+		SkipWitness: true,
+		Solver:      ilp.Options{DisableFastTableau: !fastOn},
 	}
 }
 

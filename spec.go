@@ -160,10 +160,58 @@ func (s *Spec) Constraints() []Constraint {
 // the compiled set.
 func (s *Spec) Class() Class { return s.class }
 
+// SolveOptions returns the Spec's effective solver configuration as one
+// flat value. Zero fields mean their documented defaults (MaxNodes 0 =
+// DefaultMaxNodes, SolverParallelism 0 = serial search / GOMAXPROCS
+// batches).
+func (s *Spec) SolveOptions() SolveOptions {
+	return SolveOptions{
+		MaxNodes:           s.opt.Solver.MaxNodes,
+		SolverParallelism:  s.par,
+		DisablePresolve:    s.opt.Solver.DisablePresolve,
+		DisableFastTableau: s.opt.Solver.DisableFastTableau,
+		SkipWitness:        s.opt.SkipWitness,
+	}
+}
+
+// WithSolveOptions returns a Spec sharing this one's compiled state with
+// the given tweaks applied on top of its current SolveOptions. The
+// receiver is unchanged, so distinct callers can hold differently-tuned
+// views of one compiled engine:
+//
+//	fast := spec.WithSolveOptions(xic.WithSkipWitness(), xic.WithSolverParallelism(8))
+//
+// For a single differently-tuned call, use ConsistentOpts or ImpliesOpts
+// instead.
+func (s *Spec) WithSolveOptions(opts ...SolveOption) *Spec {
+	so := s.SolveOptions()
+	for _, apply := range opts {
+		if apply != nil {
+			apply(&so)
+		}
+	}
+	co := s.opt
+	co.Solver.MaxNodes = so.MaxNodes
+	co.Solver.DisablePresolve = so.DisablePresolve
+	co.Solver.DisableFastTableau = so.DisableFastTableau
+	co.SkipWitness = so.SkipWitness
+	par := so.SolverParallelism
+	if par < 1 {
+		par = 0
+	}
+	out := *s
+	out.opt = co
+	out.par = par
+	return &out
+}
+
 // WithOptions returns a Spec sharing this one's compiled state but using
 // opt for subsequent checks (solver budget, witness limits, witness
-// skipping). The receiver is unchanged, so distinct callers can hold
-// differently-tuned views of one compiled engine.
+// skipping). The receiver is unchanged.
+//
+// Deprecated: use WithSolveOptions, which covers the solver knobs in one
+// flat value; WithOptions remains only for the witness-size limits that
+// SolveOptions does not carry.
 func (s *Spec) WithOptions(opt Options) *Spec {
 	out := *s
 	out.opt = opt
@@ -173,13 +221,23 @@ func (s *Spec) WithOptions(opt Options) *Spec {
 // WithParallelism returns a Spec sharing this one's compiled state whose
 // ConsistentAll and ImpliesAll use at most n worker goroutines. n < 1
 // restores the default (runtime.GOMAXPROCS).
+//
+// Deprecated: use WithSolveOptions(WithSolverParallelism(n)), which bounds
+// the batch pool and the in-solver branch-and-bound workers together.
 func (s *Spec) WithParallelism(n int) *Spec {
-	out := *s
-	if n < 1 {
-		n = 0
+	return s.WithSolveOptions(WithSolverParallelism(n))
+}
+
+// engineOptions assembles the core.Options actually handed to the engine:
+// the stored options with the Spec's parallelism threaded into the solver,
+// so one knob (SolverParallelism) drives both the batch pool and the
+// branch-and-bound workers.
+func (s *Spec) engineOptions() core.Options {
+	co := s.opt
+	if s.par > 0 {
+		co.Solver.Parallelism = s.par
 	}
-	out.par = n
-	return &out
+	return co
 }
 
 // ConsistentDTD reports whether any finite document at all conforms to the
@@ -202,8 +260,19 @@ func (s *Spec) SolveStats() SolveStats { return s.eng.SolveStats() }
 // negations pay the NP price of Theorems 4.7/5.1, bounded by the context:
 // cancellation returns an error matching ErrCanceled.
 func (s *Spec) Consistent(ctx context.Context) (*Result, error) {
-	res, err := s.eng.ConsistentContext(ctx, s.sigma, &s.opt)
+	co := s.engineOptions()
+	res, err := s.eng.ConsistentContext(ctx, s.sigma, &co)
 	return res, wrapSolveError(err)
+}
+
+// ConsistentOpts is Consistent with per-call option tweaks layered on top
+// of the Spec's SolveOptions — the one-shot form of WithSolveOptions:
+//
+//	res, err := spec.ConsistentOpts(ctx, xic.WithMaxNodes(100), xic.WithSkipWitness())
+//
+// The Spec itself is unchanged.
+func (s *Spec) ConsistentOpts(ctx context.Context, opts ...SolveOption) (*Result, error) {
+	return s.WithSolveOptions(opts...).Consistent(ctx)
 }
 
 // ConsistentWith is Consistent for the compiled set extended with extra
@@ -211,7 +280,8 @@ func (s *Spec) Consistent(ctx context.Context) (*Result, error) {
 // and the compiled encoding template is still reused, which is the
 // intended way to probe many candidate sets against one schema.
 func (s *Spec) ConsistentWith(ctx context.Context, extra ...Constraint) (*Result, error) {
-	res, err := s.eng.ConsistentContext(ctx, s.join(extra), &s.opt)
+	co := s.engineOptions()
+	res, err := s.eng.ConsistentContext(ctx, s.join(extra), &co)
 	return res, wrapSolveError(err)
 }
 
@@ -227,16 +297,24 @@ func (s *Spec) ConsistentWith(ctx context.Context, extra ...Constraint) (*Result
 // binding an identical set — are pure lookups. Errors are never cached,
 // and memoized counterexamples are private copies.
 func (s *Spec) Implies(ctx context.Context, phi Constraint) (*Implication, error) {
-	key := s.consFP + "\x00" + optionsKey(&s.opt) + "\x00" + phi.String()
+	co := s.engineOptions()
+	key := s.consFP + "\x00" + optionsKey(&co) + "\x00" + phi.String()
 	if imp, ok := s.schema.memo.get(key); ok {
 		return imp, nil
 	}
-	imp, err := s.eng.ImpliesContext(ctx, s.sigma, phi, &s.opt)
+	imp, err := s.eng.ImpliesContext(ctx, s.sigma, phi, &co)
 	if err != nil {
 		return nil, wrapSolveError(err)
 	}
 	s.schema.memo.put(key, imp)
 	return imp, nil
+}
+
+// ImpliesOpts is Implies with per-call option tweaks layered on top of the
+// Spec's SolveOptions, memoized under the effective options exactly like
+// Implies. The Spec itself is unchanged.
+func (s *Spec) ImpliesOpts(ctx context.Context, phi Constraint, opts ...SolveOption) (*Implication, error) {
+	return s.WithSolveOptions(opts...).Implies(ctx, phi)
 }
 
 // ImpliesKey is the linear-time implication test for a key by a keys-only
@@ -255,7 +333,8 @@ func (s *Spec) ImpliesKey(phi Key) (bool, error) {
 // (removing any one member restores consistency). The |Σ|+1 consistency
 // checks of the deletion filter all reuse the compiled encoding.
 func (s *Spec) Diagnose(ctx context.Context) (*Diagnosis, error) {
-	diag, err := s.eng.DiagnoseContext(ctx, s.sigma, &s.opt)
+	co := s.engineOptions()
+	diag, err := s.eng.DiagnoseContext(ctx, s.sigma, &co)
 	return diag, wrapSolveError(err)
 }
 

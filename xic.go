@@ -134,7 +134,10 @@ type (
 	Class = constraint.Class
 
 	// Options tunes the NP decision procedures (solver budget, witness
-	// size, witness skipping).
+	// size, witness skipping). New code should prefer SolveOptions with
+	// Spec.WithSolveOptions, which covers the solver knobs in one flat
+	// value; Options remains the carrier for witness-size limits and for
+	// the deprecated package-level helpers.
 	Options = core.Options
 
 	// Result is a consistency verdict with an optional witness document.
@@ -156,8 +159,10 @@ type (
 	Diagnosis = core.Diagnosis
 
 	// SolveStats is a snapshot of a Spec's cumulative ILP-oracle counters:
-	// presolve decisions, fast-path hits, and how much the presolve layer
-	// shrank the systems that reached the branch-and-bound search.
+	// presolve decisions, fast-path hits, how much the presolve layer
+	// shrank the systems that reached branch-and-bound, how the simplex
+	// pivots split between the int64 fast tableau and the exact big.Rat
+	// kernel, and work-stealing activity of the parallel search.
 	SolveStats = core.SolveStats
 
 	// Validator checks documents for DTD conformance.
