@@ -70,10 +70,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := Vet(Options{Dir: *dir, Tests: *tests, NoCache: *nocache}, patterns...)
+	diags, fromCache, err := Vet(Options{Dir: *dir, Tests: *tests, NoCache: *nocache}, patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "xicvet: %v\n", err)
 		return 2
+	}
+	// Surface the go-list cache outcome so CI logs show whether the
+	// persisted cache (see .github/workflows/ci.yml) actually paid off.
+	switch {
+	case *nocache:
+		fmt.Fprintln(stderr, "xicvet: go list cache bypassed (-nocache)")
+	case fromCache:
+		fmt.Fprintln(stderr, "xicvet: go list cache hit")
+	default:
+		fmt.Fprintln(stderr, "xicvet: go list cache miss")
 	}
 	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
@@ -118,11 +128,12 @@ type jsonDiagnostic struct {
 // every analyzer's Collect phase over every module package first (so
 // cross-package tables are complete), then Run over the packages the
 // patterns actually named, then a directive check that flags malformed
-// //xic:ignore comments. Diagnostics come back sorted by position.
-func Vet(opts Options, patterns ...string) ([]analysis.Diagnostic, error) {
+// //xic:ignore comments. Diagnostics come back sorted by position. The
+// bool reports whether the go list step was served from the xicvet cache.
+func Vet(opts Options, patterns ...string) ([]analysis.Diagnostic, bool, error) {
 	prog, err := load.Load(load.Config{Dir: opts.Dir, Tests: opts.Tests, NoCache: opts.NoCache}, patterns...)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	var diags []analysis.Diagnostic
@@ -136,7 +147,7 @@ func Vet(opts Options, patterns ...string) ([]analysis.Diagnostic, error) {
 		for _, pkg := range prog.Packages {
 			pass := analysis.NewPass(a, prog.Fset, pkg.Syntax, pkg.Types, pkg.Info, record)
 			if err := a.Collect(pass); err != nil {
-				return nil, fmt.Errorf("%s: collect %s: %v", a.Name, pkg.ImportPath, err)
+				return nil, prog.FromCache, fmt.Errorf("%s: collect %s: %v", a.Name, pkg.ImportPath, err)
 			}
 		}
 	}
@@ -147,7 +158,7 @@ func Vet(opts Options, patterns ...string) ([]analysis.Diagnostic, error) {
 			}
 			pass := analysis.NewPass(a, prog.Fset, pkg.Syntax, pkg.Types, pkg.Info, record)
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: run %s: %v", a.Name, pkg.ImportPath, err)
+				return nil, prog.FromCache, fmt.Errorf("%s: run %s: %v", a.Name, pkg.ImportPath, err)
 			}
 		}
 	}
@@ -176,5 +187,5 @@ func Vet(opts Options, patterns ...string) ([]analysis.Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, prog.FromCache, nil
 }

@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
 
-// TestListsNineAnalyzers pins the registered suite: exactly the nine
-// documented analyzers, in order — the original five invariant checkers
-// followed by the concurrency pack.
-func TestListsNineAnalyzers(t *testing.T) {
+// TestListsThirteenAnalyzers pins the registered suite: exactly the
+// thirteen documented analyzers, in order — the original five invariant
+// checkers, the concurrency pack, and the interprocedural pack built on
+// the call-graph/summary layer.
+func TestListsThirteenAnalyzers(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("xicvet -list exited %d: %s", code, stderr.String())
@@ -28,6 +31,7 @@ func TestListsNineAnalyzers(t *testing.T) {
 	want := []string{
 		"ctxflow", "frozen", "ratalias", "atomicfield", "errtaxonomy",
 		"lockorder", "lockbalance", "goleak", "chandisc",
+		"hotalloc", "hotrecurse", "blockhold", "httpguard",
 	}
 	if len(names) != len(want) {
 		t.Fatalf("got %d analyzers %v, want %v", len(names), names, want)
@@ -46,7 +50,7 @@ func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
 	}
-	diags, err := Vet(Options{Dir: "../..", Tests: true}, "./...")
+	diags, _, err := Vet(Options{Dir: "../..", Tests: true}, "./...")
 	if err != nil {
 		t.Fatalf("Vet: %v", err)
 	}
@@ -253,6 +257,45 @@ func A() int {
 	}
 }
 
+// TestDirectivesKnowNewAnalyzers asserts the driver's known-name set
+// tracks the interprocedural pack: suppressions naming the new analyzers
+// are accepted, and a near-miss of a new name is flagged as unknown just
+// like a typo of an original one.
+func TestDirectivesKnowNewAnalyzers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	dir := seedModule(t, `// Package seeded names new-pack analyzers in suppressions.
+package seeded
+
+// A carries one valid (if unused) suppression per new analyzer and one
+// typo'd name that must be flagged.
+func A() int {
+	//xic:ignore hotalloc deliberate exception for the directive test
+	//xic:ignore hotrecurse deliberate exception for the directive test
+	//xic:ignore blockhold deliberate exception for the directive test
+	//xic:ignore httpguard deliberate exception for the directive test
+	//xic:ignore hotallocs typo'd new-analyzer name
+	return 1
+}
+`)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, `unknown analyzer "hotallocs"`) {
+		t.Errorf("missing unknown-analyzer finding for the typo'd name:\n%s", out)
+	}
+	for _, name := range []string{"hotalloc", "hotrecurse", "blockhold", "httpguard"} {
+		if strings.Contains(out, "unknown analyzer \""+name+"\"") {
+			t.Errorf("directive naming %s was rejected as unknown:\n%s", name, out)
+		}
+	}
+}
+
 // TestTestsFlagExtendsCoverage seeds a violation that lives only in a
 // _test.go file: invisible without -tests, a finding with it.
 func TestTestsFlagExtendsCoverage(t *testing.T) {
@@ -308,6 +351,97 @@ func TestBA(t *testing.T) {
 	}
 }
 
+// TestProblemMatcherMatchesOutput pins the contract between xicvet's
+// plain output and the GitHub problem matcher: every finding line must
+// match the committed regex, and the captured file/line/column/code/
+// message groups must agree with the -json fields for the same findings.
+// A drift in either the output format or the matcher regex fails here
+// before it silently stops annotating PRs.
+func TestProblemMatcherMatchesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	raw, err := os.ReadFile(filepath.Join("..", "..", ".github", "xicvet-problem-matcher.json"))
+	if err != nil {
+		t.Fatalf("reading problem matcher: %v", err)
+	}
+	var matcher struct {
+		ProblemMatcher []struct {
+			Owner   string `json:"owner"`
+			Pattern []struct {
+				Regexp  string `json:"regexp"`
+				File    int    `json:"file"`
+				Line    int    `json:"line"`
+				Column  int    `json:"column"`
+				Code    int    `json:"code"`
+				Message int    `json:"message"`
+			} `json:"pattern"`
+		} `json:"problemMatcher"`
+	}
+	if err := json.Unmarshal(raw, &matcher); err != nil {
+		t.Fatalf("decoding problem matcher: %v", err)
+	}
+	if len(matcher.ProblemMatcher) != 1 || len(matcher.ProblemMatcher[0].Pattern) != 1 {
+		t.Fatalf("expected one matcher with one pattern, got %+v", matcher)
+	}
+	pat := matcher.ProblemMatcher[0].Pattern[0]
+	re, err := regexp.Compile(pat.Regexp)
+	if err != nil {
+		t.Fatalf("matcher regexp does not compile: %v", err)
+	}
+
+	// Two findings from different analyzers on one line keeps the
+	// cross-check honest about ordering.
+	dir := seedModule(t, `// Package seeded seeds a goleak finding for the matcher test.
+package seeded
+
+// Spawn starts a goroutine nothing can stop or await.
+func Spawn() {
+	go func() {}()
+}
+`)
+
+	var plain, jsonOut, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &plain, &stderr); code != 1 {
+		t.Fatalf("plain run: exit %d\n%s", code, stderr.String())
+	}
+	if code := run([]string{"-C", dir, "-json", "./..."}, &jsonOut, &stderr); code != 1 {
+		t.Fatalf("json run: exit %d\n%s", code, stderr.String())
+	}
+
+	plainLines := strings.Split(strings.TrimSpace(plain.String()), "\n")
+	jsonLines := strings.Split(strings.TrimSpace(jsonOut.String()), "\n")
+	if len(plainLines) != len(jsonLines) {
+		t.Fatalf("plain output has %d lines, -json has %d", len(plainLines), len(jsonLines))
+	}
+	for i, line := range plainLines {
+		groups := re.FindStringSubmatch(line)
+		if groups == nil {
+			t.Errorf("finding line does not match the problem matcher regex %q:\n%s", pat.Regexp, line)
+			continue
+		}
+		var d jsonDiagnostic
+		if err := json.Unmarshal([]byte(jsonLines[i]), &d); err != nil {
+			t.Fatalf("json line %q: %v", jsonLines[i], err)
+		}
+		if groups[pat.File] != d.File {
+			t.Errorf("matcher file = %q, json file = %q (line %s)", groups[pat.File], d.File, line)
+		}
+		if groups[pat.Line] != strconv.Itoa(d.Line) {
+			t.Errorf("matcher line = %q, json line = %d (line %s)", groups[pat.Line], d.Line, line)
+		}
+		if groups[pat.Column] != strconv.Itoa(d.Col) {
+			t.Errorf("matcher column = %q, json col = %d (line %s)", groups[pat.Column], d.Col, line)
+		}
+		if groups[pat.Code] != d.Analyzer {
+			t.Errorf("matcher code = %q, json analyzer = %q (line %s)", groups[pat.Code], d.Analyzer, line)
+		}
+		if groups[pat.Message] != d.Message {
+			t.Errorf("matcher message = %q, json message = %q (line %s)", groups[pat.Message], d.Message, line)
+		}
+	}
+}
+
 // TestCacheRoundTrip exercises the go-list cache: a second identical run
 // must be served from the cache, a -nocache run must not touch it, and
 // the cached result must agree with the live one.
@@ -327,24 +461,33 @@ func Spawn() {
 	t.Setenv("XDG_CACHE_HOME", cacheDir)
 
 	var first, second, third bytes.Buffer
-	var stderr bytes.Buffer
-	if code := run([]string{"-C", dir, "./..."}, &first, &stderr); code != 1 {
-		t.Fatalf("first run: exit %d\n%s", code, stderr.String())
+	var firstErr, secondErr, thirdErr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &first, &firstErr); code != 1 {
+		t.Fatalf("first run: exit %d\n%s", code, firstErr.String())
 	}
 	entries, err := filepath.Glob(filepath.Join(cacheDir, "xicvet", "*.json"))
 	if err != nil || len(entries) == 0 {
 		t.Fatalf("no cache entry written under %s (err=%v)", cacheDir, err)
 	}
-	if code := run([]string{"-C", dir, "./..."}, &second, &stderr); code != 1 {
-		t.Fatalf("second run: exit %d\n%s", code, stderr.String())
+	if !strings.Contains(firstErr.String(), "go list cache miss") {
+		t.Errorf("first run should log a cache miss, got stderr:\n%s", firstErr.String())
+	}
+	if code := run([]string{"-C", dir, "./..."}, &second, &secondErr); code != 1 {
+		t.Fatalf("second run: exit %d\n%s", code, secondErr.String())
 	}
 	if first.String() != second.String() {
 		t.Errorf("cached run disagrees with live run:\n--- live\n%s--- cached\n%s", first.String(), second.String())
 	}
-	if code := run([]string{"-C", dir, "-nocache", "./..."}, &third, &stderr); code != 1 {
-		t.Fatalf("nocache run: exit %d\n%s", code, stderr.String())
+	if !strings.Contains(secondErr.String(), "go list cache hit") {
+		t.Errorf("second run should log a cache hit, got stderr:\n%s", secondErr.String())
+	}
+	if code := run([]string{"-C", dir, "-nocache", "./..."}, &third, &thirdErr); code != 1 {
+		t.Fatalf("nocache run: exit %d\n%s", code, thirdErr.String())
 	}
 	if first.String() != third.String() {
 		t.Errorf("-nocache run disagrees:\n--- live\n%s--- nocache\n%s", first.String(), third.String())
+	}
+	if !strings.Contains(thirdErr.String(), "go list cache bypassed") {
+		t.Errorf("-nocache run should log the bypass, got stderr:\n%s", thirdErr.String())
 	}
 }

@@ -1,0 +1,208 @@
+// Package blockhold flags blocking operations performed while a
+// sync.Mutex/RWMutex is held: a channel send/receive, a select with no
+// default, a WaitGroup.Wait or time.Sleep — direct, or buried inside a
+// callee (the summary layer's Blocks fact) — executed under a lock
+// serializes every other contender of that lock behind an unbounded wait,
+// which is exactly the shape that turned the PR 8 worker pool's design
+// reviews: the rule there is "wait on fl.done only after r.mu.Unlock".
+//
+// The analysis is a forward must-analysis over the CFG: the set of lock
+// classes held on every path reaching a node (join = intersection, same
+// lattice as lockbalance). Cond.Wait is not blocking here — it atomically
+// releases the mutex it coordinates (see internal/analysis/summary) — and
+// deferred unlocks deliberately do not release: the lock stays held until
+// return, so a block after `defer mu.Unlock()` is still a block under the
+// lock. TryLock acquisitions are skipped (held on one branch only, and a
+// must-analysis cannot split on the result here without path explosion).
+//
+// Scoped to the solver-adjacent packages that own the contended locks
+// (internal/ilp, internal/core, internal/registry) plus cmd/xicd's serving
+// tier.
+package blockhold
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"xic/internal/analysis"
+	"xic/internal/analysis/cfg"
+	"xic/internal/analysis/lockset"
+	"xic/internal/analysis/summary"
+)
+
+// scopedNames matches by package name (solver packages and the fixture);
+// scopedPaths adds package-name-agnostic entries (cmd/xicd is "main").
+var (
+	scopedNames = map[string]bool{"ilp": true, "core": true, "registry": true, "blockhold": true}
+	scopedPaths = map[string]bool{"xic/cmd/xicd": true}
+)
+
+type blockhold struct {
+	sh *summary.Shared
+}
+
+// New constructs a standalone analyzer with its own call graph.
+func New() *analysis.Analyzer { return NewShared(summary.NewShared()) }
+
+// NewShared constructs the analyzer over a shared call graph.
+func NewShared(sh *summary.Shared) *analysis.Analyzer {
+	b := &blockhold{sh: sh}
+	return &analysis.Analyzer{
+		Name:    "blockhold",
+		Doc:     "flags blocking operations (channel ops, selects, WaitGroup.Wait, or callees that block) performed while a mutex is held",
+		Collect: b.collect,
+		Run:     b.run,
+	}
+}
+
+func (b *blockhold) collect(pass *analysis.Pass) error {
+	b.sh.Add(pass.Fset, pass.Files, pass.Pkg, pass.Info)
+	return nil
+}
+
+// held is the must-held lock set: class object -> display name.
+type held map[types.Object]string
+
+func (h held) clone() held {
+	out := make(held, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func intersect(a, b held) held {
+	out := make(held)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equal(a, b held) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *blockhold) run(pass *analysis.Pass) error {
+	if !scopedNames[pass.Pkg.Name()] && !scopedPaths[pass.Pkg.Path()] {
+		return nil
+	}
+	_, facts := b.sh.Resolve()
+	lockset.Bodies(pass.Info, pass.Files, func(body *ast.BlockStmt, owner *types.Func) {
+		b.checkBody(pass, facts, body)
+	})
+	return nil
+}
+
+func (b *blockhold) checkBody(pass *analysis.Pass, facts *summary.Set, body *ast.BlockStmt) {
+	g := pass.CFG(body)
+	transfer := func(blk *cfg.Block, in held) held {
+		out := in
+		for _, n := range blk.Nodes {
+			out = applyNode(pass.Info, n, out)
+		}
+		return out
+	}
+	in, _ := cfg.Forward(g, held{}, intersect, equal, transfer)
+
+	// Reporting pass: re-simulate each reached block from its fixpoint
+	// in-state.
+	for _, blk := range g.Blocks {
+		state, reached := in[blk]
+		if !reached {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			if len(state) > 0 {
+				reportBlocks(pass, facts, n, state)
+			}
+			state = applyNode(pass.Info, n, state)
+		}
+	}
+}
+
+// applyNode folds one CFG node's lock operations into the held set.
+// Deferred operations are skipped: a deferred Unlock releases at return,
+// not here, so the lock stays held for the rest of the body.
+func applyNode(info *types.Info, n ast.Node, in held) held {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return in
+	}
+	// A range head node is the whole RangeStmt, body included; the body's
+	// own blocks handle its operations, so only the range expression
+	// belongs to the head.
+	if r, ok := n.(*ast.RangeStmt); ok {
+		n = r.X
+	}
+	out := in
+	lockset.WalkCalls(n, func(call *ast.CallExpr) {
+		ev, ok := lockset.MutexOp(info, call)
+		if !ok || ev.Op == lockset.TryLock {
+			return
+		}
+		if ev.Op.Acquire() {
+			out = out.clone()
+			out[ev.Class] = ev.Display
+		} else if ev.Op.Release() {
+			if _, held := out[ev.Class]; held {
+				out = out.clone()
+				delete(out, ev.Class)
+			}
+		}
+	})
+	return out
+}
+
+// reportBlocks flags blocking operations in one node given the locks held
+// on entry to it.
+func reportBlocks(pass *analysis.Pass, facts *summary.Set, n ast.Node, state held) {
+	locks := make([]string, 0, len(state))
+	for _, d := range state {
+		locks = append(locks, d)
+	}
+	sort.Strings(locks)
+	under := strings.Join(locks, ", ")
+
+	// Direct blocking sites. For a range head the node is the whole
+	// RangeStmt (body included), so check only the range expression there.
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if tv, ok := pass.Info.Types[r.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				pass.Reportf(r.Pos(), "range over channel while %s is held", under)
+			}
+		}
+		n = r.X
+	} else {
+		for _, site := range summary.BlockSites(pass.Info, n) {
+			pass.Reportf(site.Pos, "%s while %s is held", site.What, under)
+		}
+	}
+
+	lockset.WalkCalls(n, func(call *ast.CallExpr) {
+		callee := lockset.Callee(pass.Info, call)
+		if callee == nil {
+			return
+		}
+		if why, ok := summary.ExternalBlocks(callee); ok {
+			pass.Reportf(call.Pos(), "%s while %s is held", why, under)
+			return
+		}
+		if facts.Known(callee) {
+			if f := facts.Of(callee); f.Blocks {
+				pass.Reportf(call.Pos(), "call to %s may block (%s) while %s is held", callee.Name(), facts.BlockChain(callee), under)
+			}
+		}
+	})
+}

@@ -1,0 +1,12 @@
+package blockhold_test
+
+import (
+	"testing"
+
+	"xic/internal/analysis/analysistest"
+	"xic/internal/analysis/blockhold"
+)
+
+func TestBlockhold(t *testing.T) {
+	analysistest.Run(t, blockhold.New(), "../testdata/src/blockhold")
+}

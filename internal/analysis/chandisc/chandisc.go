@@ -27,9 +27,10 @@
 //     itself unstoppable.
 //
 // The analyzer runs only on the solver-adjacent packages (by package
-// name: ilp, core, registry — which also scopes the fixture package);
-// Collect still indexes make and close sites module-wide so cross-package
-// closers are visible.
+// name: ilp, core, registry — which also scopes the fixture package) and
+// on cmd/xicd's serving tier (by import path, since the command is package
+// main); Collect still indexes make and close sites module-wide so
+// cross-package closers are visible.
 package chandisc
 
 import (
@@ -42,8 +43,13 @@ import (
 	"xic/internal/analysis/lockset"
 )
 
-// scoped names the packages the discipline applies to.
-var scoped = map[string]bool{"ilp": true, "core": true, "registry": true, "chandisc": true}
+// scoped names the packages the discipline applies to; scopedPaths adds
+// package-name-agnostic entries (cmd/xicd is package main, and its serving
+// tier owns the shutdown and in-flight-request channels).
+var (
+	scoped      = map[string]bool{"ilp": true, "core": true, "registry": true, "chandisc": true}
+	scopedPaths = map[string]bool{"xic/cmd/xicd": true}
+)
 
 // New constructs the analyzer.
 func New() *analysis.Analyzer {
@@ -121,7 +127,7 @@ func (c *chandisc) add(m map[types.Object]map[*types.Func]bool, cls types.Object
 }
 
 func (c *chandisc) run(pass *analysis.Pass) error {
-	if !scoped[pass.Pkg.Name()] {
+	if !scoped[pass.Pkg.Name()] && !scopedPaths[pass.Pkg.Path()] {
 		return nil
 	}
 	lockset.Bodies(pass.Info, pass.Files, func(body *ast.BlockStmt, owner *types.Func) {

@@ -1,0 +1,12 @@
+package hotrecurse_test
+
+import (
+	"testing"
+
+	"xic/internal/analysis/analysistest"
+	"xic/internal/analysis/hotrecurse"
+)
+
+func TestHotrecurse(t *testing.T) {
+	analysistest.Run(t, hotrecurse.New(), "../testdata/src/hotrecurse")
+}

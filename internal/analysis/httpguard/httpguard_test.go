@@ -1,0 +1,12 @@
+package httpguard_test
+
+import (
+	"testing"
+
+	"xic/internal/analysis/analysistest"
+	"xic/internal/analysis/httpguard"
+)
+
+func TestHttpguard(t *testing.T) {
+	analysistest.Run(t, httpguard.New(), "../testdata/src/httpguard")
+}

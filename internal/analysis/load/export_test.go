@@ -1,0 +1,5 @@
+package load
+
+// CacheKey exposes cacheKey to the external regression tests: the key
+// must move whenever an input that changes go list output moves.
+var CacheKey = cacheKey

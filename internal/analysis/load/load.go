@@ -260,9 +260,11 @@ func exportsExist(listed []*listedPackage) bool {
 }
 
 // cacheKey computes the cache file path for a load: a content hash over
-// everything that can change the go list result — the go version, the
-// exact argument list, go.mod/go.sum, and the name and content of every
-// .go file under the module root.
+// everything that can change the go list result — the toolchain
+// environment (go version, GOFLAGS, GOOS, GOARCH — a cross-compile or a
+// build-tag change produces different export data from identical
+// sources), the Tests setting, the exact argument list, go.mod/go.sum,
+// and the name and content of every .go file under the module root.
 func cacheKey(cfg Config, args []string) (string, error) {
 	dir := cfg.CacheDir
 	if dir == "" {
@@ -283,11 +285,14 @@ func cacheKey(cfg Config, args []string) (string, error) {
 		return "", err
 	}
 	fmt.Fprintf(h, "dir %q\n", abs)
-	version := exec.Command("go", "env", "GOVERSION")
-	version.Dir = cfg.Dir
-	out, err := version.Output()
+	// Tests also shapes the argument list (-test), but fold it explicitly:
+	// the key must not silently collapse if the argument spelling changes.
+	fmt.Fprintf(h, "tests %v\n", cfg.Tests)
+	env := exec.Command("go", "env", "GOVERSION", "GOFLAGS", "GOOS", "GOARCH")
+	env.Dir = cfg.Dir
+	out, err := env.Output()
 	if err != nil {
-		return "", fmt.Errorf("load: go env GOVERSION: %v", err)
+		return "", fmt.Errorf("load: go env: %v", err)
 	}
 	h.Write(out)
 	for _, a := range args {

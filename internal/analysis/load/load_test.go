@@ -3,6 +3,7 @@ package load_test
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -203,6 +204,58 @@ func TestCacheHitAndInvalidation(t *testing.T) {
 	}
 	if fourth.FromCache {
 		t.Error("-nocache load was served from cache")
+	}
+}
+
+// TestCacheKeyInputs pins the invalidation surface of the go-list cache
+// key: toggling Tests, or changing GOFLAGS/GOOS/GOARCH (all of which
+// change go list's export output for identical sources), must move the
+// key, and an unchanged configuration must not.
+func TestCacheKeyInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	dir := writeModule(t)
+	cfg := load.Config{Dir: dir, CacheDir: t.TempDir()}
+	args := []string{"list", "-export", "-json", "-deps", "--", "./..."}
+
+	key := func() string {
+		t.Helper()
+		k, err := load.CacheKey(cfg, args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	base := key()
+	if again := key(); again != base {
+		t.Errorf("key is not stable across identical calls:\n%s\n%s", base, again)
+	}
+
+	testsCfg := cfg
+	testsCfg.Tests = true
+	if k, err := load.CacheKey(testsCfg, args); err != nil {
+		t.Fatal(err)
+	} else if k == base {
+		t.Error("Tests=true shares a cache key with Tests=false")
+	}
+
+	otherArch := "arm64"
+	if runtime.GOARCH == "arm64" {
+		otherArch = "amd64"
+	}
+	for _, env := range []struct{ name, value string }{
+		{"GOFLAGS", "-tags=xiccachekeytest"},
+		{"GOOS", "plan9"},
+		{"GOARCH", otherArch},
+	} {
+		t.Run(env.name, func(t *testing.T) {
+			t.Setenv(env.name, env.value)
+			if k := key(); k == base {
+				t.Errorf("%s=%s shares a cache key with the default environment", env.name, env.value)
+			}
+		})
 	}
 }
 

@@ -6,20 +6,30 @@ package suite
 import (
 	"xic/internal/analysis"
 	"xic/internal/analysis/atomicfield"
+	"xic/internal/analysis/blockhold"
 	"xic/internal/analysis/chandisc"
 	"xic/internal/analysis/ctxflow"
 	"xic/internal/analysis/errtaxonomy"
 	"xic/internal/analysis/frozen"
 	"xic/internal/analysis/goleak"
+	"xic/internal/analysis/hotalloc"
+	"xic/internal/analysis/hotrecurse"
+	"xic/internal/analysis/httpguard"
 	"xic/internal/analysis/lockbalance"
 	"xic/internal/analysis/lockorder"
 	"xic/internal/analysis/ratalias"
+	"xic/internal/analysis/summary"
 )
 
 // Analyzers returns the full xicvet suite in reporting order: the original
-// five invariant checkers, then the concurrency pack built on the
-// CFG/dataflow layer (see internal/analysis/cfg).
+// five invariant checkers, the concurrency pack built on the CFG/dataflow
+// layer (see internal/analysis/cfg), and the interprocedural pack built on
+// the call-graph/summary layer (see internal/analysis/callgraph and
+// internal/analysis/summary). The interprocedural analyzers share one
+// summary.Shared so the module's call graph is built and solved once per
+// run, not once per analyzer.
 func Analyzers() []*analysis.Analyzer {
+	sh := summary.NewShared()
 	return []*analysis.Analyzer{
 		ctxflow.New(),
 		frozen.New(),
@@ -30,5 +40,9 @@ func Analyzers() []*analysis.Analyzer {
 		lockbalance.New(),
 		goleak.New(),
 		chandisc.New(),
+		hotalloc.NewShared(sh),
+		hotrecurse.NewShared(sh),
+		blockhold.NewShared(sh),
+		httpguard.NewShared(sh),
 	}
 }

@@ -1,0 +1,125 @@
+// Package blockhold exercises the no-blocking-under-lock rule: direct
+// channel operations, selects, external waits, and callees whose summary
+// blocks, each while a mutex is must-held.
+package blockhold
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	wg   sync.WaitGroup
+}
+
+// sendUnder blocks on a channel send while holding the lock.
+func (b *box) sendUnder(v int) {
+	b.mu.Lock()
+	b.ch <- v // want "channel send while b\\.mu is held"
+	b.mu.Unlock()
+}
+
+// recvUnderDefer defers the unlock: the lock stays held through the
+// receive.
+func (b *box) recvUnderDefer() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want "channel receive while b\\.mu is held"
+}
+
+// selectUnder parks in a select with no default while holding the lock.
+func (b *box) selectUnder(quit chan struct{}) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch: // want "channel receive while b\\.mu is held"
+		return v
+	case <-quit: // want "channel receive while b\\.mu is held"
+		return 0
+	}
+}
+
+// rangeUnder drains a channel while holding the lock.
+func (b *box) rangeUnder() int {
+	total := 0
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for v := range b.ch { // want "range over channel while b\\.mu is held"
+		total += v
+	}
+	return total
+}
+
+// sleepUnder holds the lock across a timed wait.
+func (b *box) sleepUnder() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want "calls time\\.Sleep while b\\.mu is held"
+	b.mu.Unlock()
+}
+
+// waitUnder holds the lock across a WaitGroup barrier.
+func (b *box) waitUnder() {
+	b.mu.Lock()
+	b.wg.Wait() // want "calls sync\\.WaitGroup\\.Wait while b\\.mu is held"
+	b.mu.Unlock()
+}
+
+// drain blocks: its summary carries the fact to callers.
+func (b *box) drain() int {
+	return <-b.ch
+}
+
+// callsBlocker blocks only through its callee.
+func (b *box) callsBlocker() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.drain() // want "call to drain may block \\(channel receive\\) while b\\.mu is held"
+}
+
+// unlockFirst releases before blocking: clean.
+func (b *box) unlockFirst(v int) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// condWait is clean by design: Cond.Wait atomically releases the mutex it
+// coordinates, so it is not a block under the lock.
+func (b *box) condWait() {
+	b.mu.Lock()
+	for len(b.ch) == 0 {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// tryUnder acquires with TryLock, which the must-analysis skips: the lock
+// is held on one branch only.
+func (b *box) tryUnder(v int) {
+	if b.mu.TryLock() {
+		b.ch <- v
+		b.mu.Unlock()
+	}
+}
+
+// branchJoin holds the lock on only one arm into the join: not must-held,
+// not reported.
+func (b *box) branchJoin(cond bool, v int) {
+	if cond {
+		b.mu.Lock()
+	}
+	b.ch <- v
+	if cond {
+		b.mu.Unlock()
+	}
+}
+
+// suppressedSend documents a justified exception.
+func (b *box) suppressedSend(v int) {
+	b.mu.Lock()
+	b.ch <- v //xic:ignore blockhold fixture exercises suppression plumbing
+	b.mu.Unlock()
+}

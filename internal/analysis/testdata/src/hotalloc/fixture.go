@@ -1,0 +1,144 @@
+// Package hotalloc exercises the zero-allocation contract of
+// //xic:hotpath regions: direct sites, interface boxing, interprocedural
+// allocation through module callees, the hotpath-callee exemption, loop
+// markers, and //xic:ignore suppression inside hot regions.
+package hotalloc
+
+import "math/big"
+
+// thing is an arbitrary heap shape for the helpers below.
+type thing struct{ v int }
+
+// build allocates; it is deliberately unmarked so hot callers inherit the
+// finding through the summary layer.
+func build() *thing {
+	return &thing{v: 1}
+}
+
+// viaBuild allocates only transitively, to exercise a two-hop chain.
+func viaBuild() *thing {
+	return build()
+}
+
+// sink has an interface parameter: concrete non-pointer arguments box.
+func sink(v any) any { return v }
+
+// sinkVariadic mirrors the fmt-style ...any shape.
+func sinkVariadic(vs ...any) int { return len(vs) }
+
+// addInPlace writes into its receiver-style dst: no allocation.
+func addInPlace(dst *big.Int, a, b *big.Int) {
+	dst.Add(a, b)
+}
+
+//xic:hotpath
+func hotDirect(n int) []int {
+	x := new(big.Int)           // want "hot path allocates: new\\(big\\.Int\\)"
+	_ = big.NewInt(int64(n))    // want "hot path calls big\\.NewInt, which allocates"
+	buf := make([]int, 0, n)    // want "hot path allocates: make\\(\\[\\]int\\)"
+	buf = append(buf, x.Sign()) // want "hot path allocates: append may grow its backing array"
+	return buf
+}
+
+//xic:hotpath
+func hotStrings(a, b string) []byte {
+	s := a + b       // want "hot path allocates: string concatenation"
+	return []byte(s) // want "hot path allocates: string to \\[\\]byte/\\[\\]rune conversion"
+}
+
+//xic:hotpath
+func hotBoxes(n int, p *thing) {
+	sink(n)         // want "hot path boxes n into interface parameter of sink"
+	sink(p)         // pointers fit the interface word: no boxing
+	sinkVariadic(1) // want "hot path boxes 1 into interface parameter of sinkVariadic"
+	vs := preboxed()
+	sinkVariadic(vs...) // passthrough of an existing []any: no boxing here
+}
+
+func preboxed() []any { return nil }
+
+//xic:hotpath
+func hotInterproc(dst, a, b *big.Int) {
+	_ = build()           // want "hot path calls build, which allocates \\(&composite literal\\)"
+	_ = viaBuild()        // want "hot path calls viaBuild, which allocates \\(calls build: &composite literal\\)"
+	addInPlace(dst, a, b) // in-place big.Int arithmetic is free
+	hotCallee(dst)        // hotpath callee: policed at its own sites, free here
+}
+
+//xic:hotpath
+func hotCallee(x *big.Int) {
+	x.Neg(x)
+}
+
+//xic:hotpath
+func hotClosure() func() *thing {
+	f := func() *thing { // want "hot path allocates: function literal \\(closure allocation\\)"
+		return &thing{} // want "hot path allocates: &composite literal"
+	}
+	return f
+}
+
+// coldLoop is unmarked except for its inner loop: the loop body is hot,
+// the setup is not.
+func coldLoop(n int) int {
+	scratch := make([]int, n) // setup may allocate
+	total := 0
+	//xic:hotpath
+	for i := 0; i < n; i++ {
+		scratch = append(scratch, i) // want "hot path allocates: append may grow its backing array"
+		total += scratch[i]
+	}
+	return total
+}
+
+// rangeLoop marks a range loop: the range expression runs once and is
+// outside the contract; the body is inside it.
+func rangeLoop(vals []int) int {
+	total := 0
+	//xic:hotpath
+	for _, v := range expand(vals) {
+		total += sum(v) // want "hot path calls sum, which allocates \\(make\\(\\[\\]int\\)\\)"
+	}
+	return total
+}
+
+func expand(vals []int) [][]int { return [][]int{vals} }
+
+func sum(vals []int) int {
+	scratch := make([]int, len(vals))
+	copy(scratch, vals)
+	total := 0
+	for _, v := range scratch {
+		total += v
+	}
+	return total
+}
+
+// forInitExempt allocates only in the marked loop's init, which runs once
+// per loop entry, outside the per-iteration contract.
+func forInitExempt(n int) int {
+	total := 0
+	//xic:hotpath
+	for i, buf := 0, make([]int, 4); i < n; i++ {
+		total += len(buf)
+	}
+	return total
+}
+
+// suppressed carries justified exceptions: the ignore directive covers
+// both a direct site inside the hot region and a summary-propagated
+// finding on a call site.
+//
+//xic:hotpath
+func suppressed(n int) *thing {
+	//xic:ignore hotalloc grows once at startup, then steady-state reuse
+	buf := make([]int, n)
+	_ = buf
+	//xic:ignore hotalloc error path, fires at most once per search
+	return build()
+}
+
+// cold is unmarked: allocation is fine.
+func cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,59 @@
+// Package hotrecurse exercises the no-recursion rule for //xic:hotpath
+// functions: self-recursion, mutual recursion through the call graph's SCC
+// condensation, and the iterative/unmarked counterexamples.
+package hotrecurse
+
+//xic:hotpath
+func factorial(n int) int { // want "hot path function factorial sits on a call cycle \\(factorial\\); hot kernels must be iterative"
+	if n <= 1 {
+		return 1
+	}
+	return n * factorial(n-1)
+}
+
+//xic:hotpath
+func isEven(n int) bool { // want "hot path function isEven sits on a call cycle \\(isEven <-> isOdd\\); hot kernels must be iterative"
+	if n == 0 {
+		return true
+	}
+	return isOdd(n - 1)
+}
+
+// isOdd is on the same cycle but unmarked: the report lands on the marked
+// member only.
+func isOdd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return isEven(n - 1)
+}
+
+// iterative is marked and loops instead of recursing: clean.
+//
+//xic:hotpath
+func iterative(n int) int {
+	total := 1
+	for i := 2; i <= n; i++ {
+		total *= i
+	}
+	return total
+}
+
+// coldRecurse is recursive but unmarked: out of scope.
+func coldRecurse(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 1 + coldRecurse(n-1)
+}
+
+// suppressedRecurse documents a justified exception.
+//
+//xic:hotpath
+//xic:ignore hotrecurse fixture exercises suppression plumbing
+func suppressedRecurse(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return suppressedRecurse(n - 1)
+}

@@ -364,6 +364,8 @@ func (rn *run) add(v Violation) {
 
 // lookupAttr returns the index of the attribute with the given local name,
 // skipping namespace declarations, or -1.
+//
+//xic:hotpath
 func lookupAttr(attrs []xml.Attr, name string) int {
 	for i, a := range attrs {
 		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
@@ -379,6 +381,8 @@ func lookupAttr(attrs []xml.Attr, name string) int {
 // tupleVals fills dst with the values of the named attributes, reporting
 // whether all are present. Nodes lacking a referenced attribute contribute
 // no tuple, exactly as in constraint.Satisfied.
+//
+//xic:hotpath
 func tupleVals(attrs []xml.Attr, names []string, dst []string) bool {
 	for i, name := range names {
 		j := lookupAttr(attrs, name)
@@ -388,6 +392,20 @@ func tupleVals(attrs []xml.Attr, names []string, dst []string) bool {
 		dst[i] = attrs[j].Value
 	}
 	return true
+}
+
+// tupleKey encodes one attribute tuple as a comparable index key. The
+// unary case — by far the common one for keys — is the raw value, with no
+// allocation; wider tuples pay constraint.TupleKey's length-prefixed
+// encoding. Every index in this file keys through here, so the two
+// encodings never mix within one collector.
+//
+//xic:hotpath
+func tupleKey(vals []string) string {
+	if len(vals) == 1 {
+		return vals[0]
+	}
+	return constraint.TupleKey(vals) //xic:ignore hotalloc multi-attribute tuples pay one encode per element; the common unary case takes the zero-alloc path above
 }
 
 // ---- constraint state --------------------------------------------------
@@ -459,18 +477,24 @@ type keyIndex struct {
 	vals  []string
 }
 
+//xic:hotpath
 func (k *keyIndex) element(rn *run, attrs []xml.Attr) {
 	if !tupleVals(attrs, k.attrs, k.vals) {
 		return // no tuple, cannot collide (constraint.Satisfied semantics)
 	}
-	t := constraint.TupleKey(k.vals)
+	t := tupleKey(k.vals)
 	if first, dup := k.seen[t]; dup {
-		rn.violate(k.c, rn.path(rn.depth),
-			"duplicate key: this %s agrees with the %s at line %d on (%s)",
-			k.typ, k.typ, first.line, strings.Join(k.attrs, ", "))
+		k.reportDup(rn, first) //xic:ignore hotalloc violation path: fires once per duplicate, steady state is valid documents
 		return
 	}
 	k.seen[t] = srcPos{line: rn.line, off: rn.off}
+}
+
+// reportDup is the cold duplicate-key violation path.
+func (k *keyIndex) reportDup(rn *run, first srcPos) {
+	rn.violate(k.c, rn.path(rn.depth),
+		"duplicate key: this %s agrees with the %s at line %d on (%s)",
+		k.typ, k.typ, first.line, strings.Join(k.attrs, ", "))
 }
 
 // notKeyIndex enforces the negation τ.l ↛ τ: some duplicate must exist by
@@ -481,6 +505,7 @@ type notKeyIndex struct {
 	dup  bool
 }
 
+//xic:hotpath
 func (n *notKeyIndex) element(rn *run, attrs []xml.Attr) {
 	if n.dup {
 		return // satisfied; stop growing the index
@@ -543,13 +568,13 @@ func newInclusionIndex(reported constraint.Constraint, inc constraint.Inclusion,
 // shared inclusionIndex (child and parent types may even coincide).
 type inclusionChild inclusionIndex
 
+//xic:hotpath
 func (ic *inclusionChild) element(rn *run, attrs []xml.Attr) {
 	in := (*inclusionIndex)(ic)
 	vals := in.vals[:len(in.childAttrs)]
 	if !tupleVals(attrs, in.childAttrs, vals) {
 		if !in.neg && !in.childLacks {
-			rn.violate(in.c, rn.path(rn.depth),
-				"%s element lacks (%s) and cannot be matched", in.childType, strings.Join(in.childAttrs, ", "))
+			in.reportLacks(rn) //xic:ignore hotalloc violation path: fires at most once per document, steady state is valid documents
 		}
 		in.childLacks = true
 		return
@@ -557,7 +582,7 @@ func (ic *inclusionChild) element(rn *run, attrs []xml.Attr) {
 	if in.neg && in.childLacks {
 		return // negation already witnessed
 	}
-	t := constraint.TupleKey(vals)
+	t := tupleKey(vals)
 	if _, ok := in.parents[t]; ok {
 		return
 	}
@@ -566,15 +591,22 @@ func (ic *inclusionChild) element(rn *run, attrs []xml.Attr) {
 	}
 }
 
+// reportLacks is the cold missing-tuple violation path.
+func (in *inclusionIndex) reportLacks(rn *run) {
+	rn.violate(in.c, rn.path(rn.depth),
+		"%s element lacks (%s) and cannot be matched", in.childType, strings.Join(in.childAttrs, ", "))
+}
+
 type inclusionParent inclusionIndex
 
+//xic:hotpath
 func (ip *inclusionParent) element(rn *run, attrs []xml.Attr) {
 	in := (*inclusionIndex)(ip)
 	vals := in.vals[:len(in.parentAttrs)]
 	if !tupleVals(attrs, in.parentAttrs, vals) {
 		return // contributes no tuple
 	}
-	in.parents[constraint.TupleKey(vals)] = struct{}{}
+	in.parents[tupleKey(vals)] = struct{}{}
 }
 
 func (in *inclusionIndex) finish(rn *run) {

@@ -39,6 +39,10 @@ type psearch struct {
 	// the solveLP stop hook, where taking mu would serialize the workers.
 	stop atomic.Bool
 
+	// limitErr is the ErrNodeLimit verdict, built once up front so the
+	// hot reservation path never formats an error under the mutex.
+	limitErr error
+
 	mu      sync.Mutex
 	cond    *sync.Cond // signalled on push, exhaustion, and close
 	deques  [][]*node  // per-worker: own pops at the tail, steals at the head
@@ -66,6 +70,7 @@ func searchParallel(ctx context.Context, spec *problemSpec, opt *Options, fixed 
 		deques: make([][]*node, workers),
 	}
 	ps.cond = sync.NewCond(&ps.mu)
+	ps.limitErr = fmt.Errorf("%w (%d nodes)", ErrNodeLimit, ps.limit)
 	root := &node{lo: make([]*big.Int, spec.n), hi: make([]*big.Int, spec.n)}
 	ps.deques[0] = append(ps.deques[0], root)
 	ps.pending = 1
@@ -156,6 +161,8 @@ func (ps *psearch) worker(ctx context.Context, w int) {
 // next blocks until worker w has a subproblem reserved against the node
 // budget, or the search is over (closed, exhausted, or out of budget) —
 // then ok is false and the worker exits.
+//
+//xic:hotpath
 func (ps *psearch) next(w int) (nd *node, ok bool) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
@@ -183,6 +190,8 @@ func (ps *psearch) next(w int) (nd *node, ok bool) {
 
 // stealLocked takes the head (oldest, largest subtree) of the longest
 // sibling deque. Caller holds mu.
+//
+//xic:hotpath
 func (ps *psearch) stealLocked(w int) *node {
 	victim, best := -1, 0
 	for v := range ps.deques {
@@ -200,9 +209,11 @@ func (ps *psearch) stealLocked(w int) *node {
 
 // reserveLocked charges one node against the budget, closing the search
 // with ErrNodeLimit when the budget is already spent. Caller holds mu.
+//
+//xic:hotpath
 func (ps *psearch) reserveLocked(nd *node) (*node, bool) {
 	if ps.nodes >= ps.limit {
-		ps.closeLocked(nil, fmt.Errorf("%w (%d nodes)", ErrNodeLimit, ps.limit))
+		ps.closeLocked(nil, ps.limitErr)
 		return nil, false
 	}
 	ps.nodes++
@@ -211,12 +222,14 @@ func (ps *psearch) reserveLocked(nd *node) (*node, bool) {
 
 // finish retires the subproblem worker w was processing and queues its
 // children (if any) on w's deque.
+//
+//xic:hotpath
 func (ps *psearch) finish(w int, children ...*node) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	ps.pending += len(children) - 1
 	//xic:ignore ratalias ownership transfer: branchChildren/implicationChildren allocate fresh bound slices per child and the caller never touches them again
-	ps.deques[w] = append(ps.deques[w], children...)
+	ps.deques[w] = append(ps.deques[w], children...) //xic:ignore hotalloc amortized deque growth: appends reuse capacity across the whole search
 	// Wake stealers when work appeared, and idle workers when pending hit
 	// zero so one of them can run the exhaustion close.
 	ps.cond.Broadcast()

@@ -109,6 +109,30 @@ type state struct {
 	infeasible bool
 	changed    bool
 	stats      Stats
+
+	// scr holds scratch big.Ints reused across propagateGe calls: bound
+	// propagation is the fixpoint's hot inner loop (//xic:hotpath) and
+	// must not allocate per term. Each field is consumed before the next
+	// write, so one set per state suffices.
+	scr scratch
+}
+
+// scratch is the preallocated working set of the bound-propagation pass.
+type scratch struct {
+	v, b, finite, other, res, aj, q, rem *big.Int
+}
+
+func newScratch() scratch {
+	return scratch{
+		v:      new(big.Int),
+		b:      new(big.Int),
+		finite: new(big.Int),
+		other:  new(big.Int),
+		res:    new(big.Int),
+		aj:     new(big.Int),
+		q:      new(big.Int),
+		rem:    new(big.Int),
+	}
 }
 
 // Run presolves the system. The input is never mutated.
@@ -120,6 +144,7 @@ func Run(sys *linear.System) *Result {
 		lo:    make([]*big.Int, n),
 		hi:    make([]*big.Int, n),
 		fixed: make([]bool, n),
+		scr:   newScratch(),
 	}
 	for i := range st.lo {
 		st.lo[i] = new(big.Int)
@@ -310,6 +335,8 @@ func (st *state) gcdTighten(r *row) {
 
 // propagateBounds derives per-variable bounds from row activity bounds.
 // Equality rows propagate in both directions.
+//
+//xic:hotpath
 func (st *state) propagateBounds() {
 	for _, r := range st.rows {
 		st.propagateGe(r.coeffs, r.rhs, false)
@@ -327,42 +354,29 @@ func (st *state) propagateBounds() {
 
 // propagateGe treats the row as Σ a·x ≥ b (negated when neg is set) and,
 // for each variable, bounds it by the best the remaining terms can
-// contribute: a_j·x_j ≥ b − maxOther.
+// contribute: a_j·x_j ≥ b − maxOther. All intermediate values live in
+// st.scr, so a propagation round performs no heap allocation beyond the
+// bound copies raiseLo/lowerHi make on actual improvements.
+//
+//xic:hotpath
 func (st *state) propagateGe(coeffs map[int]*big.Int, rhs *big.Int, neg bool) {
 	sign := 1
 	if neg {
 		sign = -1
 	}
-	term := func(j int, a *big.Int) (v *big.Int, inf bool) {
-		// Maximum of (sign·a)·x_j over [lo_j, hi_j].
-		pos := (a.Sign() > 0) == (sign > 0)
-		if pos && st.hi[j] == nil {
-			return nil, true
-		}
-		bound := st.lo[j]
-		if pos {
-			bound = st.hi[j]
-		}
-		v = new(big.Int).Mul(a, bound)
-		if neg {
-			v.Neg(v)
-		}
-		return v, false
-	}
 	b := rhs
 	if neg {
-		b = new(big.Int).Neg(rhs)
+		b = st.scr.b.Neg(rhs)
 	}
-	finite := new(big.Int)
+	finite := st.scr.finite.SetInt64(0)
 	infCount, infVar := 0, -1
 	for j, a := range coeffs {
-		v, inf := term(j, a)
-		if inf {
+		if st.termMax(st.scr.v, j, a, sign, neg) {
 			infCount++
 			infVar = j
 			continue
 		}
-		finite.Add(finite, v)
+		finite.Add(finite, st.scr.v)
 	}
 	if infCount == 0 && finite.Cmp(b) < 0 {
 		st.infeasible = true // even the best activity misses the constant
@@ -372,27 +386,47 @@ func (st *state) propagateGe(coeffs map[int]*big.Int, rhs *big.Int, neg bool) {
 		var maxOther *big.Int
 		switch {
 		case infCount == 0:
-			v, _ := term(j, a)
-			maxOther = new(big.Int).Sub(finite, v)
+			st.termMax(st.scr.v, j, a, sign, neg)
+			maxOther = st.scr.other.Sub(finite, st.scr.v)
 		case infCount == 1 && j == infVar:
 			maxOther = finite
 		default:
 			continue // another variable is unbounded; no deduction on j
 		}
-		residual := new(big.Int).Sub(b, maxOther) // a_j·x_j ≥ residual
+		residual := st.scr.res.Sub(b, maxOther) // a_j·x_j ≥ residual
 		aj := a
 		if neg {
-			aj = new(big.Int).Neg(a)
+			aj = st.scr.aj.Neg(a)
 		}
 		if aj.Sign() > 0 {
-			st.raiseLo(j, divCeil(residual, aj))
+			st.raiseLo(j, divCeilInto(st.scr.q, st.scr.rem, residual, aj))
 		} else {
-			st.lowerHi(j, divFloor(residual, aj))
+			st.lowerHi(j, divFloorInto(st.scr.q, st.scr.rem, residual, aj))
 		}
 		if st.infeasible {
 			return
 		}
 	}
+}
+
+// termMax writes the maximum of (sign·a)·x_j over [lo_j, hi_j] into dst;
+// inf reports an unbounded term (positive coefficient, no upper bound).
+//
+//xic:hotpath
+func (st *state) termMax(dst *big.Int, j int, a *big.Int, sign int, neg bool) (inf bool) {
+	pos := (a.Sign() > 0) == (sign > 0)
+	if pos && st.hi[j] == nil {
+		return true
+	}
+	bound := st.lo[j]
+	if pos {
+		bound = st.hi[j]
+	}
+	dst.Mul(a, bound)
+	if neg {
+		dst.Neg(dst)
+	}
+	return false
 }
 
 // resolveImplications applies the conditional-constraint rules: forced-zero
@@ -468,24 +502,32 @@ func (st *state) fixVariables() {
 	}
 }
 
-// raiseLo raises the lower bound of j to at least v.
+// raiseLo raises the lower bound of j to at least v. It is hotpath-marked
+// for propagateGe's benefit; the copy below only runs when the bound
+// actually improves, which the fixpoint bounds independently of how many
+// terms each round inspects.
+//
+//xic:hotpath
 func (st *state) raiseLo(j int, v *big.Int) {
 	if v.Cmp(st.lo[j]) <= 0 {
 		return
 	}
-	st.lo[j] = new(big.Int).Set(v) // copy: v may alias a caller-owned bound
+	st.lo[j] = new(big.Int).Set(v) //xic:ignore hotalloc copy on improvement only: v may alias a caller-owned scratch value
 	st.changed = true
 	if st.hi[j] != nil && st.lo[j].Cmp(st.hi[j]) > 0 {
 		st.infeasible = true
 	}
 }
 
-// lowerHi lowers the upper bound of j to at most v.
+// lowerHi lowers the upper bound of j to at most v. Hotpath-marked like
+// raiseLo: the copy runs only on actual improvements.
+//
+//xic:hotpath
 func (st *state) lowerHi(j int, v *big.Int) {
 	if st.hi[j] != nil && v.Cmp(st.hi[j]) >= 0 {
 		return
 	}
-	st.hi[j] = new(big.Int).Set(v) // copy: v may alias a caller-owned bound
+	st.hi[j] = new(big.Int).Set(v) //xic:ignore hotalloc copy on improvement only: v may alias a caller-owned scratch value
 	st.changed = true
 	if st.lo[j].Cmp(v) > 0 {
 		st.infeasible = true
@@ -738,20 +780,37 @@ func (st *state) bail() *Result {
 
 var oneInt = big.NewInt(1)
 
-// divCeil returns ⌈b/a⌉ for a ≠ 0.
-func divCeil(b, a *big.Int) *big.Int {
-	q, r := new(big.Int).QuoRem(b, a, new(big.Int))
+// divCeilInto writes ⌈b/a⌉ into q for a ≠ 0, using r as remainder
+// scratch, and returns q.
+//
+//xic:hotpath
+func divCeilInto(q, r, b, a *big.Int) *big.Int {
+	q.QuoRem(b, a, r)
 	if r.Sign() != 0 && (r.Sign() > 0) == (a.Sign() > 0) {
 		q.Add(q, oneInt)
 	}
 	return q
 }
 
-// divFloor returns ⌊b/a⌋ for a ≠ 0.
-func divFloor(b, a *big.Int) *big.Int {
-	q, r := new(big.Int).QuoRem(b, a, new(big.Int))
+// divFloorInto writes ⌊b/a⌋ into q for a ≠ 0, using r as remainder
+// scratch, and returns q.
+//
+//xic:hotpath
+func divFloorInto(q, r, b, a *big.Int) *big.Int {
+	q.QuoRem(b, a, r)
 	if r.Sign() != 0 && (r.Sign() > 0) != (a.Sign() > 0) {
 		q.Sub(q, oneInt)
 	}
 	return q
+}
+
+// divCeil returns ⌈b/a⌉ for a ≠ 0 in a fresh big.Int (cold-path callers:
+// singleton absorption, gcd tightening, cut generation).
+func divCeil(b, a *big.Int) *big.Int {
+	return divCeilInto(new(big.Int), new(big.Int), b, a)
+}
+
+// divFloor returns ⌊b/a⌋ for a ≠ 0 in a fresh big.Int.
+func divFloor(b, a *big.Int) *big.Int {
+	return divFloorInto(new(big.Int), new(big.Int), b, a)
 }

@@ -302,6 +302,8 @@ func (p *Problem) buildFastTableau() (*fastTableau, bool) {
 }
 
 // setPhase1Objective mirrors tableau.setPhase1Objective.
+//
+//xic:hotpath
 func (t *fastTableau) setPhase1Objective() bool {
 	for j := 0; j < t.ncols; j++ {
 		t.objRow[j] = rat64{0, 1}
@@ -381,6 +383,8 @@ func (t *fastTableau) setObjective(obj map[int]*big.Rat) bool {
 // entering column, same min-ratio/smallest-basic-index leaving row. The
 // extra bool distinguishes "ran to a verdict" from "overflowed mid-search";
 // the outcome is only meaningful when ok is true.
+//
+//xic:hotpath
 func (t *fastTableau) pivotToOptimality(colLimit int) (pivotOutcome, bool) {
 	for {
 		if t.interrupt != nil && t.interrupt() {
@@ -434,6 +438,8 @@ func (t *fastTableau) pivotToOptimality(colLimit int) (pivotOutcome, bool) {
 }
 
 // pivot mirrors tableau.pivot; false means an entry escaped the fast range.
+//
+//xic:hotpath
 func (t *fastTableau) pivot(leave, enter int) bool {
 	t.pivots++
 	inv, ok := invRat(t.a[leave][enter])
@@ -512,6 +518,8 @@ func (t *fastTableau) pivot(leave, enter int) bool {
 }
 
 // driveOutArtificials mirrors tableau.driveOutArtificials.
+//
+//xic:hotpath
 func (t *fastTableau) driveOutArtificials() bool {
 	for i := 0; i < t.m; i++ {
 		if t.basis[i] < t.artStart {
