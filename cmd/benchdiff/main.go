@@ -20,6 +20,14 @@
 //	time and its speedup over cold Compile-plus-check (-min-speedup, so
 //	Schema.Bind cannot silently decay back toward full recompilation).
 //
+//	-kind edit: the session-vs-restream records of BENCH_edit.json
+//	(TestWriteEditBench). For every corpus case present in both files it
+//	checks the session-side wall time and its speedup over naive
+//	edit-and-restream (-min-speedup), and optionally the corpus-wide
+//	aggregate speedup of the current file (-min-aggregate-speedup, so
+//	incremental revalidation cannot silently decay toward full
+//	re-streaming).
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH_validate.json -current BENCH_current.json \
@@ -70,6 +78,18 @@ type compileRecord struct {
 	ColdMs  float64 `json:"cold_ms"`
 	WarmMs  float64 `json:"warm_ms"`
 	Speedup float64 `json:"speedup"`
+}
+
+// editRecord mirrors the schema TestWriteEditBench writes
+// (internal/editbench.Result).
+type editRecord struct {
+	Case         string  `json:"case"`
+	Nodes        int     `json:"nodes"`
+	Ops          int     `json:"ops"`
+	SessionMs    float64 `json:"session_ms"`
+	RestreamMs   float64 `json:"restream_ms"`
+	Speedup      float64 `json:"speedup"`
+	SessionUsPer float64 `json:"session_us_per_op"`
 }
 
 // tolerances configures the gate.
@@ -125,6 +145,13 @@ func main() {
 			os.Exit(2)
 		}
 		report, regressions = compareCompile(base, cur, tol)
+	case "edit":
+		base, cur, err := loadBoth[editRecord](*baselinePath, *currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		report, regressions = compareEdit(base, cur, tol)
 	default:
 		fmt.Fprintf(os.Stderr, "benchdiff: unknown -kind %q\n", *kind)
 		os.Exit(2)
@@ -305,6 +332,68 @@ func compareCompile(base, cur []compileRecord, tol tolerances) (report, regressi
 	}
 	for name := range byCase {
 		report = append(report, fmt.Sprintf("case %s: present in baseline only (informational)", name))
+	}
+	return report, regressions
+}
+
+// compareEdit matches current session-edit records to baseline records by
+// case name. Two gates per case: the session-side wall time must not grow
+// past the time tolerance (with the shared noise floor), and its speedup
+// over edit-and-restream must stay above -min-speedup — incremental
+// revalidation exists to beat the full pass, so a case where the session
+// decays toward re-streaming cost is a regression even if absolute times
+// look fine. -min-aggregate-speedup additionally gates the corpus-wide
+// ratio of the current file, so the headline O(edit) claim is asserted on
+// every run, not only against the committed baseline.
+func compareEdit(base, cur []editRecord, tol tolerances) (report, regressions []string) {
+	byCase := make(map[string]editRecord, len(base))
+	for _, b := range base {
+		byCase[b.Case] = b
+	}
+	for _, c := range cur {
+		b, ok := byCase[c.Case]
+		if !ok {
+			report = append(report, fmt.Sprintf("case %s: no baseline entry (informational): session %.3f ms, speedup %.0fx",
+				c.Case, c.SessionMs, c.Speedup))
+			continue
+		}
+		delete(byCase, c.Case)
+		timeGrowth := growth(b.SessionMs, c.SessionMs)
+		report = append(report, fmt.Sprintf(
+			"case %s: session %.3f ms → %.3f ms (%+.1f%%, limit +%.0f%%), speedup %.0fx → %.0fx (floor %.1fx)",
+			c.Case, b.SessionMs, c.SessionMs, 100*timeGrowth, 100*tol.time, b.Speedup, c.Speedup, tol.minSpeedup))
+		if b.SessionMs >= tol.minTimeMs && timeGrowth > tol.time {
+			regressions = append(regressions, fmt.Sprintf(
+				"case %s: session edit time grew %.1f%% (%.3f ms → %.3f ms), tolerance %.0f%%",
+				c.Case, 100*timeGrowth, b.SessionMs, c.SessionMs, 100*tol.time))
+		}
+		if c.RestreamMs >= tol.minTimeMs && c.Speedup < tol.minSpeedup {
+			regressions = append(regressions, fmt.Sprintf(
+				"case %s: session speedup %.1fx under the %.1fx floor (restream %.1f ms, session %.3f ms)",
+				c.Case, c.Speedup, tol.minSpeedup, c.RestreamMs, c.SessionMs))
+		}
+	}
+	for name := range byCase {
+		report = append(report, fmt.Sprintf("case %s: present in baseline only (informational)", name))
+	}
+	if tol.minAggregate > 0 {
+		var restreamSum, sessionSum float64
+		for _, c := range cur {
+			restreamSum += c.RestreamMs
+			sessionSum += c.SessionMs
+		}
+		agg := 0.0
+		if sessionSum > 0 {
+			agg = restreamSum / sessionSum
+		}
+		report = append(report, fmt.Sprintf(
+			"aggregate: restream %.1f ms / session %.1f ms = %.0fx (floor %.1fx)",
+			restreamSum, sessionSum, agg, tol.minAggregate))
+		if agg < tol.minAggregate {
+			regressions = append(regressions, fmt.Sprintf(
+				"aggregate session speedup %.1fx under the %.1fx floor (restream %.1f ms, session %.1f ms)",
+				agg, tol.minAggregate, restreamSum, sessionSum))
+		}
 	}
 	return report, regressions
 }

@@ -56,6 +56,7 @@ func BenchmarkServerConsistent(b *testing.B) {
 
 	b.Run("cached", func(b *testing.B) {
 		s := newServer(config{})
+		defer s.close()
 		h := s.handler()
 		id := xicFingerprintViaCompile(b, h, string(compileBody))
 		path := "/v1/specs/" + id + "/consistent"
@@ -71,6 +72,7 @@ func BenchmarkServerConsistent(b *testing.B) {
 			h := s.handler()
 			id := xicFingerprintViaCompile(b, h, string(compileBody))
 			postOK(b, h, "/v1/specs/"+id+"/consistent", checkBody)
+			s.close()
 		}
 	})
 }
@@ -81,6 +83,7 @@ func BenchmarkServerValidateStream(b *testing.B) {
 	dtdSrc, xicSrc := benchSources(32)
 	compileBody, _ := json.Marshal(compileRequest{DTD: dtdSrc, Constraints: xicSrc})
 	s := newServer(config{})
+	defer s.close()
 	h := s.handler()
 	id := xicFingerprintViaCompile(b, h, string(compileBody))
 
@@ -133,6 +136,7 @@ func TestCachedSpeedup(t *testing.T) {
 	cached := make([]time.Duration, rounds)
 
 	s := newServer(config{})
+	defer s.close()
 	h := s.handler()
 	id := xicFingerprintViaCompile(t, h, string(compileBody))
 	warmPath := "/v1/specs/" + id + "/consistent"
@@ -149,6 +153,7 @@ func TestCachedSpeedup(t *testing.T) {
 		cid := xicFingerprintViaCompile(t, ch, string(compileBody))
 		postOK(t, ch, "/v1/specs/"+cid+"/consistent", checkBody)
 		cold[i] = time.Since(start)
+		cs.close()
 	}
 	bestCold, bestCached := minDuration(cold), minDuration(cached)
 	ratio := float64(bestCold) / float64(bestCached)

@@ -12,6 +12,11 @@
 //	POST /v1/specs/{id}/implies        {"query": …} or {"queries": […]}
 //	POST /v1/specs/{id}/diagnose       minimal inconsistent core
 //	POST /v1/specs/{id}/validate       body is the XML document, streamed in bounded memory
+//	POST /v1/specs/{id}/sessions       body is the XML document; opens a retained session → {"session_id", …}
+//	GET  /v1/sessions/{sid}            session metadata (element count; the document is always valid)
+//	GET  /v1/sessions/{sid}/document   the session's current document, as XML
+//	POST /v1/sessions/{sid}/edits      {"ops": […]} applied transactionally with O(edit) re-checking
+//	DELETE /v1/sessions/{sid}          close a session
 //	GET  /healthz                      liveness
 //	GET  /debug/vars                   expvar counters: cache hits/misses, compile latency, in-flight
 //
@@ -41,6 +46,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline; requests may tighten but not exceed it (0 = none)")
 	maxBody := flag.Int64("max-body", DefaultMaxBody, "byte bound on JSON request bodies")
 	maxDoc := flag.Int64("max-doc", 0, "byte bound on validate-endpoint documents (0 = unlimited)")
+	maxSessions := flag.Int("max-sessions", 0, "bound on live document sessions (0 = default)")
+	sessionTTL := flag.Duration("session-ttl", 0, "idle lifetime of a document session (0 = default)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -49,7 +56,10 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxBody:        *maxBody,
 		MaxDoc:         *maxDoc,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
 	})
+	defer s.close()
 	expvar.Publish("xicd", s.vars)
 
 	srv := &http.Server{

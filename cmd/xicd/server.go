@@ -30,6 +30,12 @@ type config struct {
 	// unlimited, because streaming validation is built for documents far
 	// larger than memory.
 	MaxDoc int64
+	// MaxSessions bounds the live document sessions
+	// (< 1 = registry.DefaultMaxSessions).
+	MaxSessions int
+	// SessionTTL is the idle lifetime of a document session
+	// (<= 0 = registry.DefaultSessionTTL).
+	SessionTTL time.Duration
 }
 
 // DefaultMaxBody is the JSON body bound when the flag is unset: real DTDs
@@ -40,8 +46,9 @@ const DefaultMaxBody = 4 << 20
 // server is the xicd HTTP engine: a spec registry plus handlers. All state
 // is concurrency-safe; one server serves any number of connections.
 type server struct {
-	reg *registry.Registry
-	cfg config
+	reg      *registry.Registry
+	sessions *registry.SessionStore
+	cfg      config
 
 	vars     *expvar.Map
 	inflight *expvar.Int
@@ -56,6 +63,7 @@ func newServer(cfg config) *server {
 	}
 	s := &server{
 		reg:      registry.New(cfg.MaxSpecs),
+		sessions: registry.NewSessionStore(cfg.MaxSessions, cfg.SessionTTL),
 		cfg:      cfg,
 		vars:     new(expvar.Map).Init(),
 		inflight: new(expvar.Int),
@@ -180,7 +188,29 @@ func newServer(cfg config) *server {
 			},
 		}
 	}))
+	// Live document sessions: retained trees with O(edit) revalidation.
+	// Size tracks memory pressure (each session holds a parsed document);
+	// the eviction counters say whether clients lose sessions to the LRU
+	// bound (raise -max-sessions) or to idling out (raise -session-ttl).
+	s.vars.Set("sessions", expvar.Func(func() any {
+		st := s.sessions.SessionStatsSnapshot()
+		return map[string]any{
+			"size":          st.Size,
+			"opens":         st.Opens,
+			"hits":          st.Hits,
+			"misses":        st.Misses,
+			"evictions_lru": st.EvictionsLRU,
+			"evictions_ttl": st.EvictionsTTL,
+			"closes":        st.Closes,
+		}
+	}))
 	return s
+}
+
+// close releases the server's background resources — today, the session
+// store's TTL sweeper.
+func (s *server) close() {
+	s.sessions.Close()
 }
 
 // handler routes the API. Method+pattern routing means a wrong method gets
@@ -195,6 +225,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/specs/{id}/implies", s.count("implies", s.withSpec(s.handleImplies)))
 	mux.HandleFunc("POST /v1/specs/{id}/diagnose", s.count("diagnose", s.withSpec(s.handleDiagnose)))
 	mux.HandleFunc("POST /v1/specs/{id}/validate", s.count("validate", s.withSpec(s.handleValidate)))
+	mux.HandleFunc("POST /v1/specs/{id}/sessions", s.count("session_open", s.withSpec(s.handleOpenSession)))
+	mux.HandleFunc("GET /v1/sessions/{sid}", s.count("session_meta", s.withSession(s.handleSessionMeta)))
+	mux.HandleFunc("GET /v1/sessions/{sid}/document", s.count("session_document", s.withSession(s.handleSessionDocument)))
+	mux.HandleFunc("POST /v1/sessions/{sid}/edits", s.count("session_edits", s.withSession(s.handleEdits)))
+	mux.HandleFunc("DELETE /v1/sessions/{sid}", s.count("session_close", s.handleCloseSession))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"ok":true,"specs":%d}`+"\n", s.reg.Len())

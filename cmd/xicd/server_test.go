@@ -58,7 +58,9 @@ const dbDocBad = `<db>
 
 func newTestServer(t *testing.T, cfg config) *server {
 	t.Helper()
-	return newServer(cfg)
+	s := newServer(cfg)
+	t.Cleanup(s.close)
+	return s
 }
 
 // post sends a request through the full router and returns the recorder.
@@ -804,5 +806,148 @@ func TestSolverRequestOptions(t *testing.T) {
 	o := vars.Solve.Options
 	if o.MaxNodes != xic.DefaultMaxNodes || o.SolverParallelism != 0 || !o.Presolve || !o.FastTableau || o.SkipWitness {
 		t.Errorf("effective options = %+v", o)
+	}
+}
+
+// TestSessionLifecycle drives a document session end-to-end through the
+// HTTP surface: open, inspect, edit (accepted and rejected), fetch the
+// document, close.
+func TestSessionLifecycle(t *testing.T) {
+	s := newTestServer(t, config{})
+	h := s.handler()
+
+	compile, _ := json.Marshal(map[string]string{"dtd": dbDTD, "constraints": dbXIC})
+	id := decode[compileResponse](t, do(t, h, "POST", "/v1/specs", string(compile))).ID
+
+	// An invalid document is refused with the violation report.
+	w := do(t, h, "POST", "/v1/specs/"+id+"/sessions", dbDocBad)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid open: status %d: %s", w.Code, w.Body)
+	}
+
+	// A valid one opens.
+	w = do(t, h, "POST", "/v1/specs/"+id+"/sessions", dbDocOK)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("open: status %d: %s", w.Code, w.Body)
+	}
+	open := decode[openSessionResponse](t, w)
+	if open.SessionID == "" || open.Elements != 4 {
+		t.Fatalf("open response %+v", open)
+	}
+
+	w = do(t, h, "GET", "/v1/sessions/"+open.SessionID, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("meta: status %d: %s", w.Code, w.Body)
+	}
+
+	// A batch: one accepted insert, then a duplicate-key insert that is
+	// rejected with a delta report, leaving the first applied.
+	ops, _ := json.Marshal(map[string]any{"ops": []map[string]any{
+		{"kind": "insert", "path": "db", "index": 3, "xml": `<dept id="d2"/>`},
+		{"kind": "insert", "path": "db", "index": 4, "xml": `<dept id="d2"/>`},
+	}})
+	w = do(t, h, "POST", "/v1/sessions/"+open.SessionID+"/edits", string(ops))
+	if w.Code != http.StatusOK {
+		t.Fatalf("edits: status %d: %s", w.Code, w.Body)
+	}
+	res := decode[editsResponse](t, w)
+	if res.Applied != 1 || res.Rejected == nil || res.Rejected.Index != 1 {
+		t.Fatalf("edits response %+v", res)
+	}
+	if len(res.Rejected.Violations) == 0 {
+		t.Fatalf("rejection carries no violations: %+v", res.Rejected)
+	}
+
+	// The served document reflects the accepted edit and revalidates.
+	w = do(t, h, "GET", "/v1/sessions/"+open.SessionID+"/document", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `id="d2"`) {
+		t.Fatalf("document: status %d: %s", w.Code, w.Body)
+	}
+	vw := do(t, h, "POST", "/v1/specs/"+id+"/validate", w.Body.String())
+	if vr := decode[validateResponse](t, vw); !vr.OK {
+		t.Fatalf("session document does not revalidate: %s", vw.Body)
+	}
+
+	// An edit rejected for a dangling reference carries a repair hint.
+	ops, _ = json.Marshal(map[string]any{"ops": []map[string]any{
+		{"kind": "setattr", "path": "db/emp[0]", "attr": "works_in", "value": "d9"},
+	}})
+	res = decode[editsResponse](t, do(t, h, "POST", "/v1/sessions/"+open.SessionID+"/edits", string(ops)))
+	if res.Rejected == nil || res.Rejected.Repair == nil {
+		t.Fatalf("dangling-ref edit: %+v", res)
+	}
+
+	// Close, then the handle is gone.
+	if w = do(t, h, "DELETE", "/v1/sessions/"+open.SessionID, ""); w.Code != http.StatusNoContent {
+		t.Fatalf("close: status %d: %s", w.Code, w.Body)
+	}
+	if w = do(t, h, "GET", "/v1/sessions/"+open.SessionID, ""); w.Code != http.StatusNotFound {
+		t.Fatalf("after close: status %d: %s", w.Code, w.Body)
+	}
+}
+
+// TestSessionEdgeCases covers the session endpoints' request-level errors
+// and the expvar sessions block.
+func TestSessionEdgeCases(t *testing.T) {
+	s := newTestServer(t, config{})
+	h := s.handler()
+
+	compile, _ := json.Marshal(map[string]string{"dtd": dbDTD, "constraints": dbXIC})
+	id := decode[compileResponse](t, do(t, h, "POST", "/v1/specs", string(compile))).ID
+
+	// Malformed XML is a 4xx, not a session.
+	if w := do(t, h, "POST", "/v1/specs/"+id+"/sessions", "<db><oops"); w.Code/100 != 4 {
+		t.Fatalf("malformed open: status %d: %s", w.Code, w.Body)
+	}
+	// Unknown session handles are 404 on every verb.
+	for _, c := range [][2]string{
+		{"GET", "/v1/sessions/zz"},
+		{"GET", "/v1/sessions/zz/document"},
+		{"POST", "/v1/sessions/zz/edits"},
+		{"DELETE", "/v1/sessions/zz"},
+	} {
+		if w := do(t, h, c[0], c[1], `{"ops":[{"kind":"delete","path":"db"}]}`); w.Code != http.StatusNotFound {
+			t.Fatalf("%s %s: status %d: %s", c[0], c[1], w.Code, w.Body)
+		}
+	}
+	// An empty batch is a 400.
+	w := do(t, h, "POST", "/v1/specs/"+id+"/sessions", dbDocOK)
+	open := decode[openSessionResponse](t, w)
+	if w := do(t, h, "POST", "/v1/sessions/"+open.SessionID+"/edits", `{}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d: %s", w.Code, w.Body)
+	}
+	// The expvar block reports the live session.
+	vars := decode[map[string]any](t, do(t, h, "GET", "/debug/vars", ""))
+	sess, ok := vars["sessions"].(map[string]any)
+	if !ok || sess["size"].(float64) != 1 || sess["opens"].(float64) != 1 {
+		t.Fatalf("expvar sessions block: %v", vars["sessions"])
+	}
+}
+
+// TestSessionLRUCapacity: opening past -max-sessions evicts the oldest
+// handle and reports it to the opener.
+func TestSessionLRUCapacity(t *testing.T) {
+	s := newTestServer(t, config{MaxSessions: 2})
+	h := s.handler()
+
+	compile, _ := json.Marshal(map[string]string{"dtd": dbDTD, "constraints": dbXIC})
+	id := decode[compileResponse](t, do(t, h, "POST", "/v1/specs", string(compile))).ID
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		open := decode[openSessionResponse](t, do(t, h, "POST", "/v1/specs/"+id+"/sessions", dbDocOK))
+		ids = append(ids, open.SessionID)
+		if i < 2 && len(open.Evicted) != 0 {
+			t.Fatalf("open %d evicted %v", i, open.Evicted)
+		}
+		if i == 2 && (len(open.Evicted) != 1 || open.Evicted[0] != ids[0]) {
+			t.Fatalf("open 2 evicted %v, want [%s]", open.Evicted, ids[0])
+		}
+	}
+	if w := do(t, h, "GET", "/v1/sessions/"+ids[0], ""); w.Code != http.StatusNotFound {
+		t.Fatalf("evicted session still resolves: %d", w.Code)
+	}
+	if w := do(t, h, "GET", "/v1/sessions/"+ids[1], ""); w.Code != http.StatusOK {
+		t.Fatalf("live session lost: %d", w.Code)
 	}
 }

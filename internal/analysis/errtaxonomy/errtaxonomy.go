@@ -90,8 +90,9 @@ func isDeprecated(doc *ast.CommentGroup) bool {
 }
 
 func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
 	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
+		t = types.Unalias(ptr.Elem())
 	}
 	named, _ := t.(*types.Named)
 	return named
@@ -353,20 +354,40 @@ func (c *checker) classifyErrorf(call *ast.CallExpr, seen map[types.Object]bool)
 	return false, "fmt.Errorf escapes the exported xic API without %w-wrapping a taxonomy error"
 }
 
-// allowedType reports whether t (behind a pointer) is an error type
-// declared in the xic package itself — SpecError, ParseError,
-// ViolationError and future taxonomy members.
+// allowedType reports whether t (behind a pointer) is a taxonomy error
+// type: one declared in the xic package itself — SpecError, ParseError,
+// ViolationError and future members — or one re-exported from it under an
+// exported alias (type InvalidDocumentError = docsession.…), which makes
+// the internal declaration part of the public contract all the same.
 func (c *checker) allowedType(t types.Type) bool {
 	named := namedOf(t)
 	if named == nil {
 		return false
 	}
-	obj := named.Obj()
-	if obj.Pkg() != c.pass.Pkg {
+	errIface := c.errType.Underlying().(*types.Interface)
+	if !types.Implements(named, errIface) && !types.Implements(types.NewPointer(named), errIface) {
 		return false
 	}
-	errIface := c.errType.Underlying().(*types.Interface)
-	return types.Implements(named, errIface) || types.Implements(types.NewPointer(named), errIface)
+	if named.Obj().Pkg() == c.pass.Pkg {
+		return true
+	}
+	return c.aliasedInPkg(named)
+}
+
+// aliasedInPkg reports whether the inspected package re-exports named
+// under an exported type alias.
+func (c *checker) aliasedInPkg(named *types.Named) bool {
+	scope := c.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || !tn.IsAlias() {
+			continue
+		}
+		if namedOf(tn.Type()) == named {
+			return true
+		}
+	}
+	return false
 }
 
 func packageLevel(v *types.Var) bool {

@@ -7,6 +7,7 @@ package xic
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"strconv"
 )
 
@@ -56,6 +57,25 @@ func GoodErrorf(s string) error {
 
 func GoodParam(err error) error {
 	return err // caller-supplied errors are the caller's concern
+}
+
+// PathError is re-exported under an exported alias, the fixture's
+// analogue of xic.InvalidDocumentError aliasing an internal declaration:
+// the aliased type is a taxonomy member even though it is declared
+// elsewhere.
+type PathError = fs.PathError
+
+func GoodAliasedComposite(name string) error {
+	return &PathError{Op: "open", Path: name, Err: ErrUndecidable}
+}
+
+func GoodAliasedAs(s string) error {
+	_, err := strconv.Atoi(s)
+	var pe *fs.PathError
+	if errors.As(err, &pe) {
+		return pe
+	}
+	return wrap(err)
 }
 
 func BadNew() error {

@@ -114,6 +114,21 @@ func New(d *dtd.DTD, v *xmltree.Validator, sigma []constraint.Constraint) *Check
 // *xmltree.ParseError with line and offset, context cancellation as an
 // error wrapping ctx.Err().
 func (c *Checker) Run(ctx context.Context, r io.Reader) (*Report, error) {
+	rep, _, err := c.runPass(ctx, r, false)
+	return rep, err
+}
+
+// RunRetain validates like Run but additionally returns the filled
+// incremental constraint indexes (index.go), complete enough to support
+// later removal: the drop-the-index-early optimization streaming mode
+// applies once a negated key is decided is disabled. Document sessions
+// (internal/docsession) ingest through here and keep the indexes alive
+// across edits.
+func (c *Checker) RunRetain(ctx context.Context, r io.Reader) (*Report, *Indexes, error) {
+	return c.runPass(ctx, r, true)
+}
+
+func (c *Checker) runPass(ctx context.Context, r io.Reader, retain bool) (*Report, *Indexes, error) {
 	rn := &run{
 		c:       c,
 		lr:      xmltree.NewLineReader(r),
@@ -126,11 +141,12 @@ func (c *Checker) Run(ctx context.Context, r io.Reader) (*Report, error) {
 		rn.max = DefaultMaxViolations
 	}
 	rn.dec = xml.NewDecoder(rn.lr)
-	rn.collectors, rn.finishers = c.newConstraintState()
+	var idxs *Indexes
+	rn.collectors, rn.finishers, idxs = c.newConstraintState(retain)
 	if err := rn.loop(ctx); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return rn.report, nil
+	return rn.report, idxs, nil
 }
 
 // frame is the retained state of one open element: constant-size except
@@ -420,220 +436,198 @@ type finisher interface {
 	finish(rn *run)
 }
 
-// srcPos is a compact source position for index entries: keeping only
-// numbers (not paths) in the hash indexes keeps their memory at a few
-// words per distinct value.
-type srcPos struct {
-	line int
-	off  int64
-}
-
 // newConstraintState instantiates fresh per-document collectors for the
-// compiled constraint set, grouped by the element type they observe.
-func (c *Checker) newConstraintState() (map[string][]collector, []finisher) {
+// compiled constraint set, grouped by the element type they observe. The
+// collectors are streaming views over the incremental indexes of
+// index.go; retain disables the drop-the-index-early optimization so the
+// returned Indexes stay complete and support removal.
+func (c *Checker) newConstraintState(retain bool) (map[string][]collector, []finisher, *Indexes) {
 	byLabel := make(map[string][]collector)
 	var finishers []finisher
+	idxs := &Indexes{}
 	reg := func(label string, col collector) {
 		byLabel[label] = append(byLabel[label], col)
 	}
 	for _, con := range c.sigma {
 		switch x := con.(type) {
 		case constraint.Key:
-			reg(x.Type, &keyIndex{c: x, typ: x.Type, attrs: x.Attrs, seen: make(map[string]srcPos), vals: make([]string, len(x.Attrs))})
+			ki := NewKeyIndex(x.Type, x.Attrs)
+			idxs.Entries = append(idxs.Entries, IndexEntry{Con: con, Key: ki})
+			reg(x.Type, &keyCol{c: x, idx: ki, vals: make([]string, len(x.Attrs))})
 		case constraint.ForeignKey:
 			k := x.Key()
-			reg(k.Type, &keyIndex{c: x, typ: k.Type, attrs: k.Attrs, seen: make(map[string]srcPos), vals: make([]string, len(k.Attrs))})
-			inc := newInclusionIndex(x, x.Inclusion, false)
-			reg(x.Child, (*inclusionChild)(inc))
-			reg(x.Parent, (*inclusionParent)(inc))
-			finishers = append(finishers, inc)
+			ki := NewKeyIndex(k.Type, k.Attrs)
+			inc := NewInclusionIndex(x.Inclusion)
+			idxs.Entries = append(idxs.Entries, IndexEntry{Con: con, Key: ki, Incl: inc})
+			reg(k.Type, &keyCol{c: x, idx: ki, vals: make([]string, len(k.Attrs))})
+			ic := newInclCol(x, inc, false)
+			reg(x.Child, (*inclusionChild)(ic))
+			reg(x.Parent, (*inclusionParent)(ic))
+			finishers = append(finishers, ic)
 		case constraint.Inclusion:
-			inc := newInclusionIndex(x, x, false)
-			reg(x.Child, (*inclusionChild)(inc))
-			reg(x.Parent, (*inclusionParent)(inc))
-			finishers = append(finishers, inc)
+			inc := NewInclusionIndex(x)
+			idxs.Entries = append(idxs.Entries, IndexEntry{Con: con, Incl: inc})
+			ic := newInclCol(x, inc, false)
+			reg(x.Child, (*inclusionChild)(ic))
+			reg(x.Parent, (*inclusionParent)(ic))
+			finishers = append(finishers, ic)
 		case constraint.NotKey:
-			nk := &notKeyIndex{c: x, seen: make(map[string]struct{})}
+			ki := NewKeyIndex(x.Type, []string{x.Attr})
+			idxs.Entries = append(idxs.Entries, IndexEntry{Con: con, Key: ki})
+			nk := &notKeyCol{c: x, idx: ki, retain: retain}
 			reg(x.Type, nk)
 			finishers = append(finishers, nk)
 		case constraint.NotInclusion:
-			inc := newInclusionIndex(x, x.Inclusion(), true)
-			reg(inc.childType, (*inclusionChild)(inc))
-			reg(inc.parentType, (*inclusionParent)(inc))
-			finishers = append(finishers, inc)
+			inc := NewInclusionIndex(x.Inclusion())
+			idxs.Entries = append(idxs.Entries, IndexEntry{Con: con, Incl: inc})
+			ic := newInclCol(x, inc, true)
+			reg(inc.ChildType, (*inclusionChild)(ic))
+			reg(inc.ParentType, (*inclusionParent)(ic))
+			finishers = append(finishers, ic)
 		}
 	}
-	return byLabel, finishers
+	return byLabel, finishers, idxs
 }
 
-// keyIndex enforces τ[X] → τ (for keys and the key half of foreign keys):
-// the index is the set of tuples seen, and a repeat is a violation at the
-// repeating element.
-type keyIndex struct {
-	c     constraint.Constraint
-	typ   string
-	attrs []string
-	seen  map[string]srcPos
-	vals  []string
+// keyCol enforces τ[X] → τ (for keys and the key half of foreign keys) as
+// a streaming view over a KeyIndex: a repeated tuple is a violation at
+// the repeating element.
+type keyCol struct {
+	c    constraint.Constraint
+	idx  *KeyIndex
+	vals []string
 }
 
 //xic:hotpath
-func (k *keyIndex) element(rn *run, attrs []xml.Attr) {
-	if !tupleVals(attrs, k.attrs, k.vals) {
+func (k *keyCol) element(rn *run, attrs []xml.Attr) {
+	if !tupleVals(attrs, k.idx.Attrs, k.vals) {
 		return // no tuple, cannot collide (constraint.Satisfied semantics)
 	}
 	t := tupleKey(k.vals)
-	if first, dup := k.seen[t]; dup {
+	if first, dup := k.idx.Add(t, SrcPos{Line: rn.line, Off: rn.off}); dup {
 		k.reportDup(rn, first) //xic:ignore hotalloc violation path: fires once per duplicate, steady state is valid documents
-		return
 	}
-	k.seen[t] = srcPos{line: rn.line, off: rn.off}
 }
 
 // reportDup is the cold duplicate-key violation path.
-func (k *keyIndex) reportDup(rn *run, first srcPos) {
+func (k *keyCol) reportDup(rn *run, first SrcPos) {
 	rn.violate(k.c, rn.path(rn.depth),
 		"duplicate key: this %s agrees with the %s at line %d on (%s)",
-		k.typ, k.typ, first.line, strings.Join(k.attrs, ", "))
+		k.idx.Type, k.idx.Type, first.Line, strings.Join(k.idx.Attrs, ", "))
 }
 
-// notKeyIndex enforces the negation τ.l ↛ τ: some duplicate must exist by
-// end-of-document.
-type notKeyIndex struct {
-	c    constraint.NotKey
-	seen map[string]struct{}
-	dup  bool
+// notKeyCol enforces the negation τ.l ↛ τ over a KeyIndex: some
+// duplicate must exist by end-of-document. In streaming mode the index
+// is dropped as soon as a duplicate is witnessed — the verdict can no
+// longer change; retained mode keeps it complete so removals work.
+type notKeyCol struct {
+	c      constraint.NotKey
+	idx    *KeyIndex
+	sat    bool
+	retain bool
 }
 
 //xic:hotpath
-func (n *notKeyIndex) element(rn *run, attrs []xml.Attr) {
-	if n.dup {
-		return // satisfied; stop growing the index
+func (n *notKeyCol) element(rn *run, attrs []xml.Attr) {
+	if n.sat && !n.retain {
+		return // satisfied; index already dropped
 	}
 	j := lookupAttr(attrs, n.c.Attr)
 	if j < 0 {
 		return
 	}
-	v := attrs[j].Value
-	if _, ok := n.seen[v]; ok {
-		n.dup = true
-		n.seen = nil
-		return
+	if _, dup := n.idx.Add(attrs[j].Value, SrcPos{Line: rn.line, Off: rn.off}); dup {
+		n.sat = true
+		if !n.retain {
+			n.idx.seen = nil // satisfied; stop growing the index
+		}
 	}
-	n.seen[v] = struct{}{}
 }
 
-func (n *notKeyIndex) finish(rn *run) {
-	if n.dup {
+func (n *notKeyCol) finish(rn *run) {
+	if n.sat || n.idx.Dups() > 0 {
 		return
 	}
 	rn.add(Violation{Path: n.c.Type, Line: 0, Offset: -1, Constraint: n.c,
 		Msg: fmt.Sprintf("negated key requires two %s elements sharing %q, but all values are distinct", n.c.Type, n.c.Attr)})
 }
 
-// inclusionIndex enforces τ1[X] ⊆ τ2[Y] (or its negation): child tuples
-// pend until end-of-document, when they are resolved against the parent
-// tuple set — so a foreign key may reference a parent that appears later
-// in the document. Memory is one map entry per distinct tuple.
-type inclusionIndex struct {
-	c                     constraint.Constraint
-	childType, parentType string
-	childAttrs            []string
-	parentAttrs           []string
-	neg                   bool
-	pending               map[string]srcPos // unmatched child tuples, first occurrence
-	parents               map[string]struct{}
-	childLacks            bool // some child element had no tuple: inclusion fails
-	vals                  []string
+// inclCol enforces τ1[X] ⊆ τ2[Y] (or its negation) over an
+// InclusionIndex: child tuples pend until end-of-document, when they are
+// resolved against the parent tuple set — so a foreign key may reference
+// a parent that appears later in the document. Memory is one map entry
+// per distinct tuple.
+type inclCol struct {
+	c             constraint.Constraint
+	idx           *InclusionIndex
+	neg           bool
+	lacksReported bool
+	vals          []string
 }
 
-func newInclusionIndex(reported constraint.Constraint, inc constraint.Inclusion, neg bool) *inclusionIndex {
-	n := len(inc.ChildAttrs)
-	if len(inc.ParentAttrs) > n {
-		n = len(inc.ParentAttrs)
+func newInclCol(reported constraint.Constraint, idx *InclusionIndex, neg bool) *inclCol {
+	n := len(idx.ChildAttrs)
+	if len(idx.ParentAttrs) > n {
+		n = len(idx.ParentAttrs)
 	}
-	return &inclusionIndex{
-		c:          reported,
-		childType:  inc.Child,
-		parentType: inc.Parent,
-		childAttrs: inc.ChildAttrs, parentAttrs: inc.ParentAttrs,
-		neg:     neg,
-		pending: make(map[string]srcPos),
-		parents: make(map[string]struct{}),
-		vals:    make([]string, n),
-	}
+	return &inclCol{c: reported, idx: idx, neg: neg, vals: make([]string, n)}
 }
 
 // inclusionChild and inclusionParent are the two element-type views of one
-// shared inclusionIndex (child and parent types may even coincide).
-type inclusionChild inclusionIndex
+// shared inclCol (child and parent types may even coincide).
+type inclusionChild inclCol
 
 //xic:hotpath
 func (ic *inclusionChild) element(rn *run, attrs []xml.Attr) {
-	in := (*inclusionIndex)(ic)
-	vals := in.vals[:len(in.childAttrs)]
-	if !tupleVals(attrs, in.childAttrs, vals) {
-		if !in.neg && !in.childLacks {
+	in := (*inclCol)(ic)
+	vals := in.vals[:len(in.idx.ChildAttrs)]
+	if !tupleVals(attrs, in.idx.ChildAttrs, vals) {
+		in.idx.AddLacking()
+		if !in.neg && !in.lacksReported {
 			in.reportLacks(rn) //xic:ignore hotalloc violation path: fires at most once per document, steady state is valid documents
 		}
-		in.childLacks = true
+		in.lacksReported = true
 		return
 	}
-	if in.neg && in.childLacks {
-		return // negation already witnessed
-	}
-	t := tupleKey(vals)
-	if _, ok := in.parents[t]; ok {
-		return
-	}
-	if _, ok := in.pending[t]; !ok {
-		in.pending[t] = srcPos{line: rn.line, off: rn.off}
-	}
+	in.idx.AddChild(tupleKey(vals), SrcPos{Line: rn.line, Off: rn.off})
 }
 
 // reportLacks is the cold missing-tuple violation path.
-func (in *inclusionIndex) reportLacks(rn *run) {
+func (in *inclCol) reportLacks(rn *run) {
 	rn.violate(in.c, rn.path(rn.depth),
-		"%s element lacks (%s) and cannot be matched", in.childType, strings.Join(in.childAttrs, ", "))
+		"%s element lacks (%s) and cannot be matched", in.idx.ChildType, strings.Join(in.idx.ChildAttrs, ", "))
 }
 
-type inclusionParent inclusionIndex
+type inclusionParent inclCol
 
 //xic:hotpath
 func (ip *inclusionParent) element(rn *run, attrs []xml.Attr) {
-	in := (*inclusionIndex)(ip)
-	vals := in.vals[:len(in.parentAttrs)]
-	if !tupleVals(attrs, in.parentAttrs, vals) {
+	in := (*inclCol)(ip)
+	vals := in.vals[:len(in.idx.ParentAttrs)]
+	if !tupleVals(attrs, in.idx.ParentAttrs, vals) {
 		return // contributes no tuple
 	}
-	in.parents[tupleKey(vals)] = struct{}{}
+	in.idx.AddParent(tupleKey(vals))
 }
 
-func (in *inclusionIndex) finish(rn *run) {
+func (in *inclCol) finish(rn *run) {
 	if in.neg {
-		if in.childLacks {
-			return // inclusion fails, negation holds
+		if in.idx.Lacking() > 0 || in.idx.Unmatched() > 0 {
+			return // some reference dangles (or lacks a tuple), negation holds
 		}
-		for t := range in.pending {
-			if _, ok := in.parents[t]; !ok {
-				return // an unmatched child value witnesses the negation
-			}
-		}
-		rn.add(Violation{Path: in.childType, Line: 0, Offset: -1, Constraint: in.c,
+		rn.add(Violation{Path: in.idx.ChildType, Line: 0, Offset: -1, Constraint: in.c,
 			Msg: fmt.Sprintf("negated inclusion requires some %s value of %s unmatched by %s, but all are matched",
-				strings.Join(in.childAttrs, ", "), in.childType, in.parentType)})
+				strings.Join(in.idx.ChildAttrs, ", "), in.idx.ChildType, in.idx.ParentType)})
 		return
 	}
-	var missing []srcPos
-	for t, pos := range in.pending {
-		if _, ok := in.parents[t]; !ok {
-			missing = append(missing, pos)
-		}
-	}
-	sort.Slice(missing, func(i, j int) bool { return missing[i].off < missing[j].off })
+	var missing []SrcPos
+	in.idx.EachUnmatched(func(t string, first SrcPos) {
+		missing = append(missing, first)
+	})
+	sort.Slice(missing, func(i, j int) bool { return missing[i].Off < missing[j].Off })
 	for _, pos := range missing {
-		rn.add(Violation{Path: in.childType, Line: pos.line, Offset: pos.off, Constraint: in.c,
+		rn.add(Violation{Path: in.idx.ChildType, Line: pos.Line, Offset: pos.Off, Constraint: in.c,
 			Msg: fmt.Sprintf("(%s) value of this %s matches no %s element",
-				strings.Join(in.childAttrs, ", "), in.childType, in.parentType)})
+				strings.Join(in.idx.ChildAttrs, ", "), in.idx.ChildType, in.idx.ParentType)})
 	}
 }

@@ -1,0 +1,656 @@
+package docsession
+
+import (
+	"xic/internal/constraint"
+	"xic/internal/doccheck"
+	"xic/internal/dtd"
+	"xic/internal/xmltree"
+)
+
+// OpKind names one of the four update operations of the session model
+// (the insert/delete-subtree, replace-attribute and replace-text
+// vocabulary of XML update languages).
+type OpKind string
+
+const (
+	OpInsertSubtree OpKind = "insert"
+	OpDeleteSubtree OpKind = "delete"
+	OpSetAttr       OpKind = "setattr"
+	OpSetText       OpKind = "settext"
+)
+
+// EditOp is one edit against the retained document. Path uses
+// xmltree.Tree.Path notation (lib/grp[3]/item[0]); for InsertSubtree it
+// names the parent element and Index the insertion slot in the parent's
+// full child list, for the other kinds it names the target element.
+type EditOp struct {
+	Kind  OpKind `json:"kind"`
+	Path  string `json:"path"`
+	Index int    `json:"index,omitempty"` // insert: slot in the parent's child list
+	XML   string `json:"xml,omitempty"`   // insert: the subtree as XML text
+	Attr  string `json:"attr,omitempty"`  // setattr: attribute name
+	Value string `json:"value,omitempty"` // setattr / settext: new value
+}
+
+// SetAttr returns the edit replacing one attribute value.
+func SetAttr(path, attr, value string) EditOp {
+	return EditOp{Kind: OpSetAttr, Path: path, Attr: attr, Value: value}
+}
+
+// SetText returns the edit replacing the element's text content; a
+// whitespace-only value removes the text node.
+func SetText(path, value string) EditOp {
+	return EditOp{Kind: OpSetText, Path: path, Value: value}
+}
+
+// InsertSubtree returns the edit inserting the XML fragment as a new
+// subtree under path at child slot index.
+func InsertSubtree(path string, index int, xmlSrc string) EditOp {
+	return EditOp{Kind: OpInsertSubtree, Path: path, Index: index, XML: xmlSrc}
+}
+
+// DeleteSubtree returns the edit deleting the subtree rooted at path.
+func DeleteSubtree(path string) EditOp {
+	return EditOp{Kind: OpDeleteSubtree, Path: path}
+}
+
+// ApplyResult is the outcome of one Apply batch.
+type ApplyResult struct {
+	// Applied counts the ops that committed (the whole batch, or the
+	// prefix before the rejected one).
+	Applied int `json:"applied"`
+	// Elements is the document's element count after the applied prefix.
+	Elements int `json:"elements"`
+	// Rejected describes the first rejected op; nil when all applied.
+	Rejected *RejectedEdit `json:"rejected,omitempty"`
+}
+
+// RejectedEdit describes one rejected op: the violations the edit would
+// have introduced — a delta report; the rest of the document stays valid
+// by the session invariant — and, when one exists, a minimal repair.
+type RejectedEdit struct {
+	Index  int             `json:"index"`
+	Report doccheck.Report `json:"report"`
+	Repair *RepairHint     `json:"repair,omitempty"`
+}
+
+// RepairHint is a minimal counter-edit for a rejected op: Op, when
+// non-nil, is a concrete edit that would succeed in the rejected one's
+// place.
+type RepairHint struct {
+	Msg string  `json:"msg"`
+	Op  *EditOp `json:"op,omitempty"`
+}
+
+// Apply applies the edit script transactionally op by op: each op either
+// commits in full or is rejected — leaving the document, indexes, and
+// checkpoints untouched — and a rejection stops the batch. Accepted
+// point edits run in O(edit): the touched constraint indexes update by
+// refcount and only the touched content models re-run.
+func (s *Session) Apply(ops ...EditOp) ApplyResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res ApplyResult
+	for i := range ops {
+		if rej := s.applyOne(&ops[i]); rej != nil {
+			rej.Index = i
+			res.Rejected = rej
+			break
+		}
+		res.Applied++
+	}
+	res.Elements = s.elems
+	return res
+}
+
+func (s *Session) applyOne(op *EditOp) *RejectedEdit {
+	switch op.Kind {
+	case OpSetAttr:
+		return s.applySetAttr(op)
+	case OpSetText:
+		return s.applySetText(op)
+	case OpInsertSubtree:
+		return s.applyInsert(op)
+	case OpDeleteSubtree:
+		return s.applyDelete(op)
+	}
+	return s.structuralReject(op, "unknown edit kind %q", string(op.Kind))
+}
+
+// opStatus is the verdict of a fast-path op attempt; everything but opOK
+// routes to the cold rejection builder.
+type opStatus uint8
+
+const (
+	opOK opStatus = iota
+	opBadPath
+	opNotElement
+	opUndeclaredAttr
+	opMissingAttr
+	opNotTextOnly
+	opBadContent
+	opConstraint
+)
+
+// applySetAttr is the pinned point-edit path: steady-state SetAttr —
+// resolve, retuple, refcount, verdict — allocates nothing.
+//
+//xic:hotpath
+func (s *Session) applySetAttr(op *EditOp) *RejectedEdit {
+	st := s.setAttrFast(op)
+	if st == opOK {
+		return nil
+	}
+	return s.reject(op, st) //xic:ignore hotalloc rejection is the cold path; accepted edits return above
+}
+
+//xic:hotpath
+func (s *Session) setAttrFast(op *EditOp) opStatus {
+	n, _, _ := s.resolve(op.Path)
+	if n == nil {
+		return opBadPath
+	}
+	if n.IsText() {
+		return opNotElement
+	}
+	decl := s.d.Element(n.Label)
+	if decl == nil || !decl.HasAttr(op.Attr) {
+		return opUndeclaredAttr
+	}
+	old, ok := n.Attrs[op.Attr]
+	if !ok {
+		return opMissingAttr // unreachable for conforming documents
+	}
+	if old == op.Value {
+		return opOK // no-op
+	}
+	s.beginOp()
+	for _, b := range s.plan.byLabel[n.Label] {
+		if !hasAttr(b.attrs, op.Attr) {
+			continue
+		}
+		oldVals, ok := s.tupleOf(n, b.attrs)
+		if !ok {
+			continue // defensive: conforming elements carry full tuples
+		}
+		oldT := tupleKey(oldVals)
+		newVals, _ := s.tupleOfWith(n, b.attrs, op.Attr, op.Value)
+		newT := tupleKey(newVals)
+		s.touch(b.entry)
+		switch b.role {
+		case roleKey:
+			pos := b.key.Remove(oldT)
+			s.pushUndo(undoEntry{kind: undoKeyRemove, key: b.key, t: oldT, pos: pos})
+			b.key.Add(newT, doccheck.SrcPos{})
+			s.pushUndo(undoEntry{kind: undoKeyAdd, key: b.key, t: newT})
+		case roleChild:
+			pos := b.incl.RemoveChild(oldT)
+			s.pushUndo(undoEntry{kind: undoChildRemove, incl: b.incl, t: oldT, pos: pos})
+			b.incl.AddChild(newT, doccheck.SrcPos{})
+			s.pushUndo(undoEntry{kind: undoChildAdd, incl: b.incl, t: newT})
+		case roleParent:
+			b.incl.RemoveParent(oldT)
+			s.pushUndo(undoEntry{kind: undoParentRemove, incl: b.incl, t: oldT})
+			b.incl.AddParent(newT)
+			s.pushUndo(undoEntry{kind: undoParentAdd, incl: b.incl, t: newT})
+		}
+	}
+	if s.anyViolated() {
+		return opConstraint // indexes stay in candidate state for the report builder
+	}
+	n.Attrs[op.Attr] = op.Value
+	return opOK
+}
+
+// applySetText replaces the element's text content. The steady-state
+// case — an element with one text child gets new non-whitespace text —
+// touches neither automata nor indexes and allocates nothing.
+//
+//xic:hotpath
+func (s *Session) applySetText(op *EditOp) *RejectedEdit {
+	st := s.setTextFast(op)
+	if st == opOK {
+		return nil
+	}
+	return s.reject(op, st) //xic:ignore hotalloc rejection is the cold path; accepted edits return above
+}
+
+//xic:hotpath
+func (s *Session) setTextFast(op *EditOp) opStatus {
+	n, _, _ := s.resolve(op.Path)
+	if n == nil {
+		return opBadPath
+	}
+	if n.IsText() {
+		return opNotElement
+	}
+	for _, c := range n.Children {
+		if !c.IsText() {
+			return opNotTextOnly
+		}
+	}
+	ws := isSpace(op.Value)
+	if !ws && len(n.Children) == 1 {
+		n.Children[0].Value = op.Value
+		return opOK
+	}
+	if ws && len(n.Children) == 0 {
+		return opOK // removing text that is not there
+	}
+	return s.setTextSlow(n, op.Value, ws) //xic:ignore hotalloc text-presence toggles re-run one content model; steady-state replacement returns above
+}
+
+// setTextSlow handles the text-presence toggle: the child sequence flips
+// between [#PCDATA] and [], so the element's content model re-runs (an
+// O(1) replay) and its checkpoint updates.
+func (s *Session) setTextSlow(n *xmltree.Node, value string, ws bool) opStatus {
+	r := s.runFor(n.Label)
+	r.Reset()
+	if !ws {
+		r.Step(dtd.TextSymbol)
+	}
+	if !r.Accepting() {
+		return opBadContent
+	}
+	r.SaveInto(&s.endState)
+	if ws {
+		n.Children = n.Children[:0]
+	} else {
+		n.Children = append(n.Children[:0], xmltree.NewText(value))
+	}
+	s.commitState(n)
+	return opOK
+}
+
+// applyInsert inserts a parsed, locally-conforming subtree and feeds its
+// elements' tuples through the constraint indexes transactionally.
+func (s *Session) applyInsert(op *EditOp) *RejectedEdit {
+	parent, _, _ := s.resolve(op.Path)
+	if parent == nil {
+		return s.structuralReject(op, "path %q does not resolve to an element", op.Path)
+	}
+	if parent.IsText() {
+		return s.structuralReject(op, "path %q names a text node", op.Path)
+	}
+	if op.Index < 0 || op.Index > len(parent.Children) {
+		return s.structuralReject(op, "insert index %d out of range 0..%d", op.Index, len(parent.Children))
+	}
+	sub, err := xmltree.ParseString(op.XML)
+	if err != nil {
+		return s.structuralReject(op, "subtree XML: %v", err)
+	}
+	if rej := s.conformReject(op, sub.Root); rej != nil {
+		return rej
+	}
+	if !s.replayChildren(parent, -1, op.Index, sub.Root.Label) {
+		return s.contentReject(op, parent)
+	}
+	s.beginOp()
+	s.addSubtree(sub.Root)
+	if s.anyViolated() {
+		rej := s.buildRejection(op, sub.Root)
+		s.rollback()
+		return rej
+	}
+	parent.Children = append(parent.Children, nil)
+	copy(parent.Children[op.Index+1:], parent.Children[op.Index:])
+	parent.Children[op.Index] = sub.Root
+	s.commitState(parent)
+	s.checkpointSubtree(sub.Root)
+	s.elems += countElements(sub.Root)
+	return nil
+}
+
+// applyDelete removes the subtree at path, withdrawing its elements'
+// tuples from the constraint indexes transactionally.
+func (s *Session) applyDelete(op *EditOp) *RejectedEdit {
+	n, parent, slot := s.resolve(op.Path)
+	if n == nil {
+		return s.structuralReject(op, "path %q does not resolve to an element", op.Path)
+	}
+	if parent == nil {
+		return s.structuralReject(op, "cannot delete the root element")
+	}
+	if !s.replayChildren(parent, slot, -1, "") {
+		return s.contentReject(op, parent)
+	}
+	s.beginOp()
+	s.removeSubtree(n)
+	if s.anyViolated() {
+		rej := s.buildRejection(op, n)
+		s.rollback()
+		return rej
+	}
+	copy(parent.Children[slot:], parent.Children[slot+1:])
+	parent.Children = parent.Children[:len(parent.Children)-1]
+	// The removal can make two text siblings adjacent; merge them so the
+	// tree stays in parse-normal form (one text node per run), matching
+	// what a re-parse of the serialized document would produce.
+	if slot > 0 && slot < len(parent.Children) &&
+		parent.Children[slot-1].IsText() && parent.Children[slot].IsText() {
+		parent.Children[slot-1].Value += parent.Children[slot].Value
+		copy(parent.Children[slot:], parent.Children[slot+1:])
+		parent.Children = parent.Children[:len(parent.Children)-1]
+	}
+	s.commitState(parent)
+	s.dropCheckpoints(n)
+	s.elems -= countElements(n)
+	return nil
+}
+
+// addSubtree feeds every element of the subtree through its label's
+// index bindings, recording undo entries.
+func (s *Session) addSubtree(n *xmltree.Node) {
+	if n.IsText() {
+		return
+	}
+	for _, b := range s.plan.byLabel[n.Label] {
+		vals, ok := s.tupleOf(n, b.attrs)
+		if !ok {
+			if b.role == roleChild {
+				b.incl.AddLacking()
+				s.pushUndo(undoEntry{kind: undoLackAdd, incl: b.incl})
+				s.touch(b.entry)
+			}
+			continue
+		}
+		t := tupleKey(vals)
+		s.touch(b.entry)
+		switch b.role {
+		case roleKey:
+			b.key.Add(t, doccheck.SrcPos{})
+			s.pushUndo(undoEntry{kind: undoKeyAdd, key: b.key, t: t})
+		case roleChild:
+			b.incl.AddChild(t, doccheck.SrcPos{})
+			s.pushUndo(undoEntry{kind: undoChildAdd, incl: b.incl, t: t})
+		case roleParent:
+			b.incl.AddParent(t)
+			s.pushUndo(undoEntry{kind: undoParentAdd, incl: b.incl, t: t})
+		}
+	}
+	for _, c := range n.Children {
+		s.addSubtree(c)
+	}
+}
+
+// removeSubtree withdraws every element of the subtree from its label's
+// index bindings, recording undo entries.
+func (s *Session) removeSubtree(n *xmltree.Node) {
+	if n.IsText() {
+		return
+	}
+	for _, b := range s.plan.byLabel[n.Label] {
+		vals, ok := s.tupleOf(n, b.attrs)
+		if !ok {
+			if b.role == roleChild {
+				b.incl.RemoveLacking()
+				s.pushUndo(undoEntry{kind: undoLackRemove, incl: b.incl})
+				s.touch(b.entry)
+			}
+			continue
+		}
+		t := tupleKey(vals)
+		s.touch(b.entry)
+		switch b.role {
+		case roleKey:
+			pos := b.key.Remove(t)
+			s.pushUndo(undoEntry{kind: undoKeyRemove, key: b.key, t: t, pos: pos})
+		case roleChild:
+			pos := b.incl.RemoveChild(t)
+			s.pushUndo(undoEntry{kind: undoChildRemove, incl: b.incl, t: t, pos: pos})
+		case roleParent:
+			b.incl.RemoveParent(t)
+			s.pushUndo(undoEntry{kind: undoParentRemove, incl: b.incl, t: t})
+		}
+	}
+	for _, c := range n.Children {
+		s.removeSubtree(c)
+	}
+}
+
+// conformReject checks the inserted subtree's local conformance (declared
+// types, exact attribute sets, content models) and returns a rejection
+// for the first failure.
+func (s *Session) conformReject(op *EditOp, n *xmltree.Node) *RejectedEdit {
+	if n.IsText() {
+		return nil
+	}
+	decl := s.d.Element(n.Label)
+	if decl == nil {
+		return s.structuralReject(op, "inserted element type %q is not declared", n.Label)
+	}
+	for _, want := range decl.Attrs {
+		if _, ok := n.Attrs[want]; !ok {
+			return s.structuralReject(op, "inserted %s element lacks required attribute %q", n.Label, want)
+		}
+	}
+	if len(n.Attrs) > len(decl.Attrs) {
+		for name := range n.Attrs {
+			if !decl.HasAttr(name) {
+				return s.structuralReject(op, "inserted %s element has undeclared attribute %q", n.Label, name)
+			}
+		}
+	}
+	r := s.runFor(n.Label)
+	r.Reset()
+	for _, c := range n.Children {
+		if !r.Step(c.Label) {
+			return s.structuralReject(op, "children of inserted %s do not match content model %s", n.Label, decl.Content)
+		}
+	}
+	if !r.Accepting() {
+		return s.structuralReject(op, "children of inserted %s do not match content model %s: sequence is incomplete", n.Label, decl.Content)
+	}
+	for _, c := range n.Children {
+		if rej := s.conformReject(op, c); rej != nil {
+			return rej
+		}
+	}
+	return nil
+}
+
+// replayChildren re-runs p's content model over its child labels with
+// one hypothetical change — skipSlot removed (-1: none) or insLabel
+// inserted at insertAt (-1: none) — without touching the tree. Adjacent
+// text runs coalesce into one #PCDATA symbol, matching the streaming
+// checker's view of the serialized document (a deletion can make two
+// text siblings adjacent). On success the end state is staged in
+// s.endState for commitState.
+func (s *Session) replayChildren(p *xmltree.Node, skipSlot, insertAt int, insLabel string) bool {
+	// Append fast path: extending at the end resumes from the element's
+	// retained checkpoint instead of replaying every child. Inserted
+	// subtree roots are elements, so text coalescing cannot apply.
+	if skipSlot < 0 && insertAt == len(p.Children) && insLabel != dtd.TextSymbol {
+		if st, ok := s.state[p]; ok {
+			r := s.runFor(p.Label)
+			r.Restore(st)
+			if !r.Step(insLabel) || !r.Accepting() {
+				return false
+			}
+			r.SaveInto(&s.endState)
+			return true
+		}
+	}
+	r := s.runFor(p.Label)
+	r.Reset()
+	ok := true
+	lastText := false
+	step := func(label string) {
+		if !ok {
+			return
+		}
+		if label == dtd.TextSymbol {
+			if lastText {
+				return // adjacent runs form one text node
+			}
+			lastText = true
+		} else {
+			lastText = false
+		}
+		if !r.Step(label) {
+			ok = false
+		}
+	}
+	for i := 0; i <= len(p.Children); i++ {
+		if i == insertAt {
+			step(insLabel)
+		}
+		if i == len(p.Children) {
+			break
+		}
+		if i != skipSlot {
+			step(p.Children[i].Label)
+		}
+	}
+	if !ok || !r.Accepting() {
+		return false
+	}
+	r.SaveInto(&s.endState)
+	return true
+}
+
+// commitState installs the staged end state as p's retained checkpoint.
+func (s *Session) commitState(p *xmltree.Node) {
+	st := s.state[p]
+	if st == nil {
+		st = &dtd.State{}
+		s.state[p] = st
+	}
+	r := s.runFor(p.Label)
+	r.Restore(&s.endState)
+	r.SaveInto(st)
+}
+
+// ---- undo log ----------------------------------------------------------
+
+const (
+	undoKeyAdd    uint8 = iota + 1 // Add applied: rollback removes
+	undoKeyRemove                  // Remove applied: rollback re-adds at pos
+	undoChildAdd
+	undoChildRemove
+	undoParentAdd
+	undoParentRemove
+	undoLackAdd
+	undoLackRemove
+)
+
+// undoEntry is one recorded index mutation of the in-flight op.
+type undoEntry struct {
+	kind uint8
+	key  *doccheck.KeyIndex
+	incl *doccheck.InclusionIndex
+	t    string
+	pos  doccheck.SrcPos
+}
+
+// beginOp resets the per-op transaction state.
+//
+//xic:hotpath
+func (s *Session) beginOp() {
+	s.nundo = 0
+	s.ntouched = 0
+	s.gen++
+}
+
+//xic:hotpath
+func (s *Session) pushUndo(e undoEntry) {
+	if s.nundo == len(s.undo) {
+		s.growUndo() //xic:ignore hotalloc amortized growth: the undo buffer warms to the workload and is reused across edits
+	}
+	s.undo[s.nundo] = e
+	s.nundo++
+}
+
+func (s *Session) growUndo() {
+	next := make([]undoEntry, 2*len(s.undo))
+	copy(next, s.undo)
+	s.undo = next
+}
+
+// touch marks one constraint entry as affected by the in-flight op; the
+// touched list is bounded by the constraint count, so the buffer never
+// grows.
+//
+//xic:hotpath
+func (s *Session) touch(entry int) {
+	if s.entryMark[entry] == s.gen {
+		return
+	}
+	s.entryMark[entry] = s.gen
+	s.touched[s.ntouched] = int32(entry)
+	s.ntouched++
+}
+
+// anyViolated scans the touched entries' verdict counters — O(touched),
+// not O(index).
+//
+//xic:hotpath
+func (s *Session) anyViolated() bool {
+	for i := 0; i < s.ntouched; i++ {
+		if entryViolated(&s.idx.Entries[s.touched[i]]) {
+			return true
+		}
+	}
+	return false
+}
+
+// entryViolated reads one constraint's verdict from its index counters in
+// O(1).
+//
+//xic:hotpath
+func entryViolated(e *doccheck.IndexEntry) bool {
+	switch e.Con.(type) {
+	case constraint.Key:
+		return e.Key.Dups() > 0
+	case constraint.NotKey:
+		return e.Key.Dups() == 0
+	case constraint.ForeignKey:
+		return e.Key.Dups() > 0 || e.Incl.Unmatched() > 0 || e.Incl.Lacking() > 0
+	case constraint.Inclusion:
+		return e.Incl.Unmatched() > 0 || e.Incl.Lacking() > 0
+	case constraint.NotInclusion:
+		return e.Incl.Unmatched() == 0 && e.Incl.Lacking() == 0
+	}
+	return false
+}
+
+// rollback undoes the in-flight op's index mutations, newest first.
+func (s *Session) rollback() {
+	for i := s.nundo - 1; i >= 0; i-- {
+		e := &s.undo[i]
+		switch e.kind {
+		case undoKeyAdd:
+			e.key.Remove(e.t)
+		case undoKeyRemove:
+			e.key.Add(e.t, e.pos)
+		case undoChildAdd:
+			e.incl.RemoveChild(e.t)
+		case undoChildRemove:
+			e.incl.AddChild(e.t, e.pos)
+		case undoParentAdd:
+			e.incl.RemoveParent(e.t)
+		case undoParentRemove:
+			e.incl.AddParent(e.t)
+		case undoLackAdd:
+			e.incl.RemoveLacking()
+		case undoLackRemove:
+			e.incl.AddLacking()
+		}
+	}
+	s.nundo = 0
+}
+
+// isSpace reports whether the string is whitespace-only in the XML
+// sense, mirroring the parser's text-node policy.
+//
+//xic:hotpath
+func isSpace(v string) bool {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case ' ', '\t', '\n', '\r':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,243 @@
+package docsession
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xic/internal/constraint"
+	"xic/internal/doccheck"
+	"xic/internal/dtd"
+	"xic/internal/randgen"
+	"xic/internal/xmltree"
+)
+
+// FuzzSessionAgreement is the differential oracle for incremental
+// revalidation: for a random document and a random edit script, every
+// op's session verdict must agree with a full streaming validation of the
+// materialized candidate document — an op is accepted iff applying it to
+// a shadow copy of the tree yields a document ValidateStream calls clean
+// — and the session's retained document must stay clean throughout.
+func FuzzSessionAgreement(f *testing.F) {
+	f.Add(int64(1), int64(2), uint8(8))
+	f.Add(int64(7), int64(11), uint8(16))
+	f.Add(int64(42), int64(0), uint8(4))
+	f.Fuzz(func(t *testing.T, docSeed, editSeed int64, nOps uint8) {
+		d, sigma, doc := fuzzDocument(t, docSeed)
+		ck, v := fuzzChecker(d, sigma)
+		s, err := Open(context.Background(), ck, v, strings.NewReader(doc))
+		if err != nil {
+			// The generated base document may be invalid under the random
+			// constraint set; nothing to differentiate then.
+			if _, ok := err.(*InvalidDocumentError); ok {
+				t.Skip("base document invalid under random constraints")
+			}
+			t.Fatalf("open: %v", err)
+		}
+
+		rng := rand.New(rand.NewSource(editSeed))
+		n := int(nOps%32) + 1
+		scriptTree, err := xmltree.ParseString(doc)
+		if err != nil {
+			t.Fatalf("reparse base: %v", err)
+		}
+		ops := RandomScript(rng, d, scriptTree, n)
+
+		for i, op := range ops {
+			shadow, applicable := shadowApply(s.Document(), op)
+			res := s.Apply(op)
+			accepted := res.Rejected == nil
+
+			if !applicable {
+				if accepted {
+					t.Fatalf("op %d %+v: session accepted an op the shadow cannot apply", i, op)
+				}
+			} else {
+				rep, err := ck.Run(context.Background(), strings.NewReader(shadow))
+				shadowOK := err == nil && rep.OK()
+				if accepted != shadowOK {
+					t.Fatalf("op %d %+v: session accepted=%v, full restream of candidate says ok=%v\ncandidate:\n%s",
+						i, op, accepted, shadowOK, shadow)
+				}
+			}
+
+			// The session invariant: its retained document is always clean.
+			rep, err := ck.Run(context.Background(), strings.NewReader(s.Document()))
+			if err != nil || !rep.OK() {
+				t.Fatalf("op %d %+v (accepted=%v): session document fails full validation: %v %v\ndoc:\n%s",
+					i, op, accepted, err, rep, s.Document())
+			}
+			if accepted {
+				if got := countShadowElements(t, s.Document()); got != res.Elements {
+					t.Fatalf("op %d: ApplyResult.Elements=%d, document has %d", i, res.Elements, got)
+				}
+			}
+		}
+	})
+}
+
+// fuzzDocument derives a deterministic specification and valid base
+// document from the seed. Even seeds use the constraint-rich lib family
+// (keys and foreign keys, bases valid by construction); odd seeds use a
+// random DTD with no constraints, exercising structural and
+// content-model agreement on arbitrary shapes.
+func fuzzDocument(t *testing.T, seed int64) (*dtd.DTD, []constraint.Constraint, string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	if seed%2 == 0 {
+		d, err := dtd.Parse(libDTD)
+		if err != nil {
+			t.Fatalf("lib dtd: %v", err)
+		}
+		sigma, err := constraint.Parse(libSigma)
+		if err != nil {
+			t.Fatalf("lib sigma: %v", err)
+		}
+		var b strings.Builder
+		b.WriteString("<lib>")
+		k := 2 + rng.Intn(6)
+		for i := 0; i < k; i++ {
+			fmt.Fprintf(&b, `<grp id="g%d" tag="t%d">`, i, rng.Intn(3))
+			for j := rng.Intn(3); j > 0; j-- {
+				fmt.Fprintf(&b, "<item>x%d</item>", rng.Intn(5))
+			}
+			b.WriteString("</grp>")
+		}
+		for i := rng.Intn(5); i > 0; i-- {
+			fmt.Fprintf(&b, `<ref to="g%d"/>`, rng.Intn(k))
+		}
+		b.WriteString("</lib>")
+		return d, sigma, b.String()
+	}
+	d := randgen.RandDTD(rng, randgen.DTDSpec{Types: 3 + rng.Intn(4), Depth: 2, AttrsPer: 2})
+	var buf bytes.Buffer
+	if _, err := randgen.WriteDocument(&buf, d, rng, randgen.DocSpec{TargetNodes: 30 + rng.Intn(40)}); err != nil {
+		t.Skipf("document generation: %v", err)
+	}
+	return d, nil, buf.String()
+}
+
+func fuzzChecker(d *dtd.DTD, sigma []constraint.Constraint) (*doccheck.Checker, *xmltree.Validator) {
+	v := xmltree.NewValidator(d)
+	v.CompileAll()
+	return doccheck.New(d, v, sigma), v
+}
+
+// shadowApply applies op to an independently parsed copy of the document
+// with plain tree surgery — no session machinery — and returns the
+// serialized result. applicable is false when the op does not even
+// resolve structurally (bad path, bad index, unparseable XML); the
+// session must reject those too.
+func shadowApply(doc string, op EditOp) (out string, applicable bool) {
+	tr, err := xmltree.ParseString(doc)
+	if err != nil {
+		return "", false
+	}
+	n, parent, slot := shadowResolve(tr, op.Path)
+	if n == nil || n.IsText() {
+		return "", false
+	}
+	switch op.Kind {
+	case OpSetAttr:
+		if _, ok := n.Attrs[op.Attr]; !ok {
+			return "", false
+		}
+		n.Attrs[op.Attr] = op.Value
+	case OpSetText:
+		for _, c := range n.Children {
+			if !c.IsText() {
+				return "", false
+			}
+		}
+		if strings.TrimSpace(op.Value) == "" {
+			n.Children = nil
+		} else {
+			n.Children = []*xmltree.Node{xmltree.NewText(op.Value)}
+		}
+	case OpInsertSubtree:
+		if op.Index < 0 || op.Index > len(n.Children) {
+			return "", false
+		}
+		sub, err := xmltree.ParseString(op.XML)
+		if err != nil {
+			return "", false
+		}
+		kids := append([]*xmltree.Node{}, n.Children[:op.Index]...)
+		kids = append(kids, sub.Root)
+		kids = append(kids, n.Children[op.Index:]...)
+		n.Children = kids
+	case OpDeleteSubtree:
+		if parent == nil {
+			return "", false
+		}
+		parent.Children = append(parent.Children[:slot], parent.Children[slot+1:]...)
+	default:
+		return "", false
+	}
+	return xmltree.Serialize(tr), true
+}
+
+// shadowResolve is an independent Tree.Path walker (the test's own, so
+// the session's resolver is under test, not trusted).
+func shadowResolve(tr *xmltree.Tree, path string) (n, parent *xmltree.Node, slot int) {
+	segs := strings.Split(path, "/")
+	if len(segs) == 0 || segs[0] != tr.Root.Label {
+		return nil, nil, 0
+	}
+	n, parent, slot = tr.Root, nil, -1
+	for _, seg := range segs[1:] {
+		open := strings.IndexByte(seg, '[')
+		if open <= 0 || !strings.HasSuffix(seg, "]") {
+			return nil, nil, 0
+		}
+		label := seg[:open]
+		idx := 0
+		digits := seg[open+1 : len(seg)-1]
+		if digits == "" {
+			return nil, nil, 0
+		}
+		for _, c := range digits {
+			if c < '0' || c > '9' {
+				return nil, nil, 0
+			}
+			idx = idx*10 + int(c-'0')
+		}
+		var found *xmltree.Node
+		foundSlot := -1
+		seen := 0
+		for i, c := range n.Children {
+			if c.Label != label {
+				continue
+			}
+			if seen == idx {
+				found, foundSlot = c, i
+				break
+			}
+			seen++
+		}
+		if found == nil {
+			return nil, nil, 0
+		}
+		parent, n, slot = n, found, foundSlot
+	}
+	return n, parent, slot
+}
+
+func countShadowElements(t *testing.T, doc string) int {
+	t.Helper()
+	tr, err := xmltree.ParseString(doc)
+	if err != nil {
+		t.Fatalf("parse session doc: %v", err)
+	}
+	count := 0
+	tr.Walk(func(n *xmltree.Node) bool {
+		if !n.IsText() {
+			count++
+		}
+		return true
+	})
+	return count
+}

@@ -1,0 +1,107 @@
+package docsession
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xic/internal/dtd"
+	"xic/internal/xmltree"
+)
+
+// RandomScript derives a deterministic sequence of n edit ops against the
+// document tree: attribute rewrites, text replacements, subtree clones
+// re-inserted elsewhere, and subtree deletions, plus a sprinkling of
+// deliberately bad paths and undeclared elements. The tree is mutated
+// naively as ops are generated so later paths stay coherent; callers
+// wanting to keep the original should Clone it first. The script makes no
+// validity promise — a replayer (a session, a fuzzer oracle) is expected
+// to accept some ops and reject others, which is the point.
+func RandomScript(rng *rand.Rand, d *dtd.DTD, t *xmltree.Tree, n int) []EditOp {
+	ops := make([]EditOp, 0, n)
+	for tries := 0; len(ops) < n && tries < 20*n+100; tries++ {
+		elems, parents := gatherElements(t)
+		if len(elems) == 0 {
+			break
+		}
+		pick := elems[rng.Intn(len(elems))]
+		path := t.Path(pick)
+		if rng.Intn(20) == 0 {
+			path += "/zz[0]" // unresolvable: exercises the rejection path
+		}
+		var op EditOp
+		switch c := rng.Intn(100); {
+		case c < 45: // setattr
+			decl := d.Element(pick.Label)
+			if decl == nil || len(decl.Attrs) == 0 {
+				continue
+			}
+			attr := decl.Attrs[rng.Intn(len(decl.Attrs))]
+			op = SetAttr(path, attr, fmt.Sprintf("v%d", rng.Intn(8)))
+			pick.SetAttr(attr, op.Value)
+		case c < 60: // settext
+			if hasElementChild(pick) {
+				continue
+			}
+			val := fmt.Sprintf("t%d", rng.Intn(8))
+			if rng.Intn(8) == 0 {
+				val = "  " // whitespace: removes the text node
+			}
+			op = SetText(path, val)
+		case c < 80: // insert: clone an existing subtree somewhere else
+			src := elems[rng.Intn(len(elems))]
+			xmlSrc := xmltree.Serialize(xmltree.NewTree(src).Clone())
+			if rng.Intn(20) == 0 {
+				xmlSrc = "<undeclared/>" // conformance rejection
+			}
+			idx := rng.Intn(len(pick.Children) + 1)
+			op = InsertSubtree(path, idx, xmlSrc)
+			if sub, err := xmltree.ParseString(xmlSrc); err == nil {
+				pick.Children = append(pick.Children, nil)
+				copy(pick.Children[idx+1:], pick.Children[idx:])
+				pick.Children[idx] = sub.Root
+			}
+		default: // delete
+			par := parents[pick]
+			if par == nil {
+				continue // never the root
+			}
+			op = DeleteSubtree(path)
+			for i, c := range par.Children {
+				if c == pick {
+					par.Children = append(par.Children[:i], par.Children[i+1:]...)
+					break
+				}
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// gatherElements lists the tree's element nodes and their parents.
+func gatherElements(t *xmltree.Tree) ([]*xmltree.Node, map[*xmltree.Node]*xmltree.Node) {
+	var elems []*xmltree.Node
+	parents := map[*xmltree.Node]*xmltree.Node{}
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		if n.IsText() {
+			return
+		}
+		elems = append(elems, n)
+		for _, c := range n.Children {
+			parents[c] = n
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return elems, parents
+}
+
+func hasElementChild(n *xmltree.Node) bool {
+	for _, c := range n.Children {
+		if !c.IsText() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,397 @@
+// Package docsession implements incremental revalidation of retained
+// documents: a Session ingests a document once through the doccheck
+// pipeline, keeps the parsed tree, the per-constraint hash indexes
+// (doccheck's KeyIndex/InclusionIndex, refcounted so removal works), and
+// a per-element Glushkov automaton checkpoint (dtd.State), and then
+// re-checks edits — InsertSubtree, DeleteSubtree, SetAttr, SetText —
+// against only the touched scopes: the edited element's bindings in the
+// constraint indexes and its parent's content model. An accepted edit
+// costs O(edit), not O(document).
+//
+// The session invariant is validity: Open fails on invalid documents
+// (returning *InvalidDocumentError with the report), and every edit is
+// transactional — an edit that would introduce a violation is rejected
+// with a delta report and a minimal repair hint, leaving the document,
+// the indexes, and the checkpoints exactly as they were.
+package docsession
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"xic/internal/constraint"
+	"xic/internal/doccheck"
+	"xic/internal/dtd"
+	"xic/internal/xmltree"
+)
+
+// InvalidDocumentError reports that the ingested document is well-formed
+// but not valid; a session only ever holds a valid document.
+type InvalidDocumentError struct {
+	Report *doccheck.Report
+}
+
+func (e *InvalidDocumentError) Error() string {
+	return fmt.Sprintf("docsession: document is invalid: %v", e.Report.Err())
+}
+
+// role of one element label within one constraint's index.
+type role uint8
+
+const (
+	roleKey    role = iota + 1 // tuple keys the element set (Key, FK key half, NotKey)
+	roleChild                  // child (referencing) side of an inclusion
+	roleParent                 // parent (referenced) side of an inclusion
+)
+
+// binding routes elements of one label to one index role. Bindings are
+// built once at Open and never mutated.
+//
+// xic:frozen
+type binding struct {
+	entry int // index into Indexes.Entries
+	role  role
+	attrs []string
+	key   *doccheck.KeyIndex
+	incl  *doccheck.InclusionIndex
+}
+
+// plan is the per-session dispatch table: for each element label, the
+// index roles its elements feed. Immutable after Open.
+//
+// xic:frozen
+type plan struct {
+	byLabel  map[string][]binding
+	entries  int
+	maxAttrs int
+}
+
+// Session is a retained document with incrementally-maintained
+// validation state. All methods are safe for concurrent use; the
+// zero-allocation steady state relies on the scratch buffers below, so
+// one mutex serializes edits.
+type Session struct {
+	mu    sync.Mutex
+	d     *dtd.DTD
+	v     *xmltree.Validator
+	plan  *plan
+	tree  *xmltree.Tree
+	idx   *doccheck.Indexes
+	state map[*xmltree.Node]*dtd.State // per-element content-model checkpoint
+	elems int
+
+	// Scratch buffers, reused across edits so the steady-state apply
+	// path allocates nothing.
+	vals      []string // tuple values
+	undo      []undoEntry
+	nundo     int
+	touched   []int32 // entry indices touched by the current op
+	ntouched  int
+	entryMark []uint64
+	gen       uint64
+	endState  dtd.State // parent end-state staged by replayChildren
+	runPool   map[string]*dtd.Run
+}
+
+// Open ingests one document from r through the streaming checker and
+// returns a live session over it. ck and v must come from the same
+// compiled specification. Invalid documents yield an
+// *InvalidDocumentError carrying the full report; malformed ones the
+// checker's parse error.
+func Open(ctx context.Context, ck *doccheck.Checker, v *xmltree.Validator, r io.Reader) (*Session, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("docsession: read document: %w", err)
+	}
+	rep, idxs, err := ck.RunRetain(ctx, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	if !rep.OK() {
+		return nil, &InvalidDocumentError{Report: rep}
+	}
+	tree, err := xmltree.Parse(bytes.NewReader(buf))
+	if err != nil {
+		return nil, err // unreachable: RunRetain accepted the bytes
+	}
+	s := &Session{
+		d:       v.DTD(),
+		v:       v,
+		tree:    tree,
+		idx:     idxs,
+		state:   make(map[*xmltree.Node]*dtd.State),
+		elems:   rep.Elements,
+		runPool: make(map[string]*dtd.Run),
+	}
+	s.plan = buildPlan(idxs)
+	s.vals = make([]string, s.plan.maxAttrs)
+	s.touched = make([]int32, len(idxs.Entries))
+	s.entryMark = make([]uint64, len(idxs.Entries))
+	s.undo = make([]undoEntry, 16)
+	s.checkpointSubtree(tree.Root)
+	return s, nil
+}
+
+// buildPlan derives the label dispatch table from the index entries.
+func buildPlan(idxs *doccheck.Indexes) *plan {
+	p := &plan{byLabel: make(map[string][]binding), entries: len(idxs.Entries)}
+	add := func(label string, b binding) {
+		p.byLabel[label] = append(p.byLabel[label], b)
+		if len(b.attrs) > p.maxAttrs {
+			p.maxAttrs = len(b.attrs)
+		}
+	}
+	for i, e := range idxs.Entries {
+		switch x := e.Con.(type) {
+		case constraint.Key:
+			add(x.Type, binding{entry: i, role: roleKey, attrs: x.Attrs, key: e.Key})
+		case constraint.NotKey:
+			add(x.Type, binding{entry: i, role: roleKey, attrs: []string{x.Attr}, key: e.Key})
+		case constraint.ForeignKey:
+			k := x.Key()
+			add(k.Type, binding{entry: i, role: roleKey, attrs: k.Attrs, key: e.Key})
+			add(x.Child, binding{entry: i, role: roleChild, attrs: x.ChildAttrs, incl: e.Incl})
+			add(x.Parent, binding{entry: i, role: roleParent, attrs: x.ParentAttrs, incl: e.Incl})
+		case constraint.Inclusion:
+			add(x.Child, binding{entry: i, role: roleChild, attrs: x.ChildAttrs, incl: e.Incl})
+			add(x.Parent, binding{entry: i, role: roleParent, attrs: x.ParentAttrs, incl: e.Incl})
+		case constraint.NotInclusion:
+			inc := x.Inclusion()
+			add(inc.Child, binding{entry: i, role: roleChild, attrs: inc.ChildAttrs, incl: e.Incl})
+			add(inc.Parent, binding{entry: i, role: roleParent, attrs: inc.ParentAttrs, incl: e.Incl})
+		}
+	}
+	return p
+}
+
+// checkpointSubtree walks the subtree computing each element's
+// content-model end state (the automaton state after consuming all its
+// children), the checkpoint that makes append-at-end edits O(1).
+func (s *Session) checkpointSubtree(n *xmltree.Node) {
+	if n.IsText() {
+		return
+	}
+	r := s.runFor(n.Label)
+	r.Reset()
+	for _, c := range n.Children {
+		r.Step(c.Label)
+	}
+	st := s.state[n]
+	if st == nil {
+		st = &dtd.State{}
+		s.state[n] = st
+	}
+	r.SaveInto(st)
+	for _, c := range n.Children {
+		s.checkpointSubtree(c)
+	}
+}
+
+// dropCheckpoints removes the per-element states of a detached subtree.
+func (s *Session) dropCheckpoints(n *xmltree.Node) {
+	if n.IsText() {
+		return
+	}
+	delete(s.state, n)
+	for _, c := range n.Children {
+		s.dropCheckpoints(c)
+	}
+}
+
+// runFor returns the session's reusable Run for the label's content
+// model. Sessions are mutex-serialized, so one Run per label suffices.
+func (s *Session) runFor(label string) *dtd.Run {
+	if r, ok := s.runPool[label]; ok {
+		return r
+	}
+	r := s.v.Automaton(label).Start()
+	s.runPool[label] = r
+	return r
+}
+
+// Elements returns the number of element nodes in the document.
+func (s *Session) Elements() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.elems
+}
+
+// Report returns the current document report. By the session invariant
+// it is always OK; it carries the live element count.
+func (s *Session) Report() doccheck.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return doccheck.Report{Elements: s.elems}
+}
+
+// Document serializes the current document as indented XML.
+func (s *Session) Document() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return xmltree.Serialize(s.tree)
+}
+
+// resolve walks a Tree.Path-notation path (lib/grp[3]/item[0]) from the
+// root, returning the element it names, its parent, and its slot in the
+// parent's child list (-1 for the root). A nil node means the path does
+// not resolve. Allocation-free: segments are sliced, indices parsed by
+// hand.
+//
+//xic:hotpath
+func (s *Session) resolve(path string) (n, parent *xmltree.Node, slot int) {
+	root := s.tree.Root
+	seg, rest := nextSegment(path)
+	if seg != root.Label || seg == "" {
+		return nil, nil, 0
+	}
+	n, parent, slot = root, nil, -1
+	for rest != "" {
+		seg, rest = nextSegment(rest)
+		label, idx, ok := splitIndex(seg)
+		if !ok {
+			return nil, nil, 0
+		}
+		child, childSlot := findChild(n, label, idx)
+		if child == nil {
+			return nil, nil, 0
+		}
+		parent, n, slot = n, child, childSlot
+	}
+	return n, parent, slot
+}
+
+// nextSegment splits off the first /-separated path segment.
+//
+//xic:hotpath
+func nextSegment(path string) (seg, rest string) {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i], path[i+1:]
+		}
+	}
+	return path, ""
+}
+
+// splitIndex parses label[idx].
+//
+//xic:hotpath
+func splitIndex(seg string) (label string, idx int, ok bool) {
+	if len(seg) < 4 || seg[len(seg)-1] != ']' {
+		return "", 0, false
+	}
+	open := -1
+	for i := len(seg) - 2; i >= 0; i-- {
+		if seg[i] == '[' {
+			open = i
+			break
+		}
+	}
+	if open <= 0 {
+		return "", 0, false
+	}
+	idx = 0
+	for i := open + 1; i < len(seg)-1; i++ {
+		c := seg[i]
+		if c < '0' || c > '9' {
+			return "", 0, false
+		}
+		idx = idx*10 + int(c-'0')
+	}
+	if open+1 == len(seg)-1 {
+		return "", 0, false
+	}
+	return seg[:open], idx, true
+}
+
+// findChild returns the idx-th child of n with the given label, and its
+// slot in the full child list.
+//
+//xic:hotpath
+func findChild(n *xmltree.Node, label string, idx int) (*xmltree.Node, int) {
+	seen := 0
+	for i, c := range n.Children {
+		if c.Label != label {
+			continue
+		}
+		if seen == idx {
+			return c, i
+		}
+		seen++
+	}
+	return nil, 0
+}
+
+// tupleOf fills s.vals with n's values of attrs; ok is false when one is
+// missing (impossible for conforming elements, since constraint
+// attributes are validated against the DTD).
+//
+//xic:hotpath
+func (s *Session) tupleOf(n *xmltree.Node, attrs []string) ([]string, bool) {
+	vals := s.vals[:len(attrs)]
+	for i, a := range attrs {
+		v, ok := n.Attrs[a]
+		if !ok {
+			return nil, false
+		}
+		vals[i] = v
+	}
+	return vals, true
+}
+
+// tupleOfWith is tupleOf with one attribute's value substituted — the
+// candidate tuple of a SetAttr before the tree is touched.
+//
+//xic:hotpath
+func (s *Session) tupleOfWith(n *xmltree.Node, attrs []string, attr, value string) ([]string, bool) {
+	vals := s.vals[:len(attrs)]
+	for i, a := range attrs {
+		if a == attr {
+			vals[i] = value
+			continue
+		}
+		v, ok := n.Attrs[a]
+		if !ok {
+			return nil, false
+		}
+		vals[i] = v
+	}
+	return vals, true
+}
+
+// tupleKey encodes a tuple as a comparable index key: the unary case is
+// the raw value with no allocation, mirroring doccheck.
+//
+//xic:hotpath
+func tupleKey(vals []string) string {
+	if len(vals) == 1 {
+		return vals[0]
+	}
+	return constraint.TupleKey(vals) //xic:ignore hotalloc multi-attribute tuples pay one encode per edit; the common unary case is the raw value
+}
+
+// hasAttr reports whether attrs contains a.
+//
+//xic:hotpath
+func hasAttr(attrs []string, a string) bool {
+	for _, x := range attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// countElements returns the number of element nodes in the subtree.
+func countElements(n *xmltree.Node) int {
+	if n.IsText() {
+		return 0
+	}
+	c := 1
+	for _, ch := range n.Children {
+		c += countElements(ch)
+	}
+	return c
+}

@@ -1,0 +1,50 @@
+package dtd
+
+// State is a saved checkpoint of a Run: the reachable-position set after
+// some consumed prefix. Checkpoints are what make local re-validation
+// cheap for retained documents — a caller can save the matching state an
+// element's children reached once, and later resume stepping from there
+// (appending children) without replaying the whole sequence.
+//
+// The zero State is the initial state (no symbols consumed), so callers
+// may Restore a never-saved State to reset a Run. A State is only
+// meaningful for Runs of the Automaton it was saved from.
+type State struct {
+	cur  bitset
+	n    int
+	dead bool
+}
+
+// Len returns the number of symbols the checkpointed prefix consumed.
+func (s *State) Len() int { return s.n }
+
+// SaveInto copies the Run's matching state into s, reusing s's storage
+// when it is already the right width — zero allocations in steady state.
+//
+//xic:hotpath
+func (r *Run) SaveInto(s *State) {
+	if len(s.cur) != len(r.cur) {
+		s.cur = newBitset(len(r.cur)) //xic:ignore hotalloc first save sizes the checkpoint; every later SaveInto reuses it
+	}
+	copy(s.cur, r.cur)
+	s.n = r.n
+	s.dead = r.dead
+}
+
+// Save returns a fresh checkpoint of the Run's matching state.
+func (r *Run) Save() *State {
+	s := &State{}
+	r.SaveInto(s)
+	return s
+}
+
+// Restore rewinds the Run to a checkpoint previously taken with Save or
+// SaveInto on a Run of the same Automaton (or to the initial state for a
+// zero State).
+//
+//xic:hotpath
+func (r *Run) Restore(s *State) {
+	copy(r.cur, s.cur)
+	r.n = s.n
+	r.dead = s.dead
+}

@@ -1,0 +1,92 @@
+package dtd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCheckpointRoundTrip saves the Run state at every prefix of random
+// words over (a (b|c)* d?)* and checks that restoring a checkpoint and
+// replaying the suffix agrees with an uninterrupted run.
+func TestCheckpointRoundTrip(t *testing.T) {
+	a := Compile(Star{Inner: Seq{Items: []Regex{
+		Name{Type: "a"},
+		Star{Inner: Alt{Items: []Regex{Name{Type: "b"}, Name{Type: "c"}}}},
+		Opt{Inner: Name{Type: "d"}},
+	}}})
+	alphabet := []string{"a", "b", "c", "d", "x"}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(12)
+		word := make([]string, n)
+		for i := range word {
+			word[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		cut := 0
+		if n > 0 {
+			cut = rng.Intn(n + 1)
+		}
+		// Uninterrupted run over the whole word.
+		ref := a.Start()
+		for _, s := range word {
+			ref.Step(s)
+		}
+		// Run to the cut, checkpoint, scribble, restore, replay suffix.
+		r := a.Start()
+		for _, s := range word[:cut] {
+			r.Step(s)
+		}
+		var ck State
+		r.SaveInto(&ck)
+		if ck.Len() != r.n {
+			t.Fatalf("checkpoint Len = %d, want %d", ck.Len(), r.n)
+		}
+		r.Step("x") // poison the state past the checkpoint
+		r.Restore(&ck)
+		for _, s := range word[cut:] {
+			r.Step(s)
+		}
+		if got, want := r.Accepting(), ref.Accepting(); got != want {
+			t.Fatalf("word %v cut %d: restored run accepting=%v, reference=%v", word, cut, got, want)
+		}
+		if got, want := r.dead, ref.dead; got != want {
+			t.Fatalf("word %v cut %d: restored run dead=%v, reference=%v", word, cut, got, want)
+		}
+	}
+}
+
+// TestCheckpointZeroValueIsInitial: restoring a never-saved State resets
+// the Run, mirroring Reset.
+func TestCheckpointZeroValueIsInitial(t *testing.T) {
+	a := Compile(Seq{Items: []Regex{Name{Type: "a"}, Name{Type: "b"}}})
+	r := a.Start()
+	r.Step("a")
+	r.Step("b")
+	if !r.Accepting() {
+		t.Fatal("sanity: a b should be accepted")
+	}
+	var zero State
+	r.Restore(&zero)
+	if r.Accepting() {
+		t.Fatal("restored-to-initial run should not accept the empty word for (a, b)")
+	}
+	if !r.Step("a") || !r.Step("b") || !r.Accepting() {
+		t.Fatal("restored-to-initial run should accept a b again")
+	}
+}
+
+// TestCheckpointSaveIntoReuses: a second SaveInto must not reallocate the
+// bitset storage (the session apply path depends on this being zero-alloc).
+func TestCheckpointSaveIntoReuses(t *testing.T) {
+	a := Compile(Star{Inner: Name{Type: "a"}})
+	r := a.Start()
+	var ck State
+	r.SaveInto(&ck) // first save sizes the storage
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Step("a")
+		r.SaveInto(&ck)
+	})
+	if allocs != 0 {
+		t.Fatalf("SaveInto allocated %v times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,154 @@
+package registry
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSessionStoreLRUEviction(t *testing.T) {
+	st := NewSessionStore(3, time.Hour)
+	defer st.Close()
+
+	st.Put("a", 1)
+	st.Put("b", 2)
+	st.Put("c", 3)
+	// Touch a so b is the least recently used.
+	if _, ok := st.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	evicted := st.Put("d", 4)
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+	if _, ok := st.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	for _, id := range []string{"a", "c", "d"} {
+		if _, ok := st.Get(id); !ok {
+			t.Fatalf("%s missing", id)
+		}
+	}
+	stats := st.SessionStatsSnapshot()
+	if stats.EvictionsLRU != 1 || stats.Size != 3 || stats.Opens != 4 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestSessionStorePutOverwriteAndDelete(t *testing.T) {
+	st := NewSessionStore(2, time.Hour)
+	defer st.Close()
+
+	st.Put("a", 1)
+	if ev := st.Put("a", 2); ev != nil {
+		t.Fatalf("overwrite evicted %v", ev)
+	}
+	v, ok := st.Get("a")
+	if !ok || v.(int) != 2 {
+		t.Fatalf("got %v %v, want 2 true", v, ok)
+	}
+	if !st.Delete("a") {
+		t.Fatal("delete reported absent")
+	}
+	if st.Delete("a") {
+		t.Fatal("double delete reported present")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("len=%d, want 0", st.Len())
+	}
+}
+
+func TestSessionStoreTTLSweep(t *testing.T) {
+	st := NewSessionStore(8, time.Minute)
+	defer st.Close()
+
+	// Drive the clock by hand so the sweep is deterministic.
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	st.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+
+	st.Put("old", 1)
+	advance(30 * time.Second)
+	st.Put("young", 2)
+	advance(45 * time.Second) // old idle 75s, young idle 45s
+
+	if dropped := st.Sweep(); dropped != 1 {
+		t.Fatalf("dropped %d, want 1", dropped)
+	}
+	if _, ok := st.Get("old"); ok {
+		t.Fatal("old survived TTL sweep")
+	}
+	if _, ok := st.Get("young"); !ok {
+		t.Fatal("young swept early")
+	}
+	if s := st.SessionStatsSnapshot(); s.EvictionsTTL != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+
+	// A Get refreshes the idle clock.
+	advance(50 * time.Second)
+	if _, ok := st.Get("young"); !ok {
+		t.Fatal("young gone before refresh check")
+	}
+	advance(30 * time.Second)
+	if dropped := st.Sweep(); dropped != 0 {
+		t.Fatalf("dropped %d after refresh, want 0", dropped)
+	}
+}
+
+// TestSessionStoreCloseStopsSweeper: Close joins the background sweeper —
+// goroutine counts return to baseline (a goleak-style check without the
+// dependency).
+func TestSessionStoreCloseStopsSweeper(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		st := NewSessionStore(4, 50*time.Millisecond)
+		st.Put(NewSessionID(), i)
+		st.Close()
+		st.Close() // idempotent
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: before=%d after=%d\n%s", before, runtime.NumGoroutine(), buf[:n])
+}
+
+func TestSessionStoreBackgroundSweep(t *testing.T) {
+	st := NewSessionStore(8, 40*time.Millisecond)
+	defer st.Close()
+	st.Put("x", 1)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Len() == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background sweeper never evicted an idle session")
+}
+
+func TestNewSessionID(t *testing.T) {
+	a, b := NewSessionID(), NewSessionID()
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("id lengths %d %d, want 32", len(a), len(b))
+	}
+	if a == b {
+		t.Fatal("two session ids collided")
+	}
+}

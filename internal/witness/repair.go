@@ -8,6 +8,21 @@ import (
 	"xic/internal/xmltree"
 )
 
+// FreshValue returns the first value of the canonical witness pool
+// v0, v1, … that taken does not claim. It is the repair-side twin of
+// assignValues' global prefix pool (values.go): when an edit is rejected
+// for duplicating a key, the minimal repair rewrites the colliding
+// attribute to the first pool value absent from the key's index, keeping
+// repaired documents inside the witness value vocabulary.
+func FreshValue(taken func(string) bool) string {
+	for i := 0; ; i++ {
+		v := fmt.Sprintf("v%d", i)
+		if !taken(v) {
+			return v
+		}
+	}
+}
+
 // repair re-roots parent/child components disconnected from the root. For
 // acyclic type graphs the wiring is always connected and this is a no-op
 // check. For recursive DTDs the solution's spanning-depth certificate

@@ -1,0 +1,97 @@
+package xic
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+const sessionDTD = `
+<!ELEMENT school (teacher*, course*)>
+<!ELEMENT teacher EMPTY>
+<!ELEMENT course EMPTY>
+<!ATTLIST teacher name CDATA #REQUIRED>
+<!ATTLIST course taught_by CDATA #REQUIRED>
+`
+
+const sessionSigma = "teacher.name -> teacher\ncourse.taught_by => teacher.name"
+
+func sessionSpec(t *testing.T) *Spec {
+	t.Helper()
+	d, err := ParseDTD(sessionDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := ParseConstraints(sessionSigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Compile(d, sigma...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestSpecOpenSession(t *testing.T) {
+	spec := sessionSpec(t)
+	doc := `<school><teacher name="ada"/><teacher name="bob"/><course taught_by="ada"/></school>`
+	s, err := spec.OpenSession(context.Background(), strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Elements() != 4 {
+		t.Fatalf("elements=%d, want 4", s.Elements())
+	}
+
+	// An accepted edit, then one rejected for stranding the course.
+	if res := s.Apply(SetAttr("school/teacher[1]", "name", "cyd")); res.Rejected != nil {
+		t.Fatalf("rename rejected: %+v", res.Rejected)
+	}
+	res := s.Apply(SetAttr("school/teacher[0]", "name", "eve"))
+	if res.Rejected == nil {
+		t.Fatal("stranding rename accepted")
+	}
+	if res.Rejected.Repair == nil {
+		t.Fatal("no repair hint on rejection")
+	}
+
+	// The session document always revalidates cleanly via the same Spec.
+	rep, err := spec.ValidateStream(context.Background(), strings.NewReader(s.Document()))
+	if err != nil || !rep.OK() {
+		t.Fatalf("session document invalid: %v %v", err, rep)
+	}
+
+	// Structural edits round-trip through the public op constructors.
+	res = s.Apply(
+		InsertSubtree("school", 2, `<teacher name="dan"/>`),
+		InsertSubtree("school", 4, `<course taught_by="dan"/>`),
+		DeleteSubtree("school/course[0]"),
+	)
+	if res.Rejected != nil || res.Applied != 3 {
+		t.Fatalf("batch: applied=%d rejected=%+v", res.Applied, res.Rejected)
+	}
+	if s.Elements() != 5 {
+		t.Fatalf("elements=%d, want 5", s.Elements())
+	}
+}
+
+func TestSpecOpenSessionInvalidDocument(t *testing.T) {
+	spec := sessionSpec(t)
+	doc := `<school><teacher name="ada"/><course taught_by="zed"/></school>`
+	_, err := spec.OpenSession(context.Background(), strings.NewReader(doc))
+	ide, ok := err.(*InvalidDocumentError)
+	if !ok {
+		t.Fatalf("got %v, want *InvalidDocumentError", err)
+	}
+	if len(ide.Report.Violations) == 0 {
+		t.Fatal("error carries no violations")
+	}
+}
+
+func TestSpecOpenSessionMalformed(t *testing.T) {
+	spec := sessionSpec(t)
+	if _, err := spec.OpenSession(context.Background(), strings.NewReader("<school><oops")); err == nil {
+		t.Fatal("malformed document accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"xic/internal/constraint"
 	"xic/internal/core"
 	"xic/internal/doccheck"
+	"xic/internal/docsession"
 	"xic/internal/xmltree"
 )
 
@@ -402,6 +403,36 @@ func (s *Spec) ValidateStream(ctx context.Context, r io.Reader) (*Report, error)
 		return nil, wrapDocumentError(err)
 	}
 	return rep, nil
+}
+
+// OpenSession ingests one document from r — a single streaming validation
+// pass — and returns a live editing session over it: the parsed tree, the
+// per-constraint hash indexes and a per-element content-model checkpoint
+// are retained, so subsequent Session.Apply calls re-check each edit
+// against only the touched scopes, in O(edit) rather than O(document).
+// Every edit is transactional — accepted in full or rejected with a delta
+// report and a minimal repair hint — so the session's document is valid
+// at all times.
+//
+// Invalid documents yield an *InvalidDocumentError carrying the full
+// report; unparseable ones a *ParseError. The context bounds the
+// ingestion pass only; the returned Session is independent of it.
+func (s *Spec) OpenSession(ctx context.Context, r io.Reader) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sess, err := docsession.Open(ctx, s.stream, s.validator, r)
+	if err != nil {
+		var ide *docsession.InvalidDocumentError
+		if errors.As(err, &ide) {
+			return nil, ide
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+		return nil, wrapDocumentError(err)
+	}
+	return sess, nil
 }
 
 // join returns the compiled set extended with extra constraints, copying

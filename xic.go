@@ -90,6 +90,7 @@ import (
 	"xic/internal/constraint"
 	"xic/internal/core"
 	"xic/internal/doccheck"
+	"xic/internal/docsession"
 	"xic/internal/dtd"
 	"xic/internal/xmltree"
 )
@@ -176,7 +177,60 @@ type (
 	// Violation is one way a streamed document fails its specification,
 	// with an element path, source line and byte offset.
 	Violation = doccheck.Violation
+
+	// Session is a retained document with incrementally-maintained
+	// validation state (Spec.OpenSession): edits are re-checked against
+	// only the touched constraint indexes and content models, in O(edit)
+	// rather than O(document).
+	Session = docsession.Session
+
+	// EditOp is one edit against a Session's document: InsertSubtree,
+	// DeleteSubtree, SetAttr or SetText.
+	EditOp = docsession.EditOp
+
+	// OpKind names an EditOp's operation.
+	OpKind = docsession.OpKind
+
+	// ApplyResult is the outcome of one Session.Apply batch.
+	ApplyResult = docsession.ApplyResult
+
+	// RejectedEdit is the delta report of an edit the session refused:
+	// the violations the edit would have introduced, plus a minimal
+	// repair hint when one exists.
+	RejectedEdit = docsession.RejectedEdit
+
+	// RepairHint is a minimal counter-edit for a rejected op.
+	RepairHint = docsession.RepairHint
+
+	// InvalidDocumentError is returned by Spec.OpenSession when the
+	// ingested document is well-formed but violates the specification.
+	InvalidDocumentError = docsession.InvalidDocumentError
 )
+
+// EditOp kinds, aliased from the session engine.
+const (
+	OpInsertSubtree = docsession.OpInsertSubtree
+	OpDeleteSubtree = docsession.OpDeleteSubtree
+	OpSetAttr       = docsession.OpSetAttr
+	OpSetText       = docsession.OpSetText
+)
+
+// SetAttr returns the edit replacing one attribute value of the element
+// at path (xmltree.Tree.Path notation, e.g. teachers/teacher[1]).
+func SetAttr(path, attr, value string) EditOp { return docsession.SetAttr(path, attr, value) }
+
+// SetText returns the edit replacing the text content of the element at
+// path; a whitespace-only value removes the text node.
+func SetText(path, value string) EditOp { return docsession.SetText(path, value) }
+
+// InsertSubtree returns the edit inserting the XML fragment as a new
+// subtree under path at child slot index.
+func InsertSubtree(path string, index int, xmlSrc string) EditOp {
+	return docsession.InsertSubtree(path, index, xmlSrc)
+}
+
+// DeleteSubtree returns the edit deleting the subtree rooted at path.
+func DeleteSubtree(path string) EditOp { return docsession.DeleteSubtree(path) }
 
 // ParseDTD reads a DTD in XML DTD syntax (<!ELEMENT …>, <!ATTLIST …>,
 // optional <!DOCTYPE root>). Syntax errors are *ParseError values carrying
